@@ -1,0 +1,81 @@
+//===- bench/bench_adequacy.cpp - E13: adequacy harness cost --------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// Measures the full Theorem 6.2 cross-validation (both SEQ verdicts plus
+// PS^na behavior inclusion under every library context) on representative
+// corpus cases, and the random-pair sweep throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/Harness.h"
+#include "adequacy/RandomProgram.h"
+#include "lang/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pseq;
+
+namespace {
+
+PsConfig psCfg() {
+  PsConfig C;
+  C.PromiseBudget = 0;
+  return C;
+}
+
+void runCase(benchmark::State &State, const char *Name) {
+  const RefinementCase &RC = refinementCaseByName(Name);
+  AdequacyRecord Rec;
+  for (auto _ : State) {
+    Rec = runAdequacy(RC, psCfg());
+    benchmark::ClobberMemory();
+  }
+  State.counters["seq_advanced"] = Rec.SeqAdvanced;
+  State.counters["psna_all_ctx"] = Rec.PsnaAllContexts;
+  State.counters["adequate"] = Rec.adequacyHolds();
+  State.counters["contexts"] = static_cast<double>(Rec.Contexts.size());
+}
+
+void registerAll() {
+  for (const char *Name :
+       {"ex2.6-ii-slf", "ex2.9-ii-conv-needs-advanced",
+        "ex2.11-slf-across-rel-write", "ex2.12-no-slf-across-rel-acq",
+        "sec3-late-ub-rlx-read-na-write", "ex3.5-dse-across-rel-write"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("adequacy/") + Name).c_str(),
+        [Name](benchmark::State &S) { runCase(S, Name); });
+  }
+}
+
+void BM_RandomSweep(benchmark::State &State) {
+  unsigned Violations = 0, Checked = 0;
+  for (auto _ : State) {
+    Rng R(State.range(0));
+    for (unsigned I = 0; I != 8; ++I) {
+      RandomPair Pair = randomRefinementPair(R);
+      std::unique_ptr<Program> Src = parseOrDie(Pair.Src);
+      std::unique_ptr<Program> Tgt = parseOrDie(Pair.Tgt);
+      SeqConfig SeqC;
+      AdequacyRecord Rec = runAdequacy("random", *Src, *Tgt, SeqC, psCfg(),
+                                       /*HasLoops=*/false);
+      ++Checked;
+      Violations += !Rec.adequacyHolds();
+    }
+  }
+  State.counters["checked"] = Checked;
+  State.counters["violations"] = Violations;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  registerAll();
+  benchmark::RegisterBenchmark("adequacy/random_sweep8", BM_RandomSweep)
+      ->Arg(7);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,181 @@
+//===- adequacy/ContextLibrary.cpp - Concurrent contexts ------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/ContextLibrary.h"
+
+using namespace pseq;
+
+namespace {
+
+/// First non-atomic / atomic location of a program, if any.
+std::optional<unsigned> firstLoc(const Program &P, bool Atomic) {
+  for (unsigned L = 0, E = P.numLocs(); L != E; ++L)
+    if (P.isAtomicLoc(L) == Atomic)
+      return L;
+  return std::nullopt;
+}
+
+std::optional<unsigned> secondLoc(const Program &P, bool Atomic) {
+  bool SeenFirst = false;
+  for (unsigned L = 0, E = P.numLocs(); L != E; ++L) {
+    if (P.isAtomicLoc(L) != Atomic)
+      continue;
+    if (SeenFirst)
+      return L;
+    SeenFirst = true;
+  }
+  return std::nullopt;
+}
+
+std::vector<ContextSpec> buildLibrary() {
+  std::vector<ContextSpec> Out;
+
+  // The empty context: plain behavior inclusion of the thread itself.
+  Out.push_back({"empty", [](Program &) {}});
+
+  // A thread that reads every atomic location and returns a digest.
+  Out.push_back({"atomic-observer", [](Program &P) {
+                   std::optional<unsigned> X = firstLoc(P, true);
+                   if (!X)
+                     return;
+                   unsigned Tid = P.addThread();
+                   Program::ThreadCode &T = P.thread(Tid);
+                   unsigned A = T.Regs.intern("ca");
+                   std::vector<const Stmt *> Body;
+                   Body.push_back(P.stmtLoad(A, *X, ReadMode::RLX));
+                   if (std::optional<unsigned> Y = secondLoc(P, true)) {
+                     unsigned B = T.Regs.intern("cb");
+                     Body.push_back(P.stmtLoad(B, *Y, ReadMode::RLX));
+                     Body.push_back(P.stmtReturn(P.exprBin(
+                         BinOp::Add,
+                         P.exprBin(BinOp::Mul, P.exprReg(A), P.exprConst(4)),
+                         P.exprReg(B))));
+                   } else {
+                     Body.push_back(P.stmtReturn(P.exprReg(A)));
+                   }
+                   P.setThreadBody(Tid, P.stmtSeq(std::move(Body)));
+                 }});
+
+  // A thread that writes 1 to the first atomic location (relaxed).
+  Out.push_back({"atomic-writer-rel", [](Program &P) {
+                   std::optional<unsigned> X = firstLoc(P, true);
+                   if (!X)
+                     return;
+                   unsigned Tid = P.addThread();
+                   P.setThreadBody(
+                       Tid, P.stmtStore(*X, P.exprConst(1), WriteMode::REL));
+                 }});
+
+  // Acquire the first atomic location, then read the non-atomic data —
+  // the canonical message-passing consumer.
+  Out.push_back({"acq-guarded-reader", [](Program &P) {
+                   std::optional<unsigned> X = firstLoc(P, true);
+                   std::optional<unsigned> D = firstLoc(P, false);
+                   if (!X || !D)
+                     return;
+                   unsigned Tid = P.addThread();
+                   Program::ThreadCode &T = P.thread(Tid);
+                   unsigned B = T.Regs.intern("cb");
+                   unsigned A = T.Regs.intern("ca");
+                   const Stmt *Then = P.stmtSeq(
+                       {P.stmtLoad(A, *D, ReadMode::NA),
+                        P.stmtReturn(P.exprReg(A))});
+                   P.setThreadBody(
+                       Tid,
+                       P.stmtSeq({P.stmtLoad(B, *X, ReadMode::ACQ),
+                                  P.stmtIf(P.exprBin(BinOp::Eq, P.exprReg(B),
+                                                     P.exprConst(1)),
+                                           Then, P.stmtReturn(P.exprConst(2)))}));
+                 }});
+
+  // Acquire the flag, then WRITE the non-atomic data (ownership handoff):
+  // distinguishes store-introduction-after-release bugs (Example 2.10).
+  Out.push_back({"acq-guarded-writer", [](Program &P) {
+                   std::optional<unsigned> X = firstLoc(P, true);
+                   std::optional<unsigned> D = firstLoc(P, false);
+                   if (!X || !D)
+                     return;
+                   unsigned Tid = P.addThread();
+                   Program::ThreadCode &T = P.thread(Tid);
+                   unsigned B = T.Regs.intern("cb");
+                   const Stmt *Then =
+                       P.stmtStore(*D, P.exprConst(2), WriteMode::NA);
+                   P.setThreadBody(
+                       Tid,
+                       P.stmtSeq({P.stmtLoad(B, *X, ReadMode::ACQ),
+                                  P.stmtIf(P.exprBin(BinOp::Eq, P.exprReg(B),
+                                                     P.exprConst(1)),
+                                           Then, P.stmtSkip()),
+                                  P.stmtReturn(P.exprReg(B))}));
+                 }});
+
+  // Racing non-atomic reader: distinguishes introduced writes/reads.
+  Out.push_back({"racing-na-reader", [](Program &P) {
+                   std::optional<unsigned> D = firstLoc(P, false);
+                   if (!D)
+                     return;
+                   unsigned Tid = P.addThread();
+                   Program::ThreadCode &T = P.thread(Tid);
+                   unsigned A = T.Regs.intern("ca");
+                   P.setThreadBody(Tid,
+                                   P.stmtSeq({P.stmtLoad(A, *D, ReadMode::NA),
+                                              P.stmtReturn(P.exprReg(A))}));
+                 }});
+
+  // Racing non-atomic writer: turns introduced reads racy and introduced
+  // writes into UB (write-write race).
+  Out.push_back({"racing-na-writer", [](Program &P) {
+                   std::optional<unsigned> D = firstLoc(P, false);
+                   if (!D)
+                     return;
+                   unsigned Tid = P.addThread();
+                   P.setThreadBody(
+                       Tid, P.stmtStore(*D, P.exprConst(1), WriteMode::NA));
+                 }});
+
+  // Relay: forward the second atomic location into the first with a
+  // release write (the Example 3.1 environment `c := y_rlx; x_rel := c`).
+  Out.push_back({"rlx-to-rel-relay", [](Program &P) {
+                   std::optional<unsigned> X = firstLoc(P, true);
+                   std::optional<unsigned> Y = secondLoc(P, true);
+                   if (!X || !Y)
+                     return;
+                   unsigned Tid = P.addThread();
+                   Program::ThreadCode &T = P.thread(Tid);
+                   unsigned C = T.Regs.intern("cc");
+                   P.setThreadBody(
+                       Tid, P.stmtSeq({P.stmtLoad(C, *Y, ReadMode::RLX),
+                                       P.stmtStore(*X, P.exprReg(C),
+                                                   WriteMode::REL)}));
+                 }});
+
+  // Handoff partner: write the data then release the flag — makes the
+  // thread under test the message-passing consumer.
+  Out.push_back({"data-then-rel-flag", [](Program &P) {
+                   std::optional<unsigned> X = firstLoc(P, true);
+                   std::optional<unsigned> D = firstLoc(P, false);
+                   if (!X || !D)
+                     return;
+                   unsigned Tid = P.addThread();
+                   P.setThreadBody(
+                       Tid,
+                       P.stmtSeq({P.stmtStore(*D, P.exprConst(2),
+                                              WriteMode::NA),
+                                  P.stmtStore(*X, P.exprConst(1),
+                                              WriteMode::REL)}));
+                 }});
+
+  return Out;
+}
+
+} // namespace
+
+const std::vector<ContextSpec> &pseq::contextLibrary() {
+  static const std::vector<ContextSpec> *Lib =
+      new std::vector<ContextSpec>(buildLibrary());
+  return *Lib;
+}

@@ -1,0 +1,46 @@
+//===- adequacy/ContextLibrary.h - Concurrent contexts ----------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Theorem 6.2 quantifies over arbitrary concurrent contexts σ1 ∥ ... ∥ σn.
+/// This library provides a finite family of context generators: given a
+/// program (whose thread 0 is the code under test), each generator appends
+/// context threads that exercise the program's locations — readers,
+/// writers, release/acquire relays, racing non-atomic accesses, RMW
+/// spinners. The adequacy harness composes both source and target with the
+/// same context and compares PS^na outcome sets (Def 5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_ADEQUACY_CONTEXTLIBRARY_H
+#define PSEQ_ADEQUACY_CONTEXTLIBRARY_H
+
+#include "lang/Program.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pseq {
+
+/// One context generator. `build` appends zero or more threads to \p P
+/// (whose layout is already fixed); generators adapt to the available
+/// locations and may be no-ops for layouts they cannot exercise (e.g. a
+/// release-relay needs an atomic location).
+struct ContextSpec {
+  std::string Name;
+  std::function<void(Program &P)> Build;
+};
+
+/// The fixed context family used by tests and benches. Contexts are small
+/// (one thread, at most three accesses) so exhaustive PS^na exploration of
+/// the composition stays cheap.
+const std::vector<ContextSpec> &contextLibrary();
+
+} // namespace pseq
+
+#endif // PSEQ_ADEQUACY_CONTEXTLIBRARY_H

@@ -1,0 +1,56 @@
+//===- adequacy/Harness.cpp - Empirical Theorem 6.2 -----------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/Harness.h"
+
+#include "lang/Parser.h"
+#include "seq/SimpleRefinement.h"
+
+using namespace pseq;
+
+AdequacyRecord pseq::runAdequacy(const std::string &Name, const Program &Src,
+                                 const Program &Tgt, const SeqConfig &SeqCfg,
+                                 const PsConfig &PsCfg, bool HasLoops) {
+  AdequacyRecord Rec;
+  Rec.Name = Name;
+
+  RefinementResult Simple = checkSimpleRefinement(Src, Tgt, SeqCfg);
+  RefinementResult Advanced = checkAdvancedRefinement(Src, Tgt, SeqCfg);
+  Rec.SeqSimple = Simple.Holds;
+  Rec.SeqAdvanced = Advanced.Holds;
+  Rec.AnyBounded = Simple.Bounded || Advanced.Bounded || HasLoops;
+
+  for (const ContextSpec &Ctx : contextLibrary()) {
+    std::unique_ptr<Program> SrcC = cloneProgram(Src);
+    std::unique_ptr<Program> TgtC = cloneProgram(Tgt);
+    Ctx.Build(*SrcC);
+    Ctx.Build(*TgtC);
+    if (SrcC->numThreads() != TgtC->numThreads())
+      continue; // context not applicable to this layout
+
+    PsRefinementResult R = checkPsRefinement(*SrcC, *TgtC, PsCfg);
+    ContextVerdict V;
+    V.Context = Ctx.Name;
+    V.Holds = R.Holds;
+    V.Bounded = R.Bounded;
+    V.Counterexample = R.Counterexample;
+    Rec.PsnaAllContexts &= R.Holds;
+    Rec.AnyBounded |= R.Bounded;
+    Rec.Contexts.push_back(std::move(V));
+  }
+  return Rec;
+}
+
+AdequacyRecord pseq::runAdequacy(const RefinementCase &RC,
+                                 const PsConfig &PsCfg) {
+  std::unique_ptr<Program> Src = parseOrDie(RC.Src);
+  std::unique_ptr<Program> Tgt = parseOrDie(RC.Tgt);
+  SeqConfig SeqCfg;
+  SeqCfg.Domain = RC.Domain;
+  SeqCfg.StepBudget = RC.StepBudget;
+  return runAdequacy(RC.Name, *Src, *Tgt, SeqCfg, PsCfg, RC.HasLoops);
+}

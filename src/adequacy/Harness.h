@@ -1,0 +1,66 @@
+//===- adequacy/Harness.h - Empirical Theorem 6.2 ---------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The empirical counterpart of the adequacy theorem (Thm 6.2):
+///
+///   σ_tgt ⊑w σ_src  (and σ_src deterministic)
+///     ⇒  σ_tgt ∥ ctx ⊑_PSna σ_src ∥ ctx   for every context ctx.
+///
+/// For each (source, target) pair the harness computes both SEQ verdicts
+/// and the PS^na contextual verdict over the context library, and reports
+/// agreement. Soundness of the SEQ checkers requires that ⊑w-positive
+/// pairs never fail a PS^na context; ⊑w-negative pairs ideally come with a
+/// PS^na witness (a context separating the programs), though SEQ is not
+/// claimed complete, so missing witnesses are reported, not failed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_ADEQUACY_HARNESS_H
+#define PSEQ_ADEQUACY_HARNESS_H
+
+#include "adequacy/ContextLibrary.h"
+#include "litmus/Corpus.h"
+#include "psna/Refinement.h"
+#include "seq/AdvancedRefinement.h"
+
+namespace pseq {
+
+/// Per-context outcome of a PS^na comparison.
+struct ContextVerdict {
+  std::string Context;
+  bool Holds = true;
+  bool Bounded = false;
+  std::string Counterexample;
+};
+
+/// Full adequacy record for one (source, target) pair.
+struct AdequacyRecord {
+  std::string Name;
+  bool SeqSimple = false;
+  bool SeqAdvanced = false;
+  bool PsnaAllContexts = true;           ///< conjunction over contexts
+  std::vector<ContextVerdict> Contexts;  ///< per-context detail
+  bool AnyBounded = false;
+
+  /// Thm 6.2's direction: ⊑w must imply PS^na refinement in every context.
+  bool adequacyHolds() const { return !SeqAdvanced || PsnaAllContexts; }
+  /// A PS^na witness exists for a ⊑w-negative pair.
+  bool witnessFound() const { return !SeqAdvanced && !PsnaAllContexts; }
+};
+
+/// Runs the harness on one corpus case (or any parsed pair).
+AdequacyRecord runAdequacy(const RefinementCase &RC, const PsConfig &PsCfg);
+
+/// Runs the harness on already-parsed single-thread programs.
+AdequacyRecord runAdequacy(const std::string &Name, const Program &Src,
+                           const Program &Tgt, const SeqConfig &SeqCfg,
+                           const PsConfig &PsCfg, bool HasLoops);
+
+} // namespace pseq
+
+#endif // PSEQ_ADEQUACY_HARNESS_H

@@ -1,0 +1,116 @@
+//===- adequacy/RandomProgram.cpp - Random pairs for sweeps ---------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/RandomProgram.h"
+
+#include <vector>
+
+using namespace pseq;
+
+namespace {
+
+/// One random statement over the fixed layout `na d; atomic f;` and
+/// registers r0..r2.
+std::string randomStmt(Rng &R) {
+  std::string Reg = "r" + std::to_string(R.below(3));
+  std::string K = std::to_string(R.below(2));
+  switch (R.below(8)) {
+  case 0:
+    return "d@na := " + K + ";";
+  case 1:
+    return Reg + " := d@na;";
+  case 2:
+    return "f@rlx := " + K + ";";
+  case 3:
+    return Reg + " := f@rlx;";
+  case 4:
+    return Reg + " := f@acq;";
+  case 5:
+    return "f@rel := " + K + ";";
+  case 6:
+    return Reg + " := " + K + ";";
+  default:
+    return "d@na := " + Reg + ";";
+  }
+}
+
+std::string assemble(const std::vector<std::string> &Stmts) {
+  std::string Out = "na d; atomic f;\nthread {\n";
+  for (const std::string &S : Stmts)
+    Out += "  " + S + "\n";
+  Out += "  return r0;\n}";
+  return Out;
+}
+
+} // namespace
+
+RandomPair pseq::randomRefinementPair(Rng &R) {
+  unsigned N = 2 + static_cast<unsigned>(R.below(3)); // 2..4 statements
+  std::vector<std::string> Src;
+  Src.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Src.push_back(randomStmt(R));
+
+  std::vector<std::string> Tgt = Src;
+  RandomPair Out;
+  switch (R.below(3)) {
+  case 0: {
+    unsigned I = static_cast<unsigned>(R.below(N - 1));
+    std::swap(Tgt[I], Tgt[I + 1]);
+    Out.Mutation = "swap@" + std::to_string(I);
+    break;
+  }
+  case 1: {
+    unsigned I = static_cast<unsigned>(R.below(N));
+    Out.Mutation = "delete@" + std::to_string(I) + " (" + Tgt[I] + ")";
+    Tgt.erase(Tgt.begin() + I);
+    break;
+  }
+  default: {
+    unsigned I = static_cast<unsigned>(R.below(N));
+    Out.Mutation = "dup@" + std::to_string(I) + " (" + Tgt[I] + ")";
+    Tgt.insert(Tgt.begin() + I, Tgt[I]);
+    break;
+  }
+  }
+
+  Out.Src = assemble(Src);
+  Out.Tgt = assemble(Tgt);
+  return Out;
+}
+
+std::string pseq::randomContextThread(Rng &R) {
+  std::vector<std::string> Stmts;
+  unsigned N = 1 + static_cast<unsigned>(R.below(3));
+  for (unsigned I = 0; I != N; ++I) {
+    switch (R.below(6)) {
+    case 0:
+      Stmts.push_back("d@na := " + std::to_string(R.below(2)) + ";");
+      break;
+    case 1:
+      Stmts.push_back("q" + std::to_string(I) + " := d@na;");
+      break;
+    case 2:
+      Stmts.push_back("f@rel := " + std::to_string(R.below(2)) + ";");
+      break;
+    case 3:
+      Stmts.push_back("q" + std::to_string(I) + " := f@acq;");
+      break;
+    case 4:
+      Stmts.push_back("f@rlx := " + std::to_string(R.below(2)) + ";");
+      break;
+    default:
+      Stmts.push_back("q" + std::to_string(I) + " := f@rlx;");
+      break;
+    }
+  }
+  std::string Out = "thread {\n";
+  for (const std::string &S : Stmts)
+    Out += "  " + S + "\n";
+  Out += "  return q0;\n}";
+  return Out;
+}

@@ -1,0 +1,44 @@
+//===- adequacy/RandomProgram.h - Random pairs for sweeps -------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based input generation for the adequacy sweep: random
+/// straight-line single-thread programs over a fixed layout (one
+/// non-atomic, one atomic location) and a random local "transformation"
+/// (adjacent swap, deletion, duplication) producing the target. The sweep
+/// asserts Thm 6.2's direction — whenever the SEQ checker validates the
+/// pair, no PS^na context may distinguish them — and Prop 3.4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_ADEQUACY_RANDOMPROGRAM_H
+#define PSEQ_ADEQUACY_RANDOMPROGRAM_H
+
+#include "support/Rng.h"
+
+#include <string>
+
+namespace pseq {
+
+/// A random (source, target) pair plus a description of the mutation.
+struct RandomPair {
+  std::string Src;
+  std::string Tgt;
+  std::string Mutation;
+};
+
+/// Generates one pair. Deterministic in \p R's state.
+RandomPair randomRefinementPair(Rng &R);
+
+/// Generates one random context thread (as `thread { ... }` text) over
+/// the same fixed layout (`na d; atomic f`), for adequacy sweeps that go
+/// beyond the curated context library.
+std::string randomContextThread(Rng &R);
+
+} // namespace pseq
+
+#endif // PSEQ_ADEQUACY_RANDOMPROGRAM_H

@@ -1,0 +1,44 @@
+//===- lang/Determinism.h - Def 6.1 determinism checker ---------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adequacy theorem (Thm 6.2) requires the *source* program to be
+/// deterministic in the sense of Def 6.1: from any reachable state, the
+/// only branching transitions are reads of different values or choices of
+/// different values. Programs in this language are deterministic by
+/// construction (one instruction per pc; only Load/Choose branch on
+/// values); this module verifies the property over the reachable LTS as an
+/// executable counterpart of that argument, and doubles as a smoke test of
+/// the LTS implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_LANG_DETERMINISM_H
+#define PSEQ_LANG_DETERMINISM_H
+
+#include "lang/ProgState.h"
+#include "support/ValueDomain.h"
+
+namespace pseq {
+
+/// Result of the determinism exploration.
+struct DeterminismReport {
+  bool Deterministic = true;
+  bool Exhausted = false; ///< state budget hit before full coverage
+  unsigned StatesVisited = 0;
+};
+
+/// Explores the LTS of thread \p Tid of \p P, feeding reads every value in
+/// \p Domain plus undef and choices every value in \p Domain, and checks
+/// Def 6.1 on every reachable state (up to \p StateBudget states).
+DeterminismReport checkDeterministic(const Program &P, unsigned Tid,
+                                     const ValueDomain &Domain,
+                                     unsigned StateBudget = 100000);
+
+} // namespace pseq
+
+#endif // PSEQ_LANG_DETERMINISM_H

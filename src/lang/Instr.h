@@ -1,0 +1,61 @@
+//===- lang/Instr.h - Executable bytecode -----------------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flattened instruction form that the SEQ and PS^na machines execute.
+/// A program state is just (pc, register file), so the exhaustive explorers
+/// can hash and deduplicate states cheaply; the structured Stmt AST remains
+/// the optimizer's representation. Every thread's code ends with an
+/// implicit `return 0`, matching the paper's convention that programs
+/// terminate in return(v) states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_LANG_INSTR_H
+#define PSEQ_LANG_INSTR_H
+
+#include "lang/Expr.h"
+#include "lang/Mode.h"
+
+namespace pseq {
+
+/// One executable instruction. Control flow is explicit: `Br` evaluates its
+/// condition (UB if undef) and jumps to TargetTrue/TargetFalse; `Jmp` is an
+/// unconditional jump. All other opcodes fall through to pc+1.
+struct Instr {
+  enum class Opcode {
+    Assign, ///< Reg := E                     (silent)
+    Load,   ///< Reg := [Loc]@RM
+    Store,  ///< [Loc]@WM := E
+    Cas,    ///< Reg := cas(Loc, E2, E3)@RM,WM
+    Fadd,   ///< Reg := fadd(Loc, E)@RM,WM
+    Fence,  ///< fence@FM
+    Choose, ///< Reg := choose                (choose(v) label)
+    Freeze, ///< Reg := freeze(E)
+    Print,  ///< print(E)                     (system call)
+    Return, ///< return E
+    Abort,  ///< UB
+    Jmp,    ///< goto TargetTrue
+    Br      ///< if E goto TargetTrue else goto TargetFalse
+  };
+
+  Opcode Op;
+  unsigned Reg = 0;
+  unsigned Loc = 0;
+  ReadMode RM = ReadMode::NA;
+  WriteMode WM = WriteMode::NA;
+  FenceMode FM = FenceMode::SC;
+  const Expr *E = nullptr;
+  const Expr *E2 = nullptr;
+  const Expr *E3 = nullptr;
+  unsigned TargetTrue = 0;
+  unsigned TargetFalse = 0;
+};
+
+} // namespace pseq
+
+#endif // PSEQ_LANG_INSTR_H

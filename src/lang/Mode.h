@@ -1,0 +1,72 @@
+//===- lang/Mode.h - Memory access modes ------------------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Access modes of the paper's fragment: reads are non-atomic, relaxed or
+/// acquire (o_R ∈ {na, rlx, acq}); writes are non-atomic, relaxed or release
+/// (o_W ∈ {na, rlx, rel}). Fence modes cover the Coq-development extension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_LANG_MODE_H
+#define PSEQ_LANG_MODE_H
+
+namespace pseq {
+
+/// Read access mode o_R.
+enum class ReadMode { NA, RLX, ACQ };
+
+/// Write access mode o_W.
+enum class WriteMode { NA, RLX, REL };
+
+/// Fence modes (extension beyond the paper's presented fragment).
+enum class FenceMode { ACQ, REL, ACQREL, SC };
+
+inline bool isAtomic(ReadMode M) { return M != ReadMode::NA; }
+inline bool isAtomic(WriteMode M) { return M != WriteMode::NA; }
+
+inline const char *modeName(ReadMode M) {
+  switch (M) {
+  case ReadMode::NA:
+    return "na";
+  case ReadMode::RLX:
+    return "rlx";
+  case ReadMode::ACQ:
+    return "acq";
+  }
+  return "?";
+}
+
+inline const char *modeName(WriteMode M) {
+  switch (M) {
+  case WriteMode::NA:
+    return "na";
+  case WriteMode::RLX:
+    return "rlx";
+  case WriteMode::REL:
+    return "rel";
+  }
+  return "?";
+}
+
+inline const char *modeName(FenceMode M) {
+  switch (M) {
+  case FenceMode::ACQ:
+    return "acq";
+  case FenceMode::REL:
+    return "rel";
+  case FenceMode::ACQREL:
+    return "acqrel";
+  case FenceMode::SC:
+    return "sc";
+  }
+  return "?";
+}
+
+} // namespace pseq
+
+#endif // PSEQ_LANG_MODE_H

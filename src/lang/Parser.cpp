@@ -1,0 +1,671 @@
+//===- lang/Parser.cpp - Surface syntax parser ----------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pseq;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Lexer
+//===----------------------------------------------------------------------===
+
+enum class Tok {
+  Ident,
+  Number,
+  // punctuation
+  Semi,
+  Comma,
+  At,
+  Assign, // :=
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  // operators
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AndAnd,
+  OrOr,
+  Not,
+  // end
+  Eof,
+  Bad
+};
+
+struct Token {
+  Tok K = Tok::Eof;
+  std::string Text;
+  int64_t Num = 0;
+  unsigned Line = 1;
+};
+
+class Lexer {
+  const std::string &Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+
+public:
+  explicit Lexer(const std::string &Src) : Src(Src) {}
+
+  Token next() {
+    skipWhitespaceAndComments();
+    Token T;
+    T.Line = Line;
+    if (Pos >= Src.size()) {
+      T.K = Tok::Eof;
+      return T;
+    }
+    char C = Src[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '_'))
+        ++Pos;
+      T.K = Tok::Ident;
+      T.Text = Src.substr(Start, Pos - Start);
+      return T;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             std::isdigit(static_cast<unsigned char>(Src[Pos])))
+        ++Pos;
+      T.K = Tok::Number;
+      T.Num = std::strtoll(Src.substr(Start, Pos - Start).c_str(), nullptr,
+                           10);
+      return T;
+    }
+    auto two = [&](char A, char B) {
+      return C == A && Pos + 1 < Src.size() && Src[Pos + 1] == B;
+    };
+    if (two(':', '=')) {
+      Pos += 2;
+      T.K = Tok::Assign;
+      return T;
+    }
+    if (two('=', '=')) {
+      Pos += 2;
+      T.K = Tok::EqEq;
+      return T;
+    }
+    if (two('!', '=')) {
+      Pos += 2;
+      T.K = Tok::NotEq;
+      return T;
+    }
+    if (two('<', '=')) {
+      Pos += 2;
+      T.K = Tok::Le;
+      return T;
+    }
+    if (two('>', '=')) {
+      Pos += 2;
+      T.K = Tok::Ge;
+      return T;
+    }
+    if (two('&', '&')) {
+      Pos += 2;
+      T.K = Tok::AndAnd;
+      return T;
+    }
+    if (two('|', '|')) {
+      Pos += 2;
+      T.K = Tok::OrOr;
+      return T;
+    }
+    ++Pos;
+    switch (C) {
+    case ';':
+      T.K = Tok::Semi;
+      return T;
+    case ',':
+      T.K = Tok::Comma;
+      return T;
+    case '@':
+      T.K = Tok::At;
+      return T;
+    case '(':
+      T.K = Tok::LParen;
+      return T;
+    case ')':
+      T.K = Tok::RParen;
+      return T;
+    case '{':
+      T.K = Tok::LBrace;
+      return T;
+    case '}':
+      T.K = Tok::RBrace;
+      return T;
+    case '+':
+      T.K = Tok::Plus;
+      return T;
+    case '-':
+      T.K = Tok::Minus;
+      return T;
+    case '*':
+      T.K = Tok::Star;
+      return T;
+    case '/':
+      T.K = Tok::Slash;
+      return T;
+    case '%':
+      T.K = Tok::Percent;
+      return T;
+    case '<':
+      T.K = Tok::Lt;
+      return T;
+    case '>':
+      T.K = Tok::Gt;
+      return T;
+    case '!':
+      T.K = Tok::Not;
+      return T;
+    default:
+      T.K = Tok::Bad;
+      T.Text = std::string(1, C);
+      return T;
+    }
+  }
+
+private:
+  void skipWhitespaceAndComments() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+        continue;
+      }
+      // Line comments: // ... \n
+      if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      break;
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===
+// Parser
+//===----------------------------------------------------------------------===
+
+class Parser {
+  Lexer Lex;
+  Token Cur;
+  std::unique_ptr<Program> Prog;
+  unsigned Tid = 0;
+  bool Failed = false;
+  std::string ErrMsg;
+  unsigned ErrLine = 0;
+
+  void advance() { Cur = Lex.next(); }
+
+  void fail(const std::string &Msg) {
+    if (Failed)
+      return;
+    Failed = true;
+    ErrMsg = Msg;
+    ErrLine = Cur.Line;
+  }
+
+  bool expect(Tok K, const char *What) {
+    if (Failed)
+      return false;
+    if (Cur.K != K) {
+      fail(std::string("expected ") + What);
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  bool isKeyword(const char *KW) const {
+    return Cur.K == Tok::Ident && Cur.Text == KW;
+  }
+
+  bool acceptKeyword(const char *KW) {
+    if (!isKeyword(KW))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool isLocation(const std::string &Name) const {
+    return Prog->lookupLoc(Name).has_value();
+  }
+
+  unsigned internReg(const std::string &Name) {
+    return Prog->thread(Tid).Regs.intern(Name);
+  }
+
+public:
+  explicit Parser(const std::string &Src)
+      : Lex(Src), Prog(std::make_unique<Program>()) {
+    advance();
+  }
+
+  ParseResult run() {
+    parseDecls();
+    while (!Failed && isKeyword("thread"))
+      parseThread();
+    if (!Failed && Cur.K != Tok::Eof)
+      fail("expected 'thread' or end of input");
+    if (!Failed && Prog->numThreads() == 0)
+      fail("program has no threads");
+    ParseResult R;
+    if (Failed) {
+      R.Error = ErrMsg;
+      R.Line = ErrLine;
+      return R;
+    }
+    R.Prog = std::move(Prog);
+    return R;
+  }
+
+private:
+  void parseDecls() {
+    while (!Failed && (isKeyword("na") || isKeyword("atomic"))) {
+      bool Atomic = Cur.Text == "atomic";
+      advance();
+      if (Cur.K != Tok::Ident) {
+        fail("expected location name");
+        return;
+      }
+      while (Cur.K == Tok::Ident) {
+        Prog->declareLoc(Cur.Text, Atomic);
+        advance();
+        if (Cur.K == Tok::Comma)
+          advance();
+      }
+      expect(Tok::Semi, "';'");
+    }
+  }
+
+  void parseThread() {
+    assert(isKeyword("thread"));
+    advance();
+    Tid = Prog->addThread();
+    if (!expect(Tok::LBrace, "'{'"))
+      return;
+    const Stmt *Body = parseStmtList();
+    if (!expect(Tok::RBrace, "'}'"))
+      return;
+    if (!Failed)
+      Prog->setThreadBody(Tid, Body);
+  }
+
+  const Stmt *parseStmtList() {
+    std::vector<const Stmt *> Stmts;
+    while (!Failed && Cur.K != Tok::RBrace && Cur.K != Tok::Eof) {
+      const Stmt *S = parseStmt();
+      if (Failed)
+        return Prog->stmtSkip();
+      Stmts.push_back(S);
+    }
+    if (Stmts.size() == 1)
+      return Stmts[0];
+    return Prog->stmtSeq(std::move(Stmts));
+  }
+
+  const Stmt *parseBlock() {
+    if (!expect(Tok::LBrace, "'{'"))
+      return Prog->stmtSkip();
+    const Stmt *S = parseStmtList();
+    expect(Tok::RBrace, "'}'");
+    return S;
+  }
+
+  ReadMode parseReadMode() {
+    if (acceptKeyword("na"))
+      return ReadMode::NA;
+    if (acceptKeyword("rlx"))
+      return ReadMode::RLX;
+    if (acceptKeyword("acq"))
+      return ReadMode::ACQ;
+    fail("expected read mode (na/rlx/acq)");
+    return ReadMode::NA;
+  }
+
+  WriteMode parseWriteMode() {
+    if (acceptKeyword("na"))
+      return WriteMode::NA;
+    if (acceptKeyword("rlx"))
+      return WriteMode::RLX;
+    if (acceptKeyword("rel"))
+      return WriteMode::REL;
+    fail("expected write mode (na/rlx/rel)");
+    return WriteMode::NA;
+  }
+
+  const Stmt *parseStmt() {
+    if (acceptKeyword("skip")) {
+      expect(Tok::Semi, "';'");
+      return Prog->stmtSkip();
+    }
+    if (acceptKeyword("abort")) {
+      expect(Tok::Semi, "';'");
+      return Prog->stmtAbort();
+    }
+    if (acceptKeyword("print")) {
+      expect(Tok::LParen, "'('");
+      const Expr *E = parseExpr();
+      expect(Tok::RParen, "')'");
+      expect(Tok::Semi, "';'");
+      return Prog->stmtPrint(E);
+    }
+    if (acceptKeyword("return")) {
+      const Expr *E = parseExpr();
+      expect(Tok::Semi, "';'");
+      return Prog->stmtReturn(E);
+    }
+    if (acceptKeyword("fence")) {
+      expect(Tok::At, "'@'");
+      FenceMode FM = FenceMode::SC;
+      if (acceptKeyword("acq"))
+        FM = FenceMode::ACQ;
+      else if (acceptKeyword("rel"))
+        FM = FenceMode::REL;
+      else if (acceptKeyword("acqrel"))
+        FM = FenceMode::ACQREL;
+      else if (acceptKeyword("sc"))
+        FM = FenceMode::SC;
+      else
+        fail("expected fence mode (acq/rel/acqrel/sc)");
+      expect(Tok::Semi, "';'");
+      return Prog->stmtFence(FM);
+    }
+    if (acceptKeyword("if")) {
+      expect(Tok::LParen, "'('");
+      const Expr *Cond = parseExpr();
+      expect(Tok::RParen, "')'");
+      const Stmt *Then = parseBlock();
+      const Stmt *Else = Prog->stmtSkip();
+      if (acceptKeyword("else"))
+        Else = parseBlock();
+      return Prog->stmtIf(Cond, Then, Else);
+    }
+    if (acceptKeyword("while")) {
+      expect(Tok::LParen, "'('");
+      const Expr *Cond = parseExpr();
+      expect(Tok::RParen, "')'");
+      const Stmt *Body = parseBlock();
+      return Prog->stmtWhile(Cond, Body);
+    }
+    // Assignment forms: `loc @ wmode := e;` or `reg := rhs;`
+    if (Cur.K != Tok::Ident) {
+      fail("expected a statement");
+      return Prog->stmtSkip();
+    }
+    std::string Name = Cur.Text;
+    advance();
+    if (isLocation(Name)) {
+      unsigned Loc = *Prog->lookupLoc(Name);
+      expect(Tok::At, "'@' (stores are written `x@mode := e`)");
+      WriteMode WM = parseWriteMode();
+      if (Failed)
+        return Prog->stmtSkip();
+      if (Prog->isAtomicLoc(Loc) == (WM == WriteMode::NA)) {
+        fail("write mode does not match atomicity of '" + Name + "'");
+        return Prog->stmtSkip();
+      }
+      expect(Tok::Assign, "':='");
+      const Expr *E = parseExpr();
+      expect(Tok::Semi, "';'");
+      if (Failed)
+        return Prog->stmtSkip();
+      return Prog->stmtStore(Loc, E, WM);
+    }
+    unsigned Reg = internReg(Name);
+    expect(Tok::Assign, "':='");
+    if (Failed)
+      return Prog->stmtSkip();
+    return parseAssignRhs(Reg);
+  }
+
+  const Stmt *parseAssignRhs(unsigned Reg) {
+    if (acceptKeyword("choose")) {
+      expect(Tok::Semi, "';'");
+      return Prog->stmtChoose(Reg);
+    }
+    if (acceptKeyword("freeze")) {
+      expect(Tok::LParen, "'('");
+      const Expr *E = parseExpr();
+      expect(Tok::RParen, "')'");
+      expect(Tok::Semi, "';'");
+      return Prog->stmtFreeze(Reg, E);
+    }
+    if (acceptKeyword("cas")) {
+      expect(Tok::LParen, "'('");
+      unsigned Loc = parseLocName();
+      expect(Tok::Comma, "','");
+      const Expr *Expected = parseExpr();
+      expect(Tok::Comma, "','");
+      const Expr *New = parseExpr();
+      expect(Tok::RParen, "')'");
+      expect(Tok::At, "'@'");
+      ReadMode RM = parseReadMode();
+      WriteMode WM = parseWriteMode();
+      expect(Tok::Semi, "';'");
+      if (Failed)
+        return Prog->stmtSkip();
+      if (!Prog->isAtomicLoc(Loc) || RM == ReadMode::NA ||
+          WM == WriteMode::NA) {
+        fail("cas requires an atomic location and atomic modes");
+        return Prog->stmtSkip();
+      }
+      return Prog->stmtCas(Reg, Loc, Expected, New, RM, WM);
+    }
+    if (acceptKeyword("fadd")) {
+      expect(Tok::LParen, "'('");
+      unsigned Loc = parseLocName();
+      expect(Tok::Comma, "','");
+      const Expr *E = parseExpr();
+      expect(Tok::RParen, "')'");
+      expect(Tok::At, "'@'");
+      ReadMode RM = parseReadMode();
+      WriteMode WM = parseWriteMode();
+      expect(Tok::Semi, "';'");
+      if (Failed)
+        return Prog->stmtSkip();
+      if (!Prog->isAtomicLoc(Loc) || RM == ReadMode::NA ||
+          WM == WriteMode::NA) {
+        fail("fadd requires an atomic location and atomic modes");
+        return Prog->stmtSkip();
+      }
+      return Prog->stmtFadd(Reg, Loc, E, RM, WM);
+    }
+    // Either a load `x@mode` or a pure expression.
+    if (Cur.K == Tok::Ident && isLocation(Cur.Text)) {
+      unsigned Loc = *Prog->lookupLoc(Cur.Text);
+      std::string Name = Cur.Text;
+      advance();
+      expect(Tok::At, "'@' (loads are written `r := x@mode`)");
+      ReadMode RM = parseReadMode();
+      expect(Tok::Semi, "';'");
+      if (Failed)
+        return Prog->stmtSkip();
+      if (Prog->isAtomicLoc(Loc) == (RM == ReadMode::NA)) {
+        fail("read mode does not match atomicity of '" + Name + "'");
+        return Prog->stmtSkip();
+      }
+      return Prog->stmtLoad(Reg, Loc, RM);
+    }
+    const Expr *E = parseExpr();
+    expect(Tok::Semi, "';'");
+    if (Failed)
+      return Prog->stmtSkip();
+    return Prog->stmtAssign(Reg, E);
+  }
+
+  unsigned parseLocName() {
+    if (Cur.K != Tok::Ident || !isLocation(Cur.Text)) {
+      fail("expected a declared location name");
+      return 0;
+    }
+    unsigned Loc = *Prog->lookupLoc(Cur.Text);
+    advance();
+    return Loc;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions (precedence climbing)
+  //===--------------------------------------------------------------------===
+
+  const Expr *parseExpr() { return parseOr(); }
+
+  const Expr *parseOr() {
+    const Expr *L = parseAnd();
+    while (!Failed && Cur.K == Tok::OrOr) {
+      advance();
+      L = Prog->exprBin(BinOp::Or, L, parseAnd());
+    }
+    return L;
+  }
+
+  const Expr *parseAnd() {
+    const Expr *L = parseCmp();
+    while (!Failed && Cur.K == Tok::AndAnd) {
+      advance();
+      L = Prog->exprBin(BinOp::And, L, parseCmp());
+    }
+    return L;
+  }
+
+  const Expr *parseCmp() {
+    const Expr *L = parseAdd();
+    if (Failed)
+      return L;
+    BinOp Op;
+    switch (Cur.K) {
+    case Tok::EqEq:
+      Op = BinOp::Eq;
+      break;
+    case Tok::NotEq:
+      Op = BinOp::Ne;
+      break;
+    case Tok::Lt:
+      Op = BinOp::Lt;
+      break;
+    case Tok::Le:
+      Op = BinOp::Le;
+      break;
+    case Tok::Gt:
+      Op = BinOp::Gt;
+      break;
+    case Tok::Ge:
+      Op = BinOp::Ge;
+      break;
+    default:
+      return L;
+    }
+    advance();
+    return Prog->exprBin(Op, L, parseAdd());
+  }
+
+  const Expr *parseAdd() {
+    const Expr *L = parseMul();
+    while (!Failed && (Cur.K == Tok::Plus || Cur.K == Tok::Minus)) {
+      BinOp Op = Cur.K == Tok::Plus ? BinOp::Add : BinOp::Sub;
+      advance();
+      L = Prog->exprBin(Op, L, parseMul());
+    }
+    return L;
+  }
+
+  const Expr *parseMul() {
+    const Expr *L = parseUnary();
+    while (!Failed && (Cur.K == Tok::Star || Cur.K == Tok::Slash ||
+                       Cur.K == Tok::Percent)) {
+      BinOp Op = Cur.K == Tok::Star    ? BinOp::Mul
+                 : Cur.K == Tok::Slash ? BinOp::Div
+                                       : BinOp::Mod;
+      advance();
+      L = Prog->exprBin(Op, L, parseUnary());
+    }
+    return L;
+  }
+
+  const Expr *parseUnary() {
+    if (Cur.K == Tok::Minus) {
+      advance();
+      return Prog->exprUn(UnOp::Neg, parseUnary());
+    }
+    if (Cur.K == Tok::Not) {
+      advance();
+      return Prog->exprUn(UnOp::Not, parseUnary());
+    }
+    return parseAtom();
+  }
+
+  const Expr *parseAtom() {
+    if (Cur.K == Tok::Number) {
+      int64_t N = Cur.Num;
+      advance();
+      return Prog->exprConst(Value::of(N));
+    }
+    if (acceptKeyword("undef"))
+      return Prog->exprConst(Value::undef());
+    if (Cur.K == Tok::Ident) {
+      if (isLocation(Cur.Text)) {
+        fail("location '" + Cur.Text +
+             "' used in an expression; loads are statements (`r := x@mode`)");
+        return Prog->exprConst(Value::of(0));
+      }
+      unsigned Reg = internReg(Cur.Text);
+      advance();
+      return Prog->exprReg(Reg);
+    }
+    if (Cur.K == Tok::LParen) {
+      advance();
+      const Expr *E = parseExpr();
+      expect(Tok::RParen, "')'");
+      return E;
+    }
+    fail("expected an expression");
+    return Prog->exprConst(Value::of(0));
+  }
+};
+
+} // namespace
+
+ParseResult pseq::parseProgram(const std::string &Source) {
+  Parser P(Source);
+  return P.run();
+}
+
+std::unique_ptr<Program> pseq::parseOrDie(const std::string &Source) {
+  ParseResult R = parseProgram(Source);
+  if (!R.ok()) {
+    std::fprintf(stderr, "parse error at line %u: %s\n", R.Line,
+                 R.Error.c_str());
+    std::abort();
+  }
+  return std::move(R.Prog);
+}

@@ -1,0 +1,60 @@
+//===- lang/Parser.h - Surface syntax parser --------------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser for the toy language's surface syntax, which
+/// mirrors the paper's notation (`x@na := 1; a := y@acq;`):
+///
+/// \code
+///   na x y; atomic z;
+///   thread {
+///     x@na := 1;
+///     a := z@acq;
+///     if (a == 1) { b := x@na; } else { skip; }
+///     while (b < 2) { b := b + 1; }
+///     r := cas(z, 0, 1) @ acq rel;
+///     s := fadd(z, 1) @ rlx rlx;
+///     fence @ sc;
+///     c := choose;  d := freeze(c);  print(d);
+///     return b;
+///   }
+///   thread { ... }
+/// \endcode
+///
+/// Identifiers declared with `na`/`atomic` are shared locations; all other
+/// identifiers are thread-local registers (interned per thread, initially 0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_LANG_PARSER_H
+#define PSEQ_LANG_PARSER_H
+
+#include "lang/Program.h"
+
+#include <memory>
+#include <string>
+
+namespace pseq {
+
+/// Outcome of parsing: a program, or an error message with a line number.
+struct ParseResult {
+  std::unique_ptr<Program> Prog;
+  std::string Error;
+  unsigned Line = 0;
+
+  bool ok() const { return Prog != nullptr; }
+};
+
+/// Parses \p Source into a Program.
+ParseResult parseProgram(const std::string &Source);
+
+/// Convenience for tests and the litmus corpus: parses and aborts on error.
+std::unique_ptr<Program> parseOrDie(const std::string &Source);
+
+} // namespace pseq
+
+#endif // PSEQ_LANG_PARSER_H

@@ -1,0 +1,216 @@
+//===- lang/Printer.cpp - Pretty-printing ---------------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Printer.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+namespace {
+
+/// Operator precedence for minimal parenthesization, matching the parser.
+unsigned precedence(BinOp Op) {
+  switch (Op) {
+  case BinOp::Or:
+    return 1;
+  case BinOp::And:
+    return 2;
+  case BinOp::Eq:
+  case BinOp::Ne:
+  case BinOp::Lt:
+  case BinOp::Le:
+  case BinOp::Gt:
+  case BinOp::Ge:
+    return 3;
+  case BinOp::Add:
+  case BinOp::Sub:
+    return 4;
+  case BinOp::Mul:
+  case BinOp::Div:
+  case BinOp::Mod:
+    return 5;
+  }
+  return 0;
+}
+
+std::string printExprPrec(const Expr *E, const SymbolTable &Regs,
+                          unsigned Parent) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+    return E->constVal().str();
+  case Expr::Kind::Reg:
+    return Regs.name(E->reg());
+  case Expr::Kind::Unary:
+    return std::string(unOpName(E->unOp())) +
+           printExprPrec(E->lhs(), Regs, 6);
+  case Expr::Kind::Binary: {
+    unsigned Prec = precedence(E->binOp());
+    std::string S = printExprPrec(E->lhs(), Regs, Prec) + " " +
+                    binOpName(E->binOp()) + " " +
+                    printExprPrec(E->rhs(), Regs, Prec + 1);
+    if (Prec < Parent)
+      return "(" + S + ")";
+    return S;
+  }
+  }
+  assert(false && "unknown expression kind");
+  return "?";
+}
+
+std::string pad(unsigned Indent) { return std::string(Indent, ' '); }
+
+} // namespace
+
+std::string pseq::printExpr(const Expr *E, const SymbolTable &Regs) {
+  return printExprPrec(E, Regs, 0);
+}
+
+std::string pseq::printStmt(const Stmt *S, const Program &P,
+                            const SymbolTable &Regs, unsigned Indent) {
+  std::string I = pad(Indent);
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    return I + "skip;\n";
+  case Stmt::Kind::Assign:
+    return I + Regs.name(S->reg()) + " := " + printExpr(S->expr(), Regs) +
+           ";\n";
+  case Stmt::Kind::Load:
+    return I + Regs.name(S->reg()) + " := " + P.locName(S->loc()) + "@" +
+           modeName(S->readMode()) + ";\n";
+  case Stmt::Kind::Store:
+    return I + P.locName(S->loc()) + "@" + modeName(S->writeMode()) +
+           " := " + printExpr(S->expr(), Regs) + ";\n";
+  case Stmt::Kind::Cas:
+    return I + Regs.name(S->reg()) + " := cas(" + P.locName(S->loc()) + ", " +
+           printExpr(S->casExpected(), Regs) + ", " +
+           printExpr(S->casNew(), Regs) + ") @ " + modeName(S->readMode()) +
+           " " + modeName(S->writeMode()) + ";\n";
+  case Stmt::Kind::Fadd:
+    return I + Regs.name(S->reg()) + " := fadd(" + P.locName(S->loc()) +
+           ", " + printExpr(S->expr(), Regs) + ") @ " +
+           modeName(S->readMode()) + " " + modeName(S->writeMode()) + ";\n";
+  case Stmt::Kind::Fence:
+    return I + "fence @ " + modeName(S->fenceMode()) + ";\n";
+  case Stmt::Kind::Seq: {
+    std::string Out;
+    for (const Stmt *Kid : S->seq())
+      Out += printStmt(Kid, P, Regs, Indent);
+    return Out;
+  }
+  case Stmt::Kind::If: {
+    std::string Out = I + "if (" + printExpr(S->expr(), Regs) + ") {\n";
+    Out += printStmt(S->thenStmt(), P, Regs, Indent + 2);
+    Out += I + "} else {\n";
+    Out += printStmt(S->elseStmt(), P, Regs, Indent + 2);
+    Out += I + "}\n";
+    return Out;
+  }
+  case Stmt::Kind::While: {
+    std::string Out = I + "while (" + printExpr(S->expr(), Regs) + ") {\n";
+    Out += printStmt(S->body(), P, Regs, Indent + 2);
+    Out += I + "}\n";
+    return Out;
+  }
+  case Stmt::Kind::Choose:
+    return I + Regs.name(S->reg()) + " := choose;\n";
+  case Stmt::Kind::Freeze:
+    return I + Regs.name(S->reg()) + " := freeze(" +
+           printExpr(S->expr(), Regs) + ");\n";
+  case Stmt::Kind::Print:
+    return I + "print(" + printExpr(S->expr(), Regs) + ");\n";
+  case Stmt::Kind::Return:
+    return I + "return " + printExpr(S->expr(), Regs) + ";\n";
+  case Stmt::Kind::Abort:
+    return I + "abort;\n";
+  }
+  assert(false && "unknown statement kind");
+  return "";
+}
+
+std::string pseq::printProgram(const Program &P) {
+  std::string Out;
+  std::string NaDecl, AtDecl;
+  for (unsigned L = 0, E = P.numLocs(); L != E; ++L) {
+    std::string &Decl = P.isAtomicLoc(L) ? AtDecl : NaDecl;
+    if (!Decl.empty())
+      Decl += ", ";
+    Decl += P.locName(L);
+  }
+  if (!NaDecl.empty())
+    Out += "na " + NaDecl + ";\n";
+  if (!AtDecl.empty())
+    Out += "atomic " + AtDecl + ";\n";
+  for (unsigned T = 0, E = P.numThreads(); T != E; ++T) {
+    Out += "thread {\n";
+    if (const Stmt *Body = P.thread(T).Body)
+      Out += printStmt(Body, P, P.thread(T).Regs, 2);
+    Out += "}\n";
+  }
+  return Out;
+}
+
+std::string pseq::printCode(const Program &P, unsigned Tid) {
+  const Program::ThreadCode &T = P.thread(Tid);
+  std::string Out;
+  for (size_t Idx = 0, E = T.Code.size(); Idx != E; ++Idx) {
+    const Instr &I = T.Code[Idx];
+    Out += std::to_string(Idx) + ": ";
+    switch (I.Op) {
+    case Instr::Opcode::Assign:
+      Out += T.Regs.name(I.Reg) + " := " + printExpr(I.E, T.Regs);
+      break;
+    case Instr::Opcode::Load:
+      Out += T.Regs.name(I.Reg) + " := " + P.locName(I.Loc) + "@" +
+             modeName(I.RM);
+      break;
+    case Instr::Opcode::Store:
+      Out += P.locName(I.Loc) + "@" + modeName(I.WM) +
+             " := " + printExpr(I.E, T.Regs);
+      break;
+    case Instr::Opcode::Cas:
+      Out += T.Regs.name(I.Reg) + " := cas(" + P.locName(I.Loc) + ", " +
+             printExpr(I.E2, T.Regs) + ", " + printExpr(I.E3, T.Regs) +
+             ") @ " + modeName(I.RM) + " " + modeName(I.WM);
+      break;
+    case Instr::Opcode::Fadd:
+      Out += T.Regs.name(I.Reg) + " := fadd(" + P.locName(I.Loc) + ", " +
+             printExpr(I.E, T.Regs) + ") @ " + modeName(I.RM) + " " +
+             modeName(I.WM);
+      break;
+    case Instr::Opcode::Fence:
+      Out += std::string("fence @ ") + modeName(I.FM);
+      break;
+    case Instr::Opcode::Choose:
+      Out += T.Regs.name(I.Reg) + " := choose";
+      break;
+    case Instr::Opcode::Freeze:
+      Out += T.Regs.name(I.Reg) + " := freeze(" + printExpr(I.E, T.Regs) +
+             ")";
+      break;
+    case Instr::Opcode::Print:
+      Out += "print(" + printExpr(I.E, T.Regs) + ")";
+      break;
+    case Instr::Opcode::Return:
+      Out += "return " + printExpr(I.E, T.Regs);
+      break;
+    case Instr::Opcode::Abort:
+      Out += "abort";
+      break;
+    case Instr::Opcode::Jmp:
+      Out += "jmp " + std::to_string(I.TargetTrue);
+      break;
+    case Instr::Opcode::Br:
+      Out += "br " + printExpr(I.E, T.Regs) + " ? " +
+             std::to_string(I.TargetTrue) + " : " +
+             std::to_string(I.TargetFalse);
+      break;
+    }
+    Out += "\n";
+  }
+  return Out;
+}

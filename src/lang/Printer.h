@@ -1,0 +1,39 @@
+//===- lang/Printer.h - Pretty-printing -------------------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-printers rendering programs back into the surface syntax accepted
+/// by lang/Parser.h (round-trip property: parse(print(P)) is structurally
+/// equal to P), plus a bytecode dump for debugging the machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_LANG_PRINTER_H
+#define PSEQ_LANG_PRINTER_H
+
+#include "lang/Program.h"
+
+#include <string>
+
+namespace pseq {
+
+/// Renders an expression; register indices resolve through \p Regs.
+std::string printExpr(const Expr *E, const SymbolTable &Regs);
+
+/// Renders a statement tree at \p Indent spaces.
+std::string printStmt(const Stmt *S, const Program &P, const SymbolTable &Regs,
+                      unsigned Indent = 0);
+
+/// Renders the whole program (declarations plus every thread).
+std::string printProgram(const Program &P);
+
+/// Renders one thread's compiled bytecode (debugging aid).
+std::string printCode(const Program &P, unsigned Tid);
+
+} // namespace pseq
+
+#endif // PSEQ_LANG_PRINTER_H

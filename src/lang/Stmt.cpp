@@ -1,0 +1,110 @@
+//===- lang/Stmt.cpp - Statements of the toy WHILE language ---------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Stmt.h"
+
+using namespace pseq;
+
+const char *pseq::stmtKindName(Stmt::Kind K) {
+  switch (K) {
+  case Stmt::Kind::Skip:
+    return "skip";
+  case Stmt::Kind::Assign:
+    return "assign";
+  case Stmt::Kind::Load:
+    return "load";
+  case Stmt::Kind::Store:
+    return "store";
+  case Stmt::Kind::Cas:
+    return "cas";
+  case Stmt::Kind::Fadd:
+    return "fadd";
+  case Stmt::Kind::Fence:
+    return "fence";
+  case Stmt::Kind::Seq:
+    return "seq";
+  case Stmt::Kind::If:
+    return "if";
+  case Stmt::Kind::While:
+    return "while";
+  case Stmt::Kind::Choose:
+    return "choose";
+  case Stmt::Kind::Freeze:
+    return "freeze";
+  case Stmt::Kind::Print:
+    return "print";
+  case Stmt::Kind::Return:
+    return "return";
+  case Stmt::Kind::Abort:
+    return "abort";
+  }
+  return "?";
+}
+
+static bool exprEq(const Expr *A, const Expr *B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  return A->structurallyEquals(*B);
+}
+
+bool pseq::stmtStructurallyEquals(const Stmt *A, const Stmt *B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Stmt::Kind::Skip:
+  case Stmt::Kind::Abort:
+    return true;
+  case Stmt::Kind::Assign:
+  case Stmt::Kind::Freeze:
+    return A->reg() == B->reg() && exprEq(A->expr(), B->expr());
+  case Stmt::Kind::Load:
+    return A->reg() == B->reg() && A->loc() == B->loc() &&
+           A->readMode() == B->readMode();
+  case Stmt::Kind::Store:
+    return A->loc() == B->loc() && A->writeMode() == B->writeMode() &&
+           exprEq(A->expr(), B->expr());
+  case Stmt::Kind::Cas:
+    return A->reg() == B->reg() && A->loc() == B->loc() &&
+           A->readMode() == B->readMode() &&
+           A->writeMode() == B->writeMode() &&
+           exprEq(A->casExpected(), B->casExpected()) &&
+           exprEq(A->casNew(), B->casNew());
+  case Stmt::Kind::Fadd:
+    return A->reg() == B->reg() && A->loc() == B->loc() &&
+           A->readMode() == B->readMode() &&
+           A->writeMode() == B->writeMode() && exprEq(A->expr(), B->expr());
+  case Stmt::Kind::Fence:
+    return A->fenceMode() == B->fenceMode();
+  case Stmt::Kind::Seq: {
+    if (A->seq().size() != B->seq().size())
+      return false;
+    for (size_t I = 0, E = A->seq().size(); I != E; ++I)
+      if (!stmtStructurallyEquals(A->seq()[I], B->seq()[I]))
+        return false;
+    return true;
+  }
+  case Stmt::Kind::If:
+    return exprEq(A->expr(), B->expr()) &&
+           stmtStructurallyEquals(A->thenStmt(), B->thenStmt()) &&
+           stmtStructurallyEquals(A->elseStmt(), B->elseStmt());
+  case Stmt::Kind::While:
+    return exprEq(A->expr(), B->expr()) &&
+           stmtStructurallyEquals(A->body(), B->body());
+  case Stmt::Kind::Choose:
+    return A->reg() == B->reg();
+  case Stmt::Kind::Print:
+  case Stmt::Kind::Return:
+    return exprEq(A->expr(), B->expr());
+  }
+  return false;
+}

@@ -1,0 +1,35 @@
+//===- lang/Value.cpp - Values with undef ---------------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Value.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+int64_t Value::get() const {
+  assert(!Undef && "reading the payload of undef");
+  return Val;
+}
+
+bool Value::truthy() const {
+  assert(!Undef && "branching on undef is UB; callers must check first");
+  return Val != 0;
+}
+
+uint64_t Value::hash() const {
+  return hashCombine(Undef ? 0x5eedULL : 0x1ULL,
+                     static_cast<uint64_t>(Val));
+}
+
+std::string Value::str() const {
+  if (Undef)
+    return "undef";
+  return std::to_string(Val);
+}

@@ -1,0 +1,67 @@
+//===- lang/Value.h - Values with undef -------------------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value set Val of the paper (§2 "Values"): integers plus a
+/// distinguished "undefined value" undef, which racy non-atomic reads
+/// return. The partial order ⊑ is defined by v ⊑ v' iff v = v' or
+/// v' = undef; refinement notions allow a target to return any defined
+/// value where the source returns undef.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_LANG_VALUE_H
+#define PSEQ_LANG_VALUE_H
+
+#include <cstdint>
+#include <string>
+
+namespace pseq {
+
+/// An integer value or the distinguished undef.
+class Value {
+  int64_t Val = 0;
+  bool Undef = false;
+
+  Value(int64_t V, bool U) : Val(V), Undef(U) {}
+
+public:
+  /// Zero; also the initial content of registers and memory.
+  Value() = default;
+
+  static Value of(int64_t V) { return Value(V, false); }
+  static Value undef() { return Value(0, true); }
+
+  bool isUndef() const { return Undef; }
+  bool isDefined() const { return !Undef; }
+
+  /// \returns the integer payload; must be defined.
+  int64_t get() const;
+
+  /// The paper's partial order ⊑: *this ⊑ Src iff equal or Src is undef.
+  /// Intuitively the source is "less committed": an undef source value may
+  /// be refined to any concrete target value.
+  bool refines(Value Src) const {
+    return Src.Undef || (!Undef && Val == Src.Val);
+  }
+
+  /// Truthiness for branch conditions; must be defined (branching on undef
+  /// is UB per Remark 1 of the paper).
+  bool truthy() const;
+
+  bool operator==(Value O) const {
+    return Undef == O.Undef && (Undef || Val == O.Val);
+  }
+  bool operator!=(Value O) const { return !(*this == O); }
+
+  uint64_t hash() const;
+  std::string str() const;
+};
+
+} // namespace pseq
+
+#endif // PSEQ_LANG_VALUE_H

@@ -1,0 +1,285 @@
+//===- litmus/ClassicLitmus.cpp - PS^na litmus programs -------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// Multi-threaded litmus tests with expected PS^na outcome constraints: the
+// paper's Example 5.1 and the Appendix B/C programs, plus classic
+// weak-memory shapes (MP, SB, LB, CoRR) pinning down the model's atomics
+// fragment (identical to PS2.1).
+//
+// Outcome strings follow psna::PsBehavior::str(): "ret(v0,...,vn)" with an
+// optional "out(v...) " prefix for print system calls, or "UB".
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+
+using namespace pseq;
+
+namespace {
+
+std::vector<LitmusCase> buildLitmus() {
+  std::vector<LitmusCase> C;
+  auto add = [&](LitmusCase LC) { C.push_back(std::move(LC)); };
+
+  // Example 5.1: a promise lets the right thread observe y = 1; the left
+  // thread's subsequent non-atomic read of x races with the right thread's
+  // write and returns undef.
+  add({"ex5.1-promise-racy-read",
+       "Example 5.1",
+       "na x; atomic y;\n"
+       "thread { a := x@na; y@rlx := 1; return a; }\n"
+       "thread { b := y@rlx; if (b == 1) { x@na := 1; } return b; }",
+       /*MustInclude=*/{"ret(undef,1)"},
+       /*MustExclude=*/{},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/1});
+
+  // Same shape without promises: the lb outcome disappears.
+  add({"ex5.1-no-promises",
+       "Example 5.1 (promise ablation)",
+       "na x; atomic y;\n"
+       "thread { a := x@na; y@rlx := 1; return a; }\n"
+       "thread { b := y@rlx; if (b == 1) { x@na := 1; } return b; }",
+       /*MustInclude=*/{},
+       /*MustExclude=*/{"ret(undef,1)", "ret(1,1)"},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/0});
+
+  // Load buffering with relaxed atomics: ret(1,1) requires promises.
+  add({"lb-rlx",
+       "PS2.1 fragment (LB)",
+       "atomic x, y;\n"
+       "thread { a := y@rlx; x@rlx := 1; return a; }\n"
+       "thread { b := x@rlx; y@rlx := 1; return b; }",
+       /*MustInclude=*/{"ret(1,1)", "ret(0,0)", "ret(1,0)", "ret(0,1)"},
+       /*MustExclude=*/{},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/1});
+
+  add({"lb-rlx-no-promises",
+       "PS2.1 fragment (LB, promise ablation)",
+       "atomic x, y;\n"
+       "thread { a := y@rlx; x@rlx := 1; return a; }\n"
+       "thread { b := x@rlx; y@rlx := 1; return b; }",
+       /*MustInclude=*/{"ret(0,0)"},
+       /*MustExclude=*/{"ret(1,1)"},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/0});
+
+  // Load buffering past acquire reads: still allowed in the promising
+  // semantics — promises are certified thread-locally and made before the
+  // acquire executes, so acquire reads do not block them. (Hardware
+  // forbids this; a weaker model is sound for compilation.)
+  add({"lb-acq",
+       "PS2.1 fragment (LB+acq)",
+       "atomic x, y;\n"
+       "thread { a := y@acq; x@rlx := 1; return a; }\n"
+       "thread { b := x@acq; y@rlx := 1; return b; }",
+       /*MustInclude=*/{"ret(0,0)", "ret(1,1)"},
+       /*MustExclude=*/{},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/1});
+
+  // Load buffering with RELEASE writes is forbidden: a release write to x
+  // requires every outstanding valued promise to x to carry view ⊥
+  // (Fig. 5, write rule), so the cycle-forming promise cannot exist.
+  add({"lb-rel",
+       "Fig. 5 (LB+rel, release writes block promises)",
+       "atomic x, y;\n"
+       "thread { a := y@rlx; x@rel := 1; return a; }\n"
+       "thread { b := x@rlx; y@rel := 1; return b; }",
+       /*MustInclude=*/{"ret(0,0)"},
+       /*MustExclude=*/{"ret(1,1)"},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/1});
+
+  // Store buffering: ret(0,0) is allowed (no interleaving produces it
+  // under SC, but weak memory does).
+  add({"sb-rlx",
+       "PS2.1 fragment (SB)",
+       "atomic x, y;\n"
+       "thread { x@rlx := 1; a := y@rlx; return a; }\n"
+       "thread { y@rlx := 1; b := x@rlx; return b; }",
+       /*MustInclude=*/{"ret(0,0)", "ret(1,1)", "ret(0,1)", "ret(1,0)"},
+       /*MustExclude=*/{},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/0});
+
+  // Message passing through a release/acquire pair: the guarded non-atomic
+  // read is race-free and must see the value 1 (a DRF-style guarantee).
+  add({"mp-rel-acq",
+       "§5 (MP, race-freedom by synchronization)",
+       "na x; atomic y;\n"
+       "thread { x@na := 1; y@rel := 1; return 0; }\n"
+       "thread { b := y@acq; if (b == 1) { a := x@na; return a; } "
+       "return 2; }",
+       /*MustInclude=*/{"ret(0,1)", "ret(0,2)"},
+       /*MustExclude=*/{"ret(0,0)", "ret(0,undef)", "UB"},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/0});
+
+  // Message passing through relaxed atomics: the guarded read races and
+  // may return undef (but this is not UB — load introduction stays sound).
+  add({"mp-rlx-races",
+       "§5 (MP without synchronization)",
+       "na x; atomic y;\n"
+       "thread { x@na := 1; y@rlx := 1; return 0; }\n"
+       "thread { b := y@rlx; if (b == 1) { a := x@na; return a; } "
+       "return 2; }",
+       /*MustInclude=*/{"ret(0,undef)", "ret(0,1)", "ret(0,2)"},
+       /*MustExclude=*/{"UB"},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/0});
+
+  // Coherence of relaxed reads: reading 1 then 0 from the same location is
+  // forbidden (views only grow).
+  add({"corr-rlx",
+       "PS2.1 fragment (CoRR)",
+       "atomic x;\n"
+       "thread { x@rlx := 1; return 0; }\n"
+       "thread { a := x@rlx; b := x@rlx; return a * 10 + b; }",
+       /*MustInclude=*/{"ret(0,0)", "ret(0,1)", "ret(0,11)"},
+       /*MustExclude=*/{"ret(0,10)"},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/0});
+
+  // Write-write race on a non-atomic location: UB (catch-fire for ww
+  // races only — §5: "UB for write-write races and undefined value for
+  // write-read races").
+  add({"ww-race-ub",
+       "§5 (write-write race)",
+       "na x;\n"
+       "thread { x@na := 1; return 0; }\n"
+       "thread { x@na := 2; return 0; }",
+       /*MustInclude=*/{"UB"},
+       /*MustExclude=*/{},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/0});
+
+  // Write-read race: undef, never UB.
+  add({"wr-race-undef",
+       "§5 (write-read race)",
+       "na x;\n"
+       "thread { x@na := 1; return 0; }\n"
+       "thread { a := x@na; return a; }",
+       /*MustInclude=*/{"ret(0,undef)", "ret(0,0)", "ret(0,1)"},
+       /*MustExclude=*/{"UB"},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/0});
+
+  // IRIW with release writes and acquire reads: the two readers may
+  // disagree on the order of the independent writes (release/acquire is
+  // not multi-copy-atomic; PS allows it like C11 RA).
+  add({"iriw-rel-acq",
+       "PS2.1 fragment (IRIW)",
+       "atomic x, y;\n"
+       "thread { x@rel := 1; return 0; }\n"
+       "thread { y@rel := 1; return 0; }\n"
+       "thread { a := x@acq; b := y@acq; return a * 10 + b; }\n"
+       "thread { c := y@acq; d := x@acq; return c * 10 + d; }",
+       /*MustInclude=*/{"ret(0,0,10,10)", "ret(0,0,11,11)"},
+       /*MustExclude=*/{},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/0});
+
+  // WRC (write-read causality): the release/acquire chain through the
+  // middle thread makes the final read deterministic.
+  add({"wrc-rel-acq",
+       "PS2.1 fragment (WRC)",
+       "atomic x, y;\n"
+       "thread { x@rlx := 1; return 0; }\n"
+       "thread { a := x@rlx; if (a == 1) { y@rel := 1; } return a; }\n"
+       "thread { b := y@acq; if (b == 1) { c := x@rlx; return c; } "
+       "return 2; }",
+       /*MustInclude=*/{"ret(0,1,1)", "ret(0,0,2)"},
+       /*MustExclude=*/{"ret(0,1,0)", "ret(0,0,0)", "ret(0,0,1)"},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/0});
+
+  // Coherence of writes: after both relaxed writes settle, a reader that
+  // saw 2 can not go back to 1... but reads may still pick older messages
+  // above their view; CoRR (above) pins the per-thread monotonicity. Here
+  // we pin write-write coherence through an update chain: two fadds yield
+  // 2 exactly.
+  add({"coww-fadd",
+       "PS2.1 fragment (CoWW via updates)",
+       "atomic x;\n"
+       "thread { a := fadd(x, 1) @ rlx rlx; return a; }\n"
+       "thread { b := fadd(x, 1) @ rlx rlx; return b; }\n"
+       "thread { c := x@rlx; return c; }",
+       /*MustInclude=*/{"ret(0,1,2)", "ret(1,0,2)", "ret(0,1,0)"},
+       /*MustExclude=*/{"ret(0,0,0)", "ret(1,1,0)"},
+       ValueDomain::ternary(),
+       /*PromiseBudget=*/0});
+
+  // Appendix B: multi-message non-atomic writes. The unoptimized right
+  // thread can print 1 only when a non-atomic write may add extra
+  // messages (here x=2 under the x:=1 write), fulfilling the x=2 promise.
+  const char *AppB =
+      "na x; atomic y;\n"
+      "thread { a := x@na; y@rlx := a; return a; }\n"
+      "thread { b := y@rlx; c := freeze(b); "
+      "if (c == 1) { x@na := 1; print(1); } else { x@na := 2; } return c; }";
+  add({"appB-split-writes",
+       "Appendix B",
+       AppB,
+       /*MustInclude=*/{"out(1) ret(undef,1)"},
+       /*MustExclude=*/{},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/1,
+       /*SplitBudget=*/1});
+  add({"appB-single-message",
+       "Appendix B (split ablation)",
+       AppB,
+       /*MustInclude=*/{},
+       /*MustExclude=*/{"out(1) ret(undef,1)"},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/1,
+       /*SplitBudget=*/0});
+
+  // Appendix C: PS does not allow reordering an internal choice with a
+  // release write. Source: freeze before the release — print(1)
+  // unreachable (the release write blocks unfulfilled promises to x).
+  add({"appC-choose-rel-src",
+       "Appendix C",
+       "atomic x, y;\n"
+       "thread { a := x@rlx; y@rlx := a; return a; }\n"
+       "thread { b := freeze(undef); x@rel := 0; "
+       "if (b == 1) { c := y@rlx; if (c == 1) { x@rlx := 1; print(1); } } "
+       "else { x@rlx := 1; } return b; }",
+       /*MustInclude=*/{},
+       /*MustExclude=*/{"out(1) ret(1,1)"},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/1,
+       /*SplitBudget=*/0,
+       /*StepBudget=*/26});
+
+  // Target: freeze after the release — print(1) becomes reachable, so the
+  // reordering is a counterexample to PS validating choose/rel-write
+  // reordering (why SEQ exposes choose(v) labels; Remark 3).
+  add({"appC-choose-rel-tgt",
+       "Appendix C",
+       "atomic x, y;\n"
+       "thread { a := x@rlx; y@rlx := a; return a; }\n"
+       "thread { x@rel := 0; b := freeze(undef); "
+       "if (b == 1) { c := y@rlx; if (c == 1) { x@rlx := 1; print(1); } } "
+       "else { x@rlx := 1; } return b; }",
+       /*MustInclude=*/{"out(1) ret(1,1)"},
+       /*MustExclude=*/{},
+       ValueDomain::binary(),
+       /*PromiseBudget=*/1,
+       /*SplitBudget=*/0,
+       /*StepBudget=*/26});
+
+  return C;
+}
+
+} // namespace
+
+const std::vector<LitmusCase> &pseq::litmusCorpus() {
+  static const std::vector<LitmusCase> *Corpus =
+      new std::vector<LitmusCase>(buildLitmus());
+  return *Corpus;
+}

@@ -1,0 +1,29 @@
+//===- litmus/Corpus.cpp - Corpus lookup helpers --------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pseq;
+
+const RefinementCase &pseq::refinementCaseByName(const std::string &Name) {
+  for (const RefinementCase &RC : refinementCorpus())
+    if (RC.Name == Name)
+      return RC;
+  std::fprintf(stderr, "unknown refinement case '%s'\n", Name.c_str());
+  std::abort();
+}
+
+const LitmusCase &pseq::litmusCaseByName(const std::string &Name) {
+  for (const LitmusCase &LC : litmusCorpus())
+    if (LC.Name == Name)
+      return LC;
+  std::fprintf(stderr, "unknown litmus case '%s'\n", Name.c_str());
+  std::abort();
+}

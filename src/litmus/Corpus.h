@@ -1,0 +1,79 @@
+//===- litmus/Corpus.h - The paper-example corpus ---------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable corpus of every numbered example in the paper, plus
+/// classic weak-memory litmus tests. Two shapes:
+///
+///  * RefinementCase: a (source, target) pair of single-thread programs
+///    with the paper's expected verdict under the simple refinement ⊑
+///    (Def 2.4) and the advanced refinement ⊑w (Def 3.3). These drive the
+///    E3/E4/E5 verdict tables of DESIGN.md.
+///
+///  * LitmusCase: a multi-threaded program with expected PS^na outcome
+///    constraints (must-include / must-exclude behavior strings). These
+///    drive E11/E12/E14/E15.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_LITMUS_CORPUS_H
+#define PSEQ_LITMUS_CORPUS_H
+
+#include "support/ValueDomain.h"
+
+#include <string>
+#include <vector>
+
+namespace pseq {
+
+/// A source/target refinement pair with expected verdicts.
+struct RefinementCase {
+  std::string Name;     ///< stable identifier, e.g. "ex2.5-reorder-na"
+  std::string PaperRef; ///< e.g. "Example 2.5"
+  std::string Src;      ///< source program text
+  std::string Tgt;      ///< target (transformed) program text
+  bool SimpleHolds;     ///< expected σ_tgt ⊑ σ_src
+  bool AdvancedHolds;   ///< expected σ_tgt ⊑w σ_src
+  ValueDomain Domain = ValueDomain::binary();
+  unsigned StepBudget = 48;
+  /// Programs with (choose-driven) loops: positive verdicts are bounded.
+  bool HasLoops = false;
+};
+
+/// Every refinement example of the paper (§1, §2, §3, §4 patterns).
+const std::vector<RefinementCase> &refinementCorpus();
+
+/// The extension corpus: the same example shapes transposed to fences,
+/// RMWs and choose/freeze (the Coq development's extra features).
+const std::vector<RefinementCase> &extensionCorpus();
+
+/// A multi-threaded litmus program with PS^na outcome constraints.
+/// Outcome strings use psna::PsBehavior::str() format: "ret(v0,...,vn)"
+/// optionally prefixed by "out(v...) " for print system calls, or "UB".
+struct LitmusCase {
+  std::string Name;
+  std::string PaperRef;
+  std::string Text;
+  std::vector<std::string> MustInclude; ///< behaviors PS^na must exhibit
+  std::vector<std::string> MustExclude; ///< behaviors PS^na must forbid
+  ValueDomain Domain = ValueDomain::binary();
+  unsigned PromiseBudget = 1; ///< outstanding promises per thread
+  unsigned SplitBudget = 0;   ///< extra messages per non-atomic write
+  unsigned StepBudget = 24;
+};
+
+/// Litmus tests: the paper's Example 5.1, Appendix B/C programs, and the
+/// classic MP/SB/LB/CoRR shapes.
+const std::vector<LitmusCase> &litmusCorpus();
+
+/// Lookup by name; aborts if missing (corpus names are API).
+const RefinementCase &refinementCaseByName(const std::string &Name);
+const LitmusCase &litmusCaseByName(const std::string &Name);
+
+} // namespace pseq
+
+#endif // PSEQ_LITMUS_CORPUS_H

@@ -1,0 +1,165 @@
+//===- litmus/ExtensionExamples.cpp - Fence/RMW refinement corpus ---------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// The paper's Coq development covers fences and RMWs beyond the presented
+// fragment; this file extends the refinement corpus with the §2/§3 example
+// shapes transposed to those features, so every checker/bench sweeping the
+// corpus exercises them. Verdicts follow the roach-motel discipline:
+// acquire fences/RMW-read-parts behave like acquire reads, release
+// fences/RMW-write-parts like release writes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+
+using namespace pseq;
+
+namespace {
+
+std::vector<RefinementCase> buildExtensions() {
+  std::vector<RefinementCase> C;
+  auto add = [&](RefinementCase RC) { C.push_back(std::move(RC)); };
+
+  //===------------------------------------------------------------------===
+  // Fences: Example 2.9's table with fences in place of accesses.
+  //===------------------------------------------------------------------===
+
+  add({"ext-fence-2.9i-na-write-before-acq-fence",
+       "Ex 2.9(i), acquire fence",
+       "na y;\nthread { fence @ acq; y@na := 1; return 0; }",
+       "na y;\nthread { y@na := 1; fence @ acq; return 0; }",
+       false, false});
+
+  add({"ext-fence-2.9i'-na-write-after-acq-fence",
+       "Ex 2.9(i'), acquire fence",
+       "na y;\nthread { y@na := 1; fence @ acq; return 0; }",
+       "na y;\nthread { fence @ acq; y@na := 1; return 0; }",
+       true, true});
+
+  add({"ext-fence-2.9ii-na-write-after-rel-fence",
+       "Ex 2.9(ii), release fence",
+       "na y;\nthread { y@na := 1; fence @ rel; return 0; }",
+       "na y;\nthread { fence @ rel; y@na := 1; return 0; }",
+       false, false});
+
+  add({"ext-fence-2.9ii'-na-write-before-rel-fence",
+       "Ex 2.9(ii') / §3, release fence",
+       "na y;\nthread { fence @ rel; y@na := 1; return 0; }",
+       "na y;\nthread { y@na := 1; fence @ rel; return 0; }",
+       false, true});
+
+  add({"ext-fence-2.9iii-na-read-before-acq-fence",
+       "Ex 2.9(iii), acquire fence",
+       "na y;\nthread { fence @ acq; b := y@na; return b; }",
+       "na y;\nthread { b := y@na; fence @ acq; return b; }",
+       false, false});
+
+  add({"ext-fence-2.9iv'-na-read-before-rel-fence",
+       "Ex 2.9(iv'), release fence",
+       "na y;\nthread { fence @ rel; a := y@na; return a; }",
+       "na y;\nthread { a := y@na; fence @ rel; return a; }",
+       true, true});
+
+  add({"ext-fence-2.10-store-intro-after-rel-fence",
+       "Ex 2.10, release fence",
+       "na x;\nthread { x@na := 1; fence @ rel; return 0; }",
+       "na x;\nthread { x@na := 1; fence @ rel; x@na := 1; return 0; }",
+       false, false});
+
+  add({"ext-fence-2.11-slf-across-rel-fence",
+       "Ex 2.11, release fence",
+       "na x;\nthread { x@na := 1; fence @ rel; b := x@na; return b; }",
+       "na x;\nthread { x@na := 1; fence @ rel; b := 1; return b; }",
+       true, true});
+
+  add({"ext-fence-2.12-no-slf-across-sc-fence",
+       "Ex 2.12, SC fence (a rel-acq pair by itself)",
+       "na x;\nthread { x@na := 1; fence @ sc; b := x@na; return b; }",
+       "na x;\nthread { x@na := 1; fence @ sc; b := 1; return b; }",
+       false, false});
+
+  add({"ext-fence-3.5-dse-across-rel-fence",
+       "Ex 3.5, release fence",
+       "na x;\nthread { x@na := 1; fence @ rel; x@na := 2; return 0; }",
+       "na x;\nthread { fence @ rel; x@na := 2; return 0; }",
+       false, true});
+
+  //===------------------------------------------------------------------===
+  // RMWs: the read part is an acquire/relaxed read, the write part a
+  // release/relaxed write.
+  //===------------------------------------------------------------------===
+
+  add({"ext-rmw-2.11-slf-across-rlx-fadd",
+       "Ex 2.11, relaxed RMW",
+       "na x; atomic z;\nthread { x@na := 1; r := fadd(z, 1) @ rlx rlx; "
+       "b := x@na; return b; }",
+       "na x; atomic z;\nthread { x@na := 1; r := fadd(z, 1) @ rlx rlx; "
+       "b := 1; return b; }",
+       true, true});
+
+  add({"ext-rmw-slf-across-acqrel-fadd",
+       "acq-rel RMW is acq-then-rel (not a pair)",
+       "na x; atomic z;\nthread { x@na := 1; r := fadd(z, 1) @ acq rel; "
+       "b := x@na; return b; }",
+       "na x; atomic z;\nthread { x@na := 1; r := fadd(z, 1) @ acq rel; "
+       "b := 1; return b; }",
+       true, true});
+
+  add({"ext-rmw-2.9i-na-write-before-acq-fadd",
+       "Ex 2.9(i), acquire RMW",
+       "na y; atomic z;\nthread { r := fadd(z, 1) @ acq rlx; y@na := 1; "
+       "return r; }",
+       "na y; atomic z;\nthread { y@na := 1; r := fadd(z, 1) @ acq rlx; "
+       "return r; }",
+       false, false});
+
+  add({"ext-rmw-2.9ii'-na-write-before-rel-cas",
+       "Ex 2.9(ii'), release CAS",
+       "na y; atomic z;\nthread { r := cas(z, 0, 1) @ rlx rel; y@na := 1; "
+       "return r; }",
+       "na y; atomic z;\nthread { y@na := 1; r := cas(z, 0, 1) @ rlx rel; "
+       "return r; }",
+       false, true});
+
+  add({"ext-rmw-not-a-read",
+       "RMW-to-read weakening is unsound",
+       "atomic z;\nthread { r := fadd(z, 0) @ rlx rlx; return r; }",
+       "atomic z;\nthread { r := z@rlx; return r; }",
+       false, false});
+
+  add({"ext-rmw-dse-across-rel-cas",
+       "Ex 3.5, release CAS",
+       "na x; atomic z;\nthread { x@na := 1; r := cas(z, 0, 1) @ rlx rel; "
+       "x@na := 2; return r; }",
+       "na x; atomic z;\nthread { r := cas(z, 0, 1) @ rlx rel; x@na := 2; "
+       "return r; }",
+       false, true});
+
+  //===------------------------------------------------------------------===
+  // choose/freeze (Remark 3 / Appendix C shapes).
+  //===------------------------------------------------------------------===
+
+  add({"ext-choose-no-reorder-with-rel",
+       "Appendix C",
+       "atomic x;\nthread { b := freeze(undef); x@rel := 0; return b; }",
+       "atomic x;\nthread { x@rel := 0; b := freeze(undef); return b; }",
+       false, false});
+
+  add({"ext-choose-reorders-with-na-write",
+       "Remark 3",
+       "na y;\nthread { b := freeze(undef); y@na := 1; return b; }",
+       "na y;\nthread { y@na := 1; b := freeze(undef); return b; }",
+       false, true});
+
+  return C;
+}
+
+} // namespace
+
+const std::vector<RefinementCase> &pseq::extensionCorpus() {
+  static const std::vector<RefinementCase> *Corpus =
+      new std::vector<RefinementCase>(buildExtensions());
+  return *Corpus;
+}

@@ -1,0 +1,355 @@
+//===- litmus/PaperExamples.cpp - Refinement examples of the paper --------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// Every numbered refinement example of §1–§4 as an executable (source,
+// target, expected-verdict) triple. Comments quote the paper's claim being
+// reproduced. Where the paper writes a snippet under "any context C", the
+// corpus picks the specific context the paper's own argument uses (e.g.
+// `return a` for Example 2.5's negative direction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+
+using namespace pseq;
+
+namespace {
+
+/// A choose-driven possibly-nonterminating loop ("while (...) do {...}").
+constexpr const char *Loop =
+    "  c9 := choose;\n  while (c9 != 0) { c9 := choose; }\n";
+
+std::vector<RefinementCase> buildCorpus() {
+  std::vector<RefinementCase> C;
+
+  auto add = [&](RefinementCase RC) { C.push_back(std::move(RC)); };
+
+  //===------------------------------------------------------------------===
+  // §1 / §2: eliminations and reorderings of non-atomics
+  //===------------------------------------------------------------------===
+
+  // Example 1.1 / 2.6(ii): store-to-load forwarding.
+  add({"ex2.6-ii-slf",
+       "Example 1.1 / 2.6(ii)",
+       "na x;\nthread { x@na := 1; b := x@na; return b; }",
+       "na x;\nthread { x@na := 1; b := 1; return b; }",
+       /*SimpleHolds=*/true, /*AdvancedHolds=*/true});
+
+  // Example 2.5: non-atomics to different locations reorder freely.
+  add({"ex2.5-reorder-na-diff",
+       "Example 2.5",
+       "na x, y;\nthread { a := x@na; y@na := 1; return a; }",
+       "na x, y;\nthread { y@na := 1; a := x@na; return a; }",
+       true, true});
+
+  // Example 2.5: ... but not to the same location.
+  add({"ex2.5-reorder-na-same",
+       "Example 2.5",
+       "na x;\nthread { a := x@na; x@na := 1; return a; }",
+       "na x;\nthread { x@na := 1; a := x@na; return a; }",
+       false, false});
+
+  // Example 2.6(i): overwritten store elimination.
+  add({"ex2.6-i-overwritten-store",
+       "Example 2.6(i)",
+       "na x;\nthread { x@na := 1; x@na := 0; return 0; }",
+       "na x;\nthread { x@na := 0; return 0; }",
+       true, true});
+
+  // Example 2.6(iii): load-to-load forwarding.
+  add({"ex2.6-iii-llf",
+       "Example 2.6(iii)",
+       "na x;\nthread { a := x@na; b := x@na; return b; }",
+       "na x;\nthread { a := x@na; b := a; return b; }",
+       true, true});
+
+  // Example 2.6(iv): read-before-write elimination (F may shrink).
+  add({"ex2.6-iv-read-before-write-elim",
+       "Example 2.6(iv)",
+       "na x;\nthread { a := x@na; x@na := a; return a; }",
+       "na x;\nthread { a := x@na; return a; }",
+       true, true});
+
+  // Example 2.6: introducing a write after a read is unsound (F grows).
+  add({"ex2.6-write-intro-unsound",
+       "Example 2.6",
+       "na x;\nthread { a := x@na; if (a != 1) { x@na := 1; } return a; }",
+       "na x;\nthread { a := x@na; x@na := 1; return a; }",
+       false, false});
+
+  // Converse of 2.6(i): introducing an immediately-overwritten store.
+  add({"ex2.6-i-conv-store-intro",
+       "Example 2.6 (converse of (i))",
+       "na x;\nthread { x@na := 0; return 0; }",
+       "na x;\nthread { x@na := 1; x@na := 0; return 0; }",
+       true, true});
+
+  // Converse of 2.6(iii): duplicating a load.
+  add({"ex2.6-iii-conv-load-dup",
+       "Example 2.6 (converse of (iii))",
+       "na x;\nthread { a := x@na; b := a; return b; }",
+       "na x;\nthread { a := x@na; b := x@na; return b; }",
+       true, true});
+
+  //===------------------------------------------------------------------===
+  // Example 2.7: reordering across possibly-infinite loops
+  //===------------------------------------------------------------------===
+
+  // A write may not move before a possibly-infinite computation.
+  add({"ex2.7-write-before-loop",
+       "Example 2.7",
+       std::string("na x;\nthread {\n") + Loop + "  x@na := 1;\n  return 0;\n}",
+       std::string("na x;\nthread {\n  x@na := 1;\n") + Loop + "  return 0;\n}",
+       false, false, ValueDomain::binary(), /*StepBudget=*/18,
+       /*HasLoops=*/true});
+
+  // The partial-trace F-condition variant (conditional write then loop).
+  add({"ex2.7-partial-trace-variant",
+       "Example 2.7",
+       std::string("na x;\nthread {\n  a := x@na;\n"
+                   "  if (a != 1) { x@na := 1; }\n") +
+           Loop + "  x@na := 2;\n  return 0;\n}",
+       std::string("na x;\nthread {\n  a := x@na;\n"
+                   "  if (a != 1) { x@na := 1; }\n  x@na := 2;\n") +
+           Loop + "  return 0;\n}",
+       false, false, ValueDomain::ternary(), /*StepBudget=*/14,
+       /*HasLoops=*/true});
+
+  // Reads may move before possibly-infinite computation.
+  add({"ex2.7-read-before-loop",
+       "Example 2.7",
+       std::string("na x;\nthread {\n") + Loop + "  a := x@na;\n  return 0;\n}",
+       std::string("na x;\nthread {\n  a := x@na;\n") + Loop + "  return 0;\n}",
+       true, true, ValueDomain::binary(), /*StepBudget=*/18,
+       /*HasLoops=*/true});
+
+  //===------------------------------------------------------------------===
+  // Example 2.8: unused load elimination/introduction
+  //===------------------------------------------------------------------===
+
+  add({"ex2.8-unused-load-elim",
+       "Example 2.8",
+       "na x;\nthread { a := x@na; return 0; }",
+       "na x;\nthread { skip; return 0; }",
+       true, true});
+
+  add({"ex2.8-unused-load-intro",
+       "Example 2.8",
+       "na x;\nthread { skip; return 0; }",
+       "na x;\nthread { a := x@na; return 0; }",
+       true, true});
+
+  //===------------------------------------------------------------------===
+  // Example 2.9: roach-motel reorderings of atomics and non-atomics
+  //===------------------------------------------------------------------===
+
+  // (i) na-write may not move before an acquire read.
+  add({"ex2.9-i",
+       "Example 2.9(i)",
+       "na y; atomic x;\nthread { a := x@acq; y@na := 1; return a; }",
+       "na y; atomic x;\nthread { y@na := 1; a := x@acq; return a; }",
+       false, false});
+
+  // (ii) na-write may not move after a release write.
+  add({"ex2.9-ii",
+       "Example 2.9(ii)",
+       "na y; atomic x;\nthread { y@na := 1; x@rel := 1; return 0; }",
+       "na y; atomic x;\nthread { x@rel := 1; y@na := 1; return 0; }",
+       false, false});
+
+  // (iii) na-read may not move before an acquire read.
+  add({"ex2.9-iii",
+       "Example 2.9(iii)",
+       "na y; atomic x;\nthread { a := x@acq; b := y@na; return b; }",
+       "na y; atomic x;\nthread { b := y@na; a := x@acq; return b; }",
+       false, false});
+
+  // (iv) na-read may not move after a release write.
+  add({"ex2.9-iv",
+       "Example 2.9(iv)",
+       "na y; atomic x;\nthread { a := y@na; x@rel := 1; return a; }",
+       "na y; atomic x;\nthread { x@rel := 1; a := y@na; return a; }",
+       false, false});
+
+  // (i') roach motel: na-write moves after an acquire read.
+  add({"ex2.9-i-conv",
+       "Example 2.9(i')",
+       "na y; atomic x;\nthread { y@na := 1; a := x@acq; return a; }",
+       "na y; atomic x;\nthread { a := x@acq; y@na := 1; return a; }",
+       true, true});
+
+  // (iii') roach motel: na-read moves after an acquire read.
+  add({"ex2.9-iii-conv",
+       "Example 2.9(iii')",
+       "na y; atomic x;\nthread { b := y@na; a := x@acq; return b; }",
+       "na y; atomic x;\nthread { a := x@acq; b := y@na; return b; }",
+       true, true});
+
+  // (iv') roach motel: na-read moves before a release write.
+  add({"ex2.9-iv-conv",
+       "Example 2.9(iv')",
+       "na y; atomic x;\nthread { x@rel := 1; a := y@na; return a; }",
+       "na y; atomic x;\nthread { a := y@na; x@rel := 1; return a; }",
+       true, true});
+
+  // Converse of (ii): na-write moves before a release write. A valid
+  // roach-motel reordering, but beyond the simple refinement — "It is
+  // supported by the more refined notion in §3."
+  add({"ex2.9-ii-conv-needs-advanced",
+       "Example 2.9 / §3 'Writes across release'",
+       "na y; atomic x;\nthread { x@rel := 1; y@na := 2; return 0; }",
+       "na y; atomic x;\nthread { y@na := 2; x@rel := 1; return 0; }",
+       false, true});
+
+  //===------------------------------------------------------------------===
+  // Example 2.10: no store introduction after a release
+  //===------------------------------------------------------------------===
+
+  add({"ex2.10-store-intro-after-rel",
+       "Example 2.10",
+       "na x; atomic y;\nthread { x@na := 1; y@rel := 1; return 0; }",
+       "na x; atomic y;\nthread { x@na := 1; y@rel := 1; x@na := 1; "
+       "return 0; }",
+       false, false});
+
+  add({"ex2.10-rlx-variant",
+       "Example 2.10",
+       "na x; atomic y;\nthread { x@na := 1; y@rlx := 1; return 0; }",
+       "na x; atomic y;\nthread { x@na := 1; y@rlx := 1; x@na := 1; "
+       "return 0; }",
+       true, true});
+
+  //===------------------------------------------------------------------===
+  // Example 2.11: store-to-load forwarding across atomics
+  //===------------------------------------------------------------------===
+
+  for (const auto &[Tag, Alpha] :
+       std::initializer_list<std::pair<const char *, const char *>>{
+           {"rlx-read", "a := y@rlx;"},
+           {"rlx-write", "y@rlx := 1;"},
+           {"acq-read", "a := y@acq;"},
+           {"rel-write", "y@rel := 1;"}}) {
+    add({std::string("ex2.11-slf-across-") + Tag,
+         "Example 2.11",
+         std::string("na x; atomic y;\nthread { x@na := 1; ") + Alpha +
+             " b := x@na; return b; }",
+         std::string("na x; atomic y;\nthread { x@na := 1; ") + Alpha +
+             " b := 1; return b; }",
+         true, true});
+  }
+
+  //===------------------------------------------------------------------===
+  // Example 2.12: no forwarding across a release-acquire pair
+  //===------------------------------------------------------------------===
+
+  add({"ex2.12-no-slf-across-rel-acq",
+       "Example 2.12",
+       "na x; atomic y, z;\nthread { x@na := 1; y@rel := 1; a := z@acq; "
+       "b := x@na; return b; }",
+       "na x; atomic y, z;\nthread { x@na := 1; y@rel := 1; a := z@acq; "
+       "b := 1; return b; }",
+       false, false});
+
+  //===------------------------------------------------------------------===
+  // §3: late UB
+  //===------------------------------------------------------------------===
+
+  // The motivating example: relaxed read reorders with a na-write; the
+  // target may hit UB before the source performed its read.
+  add({"sec3-late-ub-rlx-read-na-write",
+       "§3 'Late UB'",
+       "na y; atomic x;\nthread { a := x@rlx; y@na := 1; return a; }",
+       "na y; atomic x;\nthread { y@na := 1; a := x@rlx; return a; }",
+       false, true});
+
+  // Reordering an acquire read with a UB-invoking operation stays invalid
+  // (Example 3.1's first, unsound step).
+  add({"sec3-no-acq-ub-reorder",
+       "Example 3.1",
+       "atomic x;\nthread { a := x@acq; b := 1 / 0; return b; }",
+       "atomic x;\nthread { b := 1 / 0; a := x@acq; return b; }",
+       false, false});
+
+  // ... while UB reorders freely with non-acquire operations.
+  add({"sec3-ub-reorder-with-rlx-write",
+       "§3 'Late UB'",
+       "atomic y;\nthread { y@rlx := 1; b := 1 / 0; return b; }",
+       "atomic y;\nthread { b := 1 / 0; y@rlx := 1; return b; }",
+       false, true});
+
+  // Example 3.1, end-to-end: the composed transformation is unsound.
+  add({"ex3.1-full-chain",
+       "Example 3.1",
+       "atomic x, y;\nthread {\n"
+       "  a := x@rlx;\n"
+       "  if (a == 1) { a2 := x@acq; b := 1 / 0; } else { y@rlx := 1; }\n"
+       "  return a;\n}",
+       "atomic x, y;\nthread {\n"
+       "  y@rlx := 1;\n"
+       "  a := x@rlx;\n"
+       "  if (a == 1) { b := 1 / 0; a2 := x@acq; } else { skip; }\n"
+       "  return a;\n}",
+       false, false});
+
+  // The oracle guard: the source may not justify the target's UB by
+  // assuming a particular environment (here, reading x = 1).
+  add({"sec3-oracle-guard",
+       "§3 'Late UB' (second pitfall)",
+       std::string("atomic x;\nthread {\n  a := x@rlx;\n"
+                   "  if (a == 1) { b := 1 / 0; }\n") +
+           Loop + "  return 0;\n}",
+       std::string("atomic x;\nthread {\n  b := 1 / 0;\n  a := x@rlx;\n") +
+           Loop + "  return 0;\n}",
+       false, false, ValueDomain::binary(), /*StepBudget=*/14,
+       /*HasLoops=*/true});
+
+  //===------------------------------------------------------------------===
+  // Example 3.5: overwritten-store elimination across atomics
+  //===------------------------------------------------------------------===
+
+  struct DseAlpha {
+    const char *Tag;
+    const char *Alpha;
+    bool NeedsAdvanced;
+  };
+  const DseAlpha DseAlphas[] = {{"rlx-read", "b := y@rlx;", false},
+                                {"rlx-write", "y@rlx := 1;", false},
+                                {"acq-read", "b := y@acq;", false},
+                                {"rel-write", "y@rel := 1;", true}};
+  for (const auto &[Tag, Alpha, NeedsAdvanced] : DseAlphas) {
+    add({std::string("ex3.5-dse-across-") + Tag,
+         "Example 3.5",
+         std::string("na x; atomic y;\nthread { x@na := 1; ") + Alpha +
+             " x@na := 2; return 0; }",
+         std::string("na x; atomic y;\nthread { ") + Alpha +
+             " x@na := 2; return 0; }",
+         /*SimpleHolds=*/!NeedsAdvanced, /*AdvancedHolds=*/true});
+  }
+
+  //===------------------------------------------------------------------===
+  // Example 1.3 / §4: loop-invariant code motion
+  //===------------------------------------------------------------------===
+
+  add({"ex1.3-licm",
+       "Example 1.3",
+       std::string("na x;\nthread {\n  c9 := choose;\n"
+                   "  while (c9 != 0) { a := x@na; c9 := choose; }\n"
+                   "  return 0;\n}"),
+       std::string("na x;\nthread {\n  c := x@na;\n  c9 := choose;\n"
+                   "  while (c9 != 0) { a := c; c9 := choose; }\n"
+                   "  return 0;\n}"),
+       true, true, ValueDomain::binary(), /*StepBudget=*/18,
+       /*HasLoops=*/true});
+
+  return C;
+}
+
+} // namespace
+
+const std::vector<RefinementCase> &pseq::refinementCorpus() {
+  static const std::vector<RefinementCase> *Corpus =
+      new std::vector<RefinementCase>(buildCorpus());
+  return *Corpus;
+}

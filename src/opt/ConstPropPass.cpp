@@ -1,0 +1,275 @@
+//===- opt/ConstPropPass.cpp - Constant propagation (extension) -----------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/ConstPropPass.h"
+
+#include "opt/AbstractValue.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace pseq;
+
+namespace {
+
+/// Abstract register file: known constant (possibly undef) or unknown.
+using Env = std::vector<std::optional<Value>>;
+
+Env joinEnvs(const Env &A, const Env &B) {
+  assert(A.size() == B.size() && "env width mismatch");
+  Env Out(A.size());
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    if (A[I].has_value() && B[I].has_value() && *A[I] == *B[I])
+      Out[I] = A[I];
+  return Out;
+}
+
+/// Evaluates \p E when every register it reads is known and evaluation
+/// cannot fault; returns nothing otherwise.
+std::optional<Value> evalAbstract(const Expr *E, const Env &Env_) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+    return E->constVal();
+  case Expr::Kind::Reg:
+    return Env_[E->reg()];
+  case Expr::Kind::Unary: {
+    std::optional<Value> Sub = evalAbstract(E->lhs(), Env_);
+    if (!Sub)
+      return std::nullopt;
+    if (Sub->isUndef())
+      return Value::undef();
+    int64_t V = Sub->get();
+    return Value::of(E->unOp() == UnOp::Neg ? -V : (V == 0));
+  }
+  case Expr::Kind::Binary: {
+    std::optional<Value> L = evalAbstract(E->lhs(), Env_);
+    std::optional<Value> R = evalAbstract(E->rhs(), Env_);
+    if (!L || !R)
+      return std::nullopt;
+    if (E->binOp() == BinOp::Div || E->binOp() == BinOp::Mod) {
+      // Folding must not erase (or introduce) faults.
+      if (R->isUndef() || R->get() == 0)
+        return std::nullopt;
+    }
+    if (L->isUndef() || R->isUndef())
+      return Value::undef();
+    bool UB = false;
+    int64_t V = applyBinOp(E->binOp(), L->get(), R->get(), UB);
+    if (UB)
+      return std::nullopt;
+    return Value::of(V);
+  }
+  }
+  return std::nullopt;
+}
+
+/// Forward analysis + rewrite in one structure-directed walk. Loops are
+/// analyzed to a fixpoint first, then rewritten under the stable head env.
+class ConstProp {
+  const Program &Src;
+  Program &Dst;
+  unsigned Rewrites = 0;
+
+  //===-- analysis --------------------------------------------------------===
+
+  Env transfer(const Stmt *S, Env In) {
+    switch (S->kind()) {
+    case Stmt::Kind::Skip:
+    case Stmt::Kind::Print:
+    case Stmt::Kind::Return:
+    case Stmt::Kind::Abort:
+    case Stmt::Kind::Store:
+    case Stmt::Kind::Fence:
+      return In;
+    case Stmt::Kind::Assign:
+      In[S->reg()] = evalAbstract(S->expr(), In);
+      return In;
+    case Stmt::Kind::Freeze: {
+      std::optional<Value> V = evalAbstract(S->expr(), In);
+      // freeze of a known *defined* value is the identity.
+      In[S->reg()] =
+          (V.has_value() && V->isDefined()) ? V : std::nullopt;
+      return In;
+    }
+    case Stmt::Kind::Load:
+    case Stmt::Kind::Choose:
+    case Stmt::Kind::Cas:
+    case Stmt::Kind::Fadd:
+      In[S->reg()] = std::nullopt;
+      return In;
+    case Stmt::Kind::Seq:
+      for (const Stmt *Kid : S->seq())
+        In = transfer(Kid, std::move(In));
+      return In;
+    case Stmt::Kind::If: {
+      Env Then = transfer(S->thenStmt(), In);
+      Env Else = transfer(S->elseStmt(), std::move(In));
+      return joinEnvs(Then, Else);
+    }
+    case Stmt::Kind::While: {
+      Env Head = std::move(In);
+      while (true) {
+        Env Out = transfer(S->body(), Head);
+        Env Joined = joinEnvs(Head, Out);
+        if (Joined == Head)
+          break;
+        Head = std::move(Joined);
+      }
+      return Head;
+    }
+    }
+    assert(false && "unknown statement kind");
+    return In;
+  }
+
+  //===-- rewriting -------------------------------------------------------===
+
+  const Expr *rewriteExpr(const Expr *E, const Env &Env_) {
+    if (std::optional<Value> V = evalAbstract(E, Env_)) {
+      if (E->kind() != Expr::Kind::Const) {
+        ++Rewrites;
+        return Dst.exprConst(*V);
+      }
+      return Dst.cloneExpr(E);
+    }
+    switch (E->kind()) {
+    case Expr::Kind::Const:
+    case Expr::Kind::Reg:
+      return Dst.cloneExpr(E);
+    case Expr::Kind::Unary:
+      return Dst.exprUn(E->unOp(), rewriteExpr(E->lhs(), Env_));
+    case Expr::Kind::Binary:
+      return Dst.exprBin(E->binOp(), rewriteExpr(E->lhs(), Env_),
+                         rewriteExpr(E->rhs(), Env_));
+    }
+    assert(false && "unknown expression kind");
+    return nullptr;
+  }
+
+  const Stmt *rewrite(const Stmt *S, Env &In) {
+    switch (S->kind()) {
+    case Stmt::Kind::Skip:
+    case Stmt::Kind::Abort:
+    case Stmt::Kind::Fence:
+      return Dst.cloneStmt(S);
+    case Stmt::Kind::Assign: {
+      const Stmt *Out = Dst.stmtAssign(S->reg(), rewriteExpr(S->expr(), In));
+      In = transfer(S, std::move(In));
+      return Out;
+    }
+    case Stmt::Kind::Freeze: {
+      std::optional<Value> V = evalAbstract(S->expr(), In);
+      const Stmt *Out;
+      if (V.has_value() && V->isDefined()) {
+        ++Rewrites;
+        Out = Dst.stmtAssign(S->reg(), Dst.exprConst(*V));
+      } else {
+        Out = Dst.stmtFreeze(S->reg(), rewriteExpr(S->expr(), In));
+      }
+      In = transfer(S, std::move(In));
+      return Out;
+    }
+    case Stmt::Kind::Load:
+    case Stmt::Kind::Choose:
+    case Stmt::Kind::Cas:
+    case Stmt::Kind::Fadd: {
+      // Memory statements: rewrite operand expressions only.
+      const Stmt *Out;
+      if (S->kind() == Stmt::Kind::Cas)
+        Out = Dst.stmtCas(S->reg(), S->loc(), rewriteExpr(S->casExpected(), In),
+                          rewriteExpr(S->casNew(), In), S->readMode(),
+                          S->writeMode());
+      else if (S->kind() == Stmt::Kind::Fadd)
+        Out = Dst.stmtFadd(S->reg(), S->loc(), rewriteExpr(S->expr(), In),
+                           S->readMode(), S->writeMode());
+      else
+        Out = Dst.cloneStmt(S);
+      In = transfer(S, std::move(In));
+      return Out;
+    }
+    case Stmt::Kind::Store:
+      return Dst.stmtStore(S->loc(), rewriteExpr(S->expr(), In),
+                           S->writeMode());
+    case Stmt::Kind::Print:
+      return Dst.stmtPrint(rewriteExpr(S->expr(), In));
+    case Stmt::Kind::Return:
+      return Dst.stmtReturn(rewriteExpr(S->expr(), In));
+    case Stmt::Kind::Seq: {
+      std::vector<const Stmt *> Kids;
+      Kids.reserve(S->seq().size());
+      for (const Stmt *Kid : S->seq())
+        Kids.push_back(rewrite(Kid, In));
+      return Dst.stmtSeq(std::move(Kids));
+    }
+    case Stmt::Kind::If: {
+      std::optional<Value> Cond = evalAbstract(S->expr(), In);
+      if (Cond.has_value() && Cond->isDefined() &&
+          !exprMayFault(S->expr())) {
+        // Decided branch: keep only the taken side.
+        ++Rewrites;
+        const Stmt *Out =
+            rewrite(Cond->truthy() ? S->thenStmt() : S->elseStmt(), In);
+        return Out;
+      }
+      const Expr *C = rewriteExpr(S->expr(), In);
+      Env ThenEnv = In;
+      const Stmt *Then = rewrite(S->thenStmt(), ThenEnv);
+      Env ElseEnv = In;
+      const Stmt *Else = rewrite(S->elseStmt(), ElseEnv);
+      In = joinEnvs(ThenEnv, ElseEnv);
+      return Dst.stmtIf(C, Then, Else);
+    }
+    case Stmt::Kind::While: {
+      // The loop never runs when its condition is a known defined false at
+      // entry (the body then never executes, so the env is unchanged).
+      std::optional<Value> AtEntry = evalAbstract(S->expr(), In);
+      if (AtEntry.has_value() && AtEntry->isDefined() &&
+          !AtEntry->truthy() && !exprMayFault(S->expr())) {
+        ++Rewrites;
+        return Dst.stmtSkip();
+      }
+      // Otherwise rewrite under the stable head env.
+      Env Head = transfer(S, In); // fixpoint of the loop
+      Env BodyEnv = Head;
+      const Stmt *Body = rewrite(S->body(), BodyEnv);
+      const Stmt *Out = Dst.stmtWhile(rewriteExpr(S->expr(), Head), Body);
+      In = std::move(Head);
+      return Out;
+    }
+    }
+    assert(false && "unknown statement kind");
+    return nullptr;
+  }
+
+public:
+  ConstProp(const Program &Src, Program &Dst) : Src(Src), Dst(Dst) {}
+
+  unsigned run(unsigned Tid) {
+    (void)Src;
+    Env In(Dst.thread(Tid).Regs.size(), Value::of(0)); // registers start 0
+    const Stmt *Body = rewrite(Src.thread(Tid).Body, In);
+    Dst.setThreadBody(Tid, Body);
+    return Rewrites;
+  }
+};
+
+} // namespace
+
+PassResult pseq::runConstPropPass(const Program &P) {
+  PassResult Result;
+  Result.Prog = std::make_unique<Program>();
+  Program &Dst = *Result.Prog;
+  for (unsigned L = 0, E = P.numLocs(); L != E; ++L)
+    Dst.declareLoc(P.locName(L), P.isAtomicLoc(L));
+  for (unsigned T = 0, E = P.numThreads(); T != E; ++T) {
+    unsigned Tid = Dst.addThread();
+    Dst.thread(Tid).Regs = P.thread(T).Regs;
+    ConstProp CP(P, Dst);
+    Result.Rewrites += CP.run(Tid);
+  }
+  return Result;
+}

@@ -1,0 +1,31 @@
+//===- opt/ConstPropPass.h - Constant propagation (extension) ---*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic intraprocedural constant propagation + folding pass — not one
+/// of the paper's four passes, but the infrastructure a real optimizer
+/// would run between them (it feeds SLF more `x@na := k` stores and the
+/// branch folder more decided conditions). Thread-local and memory-silent:
+/// it rewrites only registers and pure expressions, so SEQ validation is
+/// immediate. Expressions that may fault (division) and branches on
+/// possibly-undef values are left untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OPT_CONSTPROPPASS_H
+#define PSEQ_OPT_CONSTPROPPASS_H
+
+#include "opt/Passes.h"
+
+namespace pseq {
+
+/// Runs constant propagation and folding on every thread of \p P.
+PassResult runConstPropPass(const Program &P);
+
+} // namespace pseq
+
+#endif // PSEQ_OPT_CONSTPROPPASS_H

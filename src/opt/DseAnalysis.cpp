@@ -1,0 +1,139 @@
+//===- opt/DseAnalysis.cpp - Dead store elimination (Fig 8b) --------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/DseAnalysis.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+namespace {
+
+using State = std::vector<DseToken>; // indexed by location
+
+State joinStates(const State &A, const State &B) {
+  assert(A.size() == B.size() && "state width mismatch");
+  State Out(A.size());
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    Out[I] = joinDse(A[I], B[I]);
+  return Out;
+}
+
+class DseWalker {
+  const Program &P;
+  DseAnalysisResult &Res;
+
+  /// Backward through an acquire read: ◦ → • for every location.
+  void applyAcquire(State &S) {
+    for (DseToken &T : S)
+      if (T == DseToken::Circ)
+        T = DseToken::Bullet;
+  }
+
+  /// Backward through a release write: • → ⊤ for every location (the
+  /// release completes a release-acquire pair seen later... earlier in
+  /// the backward direction).
+  void applyRelease(State &S) {
+    for (DseToken &T : S)
+      if (T == DseToken::Bullet)
+        T = DseToken::Top;
+  }
+
+public:
+  DseWalker(const Program &P, DseAnalysisResult &Res) : P(P), Res(Res) {}
+
+  /// Backward transfer: given the state *after* \p S, compute the state
+  /// *before* it.
+  State transferBack(const Stmt *S, State After) {
+    switch (S->kind()) {
+    case Stmt::Kind::Skip:
+    case Stmt::Kind::Print:
+    case Stmt::Kind::Assign:
+    case Stmt::Kind::Choose:
+    case Stmt::Kind::Freeze:
+      return After;
+    case Stmt::Kind::Return:
+    case Stmt::Kind::Abort:
+      // Nothing runs afterwards on this path: no store below can justify
+      // elimination, so everything is ⊤ flowing backward into here.
+      return State(After.size(), DseToken::Top);
+    case Stmt::Kind::Load: {
+      if (S->readMode() == ReadMode::NA)
+        After[S->loc()] = DseToken::Top; // a read of x kills elimination
+      if (S->readMode() == ReadMode::ACQ)
+        applyAcquire(After);
+      return After;
+    }
+    case Stmt::Kind::Store: {
+      if (S->writeMode() == WriteMode::NA) {
+        Res.AtStore[S] = After[S->loc()];
+        After[S->loc()] = DseToken::Circ;
+        return After;
+      }
+      if (S->writeMode() == WriteMode::REL)
+        applyRelease(After);
+      return After;
+    }
+    case Stmt::Kind::Cas:
+    case Stmt::Kind::Fadd: {
+      // Program order read;write — backward applies the write part first.
+      if (S->writeMode() == WriteMode::REL)
+        applyRelease(After);
+      if (S->readMode() == ReadMode::ACQ)
+        applyAcquire(After);
+      return After;
+    }
+    case Stmt::Kind::Fence: {
+      if (S->fenceMode() != FenceMode::ACQ)
+        applyRelease(After);
+      if (S->fenceMode() != FenceMode::REL)
+        applyAcquire(After);
+      return After;
+    }
+    case Stmt::Kind::Seq: {
+      const std::vector<const Stmt *> &Kids = S->seq();
+      for (auto It = Kids.rbegin(), E = Kids.rend(); It != E; ++It)
+        After = transferBack(*It, std::move(After));
+      return After;
+    }
+    case Stmt::Kind::If: {
+      State Then = transferBack(S->thenStmt(), After);
+      State Else = transferBack(S->elseStmt(), std::move(After));
+      return joinStates(Then, Else);
+    }
+    case Stmt::Kind::While: {
+      State Head = std::move(After);
+      unsigned Iters = 0;
+      while (true) {
+        ++Iters;
+        State Before = transferBack(S->body(), Head);
+        State Joined = joinStates(Head, Before);
+        if (Joined == Head)
+          break;
+        Head = std::move(Joined);
+      }
+      if (Iters > Res.MaxLoopIterations)
+        Res.MaxLoopIterations = Iters;
+      return Head;
+    }
+    }
+    assert(false && "unknown statement kind");
+    return After;
+  }
+};
+
+} // namespace
+
+DseAnalysisResult pseq::analyzeDse(const Program &P, unsigned Tid) {
+  DseAnalysisResult Res;
+  DseWalker W(P, Res);
+  // At the end of the thread nothing overwrites anything: all ⊤.
+  State Exit(P.numLocs(), DseToken::Top);
+  if (const Stmt *Body = P.thread(Tid).Body)
+    W.transferBack(Body, std::move(Exit));
+  return Res;
+}

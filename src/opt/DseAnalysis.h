@@ -1,0 +1,40 @@
+//===- opt/DseAnalysis.h - Dead store elimination (Fig 8b) ------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backward DSE analysis of Appendix D (Fig. 8b): per location, a
+/// token describing whether a later store overwrites it before the value
+/// can escape — ◦ (overwritten, no acquire read nor read of x on the way),
+/// • (an acquire read may intervene but no release-acquire pair), ⊤
+/// (anything else). A non-atomic store may be deleted when the token
+/// *after* it is ◦ or •. The • case is exactly Example 3.5: elimination
+/// across a release write alone, sound only under the advanced refinement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OPT_DSEANALYSIS_H
+#define PSEQ_OPT_DSEANALYSIS_H
+
+#include "opt/AbstractValue.h"
+
+#include <unordered_map>
+
+namespace pseq {
+
+/// Result of the backward DSE analysis over one thread.
+struct DseAnalysisResult {
+  /// Token of the stored location just after each non-atomic store.
+  std::unordered_map<const Stmt *, DseToken> AtStore;
+  unsigned MaxLoopIterations = 0;
+};
+
+/// Runs the Fig. 8b analysis on thread \p Tid of \p P.
+DseAnalysisResult analyzeDse(const Program &P, unsigned Tid);
+
+} // namespace pseq
+
+#endif // PSEQ_OPT_DSEANALYSIS_H

@@ -1,0 +1,105 @@
+//===- opt/LicmPass.cpp - Loop-invariant code motion (§4) -----------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/LicmPass.h"
+
+using namespace pseq;
+
+namespace {
+
+/// What a loop body does to shared memory, for the §4 side conditions.
+struct BodySummary {
+  LocSet NaReads;
+  LocSet NaWrites;
+  bool HasAcquire = false;
+};
+
+void scan(const Stmt *S, BodySummary &Sum) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Load:
+    if (S->readMode() == ReadMode::NA)
+      Sum.NaReads.insert(S->loc());
+    if (S->readMode() == ReadMode::ACQ)
+      Sum.HasAcquire = true;
+    return;
+  case Stmt::Kind::Store:
+    if (S->writeMode() == WriteMode::NA)
+      Sum.NaWrites.insert(S->loc());
+    return;
+  case Stmt::Kind::Cas:
+  case Stmt::Kind::Fadd:
+    if (S->readMode() == ReadMode::ACQ)
+      Sum.HasAcquire = true;
+    return;
+  case Stmt::Kind::Fence:
+    if (S->fenceMode() != FenceMode::REL)
+      Sum.HasAcquire = true;
+    return;
+  case Stmt::Kind::Seq:
+    for (const Stmt *Kid : S->seq())
+      scan(Kid, Sum);
+    return;
+  case Stmt::Kind::If:
+    scan(S->thenStmt(), Sum);
+    scan(S->elseStmt(), Sum);
+    return;
+  case Stmt::Kind::While:
+    scan(S->body(), Sum);
+    return;
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+PassResult pseq::runLicmLoadIntroduction(const Program &P) {
+  PassResult Result;
+  Result.Prog = std::make_unique<Program>();
+  Program &Dst = *Result.Prog;
+  for (unsigned L = 0, E = P.numLocs(); L != E; ++L)
+    Dst.declareLoc(P.locName(L), P.isAtomicLoc(L));
+
+  for (unsigned T = 0, E = P.numThreads(); T != E; ++T) {
+    unsigned Tid = Dst.addThread();
+    Dst.thread(Tid).Regs = P.thread(T).Regs;
+
+    // The hook is self-referential (nested loops), so define it by name.
+    std::function<const Stmt *(const Stmt *, Program &)> Hook =
+        [&](const Stmt *S, Program &D) -> const Stmt * {
+      if (S->kind() != Stmt::Kind::While)
+        return nullptr;
+      BodySummary Sum;
+      scan(S->body(), Sum);
+      LocSet Hoistable = Sum.NaReads.setMinus(Sum.NaWrites);
+      if (Sum.HasAcquire || Hoistable.isEmpty())
+        return nullptr; // recurse structurally (nested loops still hooked)
+      std::vector<const Stmt *> Pre;
+      for (unsigned Loc : Hoistable.members()) {
+        unsigned Reg =
+            D.thread(Tid).Regs.intern("licm$" + P.locName(Loc));
+        Pre.push_back(D.stmtLoad(Reg, Loc, ReadMode::NA));
+        ++Result.Rewrites;
+      }
+      Pre.push_back(D.stmtWhile(D.cloneExpr(S->expr()),
+                                cloneWithHook(S->body(), D, Hook)));
+      return D.stmtSeq(std::move(Pre));
+    };
+
+    Dst.setThreadBody(Tid, cloneWithHook(P.thread(T).Body, Dst, Hook));
+  }
+  return Result;
+}
+
+PassResult pseq::runLicmPass(const Program &P) {
+  PassResult Stage1 = runLicmLoadIntroduction(P);
+  PassResult Stage2 = runLlfPass(*Stage1.Prog);
+  Stage2.Rewrites += Stage1.Rewrites;
+  return Stage2;
+}

@@ -1,0 +1,33 @@
+//===- opt/LicmPass.h - Loop-invariant code motion (§4) ---------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LICM as described in §4 / Appendix D, in two stages: (1) introduce an
+/// irrelevant load `licm$x := x@na` before each loop whose body reads x
+/// but neither writes x nor performs any acquire — load introduction is
+/// unconditionally sound in SEQ (Example 2.8), which is exactly what the
+/// non-catch-fire design buys; then (2) run LLF to forward the preheader
+/// value to the in-loop loads (Example 1.3's pattern).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OPT_LICMPASS_H
+#define PSEQ_OPT_LICMPASS_H
+
+#include "opt/Passes.h"
+
+namespace pseq {
+
+/// Runs load introduction followed by LLF.
+PassResult runLicmPass(const Program &P);
+
+/// Stage 1 only (exposed for tests): hoistable-load introduction.
+PassResult runLicmLoadIntroduction(const Program &P);
+
+} // namespace pseq
+
+#endif // PSEQ_OPT_LICMPASS_H

@@ -1,0 +1,125 @@
+//===- opt/LlfAnalysis.cpp - Load-to-load forwarding (Fig 8a) -------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/LlfAnalysis.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+namespace {
+
+using State = std::vector<RegSet>; // indexed by location
+
+/// Join is intersection: D1 ⊑ D2 ⇔ ∀x. D1(x) ⊇ D2(x) (Fig. 8a's order).
+State joinStates(const State &A, const State &B) {
+  assert(A.size() == B.size() && "state width mismatch");
+  State Out(A.size());
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    Out[I] = A[I] & B[I];
+  return Out;
+}
+
+class LlfWalker {
+  const Program &P;
+  LlfAnalysisResult &Res;
+
+  void evictReg(State &S, unsigned Reg) {
+    if (Reg >= 64)
+      return; // untracked register (see header): never in any set
+    for (RegSet &RS : S)
+      RS &= ~(RegSet(1) << Reg);
+  }
+
+  void clearAll(State &S) {
+    for (RegSet &RS : S)
+      RS = 0;
+  }
+
+public:
+  LlfWalker(const Program &P, LlfAnalysisResult &Res) : P(P), Res(Res) {}
+
+  State transfer(const Stmt *S, State In) {
+    switch (S->kind()) {
+    case Stmt::Kind::Skip:
+    case Stmt::Kind::Print:
+    case Stmt::Kind::Return:
+    case Stmt::Kind::Abort:
+      return In;
+    case Stmt::Kind::Assign:
+    case Stmt::Kind::Choose:
+    case Stmt::Kind::Freeze:
+      evictReg(In, S->reg());
+      return In;
+    case Stmt::Kind::Load: {
+      if (S->readMode() == ReadMode::NA)
+        Res.AtLoad[S] = In[S->loc()];
+      if (S->readMode() == ReadMode::ACQ)
+        clearAll(In);
+      evictReg(In, S->reg());
+      if (S->readMode() == ReadMode::NA && S->reg() < 64)
+        In[S->loc()] |= RegSet(1) << S->reg();
+      return In;
+    }
+    case Stmt::Kind::Store: {
+      if (S->writeMode() == WriteMode::NA)
+        In[S->loc()] = 0; // Fig 8a: T(x)(x^na := v, t) = ∅
+      return In;
+    }
+    case Stmt::Kind::Cas:
+    case Stmt::Kind::Fadd: {
+      if (S->readMode() == ReadMode::ACQ)
+        clearAll(In);
+      evictReg(In, S->reg());
+      return In;
+    }
+    case Stmt::Kind::Fence: {
+      if (S->fenceMode() != FenceMode::REL)
+        clearAll(In);
+      return In;
+    }
+    case Stmt::Kind::Seq: {
+      for (const Stmt *Kid : S->seq())
+        In = transfer(Kid, std::move(In));
+      return In;
+    }
+    case Stmt::Kind::If: {
+      State Then = transfer(S->thenStmt(), In);
+      State Else = transfer(S->elseStmt(), std::move(In));
+      return joinStates(Then, Else);
+    }
+    case Stmt::Kind::While: {
+      State Head = std::move(In);
+      unsigned Iters = 0;
+      while (true) {
+        ++Iters;
+        State Out = transfer(S->body(), Head);
+        State Joined = joinStates(Head, Out);
+        if (Joined == Head)
+          break;
+        Head = std::move(Joined);
+      }
+      if (Iters > Res.MaxLoopIterations)
+        Res.MaxLoopIterations = Iters;
+      return Head;
+    }
+    }
+    assert(false && "unknown statement kind");
+    return In;
+  }
+};
+
+} // namespace
+
+LlfAnalysisResult pseq::analyzeLlf(const Program &P, unsigned Tid) {
+  LlfAnalysisResult Res;
+  LlfWalker W(P, Res);
+  State Init(P.numLocs(), 0);
+  if (const Stmt *Body = P.thread(Tid).Body)
+    W.transfer(Body, std::move(Init));
+  return Res;
+}

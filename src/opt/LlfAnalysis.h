@@ -1,0 +1,44 @@
+//===- opt/LlfAnalysis.h - Load-to-load forwarding (Fig 8a) -----*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LLF analysis of Appendix D (Fig. 8a): per location, the set of
+/// registers holding a value loaded from it since the last acquire. A
+/// non-atomic load of x may be rewritten to a register copy when the set
+/// is non-empty. Acquire operations clear every set (the environment may
+/// have provided new values); writes to x clear x's set; reassigning a
+/// register evicts it from every set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OPT_LLFANALYSIS_H
+#define PSEQ_OPT_LLFANALYSIS_H
+
+#include "opt/AbstractValue.h"
+
+#include <unordered_map>
+
+namespace pseq {
+
+/// Registers as a bitset. Only the first 64 registers of a thread are
+/// tracked; later ones are never forwarded (a sound under-approximation —
+/// the paper's programs use a handful of registers).
+using RegSet = uint64_t;
+
+/// Result of the LLF analysis over one thread.
+struct LlfAnalysisResult {
+  /// Register set of the loaded location just before each non-atomic load.
+  std::unordered_map<const Stmt *, RegSet> AtLoad;
+  unsigned MaxLoopIterations = 0;
+};
+
+/// Runs the Fig. 8a analysis on thread \p Tid of \p P.
+LlfAnalysisResult analyzeLlf(const Program &P, unsigned Tid);
+
+} // namespace pseq
+
+#endif // PSEQ_OPT_LLFANALYSIS_H

@@ -1,0 +1,132 @@
+//===- opt/Passes.cpp - The optimizer's rewrite passes --------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "opt/DseAnalysis.h"
+#include "opt/LlfAnalysis.h"
+#include "opt/SlfAnalysis.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+const Stmt *pseq::cloneWithHook(
+    const Stmt *S, Program &Dst,
+    const std::function<const Stmt *(const Stmt *, Program &)> &Hook) {
+  if (!S)
+    return nullptr;
+  if (const Stmt *Replacement = Hook(S, Dst))
+    return Replacement;
+  switch (S->kind()) {
+  case Stmt::Kind::Seq: {
+    std::vector<const Stmt *> Kids;
+    Kids.reserve(S->seq().size());
+    for (const Stmt *Kid : S->seq())
+      Kids.push_back(cloneWithHook(Kid, Dst, Hook));
+    return Dst.stmtSeq(std::move(Kids));
+  }
+  case Stmt::Kind::If:
+    return Dst.stmtIf(Dst.cloneExpr(S->expr()),
+                      cloneWithHook(S->thenStmt(), Dst, Hook),
+                      cloneWithHook(S->elseStmt(), Dst, Hook));
+  case Stmt::Kind::While:
+    return Dst.stmtWhile(Dst.cloneExpr(S->expr()),
+                         cloneWithHook(S->body(), Dst, Hook));
+  default:
+    return Dst.cloneStmt(S);
+  }
+}
+
+namespace {
+
+/// Shared pass driver: for each thread, analyze then rewrite leaves.
+template <typename AnalyzeFn, typename HookFn>
+PassResult runRewritePass(const Program &P, AnalyzeFn Analyze,
+                          HookFn MakeHook) {
+  PassResult Result;
+  Result.Prog = std::make_unique<Program>();
+  Program &Dst = *Result.Prog;
+  for (unsigned L = 0, E = P.numLocs(); L != E; ++L)
+    Dst.declareLoc(P.locName(L), P.isAtomicLoc(L));
+  for (unsigned T = 0, E = P.numThreads(); T != E; ++T) {
+    unsigned Tid = Dst.addThread();
+    Dst.thread(Tid).Regs = P.thread(T).Regs;
+    auto Analysis = Analyze(P, T);
+    auto Hook = MakeHook(Analysis, Result.Rewrites);
+    Dst.setThreadBody(Tid, cloneWithHook(P.thread(T).Body, Dst, Hook));
+  }
+  return Result;
+}
+
+} // namespace
+
+PassResult pseq::runSlfPass(const Program &P) {
+  return runRewritePass(
+      P, [](const Program &Prog, unsigned Tid) { return analyzeSlf(Prog, Tid); },
+      [](const SlfAnalysisResult &A, unsigned &Rewrites) {
+        return [&A, &Rewrites](const Stmt *S,
+                               Program &Dst) -> const Stmt * {
+          if (S->kind() != Stmt::Kind::Load ||
+              S->readMode() != ReadMode::NA)
+            return nullptr;
+          auto It = A.AtLoad.find(S);
+          if (It == A.AtLoad.end() || It->second.isTop())
+            return nullptr;
+          ++Rewrites;
+          return Dst.stmtAssign(S->reg(), It->second.val().materialize(Dst));
+        };
+      });
+}
+
+PassResult pseq::runLlfPass(const Program &P) {
+  return runRewritePass(
+      P, [](const Program &Prog, unsigned Tid) { return analyzeLlf(Prog, Tid); },
+      [](const LlfAnalysisResult &A, unsigned &Rewrites) {
+        return [&A, &Rewrites](const Stmt *S,
+                               Program &Dst) -> const Stmt * {
+          if (S->kind() != Stmt::Kind::Load ||
+              S->readMode() != ReadMode::NA)
+            return nullptr;
+          auto It = A.AtLoad.find(S);
+          if (It == A.AtLoad.end() || It->second == 0)
+            return nullptr;
+          unsigned Src = static_cast<unsigned>(__builtin_ctzll(It->second));
+          if (Src == S->reg()) {
+            // `a := x@na` with a already holding x: the load is redundant
+            // but rewriting `a := a` is a no-op; prefer another register
+            // if one is available.
+            RegSet Others = It->second & ~(RegSet(1) << Src);
+            if (Others == 0)
+              return nullptr;
+            Src = static_cast<unsigned>(__builtin_ctzll(Others));
+          }
+          ++Rewrites;
+          return Dst.stmtAssign(S->reg(), Dst.exprReg(Src));
+        };
+      });
+}
+
+PassResult pseq::runDsePass(const Program &P) {
+  return runRewritePass(
+      P, [](const Program &Prog, unsigned Tid) { return analyzeDse(Prog, Tid); },
+      [](const DseAnalysisResult &A, unsigned &Rewrites) {
+        return [&A, &Rewrites](const Stmt *S,
+                               Program &Dst) -> const Stmt * {
+          if (S->kind() != Stmt::Kind::Store ||
+              S->writeMode() != WriteMode::NA)
+            return nullptr;
+          auto It = A.AtStore.find(S);
+          if (It == A.AtStore.end() || It->second == DseToken::Top)
+            return nullptr;
+          if (exprMayFault(S->expr()))
+            return nullptr; // deleting the store would erase potential UB
+          ++Rewrites;
+          return Dst.stmtSkip();
+        };
+      });
+}

@@ -1,0 +1,56 @@
+//===- opt/Passes.h - The optimizer's rewrite passes ------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four thread-local optimization passes of §4: store-to-load
+/// forwarding (SLF), load-to-load forwarding (LLF), dead-store elimination
+/// (DSE), and loop-invariant code motion (LICM). Each pass analyzes every
+/// thread of the input program and produces a fresh transformed program
+/// with the same memory layout (register tables are preserved or extended,
+/// never reordered), ready for translation validation against the input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OPT_PASSES_H
+#define PSEQ_OPT_PASSES_H
+
+#include "lang/Program.h"
+
+#include <functional>
+#include <memory>
+
+namespace pseq {
+
+/// Output of one pass run.
+struct PassResult {
+  std::unique_ptr<Program> Prog;
+  unsigned Rewrites = 0; ///< number of statements changed
+};
+
+/// SLF (Fig. 3): `x@na := v; α; b := x@na  ⇝  ...; b := v` when α contains
+/// no write to x and no release-acquire pair.
+PassResult runSlfPass(const Program &P);
+
+/// LLF (Fig. 8a): `a := x@na; β; b := x@na  ⇝  ...; b := a` when β
+/// contains no write to x and no acquire.
+PassResult runLlfPass(const Program &P);
+
+/// DSE (Fig. 8b): `x@na := a; γ; x@na := b  ⇝  skip; γ; x@na := b` when γ
+/// contains no read of x and no release-acquire pair. Stores whose operand
+/// may fault (division) are kept.
+PassResult runDsePass(const Program &P);
+
+/// Rewrites thread \p SrcTid of \p Src into \p Dst (same layout): \p Hook
+/// may return a replacement statement built in \p Dst; returning nullptr
+/// recurses structurally. Exposed for the LICM pass and for tests.
+const Stmt *
+cloneWithHook(const Stmt *S, Program &Dst,
+              const std::function<const Stmt *(const Stmt *, Program &)> &Hook);
+
+} // namespace pseq
+
+#endif // PSEQ_OPT_PASSES_H

@@ -1,0 +1,62 @@
+//===- opt/Pipeline.cpp - The four-pass optimizer -------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pipeline.h"
+
+using namespace pseq;
+
+namespace {
+
+using PassFn = PassResult (*)(const Program &);
+
+} // namespace
+
+PipelineResult pseq::runPipeline(const Program &P,
+                                 const PipelineOptions &Opts) {
+  PipelineResult Out;
+  Out.Prog = cloneProgram(P);
+
+  std::vector<std::pair<const char *, PassFn>> Passes;
+  if (Opts.EnableConstProp)
+    Passes.push_back({"constprop", runConstPropPass});
+  Passes.insert(Passes.end(), {{"slf", runSlfPass},
+                               {"llf", runLlfPass},
+                               {"dse", runDsePass},
+                               {"licm", runLicmPass}});
+
+  for (const auto &[Name, Pass] : Passes) {
+    PassReport Report;
+    Report.Name = Name;
+    PassResult PR = Pass(*Out.Prog);
+    Report.Rewrites = PR.Rewrites;
+
+    if (PR.Rewrites == 0) {
+      // Nothing changed: skip validation, keep the (equivalent) output.
+      Out.Prog = std::move(PR.Prog);
+      Out.Reports.push_back(std::move(Report));
+      continue;
+    }
+
+    if (Opts.Validate) {
+      ValidationResult V =
+          validateTransform(*Out.Prog, *PR.Prog, Opts.Cfg, Opts.Method);
+      Report.Validated = V.Ok;
+      Report.ValidationBounded = V.Bounded;
+      if (!V.Ok) {
+        Report.Error = V.Counterexample;
+        Out.AllValidated = false;
+        Out.Reports.push_back(std::move(Report));
+        continue; // discard this pass's output
+      }
+    }
+
+    Out.TotalRewrites += PR.Rewrites;
+    Out.Prog = std::move(PR.Prog);
+    Out.Reports.push_back(std::move(Report));
+  }
+  return Out;
+}

@@ -1,0 +1,64 @@
+//===- opt/Pipeline.h - The four-pass optimizer -----------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §4 optimizer: SLF → LLF → DSE → LICM, each pass optionally
+/// validated against the SEQ refinement checker (translation validation in
+/// place of the paper's Coq certificate). The pipeline is the library's
+/// top-level entry point for consumers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OPT_PIPELINE_H
+#define PSEQ_OPT_PIPELINE_H
+
+#include "opt/ConstPropPass.h"
+#include "opt/LicmPass.h"
+#include "opt/Validator.h"
+
+#include <vector>
+
+namespace pseq {
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  bool Validate = true; ///< run the SEQ checker after every pass
+  /// ⊑w is needed for DSE across release writes; Simulation additionally
+  /// closes loops exactly (use it when LICM fires on loop-heavy code).
+  ValidationMethod Method = ValidationMethod::Advanced;
+  SeqConfig Cfg; ///< checker bounds (universe auto-resolved)
+  /// Run the extension constant-propagation pass before the paper's four
+  /// (it feeds SLF constant stores and folds decided branches).
+  bool EnableConstProp = false;
+};
+
+/// One line of the pipeline report.
+struct PassReport {
+  std::string Name;
+  unsigned Rewrites = 0;
+  bool Validated = false;       ///< checker ran and accepted
+  bool ValidationBounded = false;
+  std::string Error;            ///< non-empty iff validation rejected
+};
+
+/// Pipeline output: the final program plus per-pass reports.
+struct PipelineResult {
+  std::unique_ptr<Program> Prog;
+  std::vector<PassReport> Reports;
+  bool AllValidated = true;
+  unsigned TotalRewrites = 0;
+};
+
+/// Runs the full pipeline on \p P. When validation rejects a pass (which
+/// indicates a bug in this library, never expected in production), the
+/// pass's output is discarded and the pipeline continues from its input.
+PipelineResult runPipeline(const Program &P,
+                           const PipelineOptions &Opts = PipelineOptions());
+
+} // namespace pseq
+
+#endif // PSEQ_OPT_PIPELINE_H

@@ -1,0 +1,142 @@
+//===- opt/SlfAnalysis.cpp - Store-to-load forwarding (Fig 3) -------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/SlfAnalysis.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+namespace {
+
+using State = std::vector<SlfToken>; // indexed by location
+
+State joinStates(const State &A, const State &B) {
+  assert(A.size() == B.size() && "state width mismatch");
+  State Out(A.size());
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    Out[I] = A[I].join(B[I]);
+  return Out;
+}
+
+class SlfWalker {
+  const Program &P;
+  SlfAnalysisResult &Res;
+
+  void invalidateReg(State &S, unsigned Reg) {
+    for (SlfToken &T : S)
+      T = T.invalidateReg(Reg);
+  }
+
+  /// Release effect: ◦(v) → •(v) for every location.
+  void applyRelease(State &S) {
+    for (SlfToken &T : S)
+      if (T.kind() == SlfToken::Kind::Circ)
+        T = SlfToken::bullet(T.val());
+  }
+
+  /// Acquire effect: •(v) → ⊤ for every location (◦ survives: no release
+  /// happened since the write, so no release-acquire pair completed).
+  void applyAcquire(State &S) {
+    for (SlfToken &T : S)
+      if (T.kind() == SlfToken::Kind::Bullet)
+        T = SlfToken::top();
+  }
+
+public:
+  SlfWalker(const Program &P, SlfAnalysisResult &Res) : P(P), Res(Res) {}
+
+  State transfer(const Stmt *S, State In) {
+    switch (S->kind()) {
+    case Stmt::Kind::Skip:
+    case Stmt::Kind::Print:
+    case Stmt::Kind::Return:
+    case Stmt::Kind::Abort:
+      return In;
+    case Stmt::Kind::Assign:
+    case Stmt::Kind::Choose:
+    case Stmt::Kind::Freeze:
+      invalidateReg(In, S->reg());
+      return In;
+    case Stmt::Kind::Load: {
+      if (S->readMode() == ReadMode::NA)
+        Res.AtLoad[S] = In[S->loc()];
+      if (S->readMode() == ReadMode::ACQ)
+        applyAcquire(In);
+      invalidateReg(In, S->reg());
+      return In;
+    }
+    case Stmt::Kind::Store: {
+      if (S->writeMode() == WriteMode::NA) {
+        std::optional<AbsVal> V = AbsVal::ofExpr(S->expr());
+        In[S->loc()] = V ? SlfToken::circ(*V) : SlfToken::top();
+        return In;
+      }
+      if (S->writeMode() == WriteMode::REL)
+        applyRelease(In);
+      return In;
+    }
+    case Stmt::Kind::Cas:
+    case Stmt::Kind::Fadd: {
+      // Read part then write part.
+      if (S->readMode() == ReadMode::ACQ)
+        applyAcquire(In);
+      if (S->writeMode() == WriteMode::REL)
+        applyRelease(In);
+      invalidateReg(In, S->reg());
+      return In;
+    }
+    case Stmt::Kind::Fence: {
+      // Combined fences complete a release-acquire pair by themselves.
+      if (S->fenceMode() != FenceMode::ACQ)
+        applyRelease(In);
+      if (S->fenceMode() != FenceMode::REL)
+        applyAcquire(In);
+      return In;
+    }
+    case Stmt::Kind::Seq: {
+      for (const Stmt *Kid : S->seq())
+        In = transfer(Kid, std::move(In));
+      return In;
+    }
+    case Stmt::Kind::If: {
+      State Then = transfer(S->thenStmt(), In);
+      State Else = transfer(S->elseStmt(), std::move(In));
+      return joinStates(Then, Else);
+    }
+    case Stmt::Kind::While: {
+      State Head = std::move(In);
+      unsigned Iters = 0;
+      while (true) {
+        ++Iters;
+        State Out = transfer(S->body(), Head);
+        State Joined = joinStates(Head, Out);
+        if (Joined == Head)
+          break;
+        Head = std::move(Joined);
+      }
+      if (Iters > Res.MaxLoopIterations)
+        Res.MaxLoopIterations = Iters;
+      // Loop may run zero times; the stable head is also the exit state.
+      return Head;
+    }
+    }
+    assert(false && "unknown statement kind");
+    return In;
+  }
+};
+
+} // namespace
+
+SlfAnalysisResult pseq::analyzeSlf(const Program &P, unsigned Tid) {
+  SlfAnalysisResult Res;
+  SlfWalker W(P, Res);
+  State Init(P.numLocs(), SlfToken::top());
+  if (const Stmt *Body = P.thread(Tid).Body)
+    W.transfer(Body, std::move(Init));
+  return Res;
+}

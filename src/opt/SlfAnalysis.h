@@ -1,0 +1,41 @@
+//===- opt/SlfAnalysis.h - Store-to-load forwarding (Fig 3) -----*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SLF analysis of §4 (Fig. 3): a forward fixpoint over the structured
+/// AST assigning each non-atomic location a token ◦(v) / •(v) / ⊤ at every
+/// program point. ◦(v): v was written by the most recent write and no
+/// release executed since; •(v): a release executed but no release-acquire
+/// pair; ⊤: anything else. A non-atomic load of x may be rewritten to a
+/// register assignment when the token is ◦(v) or •(v) — the thread reads v
+/// (permission kept) or undef (permission lost), and v ⊑ undef.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OPT_SLFANALYSIS_H
+#define PSEQ_OPT_SLFANALYSIS_H
+
+#include "opt/AbstractValue.h"
+
+#include <unordered_map>
+
+namespace pseq {
+
+/// Result of running the SLF analysis over one thread.
+struct SlfAnalysisResult {
+  /// Token of the loaded location just before each non-atomic load.
+  std::unordered_map<const Stmt *, SlfToken> AtLoad;
+  /// Fixpoint iterations of the slowest loop (the paper proves ≤ 3).
+  unsigned MaxLoopIterations = 0;
+};
+
+/// Runs the Fig. 3 analysis on thread \p Tid of \p P.
+SlfAnalysisResult analyzeSlf(const Program &P, unsigned Tid);
+
+} // namespace pseq
+
+#endif // PSEQ_OPT_SLFANALYSIS_H

@@ -1,0 +1,67 @@
+//===- opt/Validator.cpp - Translation validation -------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Validator.h"
+
+#include "seq/SimpleRefinement.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+ValidationResult pseq::validateTransform(const Program &Src,
+                                         const Program &Tgt, SeqConfig Cfg,
+                                         bool UseAdvanced) {
+  return validateTransform(Src, Tgt, std::move(Cfg),
+                           UseAdvanced ? ValidationMethod::Advanced
+                                       : ValidationMethod::Simple);
+}
+
+ValidationResult pseq::validateTransform(const Program &Src,
+                                         const Program &Tgt, SeqConfig Cfg,
+                                         ValidationMethod Method) {
+  assert(sameLayout(Src, Tgt) && "passes must preserve the memory layout");
+  assert(Src.numThreads() == Tgt.numThreads() &&
+         "passes must preserve the thread structure");
+
+  ValidationResult Out;
+  for (unsigned T = 0, E = Src.numThreads(); T != E; ++T) {
+    bool Holds = false;
+    bool Bounded = false;
+    std::string Cex;
+    switch (Method) {
+    case ValidationMethod::Simple: {
+      RefinementResult R = checkSimpleRefinement(Src, T, Tgt, T, Cfg);
+      Holds = R.Holds;
+      Bounded = R.Bounded;
+      Cex = R.Counterexample;
+      break;
+    }
+    case ValidationMethod::Advanced: {
+      RefinementResult R = checkAdvancedRefinement(Src, T, Tgt, T, Cfg);
+      Holds = R.Holds;
+      Bounded = R.Bounded;
+      Cex = R.Counterexample;
+      break;
+    }
+    case ValidationMethod::Simulation: {
+      SimulationResult R = checkSimulation(Src, T, Tgt, T, Cfg);
+      Holds = R.Holds;
+      Bounded = !R.Complete;
+      Cex = R.Counterexample;
+      break;
+    }
+    }
+    Out.Bounded |= Bounded;
+    if (Holds)
+      continue;
+    Out.Ok = false;
+    Out.Counterexample = "thread " + std::to_string(T) + ": " + Cex;
+    return Out;
+  }
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- opt/Validator.h - Translation validation -----------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C++ stand-in for the paper's Coq certificate: every optimizer run
+/// is checked against the SEQ refinement decision procedures — per thread,
+/// since the passes are thread-local. By Thm 6.2 a validated run is a
+/// contextual refinement in PS^na. (The paper proves each pass correct
+/// once and for all; we verify each run, Alive2-style — the substitution
+/// DESIGN.md documents for the missing proof assistant.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OPT_VALIDATOR_H
+#define PSEQ_OPT_VALIDATOR_H
+
+#include "seq/AdvancedRefinement.h"
+#include "seq/Simulation.h"
+
+namespace pseq {
+
+/// Which decision procedure certifies a pass.
+enum class ValidationMethod {
+  Simple,     ///< trace-based ⊑ (Def 2.4)
+  Advanced,   ///< trace-based ⊑w (Def 3.3) — the default
+  Simulation, ///< Fig. 6 coinductive simulation — exact on loops
+};
+
+/// Outcome of validating one transformation.
+struct ValidationResult {
+  bool Ok = true;
+  bool Bounded = false;
+  std::string Counterexample; ///< includes the offending thread index
+};
+
+/// Checks σ_tgt ⊑w σ_src (or the chosen weaker/stronger notion) for every
+/// thread of the transformed program \p Tgt against \p Src.
+ValidationResult validateTransform(const Program &Src, const Program &Tgt,
+                                   SeqConfig Cfg = SeqConfig(),
+                                   bool UseAdvanced = true);
+
+/// Method-selecting overload.
+ValidationResult validateTransform(const Program &Src, const Program &Tgt,
+                                   SeqConfig Cfg, ValidationMethod Method);
+
+} // namespace pseq
+
+#endif // PSEQ_OPT_VALIDATOR_H

@@ -1,0 +1,213 @@
+//===- psna/Explorer.cpp - Exhaustive PS^na exploration -------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "psna/Explorer.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+using namespace pseq;
+
+bool PsBehavior::refines(const PsBehavior &Src) const {
+  if (Src.IsUB)
+    return true;
+  if (IsUB)
+    return false;
+  if (Rets.size() != Src.Rets.size() || Outs.size() != Src.Outs.size())
+    return false;
+  for (size_t I = 0, E = Rets.size(); I != E; ++I)
+    if (!Rets[I].refines(Src.Rets[I]))
+      return false;
+  for (size_t I = 0, E = Outs.size(); I != E; ++I)
+    if (!Outs[I].refines(Src.Outs[I]))
+      return false;
+  return true;
+}
+
+uint64_t PsBehavior::hash() const {
+  uint64_t H = IsUB ? 0xdeadULL : 1;
+  H = hashCombine(H, Rets.size());
+  for (Value V : Rets)
+    H = hashCombine(H, V.hash());
+  H = hashCombine(H, Outs.size());
+  for (Value V : Outs)
+    H = hashCombine(H, V.hash());
+  return H;
+}
+
+std::string PsBehavior::str() const {
+  if (IsUB)
+    return "UB";
+  std::string Out;
+  if (!Outs.empty()) {
+    Out += "out(";
+    for (size_t I = 0, E = Outs.size(); I != E; ++I) {
+      if (I)
+        Out += ",";
+      Out += Outs[I].str();
+    }
+    Out += ") ";
+  }
+  Out += "ret(";
+  for (size_t I = 0, E = Rets.size(); I != E; ++I) {
+    if (I)
+      Out += ",";
+    Out += Rets[I].str();
+  }
+  return Out + ")";
+}
+
+bool PsBehaviorSet::containsStr(const std::string &S) const {
+  for (const PsBehavior &B : All)
+    if (B.str() == S)
+      return true;
+  return false;
+}
+
+bool PsBehaviorSet::covers(const PsBehavior &Tgt) const {
+  for (const PsBehavior &Src : All)
+    if (Tgt.refines(Src))
+      return true;
+  return false;
+}
+
+std::vector<std::string> PsBehaviorSet::strs() const {
+  std::vector<std::string> Out;
+  Out.reserve(All.size());
+  for (const PsBehavior &B : All)
+    Out.push_back(B.str());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+namespace {
+
+struct StateHash {
+  size_t operator()(const PsMachineState &S) const {
+    return static_cast<size_t>(S.hash());
+  }
+};
+
+struct BehaviorHash {
+  size_t operator()(const PsBehavior &B) const {
+    return static_cast<size_t>(B.hash());
+  }
+};
+
+} // namespace
+
+PsBehaviorSet pseq::explorePsna(const Program &P, const PsConfig &Cfg) {
+  PsMachine M(P, Cfg);
+  PsBehaviorSet Result;
+  std::unordered_set<PsMachineState, StateHash> Visited;
+  std::unordered_set<PsBehavior, BehaviorHash> Behaviors;
+  std::deque<PsMachineState> Work;
+
+  PsMachineState Init = M.initialState();
+  Init.normalize();
+  Visited.insert(Init);
+  Work.push_back(std::move(Init));
+
+  auto record = [&](PsBehavior B) {
+    if (Behaviors.insert(B).second)
+      Result.All.push_back(std::move(B));
+  };
+
+  while (!Work.empty()) {
+    if (Visited.size() > Cfg.MaxStates) {
+      Result.Truncated = true;
+      break;
+    }
+    PsMachineState S = Work.front();
+    Work.pop_front();
+
+    if (S.Bottom) {
+      record(PsBehavior::ub());
+      continue;
+    }
+    if (S.allDone()) {
+      PsBehavior B;
+      for (const PsThread &T : S.Threads)
+        B.Rets.push_back(T.Prog.retVal());
+      B.Outs = S.Outs;
+      record(std::move(B));
+      continue;
+    }
+    for (unsigned Tid = 0, E = static_cast<unsigned>(S.Threads.size());
+         Tid != E; ++Tid) {
+      for (PsMachineState &Next : M.threadSuccessors(S, Tid))
+        if (Visited.insert(Next).second)
+          Work.push_back(std::move(Next));
+    }
+  }
+
+  Result.Truncated |= M.certBudgetHit();
+  Result.StatesExplored = static_cast<unsigned>(Visited.size());
+  return Result;
+}
+
+std::vector<PsMachineState> pseq::findPsnaWitness(const Program &P,
+                                                  const PsConfig &Cfg,
+                                                  const std::string &Want) {
+  PsMachine M(P, Cfg);
+  // BFS with parent indices so the path can be reconstructed.
+  std::vector<PsMachineState> States;
+  std::vector<unsigned> Parent;
+  std::unordered_set<PsMachineState, StateHash> Visited;
+  std::deque<unsigned> Work;
+
+  PsMachineState Init = M.initialState();
+  Init.normalize();
+  Visited.insert(Init);
+  States.push_back(std::move(Init));
+  Parent.push_back(~0u);
+  Work.push_back(0);
+
+  auto path = [&](unsigned Idx) {
+    std::vector<PsMachineState> Out;
+    for (unsigned I = Idx; I != ~0u; I = Parent[I])
+      Out.push_back(States[I]);
+    std::reverse(Out.begin(), Out.end());
+    return Out;
+  };
+
+  while (!Work.empty()) {
+    if (States.size() > Cfg.MaxStates)
+      break;
+    unsigned Idx = Work.front();
+    Work.pop_front();
+    // Note: States may reallocate while expanding; index, don't hold refs.
+    if (States[Idx].Bottom) {
+      if (Want == "UB")
+        return path(Idx);
+      continue;
+    }
+    if (States[Idx].allDone()) {
+      PsBehavior B;
+      for (const PsThread &T : States[Idx].Threads)
+        B.Rets.push_back(T.Prog.retVal());
+      B.Outs = States[Idx].Outs;
+      if (B.str() == Want)
+        return path(Idx);
+      continue;
+    }
+    unsigned NumThreads = static_cast<unsigned>(States[Idx].Threads.size());
+    for (unsigned Tid = 0; Tid != NumThreads; ++Tid) {
+      for (PsMachineState &Next : M.threadSuccessors(States[Idx], Tid)) {
+        if (!Visited.insert(Next).second)
+          continue;
+        States.push_back(std::move(Next));
+        Parent.push_back(Idx);
+        Work.push_back(static_cast<unsigned>(States.size() - 1));
+      }
+    }
+  }
+  return {};
+}

@@ -1,0 +1,77 @@
+//===- psna/Explorer.h - Exhaustive PS^na exploration -----------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded exhaustive exploration of PS^na machine behaviors (Def 5.2):
+/// a behavior maps each thread to a return value — extended here with the
+/// global sequence of print system calls (footnote 10) — or is ⊥ after a
+/// machine failure. The explorer walks the certified machine-step graph
+/// with timestamp-normalized state hashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_PSNA_EXPLORER_H
+#define PSEQ_PSNA_EXPLORER_H
+
+#include "psna/Machine.h"
+
+#include <string>
+
+namespace pseq {
+
+/// One PS^na behavior.
+struct PsBehavior {
+  bool IsUB = false;
+  std::vector<Value> Rets; ///< per-thread return values
+  std::vector<Value> Outs; ///< global print sequence
+
+  static PsBehavior ub() {
+    PsBehavior B;
+    B.IsUB = true;
+    return B;
+  }
+
+  /// Def 5.3's r_tgt ⊑ r_src: source UB matches anything; otherwise
+  /// pointwise value refinement of returns and outputs.
+  bool refines(const PsBehavior &Src) const;
+
+  bool operator==(const PsBehavior &O) const {
+    return IsUB == O.IsUB && Rets == O.Rets && Outs == O.Outs;
+  }
+  uint64_t hash() const;
+
+  /// "UB", or "ret(v,...)" optionally prefixed by "out(v...) ".
+  std::string str() const;
+};
+
+/// The deduplicated outcome set of a program.
+struct PsBehaviorSet {
+  std::vector<PsBehavior> All;
+  bool Truncated = false; ///< a state or certification budget was hit
+  unsigned StatesExplored = 0;
+
+  bool containsStr(const std::string &S) const;
+  bool covers(const PsBehavior &Tgt) const;
+  /// Sorted behavior strings (stable across runs).
+  std::vector<std::string> strs() const;
+};
+
+/// Explores every behavior of \p P under \p Cfg.
+PsBehaviorSet explorePsna(const Program &P, const PsConfig &Cfg);
+
+/// Searches for an execution exhibiting the behavior whose str() equals
+/// \p Want and returns it as the sequence of machine states from the
+/// initial state to the terminal one (empty when the behavior is not
+/// reachable within the bounds). Used by litmus_explorer --witness and by
+/// tests that explain an outcome (e.g. Example 5.1's promise story).
+std::vector<PsMachineState> findPsnaWitness(const Program &P,
+                                            const PsConfig &Cfg,
+                                            const std::string &Want);
+
+} // namespace pseq
+
+#endif // PSEQ_PSNA_EXPLORER_H

@@ -1,0 +1,136 @@
+//===- psna/Machine.h - PS^na machine transitions ---------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PS^na machine (Fig. 5): thread configuration steps (read, write with
+/// multi-message non-atomic writes, promise, lower, racy-read, racy-write,
+/// silent/choose/fail) and machine steps with per-step certification.
+///
+/// Executability choices (all documented in DESIGN.md):
+///  * machine steps are taken one thread micro-step at a time, certifying
+///    after each step with outstanding promises (a sound, standard
+///    granularity: Fig. 5's →+ decomposes into certified single steps for
+///    this fragment);
+///  * timestamps are placed canonically: new messages occupy the middle of
+///    a gap (leaving both sides insertable) or a unit slot past the
+///    maximum; RMW writes attach From to the read timestamp, which is
+///    exactly PS2.1's mechanism for update atomicity;
+///  * promised messages carry view ⊥ (non-atomic locations, plus valueless
+///    NAMsg) or [x↦t] (atomic locations); release writes are never
+///    promised (PS1's restriction — release fulfillment is not needed by
+///    any example in the paper);
+///  * after every step, states are normalized by ranking each location's
+///    timestamps, which merges order-isomorphic states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_PSNA_MACHINE_H
+#define PSEQ_PSNA_MACHINE_H
+
+#include "psna/Thread.h"
+#include "support/ValueDomain.h"
+
+namespace pseq {
+
+/// Bounding knobs of the PS^na explorer.
+struct PsConfig {
+  ValueDomain Domain = ValueDomain::binary();
+  unsigned PromiseBudget = 1;  ///< max outstanding promises per thread
+  unsigned SplitBudget = 0;    ///< extra messages per non-atomic write
+  unsigned CertNodeBudget = 20000; ///< certification search nodes
+  unsigned MaxStates = 400000; ///< explorer state cap
+  /// Ablation knob: rank timestamps after every step (merging
+  /// order-isomorphic states). Off, exploration still terminates on
+  /// loop-free programs but visits many more states (bench_psna_explore).
+  bool Normalize = true;
+};
+
+/// A whole-machine state ⟨T, M⟩ plus the system-call output so far.
+struct PsMachineState {
+  std::vector<PsThread> Threads;
+  PsMemory Mem;
+  bool Bottom = false;
+  std::vector<Value> Outs;
+
+  bool allDone() const;
+
+  /// Ranks every location's timestamps to 0..k (exact: every timestamp in
+  /// views equals some message endpoint), merging order-isomorphic states.
+  void normalize();
+
+  bool operator==(const PsMachineState &O) const;
+  uint64_t hash() const;
+  std::string str() const;
+};
+
+/// The PS^na transition relation for a whole program.
+class PsMachine {
+  const Program &Prog;
+  PsConfig Cfg;
+
+public:
+  PsMachine(const Program &Prog, PsConfig Cfg)
+      : Prog(Prog), Cfg(Cfg) {}
+
+  const Program &program() const { return Prog; }
+  const PsConfig &config() const { return Cfg; }
+
+  /// ⟨λπ.⟨σ_π, V_init, ∅⟩, M_init⟩.
+  PsMachineState initialState() const;
+
+  /// All certified machine steps in which thread \p Tid moves once.
+  /// Successors are normalized. (machine: normal) steps are filtered by
+  /// certification; (machine: failure) steps yield Bottom states.
+  std::vector<PsMachineState> threadSuccessors(const PsMachineState &S,
+                                               unsigned Tid) const;
+
+  /// Certification: thread \p Tid, running alone, can fulfill all its
+  /// promises (bounded search; a budget miss counts as not certified and
+  /// is recorded by the caller via certBudgetHit()).
+  bool certifiable(const PsMachineState &S, unsigned Tid) const;
+
+  /// True when some certification search ran out of budget (verdicts may
+  /// then under-approximate the allowed behaviors).
+  bool certBudgetHit() const { return CertBudgetHit; }
+
+private:
+  mutable bool CertBudgetHit = false;
+
+  /// Enumerates raw thread micro-steps (no certification). When
+  /// \p ForCertification, promise steps are disabled.
+  std::vector<PsMachineState> microSteps(const PsMachineState &S,
+                                         unsigned Tid,
+                                         bool ForCertification) const;
+
+  void stepRead(const PsMachineState &S, unsigned Tid,
+                const ProgState::Pending &Pend,
+                std::vector<PsMachineState> &Out) const;
+  void stepWrite(const PsMachineState &S, unsigned Tid,
+                 const ProgState::Pending &Pend,
+                 std::vector<PsMachineState> &Out) const;
+  void stepRmw(const PsMachineState &S, unsigned Tid,
+               const ProgState::Pending &Pend,
+               std::vector<PsMachineState> &Out,
+               bool ForCertification) const;
+  void stepPromise(const PsMachineState &S, unsigned Tid,
+                   std::vector<PsMachineState> &Out) const;
+  void stepLower(const PsMachineState &S, unsigned Tid,
+                 std::vector<PsMachineState> &Out) const;
+  void stepFail(const PsMachineState &S, unsigned Tid,
+                std::vector<PsMachineState> &Out) const;
+
+  /// Race detection (race-helper): the thread is unaware of some message
+  /// at \p Loc; atomic accesses race only with valueless NAMsg markers.
+  bool isRacy(const PsMachineState &S, unsigned Tid, unsigned Loc,
+              bool AtomicAccess) const;
+
+  std::vector<Value> readValues() const;
+};
+
+} // namespace pseq
+
+#endif // PSEQ_PSNA_MACHINE_H

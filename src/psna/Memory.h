@@ -1,0 +1,74 @@
+//===- psna/Memory.h - The message memory -----------------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PS^na memory: per location, a list of messages with pairwise
+/// disjoint (From, To] ranges, kept sorted by To. Initially every location
+/// holds the initialization message ⟨x@0, 0, ⊥⟩ (Def 5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_PSNA_MEMORY_H
+#define PSEQ_PSNA_MEMORY_H
+
+#include "psna/Message.h"
+
+#include <vector>
+
+namespace pseq {
+
+/// A timestamp slot a new message may occupy at some location.
+struct TimeSlot {
+  Rational From;
+  Rational To;
+};
+
+/// The message memory M.
+class PsMemory {
+  std::vector<std::vector<PsMessage>> PerLoc; // each sorted by To
+
+public:
+  PsMemory() = default;
+
+  /// Memory with the initialization message for each of \p NumLocs.
+  static PsMemory initial(unsigned NumLocs);
+
+  /// Rebuilds a memory from a message list (used by state normalization).
+  /// Messages must already be pairwise disjoint per location.
+  static PsMemory fromMessages(unsigned NumLocs,
+                               std::vector<PsMessage> Msgs);
+
+  unsigned numLocs() const { return static_cast<unsigned>(PerLoc.size()); }
+  const std::vector<PsMessage> &msgs(unsigned Loc) const;
+
+  /// Inserts a message; asserts its range is disjoint from existing ones.
+  void insert(const PsMessage &M);
+
+  /// \returns the message with the given timestamp, or nullptr.
+  const PsMessage *find(MsgId Id) const;
+  PsMessage *findMutable(MsgId Id);
+
+  /// Enumerates the distinct placements for a new message at \p Loc whose
+  /// timestamp must exceed \p After: for each gap above After, a slot in
+  /// the middle of the gap (leaving room on both sides for later inserts),
+  /// plus a slot past the maximal message. Gap-midpoint placement is the
+  /// order-canonical choice (see DESIGN.md, timestamp normalization).
+  std::vector<TimeSlot> slotsAbove(unsigned Loc, Rational After) const;
+
+  /// \returns the slot immediately adjacent to the message with timestamp
+  /// \p ReadTo (From = ReadTo), used by RMWs — or nothing when another
+  /// message already occupies space directly above.
+  std::optional<TimeSlot> adjacentSlot(unsigned Loc, Rational ReadTo) const;
+
+  bool operator==(const PsMemory &O) const { return PerLoc == O.PerLoc; }
+  uint64_t hash() const;
+  std::string str() const;
+};
+
+} // namespace pseq
+
+#endif // PSEQ_PSNA_MEMORY_H

@@ -1,0 +1,36 @@
+//===- psna/Refinement.cpp - Def 5.3 contextual refinement ----------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "psna/Refinement.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+PsRefinementResult pseq::checkPsRefinement(const Program &Src,
+                                           const Program &Tgt,
+                                           const PsConfig &Cfg) {
+  assert(sameLayout(Src, Tgt) && "refinement requires identical layouts");
+  assert(Src.numThreads() == Tgt.numThreads() &&
+         "refinement requires matching thread counts");
+
+  PsBehaviorSet SrcB = explorePsna(Src, Cfg);
+  PsBehaviorSet TgtB = explorePsna(Tgt, Cfg);
+
+  PsRefinementResult R;
+  R.Bounded = SrcB.Truncated || TgtB.Truncated;
+  R.SrcStates = SrcB.StatesExplored;
+  R.TgtStates = TgtB.StatesExplored;
+  for (const PsBehavior &TB : TgtB.All) {
+    if (SrcB.covers(TB))
+      continue;
+    R.Holds = false;
+    R.Counterexample = "target behavior " + TB.str() + " unmatched";
+    return R;
+  }
+  return R;
+}

@@ -1,0 +1,41 @@
+//===- psna/Refinement.h - Def 5.3 contextual refinement --------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Behavioral refinement in PS^na (Def 5.3): the target's outcome set is
+/// covered by the source's (with source UB matching everything and undef
+/// refining pointwise). The adequacy harness (Thm 6.2) compares this —
+/// computed for a transformed thread composed with concrete contexts —
+/// against the SEQ-level verdicts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_PSNA_REFINEMENT_H
+#define PSEQ_PSNA_REFINEMENT_H
+
+#include "psna/Explorer.h"
+
+namespace pseq {
+
+/// Outcome of a PS^na behavior-inclusion check.
+struct PsRefinementResult {
+  bool Holds = true;
+  bool Bounded = false; ///< some exploration was truncated
+  std::string Counterexample;
+  unsigned SrcStates = 0;
+  unsigned TgtStates = 0;
+};
+
+/// Decides σ¹_tgt∥...∥σⁿ_tgt ⊑_PSna σ¹_src∥...∥σⁿ_src by exhaustive
+/// bounded exploration of both machines. Programs must share layouts and
+/// thread counts.
+PsRefinementResult checkPsRefinement(const Program &Src, const Program &Tgt,
+                                     const PsConfig &Cfg);
+
+} // namespace pseq
+
+#endif // PSEQ_PSNA_REFINEMENT_H

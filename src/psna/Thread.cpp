@@ -1,0 +1,21 @@
+//===- psna/Thread.cpp - PS^na thread states ------------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "psna/Thread.h"
+
+#include "support/Hashing.h"
+
+using namespace pseq;
+
+uint64_t PsThread::hash() const {
+  uint64_t H = Prog.hash();
+  H = hashCombine(H, V.hash());
+  H = hashCombine(H, Promises.size());
+  for (const MsgId &Id : Promises)
+    H = hashCombine(H, Id.hash());
+  return H;
+}

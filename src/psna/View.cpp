@@ -1,0 +1,76 @@
+//===- psna/View.cpp - Thread and message views ---------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "psna/View.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+View View::zero(unsigned NumLocs) {
+  View V;
+  V.T.assign(NumLocs, Rational(0));
+  return V;
+}
+
+View View::single(unsigned NumLocs, unsigned Loc, Rational Time) {
+  View V = zero(NumLocs);
+  V.set(Loc, Time);
+  return V;
+}
+
+Rational View::get(unsigned Loc) const {
+  assert(Loc < T.size() && "location out of view range");
+  return T[Loc];
+}
+
+void View::set(unsigned Loc, Rational Time) {
+  assert(Loc < T.size() && "location out of view range");
+  T[Loc] = Time;
+}
+
+View View::joined(const View &O) const {
+  assert(T.size() == O.T.size() && "joining views of different widths");
+  View Out = *this;
+  for (size_t I = 0, E = T.size(); I != E; ++I)
+    if (Out.T[I] < O.T[I])
+      Out.T[I] = O.T[I];
+  return Out;
+}
+
+bool View::leq(const View &O) const {
+  assert(T.size() == O.T.size() && "comparing views of different widths");
+  for (size_t I = 0, E = T.size(); I != E; ++I)
+    if (O.T[I] < T[I])
+      return false;
+  return true;
+}
+
+uint64_t View::hash() const {
+  uint64_t H = T.size();
+  for (const Rational &R : T)
+    H = hashCombine(H, R.hash());
+  return H;
+}
+
+std::string View::str() const {
+  std::string Out = "[";
+  for (size_t I = 0, E = T.size(); I != E; ++I) {
+    if (I)
+      Out += ",";
+    Out += T[I].str();
+  }
+  return Out + "]";
+}
+
+View pseq::joinMsgView(const View &V, const MsgView &MV) {
+  if (!MV.has_value())
+    return V;
+  return V.joined(*MV);
+}

@@ -1,0 +1,66 @@
+//===- psna/View.h - Thread and message views -------------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Views of the promising semantics (Fig. 5): V ∈ (Loc → Time) ∪ {⊥}. A
+/// view maps every location to the latest timestamp the thread (or
+/// message) has observed. The paper's presented fragment uses a single
+/// current view per thread; message views are optional (⊥ for non-atomic
+/// messages), represented here as std::optional<View>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_PSNA_VIEW_H
+#define PSEQ_PSNA_VIEW_H
+
+#include "support/Rational.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pseq {
+
+/// A total view Loc → Time (the ⊥ view is modeled by std::optional at use
+/// sites; non-⊥ views default every location to timestamp 0).
+class View {
+  std::vector<Rational> T;
+
+public:
+  View() = default;
+
+  /// The initial view: timestamp 0 everywhere.
+  static View zero(unsigned NumLocs);
+
+  /// The view [x ↦ t]: zero everywhere except \p Loc.
+  static View single(unsigned NumLocs, unsigned Loc, Rational Time);
+
+  unsigned numLocs() const { return static_cast<unsigned>(T.size()); }
+  Rational get(unsigned Loc) const;
+  void set(unsigned Loc, Rational Time);
+
+  /// Pointwise join V ⊔ V'.
+  View joined(const View &O) const;
+
+  /// Pointwise ≤.
+  bool leq(const View &O) const;
+
+  bool operator==(const View &O) const { return T == O.T; }
+  bool operator!=(const View &O) const { return !(*this == O); }
+  uint64_t hash() const;
+  std::string str() const;
+};
+
+/// Message views: ⊥ or a total view.
+using MsgView = std::optional<View>;
+
+/// Join of a view with a message view (⊥ is the identity).
+View joinMsgView(const View &V, const MsgView &MV);
+
+} // namespace pseq
+
+#endif // PSEQ_PSNA_VIEW_H

@@ -1,0 +1,52 @@
+//===- seq/AdvancedRefinement.h - Fig 2 / Def 3.3 checker -------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The advanced ("weak") behavioral refinement σ_tgt ⊑w σ_src of §3:
+/// behavioral refinement up to a commitment set R (Fig. 2), quantified over
+/// all oracles (Def 3.2, Def 3.3). It extends the simple notion with
+///
+///  * late UB (beh-failure): the source may reach ⊥ *after* the target,
+///    provided its path to ⊥ contains no acquire reads and makes no
+///    assumptions on the environment (holds for every oracle);
+///  * commitment sets (beh-rel-write): release labels may disagree on
+///    written-locations sets and released memories as long as the source
+///    later writes the disagreeing locations (before terminating or
+///    acquiring).
+///
+/// The ∀-oracle quantification is decided as an AND/OR game: along
+/// unmatched source suffixes the adversary resolves every read value,
+/// choice, and permission loss; the source must reach its goal (⊥, or
+/// fulfilled commitments) on every adversary path. Oracle progress
+/// guarantees writes of arbitrary values are always enabled; monotonicity
+/// makes the matched prefix free (source labels ⊒ target labels are allowed
+/// whenever the target's are).
+///
+/// Proposition 3.4 (⊑ implies ⊑w) is a property test over the corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_SEQ_ADVANCEDREFINEMENT_H
+#define PSEQ_SEQ_ADVANCEDREFINEMENT_H
+
+#include "seq/SimpleRefinement.h"
+
+namespace pseq {
+
+/// Decides σ_tgt ⊑w σ_src (Def 3.3) by exhaustive bounded enumeration.
+RefinementResult checkAdvancedRefinement(const Program &SrcP, unsigned SrcTid,
+                                         const Program &TgtP, unsigned TgtTid,
+                                         SeqConfig Cfg = SeqConfig());
+
+/// Convenience overload: single-thread programs (thread 0 vs thread 0).
+RefinementResult checkAdvancedRefinement(const Program &SrcP,
+                                         const Program &TgtP,
+                                         SeqConfig Cfg = SeqConfig());
+
+} // namespace pseq
+
+#endif // PSEQ_SEQ_ADVANCEDREFINEMENT_H

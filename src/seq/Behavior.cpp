@@ -1,0 +1,93 @@
+//===- seq/Behavior.cpp - SEQ behaviors -----------------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "seq/Behavior.h"
+
+#include "support/Hashing.h"
+
+using namespace pseq;
+
+bool SeqBehavior::refines(const SeqBehavior &Src, LocSet Universe) const {
+  // ⟨tr_tgt · tr, r⟩ ⊑ ⟨tr_src, ⊥⟩ when tr_tgt ⊑ tr_src: a UB source
+  // matches any continuation of the target.
+  if (Src.Kind == End::Bottom) {
+    if (Trace.size() < Src.Trace.size())
+      return false;
+    for (size_t I = 0, E = Src.Trace.size(); I != E; ++I)
+      if (!Trace[I].refinesLabel(Src.Trace[I]))
+        return false;
+    return true;
+  }
+  if (Kind != Src.Kind)
+    return false;
+  if (!traceRefines(Trace, Src.Trace))
+    return false;
+  switch (Kind) {
+  case End::Term: {
+    if (!RetVal.refines(Src.RetVal))
+      return false;
+    if (!F.isSubsetOf(Src.F))
+      return false;
+    for (unsigned Loc : Universe.members())
+      if (!Mem[Loc].refines(Src.Mem[Loc]))
+        return false;
+    return true;
+  }
+  case End::Partial:
+    return F.isSubsetOf(Src.F);
+  case End::Bottom:
+    // Target ⊥ is only matched by source ⊥ (handled above).
+    return false;
+  }
+  return false;
+}
+
+bool SeqBehavior::operator==(const SeqBehavior &O) const {
+  return Kind == O.Kind && RetVal == O.RetVal && F == O.F && Mem == O.Mem &&
+         Trace == O.Trace;
+}
+
+uint64_t SeqBehavior::hash() const {
+  uint64_t H = hashCombine(static_cast<uint64_t>(Kind), F.raw());
+  H = hashCombine(H, RetVal.hash());
+  for (Value V : Mem)
+    H = hashCombine(H, V.hash());
+  H = hashCombine(H, Trace.size());
+  for (const SeqEvent &E : Trace)
+    H = hashCombine(H, E.hash());
+  return H;
+}
+
+std::string
+SeqBehavior::str(const std::vector<std::string> *LocNames) const {
+  std::string Out = "<[";
+  for (size_t I = 0, E = Trace.size(); I != E; ++I) {
+    if (I)
+      Out += " ";
+    Out += Trace[I].str(LocNames);
+  }
+  Out += "], ";
+  switch (Kind) {
+  case End::Term: {
+    Out += "trm(" + RetVal.str() + ", " + F.str(LocNames) + ", [";
+    for (size_t I = 0, E = Mem.size(); I != E; ++I) {
+      if (I)
+        Out += ",";
+      Out += Mem[I].str();
+    }
+    Out += "])";
+    break;
+  }
+  case End::Partial:
+    Out += "prt(" + F.str(LocNames) + ")";
+    break;
+  case End::Bottom:
+    Out += "bottom";
+    break;
+  }
+  return Out + ">";
+}

@@ -1,0 +1,50 @@
+//===- seq/Behavior.h - SEQ behaviors ---------------------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Behaviors of SEQ (Def 2.1): pairs ⟨tr, r⟩ of a finite trace of labels
+/// and a result r ∈ { trm(v, F, M), prt(F), ⊥ }, together with the simple
+/// behavioral-refinement order ⊑ on behaviors (Def 2.3(3)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_SEQ_BEHAVIOR_H
+#define PSEQ_SEQ_BEHAVIOR_H
+
+#include "seq/SeqEvent.h"
+
+#include <vector>
+
+namespace pseq {
+
+/// One behavior ⟨tr, r⟩ of a SEQ state.
+struct SeqBehavior {
+  enum class End {
+    Term,    ///< trm(v, F, M): normal termination
+    Partial, ///< prt(F): ongoing execution
+    Bottom   ///< ⊥: erroneous termination (UB)
+  };
+
+  std::vector<SeqEvent> Trace;
+  End Kind = End::Partial;
+  Value RetVal;           ///< Term only
+  LocSet F;               ///< Term and Partial
+  std::vector<Value> Mem; ///< Term only (full memory vector)
+
+  /// The simple refinement ⟨tr_tgt, r_tgt⟩ ⊑ ⟨tr_src, r_src⟩ of Def 2.3(3).
+  /// Memory is compared pointwise over \p Universe only (locations outside
+  /// the footprint are invariant under both programs).
+  bool refines(const SeqBehavior &Src, LocSet Universe) const;
+
+  bool operator==(const SeqBehavior &O) const;
+  uint64_t hash() const;
+  std::string str(const std::vector<std::string> *LocNames = nullptr) const;
+};
+
+} // namespace pseq
+
+#endif // PSEQ_SEQ_BEHAVIOR_H

@@ -1,0 +1,134 @@
+//===- seq/BehaviorEnum.cpp - Exhaustive behavior enumeration -------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "seq/BehaviorEnum.h"
+
+#include <unordered_set>
+
+using namespace pseq;
+
+bool BehaviorSet::covers(const SeqBehavior &Tgt, LocSet Universe) const {
+  for (const SeqBehavior &Src : All)
+    if (Tgt.refines(Src, Universe))
+      return true;
+  return false;
+}
+
+namespace {
+
+struct BehaviorHash {
+  size_t operator()(const SeqBehavior &B) const {
+    return static_cast<size_t>(B.hash());
+  }
+};
+
+class Enumerator {
+  const SeqMachine &M;
+  BehaviorSet Result;
+  std::unordered_set<SeqBehavior, BehaviorHash> Seen;
+  std::vector<SeqEvent> Trace;
+
+  void emit(SeqBehavior B) {
+    if (Seen.size() >= M.config().MaxBehaviors) {
+      Result.Truncated = true;
+      return;
+    }
+    if (Seen.insert(B).second)
+      Result.All.push_back(std::move(B));
+  }
+
+  void emitPartial(const SeqState &S) {
+    SeqBehavior B;
+    B.Trace = Trace;
+    B.Kind = SeqBehavior::End::Partial;
+    B.F = S.Written;
+    emit(std::move(B));
+  }
+
+  void visit(const SeqState &S, unsigned StepsLeft) {
+    // Every reachable state generates ⟨tr, prt(F)⟩ — including states that
+    // could also terminate (Def 2.1's "otherwise" applies only to
+    // non-terminal states, so skip those).
+    if (S.isBottom()) {
+      SeqBehavior B;
+      B.Trace = Trace;
+      B.Kind = SeqBehavior::End::Bottom;
+      emit(std::move(B));
+      return;
+    }
+    if (S.isTerminated()) {
+      SeqBehavior B;
+      B.Trace = Trace;
+      B.Kind = SeqBehavior::End::Term;
+      B.RetVal = S.Prog.retVal();
+      B.F = S.Written;
+      B.Mem = S.Mem;
+      emit(std::move(B));
+      return;
+    }
+    emitPartial(S);
+    if (StepsLeft == 0) {
+      Result.Truncated = true;
+      return;
+    }
+    for (SeqTransition &T : M.successors(S)) {
+      size_t Pushed = T.Labels.size();
+      for (SeqEvent &E : T.Labels)
+        Trace.push_back(std::move(E));
+      visit(T.Next, StepsLeft - 1);
+      Trace.resize(Trace.size() - Pushed);
+    }
+  }
+
+public:
+  explicit Enumerator(const SeqMachine &M) : M(M) {}
+
+  BehaviorSet run(const SeqState &Init) {
+    visit(Init, M.config().StepBudget);
+    return std::move(Result);
+  }
+};
+
+} // namespace
+
+BehaviorSet pseq::enumerateBehaviors(const SeqMachine &M,
+                                     const SeqState &Init) {
+  Enumerator E(M);
+  return E.run(Init);
+}
+
+std::vector<SeqState> pseq::enumerateInitialStates(const SeqMachine &M) {
+  const SeqConfig &Cfg = M.config();
+  std::vector<Value> Vals;
+  for (int64_t V : Cfg.Domain.values())
+    Vals.push_back(Value::of(V));
+  Vals.push_back(Value::undef());
+
+  // All memories over the universe (zero elsewhere).
+  std::vector<std::vector<Value>> Mems;
+  Mems.push_back(
+      std::vector<Value>(M.program().numLocs(), Value::of(0)));
+  for (unsigned Loc : Cfg.Universe.members()) {
+    std::vector<std::vector<Value>> Next;
+    Next.reserve(Mems.size() * Vals.size());
+    for (const std::vector<Value> &Base : Mems) {
+      for (Value V : Vals) {
+        std::vector<Value> Mem = Base;
+        Mem[Loc] = V;
+        Next.push_back(std::move(Mem));
+      }
+    }
+    Mems = std::move(Next);
+  }
+
+  std::vector<SeqState> Out;
+  for (LocSet P : Cfg.Universe.subsets())
+    for (LocSet F : Cfg.Universe.subsets())
+      for (const std::vector<Value> &Mem : Mems)
+        Out.push_back(M.initial(P, F, Mem));
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===- seq/BehaviorEnum.h - Exhaustive behavior enumeration -----*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded exhaustive enumeration of the behaviors S ⇓ ⟨tr, r⟩ (Def 2.1) of
+/// a SEQ state: every reachable point contributes a partial behavior
+/// ⟨tr, prt(F)⟩, terminated runs contribute ⟨tr, trm(v, F, M)⟩, and runs
+/// reaching ⊥ contribute ⟨tr, ⊥⟩. Enumeration is exact for programs whose
+/// runs fit in the step budget; otherwise `Truncated` is set and verdicts
+/// derived from the set are "bounded".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_SEQ_BEHAVIORENUM_H
+#define PSEQ_SEQ_BEHAVIORENUM_H
+
+#include "seq/Behavior.h"
+#include "seq/SeqMachine.h"
+
+namespace pseq {
+
+/// A deduplicated set of behaviors.
+struct BehaviorSet {
+  std::vector<SeqBehavior> All;
+  bool Truncated = false; ///< step budget or behavior cap was hit
+
+  /// \returns true when some behavior of the set ⊒-matches \p Tgt.
+  bool covers(const SeqBehavior &Tgt, LocSet Universe) const;
+};
+
+/// Enumerates the behaviors of \p Init under machine \p M.
+BehaviorSet enumerateBehaviors(const SeqMachine &M, const SeqState &Init);
+
+/// Enumerates all initial SEQ states of \p M: P and F range over subsets of
+/// the universe, M over functions Universe → Domain ∪ {undef} (zero outside
+/// the universe). Def 2.4 quantifies refinement over all of these.
+std::vector<SeqState> enumerateInitialStates(const SeqMachine &M);
+
+} // namespace pseq
+
+#endif // PSEQ_SEQ_BEHAVIORENUM_H

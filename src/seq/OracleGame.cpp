@@ -1,0 +1,79 @@
+//===- seq/OracleGame.cpp - The ∀-oracle adversary game -------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "seq/OracleGame.h"
+
+#include "support/Hashing.h"
+
+using namespace pseq;
+
+size_t OracleGame::KeyHash::operator()(const Key &K) const {
+  return static_cast<size_t>(hashCombine(K.Remaining, K.S.hash()));
+}
+
+bool OracleGame::spendNode() {
+  if (NodeBudget == 0) {
+    BudgetHit = true;
+    return false;
+  }
+  --NodeBudget;
+  return true;
+}
+
+bool OracleGame::run(uint64_t Remaining, LocSet Collected,
+                     const SeqState &S) {
+  uint64_t Rem = Remaining == BottomGoal ? BottomGoal
+                                         : (Remaining & ~Collected.raw());
+  Key K{Rem, S};
+  auto [It, Inserted] = Memo.try_emplace(K, InProgress);
+  if (!Inserted)
+    return It->second == True; // cycles never achieve the goal
+  bool Result = runUncached(Rem, S);
+  Memo[K] = Result ? True : False;
+  return Result;
+}
+
+bool OracleGame::runUncached(uint64_t Remaining, const SeqState &S) {
+  if (!spendNode())
+    return false;
+
+  // ⊥ discharges every goal (the behavior ends with beh-failure).
+  if (S.isBottom())
+    return true;
+
+  bool IsBottomGoal = Remaining == BottomGoal;
+  if (!IsBottomGoal && !S.isTerminated() &&
+      LocSet::fromRaw(Remaining).isSubsetOf(S.Written))
+    return true; // stop here: prt(F) with commitments fulfilled
+
+  if (S.isTerminated())
+    return false; // trm does not witness prt; the ⊥ goal is unreachable
+
+  ProgState::Pending Pend = SrcM.pending(S);
+
+  // Acquire operations are forbidden in unmatched suffixes.
+  if ((Pend.K == ProgState::Pending::Kind::Read &&
+       Pend.RM == ReadMode::ACQ) ||
+      (Pend.K == ProgState::Pending::Kind::Fence &&
+       Pend.FM == FenceMode::ACQ) ||
+      (Pend.K == ProgState::Pending::Kind::Rmw && Pend.RM == ReadMode::ACQ))
+    return false;
+
+  // Every adversary branch must succeed.
+  std::vector<SeqTransition> Succs = SrcM.successors(S);
+  if (Succs.empty())
+    return false;
+  for (const SeqTransition &T : Succs) {
+    LocSet Collected;
+    for (const SeqEvent &E : T.Labels)
+      if (E.isRelease())
+        Collected = Collected.unionWith(E.F);
+    if (!run(Remaining, Collected, T.Next))
+      return false;
+  }
+  return true;
+}

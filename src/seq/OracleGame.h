@@ -1,0 +1,79 @@
+//===- seq/OracleGame.h - The ∀-oracle adversary game -----------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Def 3.3 quantifies refinement over all oracles (Def 3.2). In unmatched
+/// source suffixes — the beh-failure and beh-partial rules of Fig. 2 —
+/// this reduces to an adversary game: the oracle resolves every relaxed
+/// read value, choice, and permission loss; the source must reach its goal
+/// on every resolution, taking no acquire steps. Oracle *progress*
+/// guarantees writes of arbitrary values stay enabled; *monotonicity*
+/// makes ⊒-labels free along matched prefixes.
+///
+/// Shared by the advanced-refinement matcher (seq/AdvancedRefinement.cpp)
+/// and the Fig. 6 simulation checker (seq/Simulation.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_SEQ_ORACLEGAME_H
+#define PSEQ_SEQ_ORACLEGAME_H
+
+#include "seq/SeqMachine.h"
+
+#include <unordered_map>
+
+namespace pseq {
+
+/// The acquire-free adversary game over one source machine.
+class OracleGame {
+  const SeqMachine &SrcM;
+  unsigned NodeBudget;
+  bool BudgetHit = false;
+
+  struct Key {
+    uint64_t Remaining;
+    SeqState S;
+    bool operator==(const Key &O) const {
+      return Remaining == O.Remaining && S == O.S;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+  enum : char { InProgress = 0, True = 1, False = 2 };
+  std::unordered_map<Key, char, KeyHash> Memo;
+
+  static constexpr uint64_t BottomGoal = ~uint64_t(0);
+
+  bool run(uint64_t Remaining, LocSet Collected, const SeqState &S);
+  bool runUncached(uint64_t Remaining, const SeqState &S);
+  bool spendNode();
+
+public:
+  OracleGame(const SeqMachine &SrcM, unsigned NodeBudget)
+      : SrcM(SrcM), NodeBudget(NodeBudget) {}
+
+  /// beh-failure: on every adversary path, the source reaches ⊥ without
+  /// executing an acquire.
+  bool robustBottom(const SeqState &S) {
+    return run(BottomGoal, LocSet::empty(), S);
+  }
+
+  /// beh-partial: on every adversary path, the source (acquire-free)
+  /// passes through a running state whose written-locations — current F
+  /// plus release-label F's collected along the way — cover \p Need, or
+  /// reaches ⊥.
+  bool robustFulfill(const SeqState &S, LocSet Need) {
+    return run(Need.raw(), LocSet::empty(), S);
+  }
+
+  bool budgetHit() const { return BudgetHit; }
+};
+
+} // namespace pseq
+
+#endif // PSEQ_SEQ_ORACLEGAME_H

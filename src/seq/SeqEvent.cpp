@@ -1,0 +1,305 @@
+//===- seq/SeqEvent.cpp - SEQ trace labels --------------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "seq/SeqEvent.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pseq;
+
+//===----------------------------------------------------------------------===
+// PartialMem
+//===----------------------------------------------------------------------===
+
+void PartialMem::set(unsigned Loc, Value V) {
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Loc,
+      [](const std::pair<unsigned, Value> &E, unsigned L) {
+        return E.first < L;
+      });
+  if (It != Entries.end() && It->first == Loc) {
+    It->second = V;
+    return;
+  }
+  Entries.insert(It, {Loc, V});
+}
+
+const Value *PartialMem::lookup(unsigned Loc) const {
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Loc,
+      [](const std::pair<unsigned, Value> &E, unsigned L) {
+        return E.first < L;
+      });
+  if (It != Entries.end() && It->first == Loc)
+    return &It->second;
+  return nullptr;
+}
+
+LocSet PartialMem::domain() const {
+  LocSet S;
+  for (const auto &[Loc, V] : Entries)
+    S.insert(Loc);
+  return S;
+}
+
+bool PartialMem::refines(const PartialMem &Src) const {
+  if (domain() != Src.domain())
+    return false;
+  for (const auto &[Loc, V] : Entries) {
+    const Value *SV = Src.lookup(Loc);
+    if (!V.refines(*SV))
+      return false;
+  }
+  return true;
+}
+
+LocSet PartialMem::nonRefiningLocs(const PartialMem &Src) const {
+  LocSet Out;
+  for (const auto &[Loc, V] : Entries) {
+    const Value *SV = Src.lookup(Loc);
+    if (!SV || !V.refines(*SV))
+      Out.insert(Loc);
+  }
+  return Out;
+}
+
+uint64_t PartialMem::hash() const {
+  uint64_t H = Entries.size();
+  for (const auto &[Loc, V] : Entries)
+    H = hashCombine(hashCombine(H, Loc), V.hash());
+  return H;
+}
+
+std::string PartialMem::str() const {
+  std::string Out = "[";
+  bool First = true;
+  for (const auto &[Loc, V] : Entries) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "x" + std::to_string(Loc) + "=" + V.str();
+  }
+  return Out + "]";
+}
+
+//===----------------------------------------------------------------------===
+// SeqEvent
+//===----------------------------------------------------------------------===
+
+SeqEvent SeqEvent::choose(Value V) {
+  SeqEvent E;
+  E.K = Kind::Choose;
+  E.V = V;
+  return E;
+}
+
+SeqEvent SeqEvent::rlxRead(unsigned Loc, Value V) {
+  SeqEvent E;
+  E.K = Kind::RlxRead;
+  E.Loc = Loc;
+  E.V = V;
+  return E;
+}
+
+SeqEvent SeqEvent::rlxWrite(unsigned Loc, Value V) {
+  SeqEvent E;
+  E.K = Kind::RlxWrite;
+  E.Loc = Loc;
+  E.V = V;
+  return E;
+}
+
+SeqEvent SeqEvent::acqRead(unsigned Loc, Value V, LocSet P, LocSet P2,
+                           LocSet F, PartialMem Vm) {
+  SeqEvent E;
+  E.K = Kind::AcqRead;
+  E.Loc = Loc;
+  E.V = V;
+  E.P = P;
+  E.P2 = P2;
+  E.F = F;
+  E.Vm = std::move(Vm);
+  return E;
+}
+
+SeqEvent SeqEvent::relWrite(unsigned Loc, Value V, LocSet P, LocSet P2,
+                            LocSet F, PartialMem Vm) {
+  SeqEvent E;
+  E.K = Kind::RelWrite;
+  E.Loc = Loc;
+  E.V = V;
+  E.P = P;
+  E.P2 = P2;
+  E.F = F;
+  E.Vm = std::move(Vm);
+  return E;
+}
+
+SeqEvent SeqEvent::acqFence(LocSet P, LocSet P2, LocSet F, PartialMem Vm) {
+  SeqEvent E = acqRead(0, Value::of(0), P, P2, F, std::move(Vm));
+  E.K = Kind::AcqFence;
+  return E;
+}
+
+SeqEvent SeqEvent::relFence(LocSet P, LocSet P2, LocSet F, PartialMem Vm) {
+  SeqEvent E = relWrite(0, Value::of(0), P, P2, F, std::move(Vm));
+  E.K = Kind::RelFence;
+  return E;
+}
+
+SeqEvent SeqEvent::syscall(Value V) {
+  SeqEvent E;
+  E.K = Kind::Syscall;
+  E.V = V;
+  return E;
+}
+
+bool SeqEvent::refinesLabel(const SeqEvent &Src) const {
+  if (K != Src.K)
+    return false;
+  switch (K) {
+  case Kind::Choose:
+  case Kind::RlxRead:
+    // Reads and choices must match exactly.
+    return Loc == Src.Loc && V == Src.V;
+  case Kind::RlxWrite:
+  case Kind::Syscall:
+    // The source may be "less committed": v_tgt ⊑ v_src.
+    return Loc == Src.Loc && V.refines(Src.V);
+  case Kind::AcqRead:
+  case Kind::AcqFence:
+    // Racq(x,v,P,P',F_tgt,V) ⊑ Racq(x,v,P,P',F_src,V) when F_tgt ⊆ F_src.
+    return Loc == Src.Loc && V == Src.V && P == Src.P && P2 == Src.P2 &&
+           F.isSubsetOf(Src.F) && Vm == Src.Vm;
+  case Kind::RelWrite:
+  case Kind::RelFence:
+    // Value and released memory refine pointwise; F_tgt ⊆ F_src.
+    return Loc == Src.Loc && V.refines(Src.V) && P == Src.P && P2 == Src.P2 &&
+           F.isSubsetOf(Src.F) && Vm.refines(Src.Vm);
+  }
+  return false;
+}
+
+bool SeqEvent::strippedEquals(const SeqEvent &O) const {
+  if (K != O.K)
+    return false;
+  switch (K) {
+  case Kind::Choose:
+  case Kind::RlxRead:
+  case Kind::RlxWrite:
+  case Kind::Syscall:
+    return Loc == O.Loc && V == O.V;
+  case Kind::AcqRead:
+  case Kind::AcqFence:
+  case Kind::RelWrite:
+  case Kind::RelFence:
+    // |e| drops the F component (Def 3.2).
+    return Loc == O.Loc && V == O.V && P == O.P && P2 == O.P2 && Vm == O.Vm;
+  }
+  return false;
+}
+
+bool SeqEvent::operator==(const SeqEvent &O) const {
+  return K == O.K && Loc == O.Loc && V == O.V && P == O.P && P2 == O.P2 &&
+         F == O.F && Vm == O.Vm;
+}
+
+uint64_t SeqEvent::hash() const {
+  uint64_t H = hashCombine(static_cast<uint64_t>(K), Loc);
+  H = hashCombine(H, V.hash());
+  H = hashCombine(H, P.raw());
+  H = hashCombine(H, P2.raw());
+  H = hashCombine(H, F.raw());
+  H = hashCombine(H, Vm.hash());
+  return H;
+}
+
+std::string SeqEvent::str(const std::vector<std::string> *LocNames) const {
+  auto locStr = [&](unsigned L) {
+    if (LocNames && L < LocNames->size())
+      return (*LocNames)[L];
+    return "x" + std::to_string(L);
+  };
+  switch (K) {
+  case Kind::Choose:
+    return "choose(" + V.str() + ")";
+  case Kind::RlxRead:
+    return "Rrlx(" + locStr(Loc) + "," + V.str() + ")";
+  case Kind::RlxWrite:
+    return "Wrlx(" + locStr(Loc) + "," + V.str() + ")";
+  case Kind::AcqRead:
+    return "Racq(" + locStr(Loc) + "," + V.str() + "," + P.str(LocNames) +
+           "," + P2.str(LocNames) + "," + F.str(LocNames) + "," + Vm.str() +
+           ")";
+  case Kind::RelWrite:
+    return "Wrel(" + locStr(Loc) + "," + V.str() + "," + P.str(LocNames) +
+           "," + P2.str(LocNames) + "," + F.str(LocNames) + "," + Vm.str() +
+           ")";
+  case Kind::AcqFence:
+    return "Facq(" + P.str(LocNames) + "," + P2.str(LocNames) + "," +
+           F.str(LocNames) + "," + Vm.str() + ")";
+  case Kind::RelFence:
+    return "Frel(" + P.str(LocNames) + "," + P2.str(LocNames) + "," +
+           F.str(LocNames) + "," + Vm.str() + ")";
+  case Kind::Syscall:
+    return "print(" + V.str() + ")";
+  }
+  return "?";
+}
+
+bool pseq::traceRefines(const std::vector<SeqEvent> &Tgt,
+                        const std::vector<SeqEvent> &Src) {
+  if (Tgt.size() != Src.size())
+    return false;
+  for (size_t I = 0, E = Tgt.size(); I != E; ++I)
+    if (!Tgt[I].refinesLabel(Src[I]))
+      return false;
+  return true;
+}
+
+bool pseq::advancedLabelMatch(const SeqEvent &Tgt, const SeqEvent &Src,
+                              LocSet &R) {
+  if (Tgt.K != Src.K)
+    return false;
+  switch (Tgt.K) {
+  case SeqEvent::Kind::Choose:
+  case SeqEvent::Kind::RlxRead:
+    return Tgt.Loc == Src.Loc && Tgt.V == Src.V;
+  case SeqEvent::Kind::RlxWrite:
+  case SeqEvent::Kind::Syscall:
+    return Tgt.Loc == Src.Loc && Tgt.V.refines(Src.V);
+  case SeqEvent::Kind::AcqRead:
+  case SeqEvent::Kind::AcqFence: {
+    // beh-acq-read: identical (x, v, P, P', V); F_tgt ∪ R ⊆ F_src;
+    // commitments reset.
+    if (Tgt.Loc != Src.Loc || Tgt.V != Src.V || Tgt.P != Src.P ||
+        Tgt.P2 != Src.P2 || !(Tgt.Vm == Src.Vm))
+      return false;
+    if (!Tgt.F.unionWith(R).isSubsetOf(Src.F))
+      return false;
+    R = LocSet::empty();
+    return true;
+  }
+  case SeqEvent::Kind::RelWrite:
+  case SeqEvent::Kind::RelFence: {
+    // beh-rel-write: identical (x, P, P'); v_tgt ⊑ v_src; new commitments
+    // R' = (R \ F_src) ∪ (F_tgt \ F_src) ∪ {y | V_tgt(y) ⋢ V_src(y)}.
+    if (Tgt.Loc != Src.Loc || Tgt.P != Src.P || Tgt.P2 != Src.P2)
+      return false;
+    if (!Tgt.V.refines(Src.V))
+      return false;
+    R = R.setMinus(Src.F)
+            .unionWith(Tgt.F.setMinus(Src.F))
+            .unionWith(Tgt.Vm.nonRefiningLocs(Src.Vm));
+    return true;
+  }
+  }
+  return false;
+}

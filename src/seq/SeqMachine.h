@@ -1,0 +1,87 @@
+//===- seq/SeqMachine.h - Transitions of SEQ --------------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transition relation of the SEQ machine (Fig. 1), made executable by
+/// bounding the two sources of infinite branching:
+///
+///  * read values (relaxed/acquire reads and choices) range over a finite
+///    ValueDomain plus undef;
+///  * permission gains/losses and acquired-value maps range over a finite
+///    "universe" of non-atomic locations — the footprint of the programs
+///    under comparison (untouched locations are invariant, so restricting
+///    the universe preserves refinement verdicts; see DESIGN.md).
+///
+/// Extensions beyond the paper's figure: acquire/release fences (gain/lose
+/// permissions like acquire reads / release writes), atomic RMWs (a read
+/// part followed by a write part, emitting up to two labels in a single
+/// transition), and print system calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_SEQ_SEQMACHINE_H
+#define PSEQ_SEQ_SEQMACHINE_H
+
+#include "seq/SeqEvent.h"
+#include "seq/SeqState.h"
+#include "support/ValueDomain.h"
+
+namespace pseq {
+
+/// Shared bounding knobs of the SEQ-side checkers.
+struct SeqConfig {
+  ValueDomain Domain = ValueDomain::ternary();
+  LocSet Universe; ///< non-atomic locations subject to P/M enumeration
+  unsigned StepBudget = 48;      ///< max transitions per behavior
+  unsigned MaxBehaviors = 200000; ///< safety valve for the enumerator
+};
+
+/// One SEQ transition: zero, one, or (for RMWs) two trace labels, plus the
+/// successor state.
+struct SeqTransition {
+  std::vector<SeqEvent> Labels;
+  SeqState Next;
+};
+
+/// The SEQ transition relation for one thread of one program.
+class SeqMachine {
+  const Program &Prog;
+  unsigned Tid;
+  SeqConfig Cfg;
+
+public:
+  SeqMachine(const Program &Prog, unsigned Tid, SeqConfig Cfg)
+      : Prog(Prog), Tid(Tid), Cfg(std::move(Cfg)) {}
+
+  const Program &program() const { return Prog; }
+  unsigned tid() const { return Tid; }
+  const SeqConfig &config() const { return Cfg; }
+
+  /// \returns ⟨σ_init, P, F, M⟩ for thread Tid.
+  SeqState initial(LocSet Perm, LocSet Written,
+                   std::vector<Value> Mem) const;
+
+  /// Enumerates every transition from \p S (empty for terminal states).
+  std::vector<SeqTransition> successors(const SeqState &S) const;
+
+  /// The pending program action of \p S (valid for Running states); used by
+  /// the refinement matcher to group adversary branches.
+  ProgState::Pending pending(const SeqState &S) const {
+    return S.Prog.pending(Prog, Tid);
+  }
+
+  /// Values a read/choice may resolve to: Domain values, plus undef when
+  /// \p IncludeUndef.
+  std::vector<Value> readValues(bool IncludeUndef) const;
+
+  /// All partial memories over \p Dom with values from Domain ∪ {undef}.
+  std::vector<PartialMem> partialMems(LocSet Dom) const;
+};
+
+} // namespace pseq
+
+#endif // PSEQ_SEQ_SEQMACHINE_H

@@ -1,0 +1,46 @@
+//===- seq/SeqState.cpp - SEQ machine states ------------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "seq/SeqState.h"
+
+#include "support/Hashing.h"
+
+using namespace pseq;
+
+uint64_t SeqState::hash() const {
+  uint64_t H = Prog.hash();
+  H = hashCombine(H, Perm.raw());
+  H = hashCombine(H, Written.raw());
+  for (Value V : Mem)
+    H = hashCombine(H, V.hash());
+  return H;
+}
+
+std::string SeqState::str(const std::vector<std::string> *LocNames) const {
+  std::string Out = "<";
+  switch (Prog.status()) {
+  case ProgState::Status::Running:
+    Out += "pc=" + std::to_string(Prog.pc());
+    break;
+  case ProgState::Status::Done:
+    Out += "return(" + Prog.retVal().str() + ")";
+    break;
+  case ProgState::Status::Error:
+    Out += "bottom";
+    break;
+  }
+  Out += ", P=" + Perm.str(LocNames);
+  Out += ", F=" + Written.str(LocNames);
+  Out += ", M=[";
+  for (size_t I = 0, E = Mem.size(); I != E; ++I) {
+    if (I)
+      Out += ",";
+    Out += Mem[I].str();
+  }
+  Out += "]>";
+  return Out;
+}

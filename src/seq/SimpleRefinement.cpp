@@ -1,0 +1,67 @@
+//===- seq/SimpleRefinement.cpp - Def 2.4 decision procedure --------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "seq/SimpleRefinement.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+SeqConfig pseq::resolveUniverse(SeqConfig Cfg, const Program &SrcP,
+                                unsigned SrcTid, const Program &TgtP,
+                                unsigned TgtTid) {
+  if (!Cfg.Universe.isEmpty())
+    return Cfg;
+  AccessSummary SrcSum = SrcP.accessSummary(SrcTid);
+  AccessSummary TgtSum = TgtP.accessSummary(TgtTid);
+  Cfg.Universe = SrcSum.NaAccessed.unionWith(TgtSum.NaAccessed);
+  return Cfg;
+}
+
+RefinementResult pseq::checkSimpleRefinement(const Program &SrcP,
+                                             unsigned SrcTid,
+                                             const Program &TgtP,
+                                             unsigned TgtTid, SeqConfig Cfg) {
+  assert(sameLayout(SrcP, TgtP) &&
+         "refinement requires identical memory layouts");
+  Cfg = resolveUniverse(Cfg, SrcP, SrcTid, TgtP, TgtTid);
+
+  SeqMachine SrcM(SrcP, SrcTid, Cfg);
+  SeqMachine TgtM(TgtP, TgtTid, Cfg);
+
+  RefinementResult Result;
+  std::vector<SeqState> SrcInits = enumerateInitialStates(SrcM);
+  std::vector<SeqState> TgtInits = enumerateInitialStates(TgtM);
+  assert(SrcInits.size() == TgtInits.size() &&
+         "initial-state spaces must coincide");
+  Result.InitialStates = static_cast<unsigned>(SrcInits.size());
+
+  for (size_t Idx = 0, E = SrcInits.size(); Idx != E; ++Idx) {
+    BehaviorSet Tgt = enumerateBehaviors(TgtM, TgtInits[Idx]);
+    BehaviorSet Src = enumerateBehaviors(SrcM, SrcInits[Idx]);
+    Result.Bounded |= Tgt.Truncated || Src.Truncated;
+    Result.SrcBehaviors += Src.All.size();
+    Result.TgtBehaviors += Tgt.All.size();
+    for (const SeqBehavior &TB : Tgt.All) {
+      if (Src.covers(TB, Cfg.Universe))
+        continue;
+      Result.Holds = false;
+      const std::vector<std::string> &Names = SrcP.locNames();
+      Result.Counterexample = "initial " + TgtInits[Idx].str(&Names) +
+                              " target behavior " + TB.str(&Names) +
+                              " unmatched by source";
+      return Result;
+    }
+  }
+  return Result;
+}
+
+RefinementResult pseq::checkSimpleRefinement(const Program &SrcP,
+                                             const Program &TgtP,
+                                             SeqConfig Cfg) {
+  return checkSimpleRefinement(SrcP, 0, TgtP, 0, std::move(Cfg));
+}

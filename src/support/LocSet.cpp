@@ -1,0 +1,67 @@
+//===- support/LocSet.cpp - Small location bitsets ------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LocSet.h"
+
+using namespace pseq;
+
+LocSet LocSet::all(unsigned NumLocs) {
+  assert(NumLocs <= MaxLocs && "too many locations");
+  if (NumLocs == 0)
+    return LocSet();
+  if (NumLocs == MaxLocs)
+    return LocSet(~uint64_t(0));
+  return LocSet((uint64_t(1) << NumLocs) - 1);
+}
+
+std::vector<unsigned> LocSet::members() const {
+  std::vector<unsigned> Out;
+  uint64_t B = Bits;
+  while (B) {
+    unsigned Loc = __builtin_ctzll(B);
+    Out.push_back(Loc);
+    B &= B - 1;
+  }
+  return Out;
+}
+
+std::vector<LocSet> LocSet::subsets() const {
+  // Classic subset-enumeration trick: iterate Sub = (Sub - 1) & Bits.
+  std::vector<LocSet> Out;
+  uint64_t Sub = Bits;
+  while (true) {
+    Out.push_back(LocSet(Sub));
+    if (Sub == 0)
+      break;
+    Sub = (Sub - 1) & Bits;
+  }
+  return Out;
+}
+
+std::vector<LocSet> LocSet::supersetsWithin(LocSet Universe) const {
+  assert(isSubsetOf(Universe) && "base set escapes the universe");
+  std::vector<LocSet> Out;
+  for (LocSet Extra : Universe.setMinus(*this).subsets())
+    Out.push_back(unionWith(Extra));
+  return Out;
+}
+
+std::string LocSet::str(const std::vector<std::string> *Names) const {
+  std::string Out = "{";
+  bool First = true;
+  for (unsigned Loc : members()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    if (Names && Loc < Names->size())
+      Out += (*Names)[Loc];
+    else
+      Out += "x" + std::to_string(Loc);
+  }
+  Out += "}";
+  return Out;
+}

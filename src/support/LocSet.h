@@ -1,0 +1,101 @@
+//===- support/LocSet.h - Small location bitsets ----------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bitset over memory locations, used for the permission set P and the
+/// written-locations set F of the SEQ machine (Fig. 1), and for commitment
+/// sets R of the advanced refinement (Fig. 2). Programs in this reproduction
+/// are bounded to 64 shared locations, which is far beyond every example in
+/// the paper (the largest uses 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_SUPPORT_LOCSET_H
+#define PSEQ_SUPPORT_LOCSET_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pseq {
+
+/// A set of location indices in [0, 64).
+class LocSet {
+  uint64_t Bits = 0;
+
+  explicit LocSet(uint64_t Raw) : Bits(Raw) {}
+
+public:
+  static constexpr unsigned MaxLocs = 64;
+
+  LocSet() = default;
+
+  static LocSet empty() { return LocSet(); }
+  static LocSet single(unsigned Loc) { return LocSet().plus(Loc); }
+  /// \returns the full set over the first \p NumLocs locations.
+  static LocSet all(unsigned NumLocs);
+  static LocSet fromRaw(uint64_t Raw) { return LocSet(Raw); }
+
+  uint64_t raw() const { return Bits; }
+
+  bool contains(unsigned Loc) const {
+    assert(Loc < MaxLocs && "location index out of range");
+    return (Bits >> Loc) & 1;
+  }
+  bool isEmpty() const { return Bits == 0; }
+  unsigned size() const { return __builtin_popcountll(Bits); }
+
+  void insert(unsigned Loc) {
+    assert(Loc < MaxLocs && "location index out of range");
+    Bits |= uint64_t(1) << Loc;
+  }
+  void remove(unsigned Loc) {
+    assert(Loc < MaxLocs && "location index out of range");
+    Bits &= ~(uint64_t(1) << Loc);
+  }
+
+  /// Functional variants, convenient in enumeration code.
+  LocSet plus(unsigned Loc) const {
+    LocSet S = *this;
+    S.insert(Loc);
+    return S;
+  }
+  LocSet minus(unsigned Loc) const {
+    LocSet S = *this;
+    S.remove(Loc);
+    return S;
+  }
+
+  LocSet unionWith(LocSet O) const { return LocSet(Bits | O.Bits); }
+  LocSet intersectWith(LocSet O) const { return LocSet(Bits & O.Bits); }
+  LocSet setMinus(LocSet O) const { return LocSet(Bits & ~O.Bits); }
+
+  bool isSubsetOf(LocSet O) const { return (Bits & ~O.Bits) == 0; }
+
+  bool operator==(LocSet O) const { return Bits == O.Bits; }
+  bool operator!=(LocSet O) const { return Bits != O.Bits; }
+
+  /// \returns the member locations in increasing order.
+  std::vector<unsigned> members() const;
+
+  /// Enumerates all subsets of this set (including ∅ and the set itself).
+  /// Used by the SEQ machine to resolve the nondeterministic permission
+  /// gains/losses of acquire reads and release writes.
+  std::vector<LocSet> subsets() const;
+
+  /// Enumerates all supersets of this set within \p Universe.
+  std::vector<LocSet> supersetsWithin(LocSet Universe) const;
+
+  /// Renders "{x0,x2}" for diagnostics, naming location i as \p Names[i]
+  /// when names are provided.
+  std::string str(const std::vector<std::string> *Names = nullptr) const;
+};
+
+} // namespace pseq
+
+#endif // PSEQ_SUPPORT_LOCSET_H

@@ -1,0 +1,69 @@
+//===- support/Rational.cpp - Exact rational arithmetic -------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include "support/Hashing.h"
+
+#include <numeric>
+
+using namespace pseq;
+
+Rational::Rational(int64_t N, int64_t D) : Num(N), Den(D) {
+  assert(D != 0 && "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Den < 0) {
+    Num = -Num;
+    Den = -Den;
+  }
+  if (Num == 0) {
+    Den = 1;
+    return;
+  }
+  int64_t G = std::gcd(Num < 0 ? -Num : Num, Den);
+  Num /= G;
+  Den /= G;
+}
+
+Rational Rational::operator+(const Rational &O) const {
+  return Rational(Num * O.Den + O.Num * Den, Den * O.Den);
+}
+
+Rational Rational::operator-(const Rational &O) const {
+  return Rational(Num * O.Den - O.Num * Den, Den * O.Den);
+}
+
+Rational Rational::operator*(const Rational &O) const {
+  return Rational(Num * O.Num, Den * O.Den);
+}
+
+Rational Rational::operator/(const Rational &O) const {
+  assert(O.Num != 0 && "rational division by zero");
+  return Rational(Num * O.Den, Den * O.Num);
+}
+
+bool Rational::operator<(const Rational &O) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return Num * O.Den < O.Num * Den;
+}
+
+Rational Rational::midpoint(const Rational &O) const {
+  return (*this + O) / Rational(2);
+}
+
+uint64_t Rational::hash() const {
+  return hashCombine(static_cast<uint64_t>(Num), static_cast<uint64_t>(Den));
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

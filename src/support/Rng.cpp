@@ -1,0 +1,31 @@
+//===- support/Rng.cpp - Deterministic random numbers ---------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+uint64_t Rng::next() {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t Rng::below(uint64_t Bound) {
+  assert(Bound > 0 && "below() with zero bound");
+  // Modulo bias is irrelevant for test-case generation.
+  return next() % Bound;
+}
+
+bool Rng::chance(uint64_t Num, uint64_t Den) {
+  assert(Den > 0 && "chance() with zero denominator");
+  return below(Den) < Num;
+}

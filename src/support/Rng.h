@@ -1,0 +1,41 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A splitmix64 generator for the property-based test sweeps and the random
+/// program generator of the adequacy harness. Seeded explicitly so failures
+/// reproduce exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_SUPPORT_RNG_H
+#define PSEQ_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace pseq {
+
+/// Deterministic 64-bit PRNG (splitmix64).
+class Rng {
+  uint64_t State;
+
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// \returns the next 64 pseudo-random bits.
+  uint64_t next();
+
+  /// \returns a value uniform in [0, Bound); \p Bound must be positive.
+  uint64_t below(uint64_t Bound);
+
+  /// \returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den);
+};
+
+} // namespace pseq
+
+#endif // PSEQ_SUPPORT_RNG_H

@@ -1,0 +1,34 @@
+//===- support/Symbol.cpp - Interned identifier table ---------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Symbol.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+unsigned SymbolTable::intern(const std::string &Name) {
+  auto It = Index.find(Name);
+  if (It != Index.end())
+    return It->second;
+  unsigned Idx = static_cast<unsigned>(Names.size());
+  Names.push_back(Name);
+  Index.emplace(Name, Idx);
+  return Idx;
+}
+
+std::optional<unsigned> SymbolTable::lookup(const std::string &Name) const {
+  auto It = Index.find(Name);
+  if (It == Index.end())
+    return std::nullopt;
+  return It->second;
+}
+
+const std::string &SymbolTable::name(unsigned Idx) const {
+  assert(Idx < Names.size() && "symbol index out of range");
+  return Names[Idx];
+}

@@ -1,0 +1,25 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_TESTS_TESTUTIL_H
+#define PSEQ_TESTS_TESTUTIL_H
+
+#include "lang/Parser.h"
+
+#include <memory>
+#include <string>
+
+namespace pseq {
+
+/// Parses a one-or-more-thread program, failing the test binary on error.
+inline std::unique_ptr<Program> prog(const std::string &Text) {
+  return parseOrDie(Text);
+}
+
+} // namespace pseq
+
+#endif // PSEQ_TESTS_TESTUTIL_H

@@ -1,0 +1,160 @@
+//===- tests/opt_constprop_test.cpp - Constant propagation (extension) ----===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// The extension constant-propagation/folding pass: register-level rewrites
+// validated like every other pass, with care around undef and faults.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/ConstPropPass.h"
+#include "opt/Pipeline.h"
+#include "opt/Passes.h"
+#include "opt/Validator.h"
+
+#include "lang/Printer.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pseq;
+
+namespace {
+
+std::string runAndValidate(const char *Text, unsigned MinRewrites,
+                           ValueDomain Domain = ValueDomain::ternary()) {
+  auto P = prog(Text);
+  PassResult R = runConstPropPass(*P);
+  EXPECT_GE(R.Rewrites, MinRewrites) << Text;
+  SeqConfig Cfg;
+  Cfg.Domain = std::move(Domain);
+  ValidationResult V = validateTransform(*P, *R.Prog, Cfg);
+  EXPECT_TRUE(V.Ok) << Text << "\n" << V.Counterexample;
+  return printProgram(*R.Prog);
+}
+
+} // namespace
+
+TEST(ConstPropTest, PropagatesThroughArithmetic) {
+  std::string Out = runAndValidate(
+      "na x;\nthread { a := 1; b := a + 1; x@na := b; return b; }", 2,
+      ValueDomain({0, 1, 2}));
+  EXPECT_NE(Out.find("x@na := 2;"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("return 2;"), std::string::npos) << Out;
+}
+
+TEST(ConstPropTest, RegistersStartAtZero) {
+  std::string Out = runAndValidate("thread { return a + 1; }", 1);
+  EXPECT_NE(Out.find("return 1;"), std::string::npos) << Out;
+}
+
+TEST(ConstPropTest, LoadsKillConstants) {
+  auto P = prog("na x;\nthread { a := 1; a := x@na; return a + 1; }");
+  PassResult R = runConstPropPass(*P);
+  std::string Out = printProgram(*R.Prog);
+  EXPECT_EQ(Out.find("return 2;"), std::string::npos)
+      << "the load clobbers a:\n"
+      << Out;
+}
+
+TEST(ConstPropTest, FoldsDecidedBranch) {
+  std::string Out = runAndValidate(
+      "na x;\nthread { a := 1; if (a == 1) { x@na := 1; } "
+      "else { x@na := 2; } return 0; }",
+      1, ValueDomain({0, 1, 2}));
+  EXPECT_NE(Out.find("x@na := 1;"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("x@na := 2;"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("if"), std::string::npos) << Out;
+}
+
+TEST(ConstPropTest, JoinLosesDisagreeingConstants) {
+  auto P = prog("thread { c := choose; if (c == 1) { a := 1; } "
+                "else { a := 2; } return a; }");
+  PassResult R = runConstPropPass(*P);
+  std::string Out = printProgram(*R.Prog);
+  EXPECT_NE(Out.find("return a;"), std::string::npos) << Out;
+}
+
+TEST(ConstPropTest, RemovesDeadLoop) {
+  std::string Out = runAndValidate(
+      "thread { a := 0; while (a == 1) { a := 1; } return a; }", 1);
+  EXPECT_EQ(Out.find("while"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("return 0;"), std::string::npos) << Out;
+}
+
+TEST(ConstPropTest, KeepsLiveLoop) {
+  auto P = prog("thread { c := choose; while (c == 1) { c := choose; } "
+                "return 0; }");
+  PassResult R = runConstPropPass(*P);
+  std::string Out = printProgram(*R.Prog);
+  EXPECT_NE(Out.find("while"), std::string::npos) << Out;
+}
+
+TEST(ConstPropTest, NeverFoldsFaultingDivision) {
+  auto P = prog("thread { a := 0; b := 1 / a; return b; }");
+  PassResult R = runConstPropPass(*P);
+  std::string Out = printProgram(*R.Prog);
+  EXPECT_NE(Out.find("/"), std::string::npos)
+      << "folding would erase the UB:\n"
+      << Out;
+}
+
+TEST(ConstPropTest, FoldsSafeDivision) {
+  std::string Out = runAndValidate(
+      "thread { a := 2; b := 6 / a; return b; }", 1,
+      ValueDomain({0, 2, 3, 6}));
+  EXPECT_NE(Out.find("return 3;"), std::string::npos) << Out;
+}
+
+TEST(ConstPropTest, FreezeOfKnownDefinedValueFolds) {
+  std::string Out =
+      runAndValidate("thread { a := 2; b := freeze(a); return b; }", 1,
+                     ValueDomain({0, 2}));
+  EXPECT_EQ(Out.find("freeze"), std::string::npos) << Out;
+}
+
+TEST(ConstPropTest, FreezeOfUndefKept) {
+  auto P = prog("thread { b := freeze(undef); return b; }");
+  PassResult R = runConstPropPass(*P);
+  std::string Out = printProgram(*R.Prog);
+  EXPECT_NE(Out.find("freeze"), std::string::npos) << Out;
+}
+
+TEST(ConstPropTest, UndefConstantsPropagateButDoNotDecideBranches) {
+  // a := undef is a known (undef) constant; branching on it stays UB and
+  // must not be folded away.
+  auto P = prog("thread { a := undef; if (a == 1) { skip; } return 0; }");
+  PassResult R = runConstPropPass(*P);
+  std::string Out = printProgram(*R.Prog);
+  EXPECT_NE(Out.find("if"), std::string::npos) << Out;
+}
+
+TEST(ConstPropTest, EnablesSlfThroughStores) {
+  // After const-prop the store writes a constant SLF can forward.
+  auto P = prog("na x;\nthread { a := 1; x@na := a + 1; b := x@na; "
+                "return b; }");
+  PassResult CP = runConstPropPass(*P);
+  PassResult SLF = runSlfPass(*CP.Prog);
+  EXPECT_GE(SLF.Rewrites, 1u)
+      << "const-prop should feed SLF:\n"
+      << printProgram(*CP.Prog);
+  SeqConfig Cfg;
+  Cfg.Domain = ValueDomain({0, 1, 2});
+  ValidationResult V = validateTransform(*P, *SLF.Prog, Cfg);
+  EXPECT_TRUE(V.Ok) << V.Counterexample;
+}
+
+TEST(ConstPropTest, PipelineIntegration) {
+  auto P = prog("na x;\nthread { a := 1; x@na := a + 1; b := x@na; "
+                "if (b == b) { skip; } return b; }");
+  PipelineOptions Opts;
+  Opts.EnableConstProp = true;
+  Opts.Cfg.Domain = ValueDomain({0, 1, 2});
+  PipelineResult R = runPipeline(*P, Opts);
+  EXPECT_TRUE(R.AllValidated);
+  std::string Out = printProgram(*R.Prog);
+  EXPECT_EQ(Out.find(":= x@na"), std::string::npos)
+      << "const-prop + SLF should eliminate the load:\n" << Out;
+}

@@ -1,0 +1,184 @@
+//===- tests/property_test.cpp - Cross-cutting property sweeps ------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// Property-based sweeps over random programs: parser round-trips, SEQ
+// machine state invariants (permission/written-set discipline of Fig. 1),
+// refinement reflexivity, and optimizer idempotence + validation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/RandomProgram.h"
+#include "lang/Printer.h"
+#include "opt/Pipeline.h"
+#include "seq/BehaviorEnum.h"
+#include "seq/SimpleRefinement.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <unordered_set>
+
+using namespace pseq;
+
+//===----------------------------------------------------------------------===
+// Parser round-trip: parse ∘ print ∘ parse = parse.
+//===----------------------------------------------------------------------===
+
+TEST(ParserPropertyTest, RoundTripOnRandomPrograms) {
+  Rng R(99);
+  for (unsigned Iter = 0; Iter != 200; ++Iter) {
+    RandomPair Pair = randomRefinementPair(R);
+    for (const std::string *Text : {&Pair.Src, &Pair.Tgt}) {
+      auto P1 = prog(*Text);
+      std::string Printed = printProgram(*P1);
+      auto P2 = prog(Printed);
+      ASSERT_TRUE(sameLayout(*P1, *P2)) << Printed;
+      ASSERT_TRUE(
+          stmtStructurallyEquals(P1->thread(0).Body, P2->thread(0).Body))
+          << "round-trip mismatch:\n"
+          << *Text << "\nvs\n"
+          << Printed;
+    }
+  }
+}
+
+TEST(ParserPropertyTest, PrintIsStable) {
+  // print ∘ parse ∘ print = print (idempotence of normal form).
+  Rng R(7);
+  for (unsigned Iter = 0; Iter != 50; ++Iter) {
+    RandomPair Pair = randomRefinementPair(R);
+    auto P1 = prog(Pair.Src);
+    std::string Once = printProgram(*P1);
+    auto P2 = prog(Once);
+    EXPECT_EQ(Once, printProgram(*P2));
+  }
+}
+
+//===----------------------------------------------------------------------===
+// SEQ machine invariants (Fig. 1 discipline) over random programs.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+struct SeqStateHash {
+  size_t operator()(const SeqState &S) const {
+    return static_cast<size_t>(S.hash());
+  }
+};
+
+/// Walks all reachable SEQ states/transitions checking structural
+/// invariants; returns the number of transitions checked.
+unsigned checkSeqInvariants(const Program &P, const SeqConfig &Cfg) {
+  SeqMachine M(P, 0, Cfg);
+  unsigned Checked = 0;
+  for (const SeqState &Init : enumerateInitialStates(M)) {
+    std::unordered_set<SeqState, SeqStateHash> Visited;
+    std::deque<SeqState> Work{Init};
+    Visited.insert(Init);
+    unsigned Budget = 4000;
+    while (!Work.empty() && Budget--) {
+      SeqState S = Work.front();
+      Work.pop_front();
+      EXPECT_TRUE(S.Perm.isSubsetOf(Cfg.Universe))
+          << "P must stay within the universe";
+      for (const SeqTransition &T : M.successors(S)) {
+        ++Checked;
+        const SeqState &N = T.Next;
+        // F only grows except at releases, which reset it.
+        bool HasRelease = false, HasAcquire = false;
+        for (const SeqEvent &E : T.Labels) {
+          HasRelease |= E.isRelease();
+          HasAcquire |= E.isAcquire();
+          if (E.isAcquire()) {
+            EXPECT_TRUE(E.P.isSubsetOf(E.P2)) << "acquire gains permissions";
+            EXPECT_EQ(E.Vm.domain(), E.P2.setMinus(E.P))
+                << "acquired values cover exactly the gained locations";
+          }
+          if (E.isRelease()) {
+            EXPECT_TRUE(E.P2.isSubsetOf(E.P)) << "release loses permissions";
+            EXPECT_EQ(E.Vm.domain(), E.P)
+                << "released memory is M restricted to P";
+          }
+        }
+        if (HasRelease) {
+          EXPECT_TRUE(N.Written.isEmpty() ||
+                      N.Written.isSubsetOf(S.Written.unionWith(N.Written)))
+              << "release resets F (modulo a later RMW write)";
+        }
+        if (!HasRelease && !HasAcquire) {
+          EXPECT_TRUE(S.Written.isSubsetOf(N.Written))
+              << "F never shrinks between releases";
+        }
+        if (Visited.insert(N).second)
+          Work.push_back(N);
+      }
+    }
+  }
+  return Checked;
+}
+
+} // namespace
+
+TEST(SeqInvariantTest, HoldOnRandomPrograms) {
+  Rng R(4242);
+  unsigned TotalChecked = 0;
+  for (unsigned Iter = 0; Iter != 25; ++Iter) {
+    RandomPair Pair = randomRefinementPair(R);
+    auto P = prog(Pair.Src);
+    SeqConfig Cfg;
+    Cfg.Domain = ValueDomain::binary();
+    Cfg.Universe = P->naLocs();
+    TotalChecked += checkSeqInvariants(*P, Cfg);
+  }
+  EXPECT_GT(TotalChecked, 1000u) << "sweep must exercise real transitions";
+}
+
+//===----------------------------------------------------------------------===
+// Refinement is reflexive on random programs (a cheap soundness canary:
+// any asymmetry in label generation between "source" and "target" machine
+// instances would break it).
+//===----------------------------------------------------------------------===
+
+TEST(RefinementPropertyTest, ReflexiveOnRandomPrograms) {
+  Rng R(1234);
+  for (unsigned Iter = 0; Iter != 40; ++Iter) {
+    RandomPair Pair = randomRefinementPair(R);
+    auto A = prog(Pair.Src);
+    auto B = prog(Pair.Src);
+    SeqConfig Cfg;
+    Cfg.Domain = ValueDomain::binary();
+    RefinementResult Res = checkSimpleRefinement(*A, *B, Cfg);
+    ASSERT_TRUE(Res.Holds) << Pair.Src << "\n" << Res.Counterexample;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// The optimizer pipeline always validates and is idempotent on random
+// programs (its output is a fixpoint).
+//===----------------------------------------------------------------------===
+
+TEST(OptimizerPropertyTest, ValidatedAndIdempotentOnRandomPrograms) {
+  Rng R(31337);
+  unsigned Rewrote = 0;
+  for (unsigned Iter = 0; Iter != 40; ++Iter) {
+    RandomPair Pair = randomRefinementPair(R);
+    auto P = prog(Pair.Src);
+    PipelineOptions Opts;
+    Opts.Cfg.Domain = ValueDomain::ternary();
+    PipelineResult First = runPipeline(*P, Opts);
+    ASSERT_TRUE(First.AllValidated) << Pair.Src;
+    Rewrote += First.TotalRewrites > 0;
+
+    PipelineResult Second = runPipeline(*First.Prog, Opts);
+    EXPECT_EQ(Second.TotalRewrites, 0u)
+        << "pipeline not idempotent on\n"
+        << Pair.Src << "\nfirst output:\n"
+        << printProgram(*First.Prog) << "\nsecond output:\n"
+        << printProgram(*Second.Prog);
+  }
+  EXPECT_GT(Rewrote, 5u) << "sweep must exercise real rewrites";
+}

@@ -1,0 +1,228 @@
+//===- tests/psna_drf_test.cpp - §5 results (E12) -------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// The §5 "Results" paragraph: strengthening non-atomic accesses to atomic
+// accesses is sound in PS^na, and the model's race discipline (UB only for
+// write-write races; undef for write-read races) supports DRF-style
+// programming guarantees — synchronized programs behave like interleaved
+// ones and are insensitive to the promise machinery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "psna/Explorer.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pseq;
+
+namespace {
+
+PsConfig cfg(unsigned Promises = 0) {
+  PsConfig C;
+  C.PromiseBudget = Promises;
+  return C;
+}
+
+/// Checks outcome-set inclusion: every behavior of Tgt is ⊑-covered by Src.
+void expectIncluded(const PsBehaviorSet &Tgt, const PsBehaviorSet &Src,
+                    const std::string &What) {
+  for (const PsBehavior &TB : Tgt.All)
+    EXPECT_TRUE(Src.covers(TB))
+        << What << ": behavior " << TB.str() << " not covered";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Strengthening na → rlx (sound; the converse is not).
+//===----------------------------------------------------------------------===
+
+TEST(StrengtheningTest, NaToRlxIsSound) {
+  // The same program with d non-atomic (source) vs relaxed-atomic
+  // (target): every strengthened behavior must exist in the source.
+  struct Shape {
+    const char *Name;
+    const char *Na;
+    const char *Rlx;
+  };
+  const Shape Shapes[] = {
+      {"wr-race",
+       "na d;\nthread { d@na := 1; return 0; }\n"
+       "thread { a := d@na; return a; }",
+       "atomic d;\nthread { d@rlx := 1; return 0; }\n"
+       "thread { a := d@rlx; return a; }"},
+      {"mp-data",
+       "na d; atomic f;\nthread { d@na := 1; f@rel := 1; return 0; }\n"
+       "thread { b := f@acq; if (b == 1) { a := d@na; return a; } "
+       "return 2; }",
+       "atomic d, f;\nthread { d@rlx := 1; f@rel := 1; return 0; }\n"
+       "thread { b := f@acq; if (b == 1) { a := d@rlx; return a; } "
+       "return 2; }"},
+      {"ww-race",
+       "na d;\nthread { d@na := 1; return 0; }\n"
+       "thread { d@na := 0; return 0; }",
+       "atomic d;\nthread { d@rlx := 1; return 0; }\n"
+       "thread { d@rlx := 0; return 0; }"},
+  };
+  for (const Shape &S : Shapes) {
+    auto NaP = prog(S.Na);
+    auto RlxP = prog(S.Rlx);
+    PsBehaviorSet NaB = explorePsna(*NaP, cfg(1));
+    PsBehaviorSet RlxB = explorePsna(*RlxP, cfg(1));
+    expectIncluded(RlxB, NaB, S.Name);
+  }
+}
+
+TEST(StrengtheningTest, WeakeningIsUnsound) {
+  // rlx → na weakening is NOT sound: the na version races (undef / UB).
+  auto RlxP = prog("atomic d;\nthread { d@rlx := 1; return 0; }\n"
+                   "thread { a := d@rlx; return a; }");
+  auto NaP = prog("na d;\nthread { d@na := 1; return 0; }\n"
+                  "thread { a := d@na; return a; }");
+  PsBehaviorSet RlxB = explorePsna(*RlxP, cfg());
+  PsBehaviorSet NaB = explorePsna(*NaP, cfg());
+  bool AllCovered = true;
+  for (const PsBehavior &TB : NaB.All)
+    AllCovered &= RlxB.covers(TB);
+  EXPECT_FALSE(AllCovered) << "the na version reads undef; rlx never does";
+}
+
+//===----------------------------------------------------------------------===
+// DRF-style guarantees.
+//===----------------------------------------------------------------------===
+
+TEST(DrfTest, SynchronizedProgramInsensitiveToPromises) {
+  // The MP handoff uses only rel/acq synchronization: enabling promises
+  // must not add outcomes (promises need a certifiable relaxed cycle).
+  const char *MP =
+      "na d; atomic f;\n"
+      "thread { d@na := 1; f@rel := 1; return 0; }\n"
+      "thread { b := f@acq; if (b == 1) { a := d@na; return a; } "
+      "return 2; }";
+  auto P0 = prog(MP);
+  auto P1 = prog(MP);
+  PsBehaviorSet NoProm = explorePsna(*P0, cfg(0));
+  PsBehaviorSet Prom = explorePsna(*P1, cfg(1));
+  EXPECT_EQ(NoProm.strs(), Prom.strs());
+}
+
+TEST(DrfTest, RacyProgramGainsOutcomesFromPromises) {
+  // Contrast: the Example 5.1 shape gains the lb outcome with promises.
+  const char *LB = "na x; atomic y;\n"
+                   "thread { a := x@na; y@rlx := 1; return a; }\n"
+                   "thread { b := y@rlx; if (b == 1) { x@na := 1; } "
+                   "return b; }";
+  auto P0 = prog(LB);
+  auto P1 = prog(LB);
+  PsBehaviorSet NoProm = explorePsna(*P0, cfg(0));
+  PsBehaviorSet Prom = explorePsna(*P1, cfg(1));
+  EXPECT_LT(NoProm.All.size(), Prom.All.size());
+}
+
+TEST(DrfTest, NoUBWithoutWriteWriteRace) {
+  // §5: UB arises only from write-write races (or program faults). A
+  // single-writer program never exhibits UB no matter the readers.
+  const char *Programs[] = {
+      "na d;\nthread { d@na := 1; return 0; }\n"
+      "thread { a := d@na; b := d@na; return a + b; }",
+      "na d; atomic f;\nthread { d@na := 1; f@rlx := 1; return 0; }\n"
+      "thread { a := d@na; return a; }\n"
+      "thread { b := d@na; return b; }",
+  };
+  for (const char *Text : Programs) {
+    auto P = prog(Text);
+    PsBehaviorSet B = explorePsna(*P, cfg(1));
+    EXPECT_FALSE(B.containsStr("UB")) << Text;
+  }
+}
+
+TEST(DrfTest, ReadOnlyNaSharingIsInterleavingExact) {
+  // Two readers of an unwritten location always read the initial value.
+  auto P = prog("na d;\n"
+                "thread { a := d@na; return a; }\n"
+                "thread { b := d@na; return b; }");
+  PsBehaviorSet B = explorePsna(*P, cfg(1));
+  ASSERT_EQ(B.All.size(), 1u);
+  EXPECT_EQ(B.All[0].str(), "ret(0,0)");
+}
+
+//===----------------------------------------------------------------------===
+// Guarded locking via CAS (the "locks from atomics" claim of §2).
+//===----------------------------------------------------------------------===
+
+TEST(DrfTest, CasLockProtectsNaData) {
+  // Both threads take a CAS lock before touching d: no race, no undef,
+  // and d ends incremented exactly... once per winner (the loser spins
+  // zero times here: it simply skips on CAS failure).
+  auto P = prog(
+      "na d; atomic l;\n"
+      "thread { w := cas(l, 0, 1) @ acq rel; if (w == 0) { a := d@na; "
+      "d@na := a + 1; } return w; }\n"
+      "thread { w := cas(l, 0, 1) @ acq rel; if (w == 0) { a := d@na; "
+      "d@na := a + 1; } return w; }");
+  PsBehaviorSet B = explorePsna(*P, cfg(1));
+  EXPECT_FALSE(B.containsStr("UB"));
+  // Exactly one thread wins the lock.
+  EXPECT_TRUE(B.containsStr("ret(0,1)"));
+  EXPECT_TRUE(B.containsStr("ret(1,0)"));
+  EXPECT_FALSE(B.containsStr("ret(0,0)"));
+}
+
+//===----------------------------------------------------------------------===
+// Differential properties of the explorer itself.
+//===----------------------------------------------------------------------===
+
+TEST(PsExplorerPropertyTest, NormalizationPreservesBehaviorSets) {
+  // Timestamp ranking is a pure state-identification device: switching it
+  // off must never change the observable outcome set, only the cost.
+  for (const LitmusCase &LC : litmusCorpus()) {
+    if (LC.Name.rfind("appB", 0) == 0 || LC.Name.rfind("appC", 0) == 0)
+      continue; // heavyweight; covered by the bench ablation
+    auto P1 = prog(LC.Text);
+    auto P2 = prog(LC.Text);
+    PsConfig On, Off;
+    On.Domain = Off.Domain = LC.Domain;
+    On.PromiseBudget = Off.PromiseBudget = LC.PromiseBudget;
+    On.SplitBudget = Off.SplitBudget = LC.SplitBudget;
+    Off.Normalize = false;
+    PsBehaviorSet A = explorePsna(*P1, On);
+    PsBehaviorSet B = explorePsna(*P2, Off);
+    EXPECT_EQ(A.strs(), B.strs()) << LC.Name;
+  }
+}
+
+TEST(PsExplorerPropertyTest, BehaviorInclusionIsReflexive) {
+  for (const LitmusCase &LC : litmusCorpus()) {
+    if (LC.PromiseBudget > 0 || LC.SplitBudget > 0)
+      continue; // keep the sweep fast; promise cases covered elsewhere
+    auto P = prog(LC.Text);
+    PsConfig Cfg;
+    Cfg.Domain = LC.Domain;
+    PsBehaviorSet B = explorePsna(*P, Cfg);
+    for (const PsBehavior &Beh : B.All)
+      EXPECT_TRUE(B.covers(Beh)) << LC.Name << ": " << Beh.str();
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Documented approximation: single-view fences (DESIGN.md deviation 1).
+//===----------------------------------------------------------------------===
+
+TEST(FenceApproximationTest, ScFencesDoNotForbidSbWeakOutcome) {
+  // In full PS2.1 an SC fence pair forbids store buffering's ret(0,0).
+  // Our single-view fragment models fences only as promise gates (the
+  // paper's presented fragment has no SC accesses at all), so the weak
+  // outcome remains. This test *documents* the approximation; if fences
+  // ever gain real view semantics, flip the expectation.
+  auto P = prog("atomic x, y;\n"
+                "thread { x@rlx := 1; fence @ sc; a := y@rlx; return a; }\n"
+                "thread { y@rlx := 1; fence @ sc; b := x@rlx; return b; }");
+  PsBehaviorSet B = explorePsna(*P, cfg(0));
+  EXPECT_TRUE(B.containsStr("ret(0,0)"))
+      << "single-view approximation changed: update DESIGN.md deviation 1";
+}

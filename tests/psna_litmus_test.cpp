@@ -1,0 +1,63 @@
+//===- tests/psna_litmus_test.cpp - Litmus outcomes (E11/E14/E15) ---------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// Runs the PS^na explorer over the litmus corpus: Example 5.1, the
+// Appendix B/C programs, and classic weak-memory shapes, asserting the
+// paper's must-include / must-exclude outcome constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "psna/Explorer.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pseq;
+
+namespace {
+
+class PsLitmusTest : public ::testing::TestWithParam<LitmusCase> {};
+
+} // namespace
+
+TEST_P(PsLitmusTest, OutcomesMatchPaper) {
+  const LitmusCase &LC = GetParam();
+  auto P = prog(LC.Text);
+
+  PsConfig Cfg;
+  Cfg.Domain = LC.Domain;
+  Cfg.PromiseBudget = LC.PromiseBudget;
+  Cfg.SplitBudget = LC.SplitBudget;
+  PsBehaviorSet B = explorePsna(*P, Cfg);
+
+  std::string AllStr;
+  for (const std::string &S : B.strs())
+    AllStr += "  " + S + "\n";
+
+  for (const std::string &Want : LC.MustInclude)
+    EXPECT_TRUE(B.containsStr(Want))
+        << LC.Name << " (" << LC.PaperRef << "): missing outcome " << Want
+        << "\nobserved:\n"
+        << AllStr;
+  for (const std::string &Forbidden : LC.MustExclude)
+    EXPECT_FALSE(B.containsStr(Forbidden))
+        << LC.Name << " (" << LC.PaperRef << "): forbidden outcome "
+        << Forbidden << " observed\nall outcomes:\n"
+        << AllStr;
+  EXPECT_FALSE(B.Truncated)
+      << LC.Name << ": exploration must be exhaustive for litmus programs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LitmusCorpus, PsLitmusTest, ::testing::ValuesIn(litmusCorpus()),
+    [](const ::testing::TestParamInfo<LitmusCase> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });

@@ -1,0 +1,325 @@
+//===- tests/psna_machine_test.cpp - Fig 5 transition rules ---------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// Unit tests of the PS^na machine: views, message placement, race
+// detection, promises/certification, lowering, and normalization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "psna/Explorer.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pseq;
+
+namespace {
+
+PsConfig cfg(unsigned Promises = 0, unsigned Splits = 0) {
+  PsConfig C;
+  C.Domain = ValueDomain::binary();
+  C.PromiseBudget = Promises;
+  C.SplitBudget = Splits;
+  return C;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Memory primitives
+//===----------------------------------------------------------------------===
+
+TEST(PsMemoryTest, InitialMemoryHasInitMessages) {
+  PsMemory M = PsMemory::initial(2);
+  ASSERT_EQ(M.msgs(0).size(), 1u);
+  EXPECT_TRUE(M.msgs(0)[0].isInit());
+  EXPECT_EQ(M.msgs(0)[0].V, Value::of(0));
+}
+
+TEST(PsMemoryTest, SlotsAboveLeaveRoom) {
+  PsMemory M = PsMemory::initial(1);
+  std::vector<TimeSlot> S1 = M.slotsAbove(0, Rational(0));
+  ASSERT_EQ(S1.size(), 1u) << "only the past-the-end slot initially";
+  PsMessage A;
+  A.Loc = 0;
+  A.From = S1[0].From;
+  A.To = S1[0].To;
+  A.V = Value::of(1);
+  M.insert(A);
+
+  // Now: a gap slot between init and A, plus past-the-end.
+  std::vector<TimeSlot> S2 = M.slotsAbove(0, Rational(0));
+  ASSERT_EQ(S2.size(), 2u);
+  EXPECT_LT(Rational(0), S2[0].From);
+  EXPECT_LT(S2[0].To, A.From);
+  EXPECT_LT(A.To, S2[1].From);
+}
+
+TEST(PsMemoryTest, AdjacentSlotAttachesAndBlocks) {
+  PsMemory M = PsMemory::initial(1);
+  std::optional<TimeSlot> Adj = M.adjacentSlot(0, Rational(0));
+  ASSERT_TRUE(Adj.has_value());
+  EXPECT_EQ(Adj->From, Rational(0)) << "RMW attaches to the read message";
+
+  PsMessage A;
+  A.Loc = 0;
+  A.From = Adj->From;
+  A.To = Adj->To;
+  A.V = Value::of(1);
+  M.insert(A);
+  EXPECT_FALSE(M.adjacentSlot(0, Rational(0)).has_value())
+      << "no second update can read the same message";
+  EXPECT_TRUE(M.adjacentSlot(0, A.To).has_value());
+}
+
+//===----------------------------------------------------------------------===
+// Machine behaviors on single-threaded programs
+//===----------------------------------------------------------------------===
+
+TEST(PsMachineTest, SequentialExecutionIsDeterministic) {
+  auto P = prog("na x;\nthread { x@na := 1; a := x@na; return a; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  ASSERT_EQ(B.All.size(), 1u);
+  EXPECT_EQ(B.All[0].str(), "ret(1)");
+  EXPECT_FALSE(B.Truncated);
+}
+
+TEST(PsMachineTest, SingleThreadReadsLatestOrInit) {
+  auto P = prog("atomic x;\nthread { x@rlx := 1; a := x@rlx; return a; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  // Coherence: after writing 1, the thread's view points at its write.
+  ASSERT_EQ(B.All.size(), 1u);
+  EXPECT_EQ(B.All[0].str(), "ret(1)");
+}
+
+TEST(PsMachineTest, AbortIsUB) {
+  auto P = prog("thread { abort; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  ASSERT_EQ(B.All.size(), 1u);
+  EXPECT_TRUE(B.All[0].IsUB);
+}
+
+TEST(PsMachineTest, ChooseEnumeratesDomain) {
+  auto P = prog("thread { c := choose; return c; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  EXPECT_TRUE(B.containsStr("ret(0)"));
+  EXPECT_TRUE(B.containsStr("ret(1)"));
+  EXPECT_EQ(B.All.size(), 2u);
+}
+
+TEST(PsMachineTest, PrintsAreObservableInOrder) {
+  auto P = prog("thread { print(1); print(0); return 0; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  ASSERT_EQ(B.All.size(), 1u);
+  EXPECT_EQ(B.All[0].str(), "out(1,0) ret(0)");
+}
+
+//===----------------------------------------------------------------------===
+// Races
+//===----------------------------------------------------------------------===
+
+TEST(PsMachineTest, NoRaceOnSequentialThread) {
+  auto P = prog("na x;\nthread { a := x@na; return a; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  ASSERT_EQ(B.All.size(), 1u);
+  EXPECT_EQ(B.All[0].str(), "ret(0)") << "no race without a second thread";
+}
+
+TEST(PsMachineTest, ConcurrentNaWriteMakesReadsRacy) {
+  auto P = prog("na x;\n"
+                "thread { x@na := 1; return 0; }\n"
+                "thread { a := x@na; return a; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  EXPECT_TRUE(B.containsStr("ret(0,undef)")) << "racy read returns undef";
+  EXPECT_TRUE(B.containsStr("ret(0,0)")) << "read before the write";
+  EXPECT_TRUE(B.containsStr("ret(0,1)")) << "read after the write";
+  EXPECT_FALSE(B.containsStr("UB")) << "wr races are not UB";
+}
+
+TEST(PsMachineTest, WriteWriteRaceIsUB) {
+  auto P = prog("na x;\n"
+                "thread { x@na := 1; return 0; }\n"
+                "thread { x@na := 0; return 0; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  EXPECT_TRUE(B.containsStr("UB"));
+}
+
+TEST(PsMachineTest, AtomicAccessesNeverRaceWithAtomics) {
+  auto P = prog("atomic x;\n"
+                "thread { x@rlx := 1; return 0; }\n"
+                "thread { a := x@rlx; return a; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  EXPECT_FALSE(B.containsStr("UB"));
+  EXPECT_FALSE(B.containsStr("ret(0,undef)"))
+      << "atomic accesses race only with NAMsg markers";
+}
+
+TEST(PsMachineTest, ReleaseAcquireSynchronizesNaData) {
+  auto P = prog("na x; atomic y;\n"
+                "thread { x@na := 1; y@rel := 1; return 0; }\n"
+                "thread { b := y@acq; if (b == 1) { a := x@na; return a; } "
+                "return 2; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  EXPECT_TRUE(B.containsStr("ret(0,1)"));
+  EXPECT_TRUE(B.containsStr("ret(0,2)"));
+  EXPECT_FALSE(B.containsStr("ret(0,undef)"))
+      << "the acquire view covers the na write";
+  EXPECT_FALSE(B.containsStr("ret(0,0)"));
+}
+
+//===----------------------------------------------------------------------===
+// RMWs
+//===----------------------------------------------------------------------===
+
+TEST(PsMachineTest, FaddsAreAtomic) {
+  auto P = prog("atomic x;\n"
+                "thread { a := fadd(x, 1) @ rlx rlx; return a; }\n"
+                "thread { b := fadd(x, 1) @ rlx rlx; return b; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  // One fadd reads 0, the other must read 1: total increment is 2.
+  EXPECT_TRUE(B.containsStr("ret(0,1)"));
+  EXPECT_TRUE(B.containsStr("ret(1,0)"));
+  EXPECT_FALSE(B.containsStr("ret(0,0)")) << "updates attach to the read";
+  EXPECT_FALSE(B.containsStr("ret(1,1)"));
+}
+
+TEST(PsMachineTest, CasMutualExclusion) {
+  auto P = prog("atomic l;\n"
+                "thread { a := cas(l, 0, 1) @ acq rel; return a; }\n"
+                "thread { b := cas(l, 0, 1) @ acq rel; return b; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  EXPECT_TRUE(B.containsStr("ret(0,1)"));
+  EXPECT_TRUE(B.containsStr("ret(1,0)"));
+  EXPECT_FALSE(B.containsStr("ret(0,0)")) << "both CASes cannot win";
+}
+
+//===----------------------------------------------------------------------===
+// Promises and certification
+//===----------------------------------------------------------------------===
+
+TEST(PsMachineTest, PromiseRequiresCertification) {
+  // A thread that never writes x cannot sustain a promise to x; with the
+  // promise budget the only behaviors are the promise-free ones.
+  auto P = prog("atomic x;\n"
+                "thread { a := x@rlx; return a; }\n"
+                "thread { x@rlx := 1; return 0; }");
+  PsBehaviorSet B = explorePsna(*P, cfg(/*Promises=*/1));
+  EXPECT_TRUE(B.containsStr("ret(0,0)"));
+  EXPECT_TRUE(B.containsStr("ret(1,0)"));
+  EXPECT_EQ(B.All.size(), 2u);
+}
+
+TEST(PsMachineTest, LowerAllowsUndefFulfillment) {
+  // The thread promises x = 1 but the actual write is undef (via a racy
+  // read); lowering the promise to undef lets it be fulfilled. Mirrors
+  // Appendix E's motivation.
+  auto P = prog("na d; atomic x, y;\n"
+                "thread { a := d@na; x@rlx := a; b := y@rlx; return b; }\n"
+                "thread { c := x@rlx; y@rlx := c; d@na := 1; return c; }");
+  PsBehaviorSet B = explorePsna(*P, cfg(/*Promises=*/1));
+  // Thread 0 can promise x = undef (or lower a defined promise), thread 1
+  // reads it, passes it through y; thread 0 reads it back.
+  EXPECT_TRUE(B.containsStr("ret(undef,undef)"));
+}
+
+//===----------------------------------------------------------------------===
+// Witness extraction
+//===----------------------------------------------------------------------===
+
+TEST(PsWitnessTest, Example51WitnessGoesThroughAPromise) {
+  auto P = prog("na x; atomic y;\n"
+                "thread { a := x@na; y@rlx := 1; return a; }\n"
+                "thread { b := y@rlx; if (b == 1) { x@na := 1; } "
+                "return b; }");
+  std::vector<PsMachineState> Path =
+      findPsnaWitness(*P, cfg(/*Promises=*/1), "ret(undef,1)");
+  ASSERT_FALSE(Path.empty());
+  // The path starts at the initial state and ends terminated.
+  EXPECT_TRUE(Path.front().Mem.msgs(0).size() == 1 &&
+              Path.front().Mem.msgs(1).size() == 1);
+  EXPECT_TRUE(Path.back().allDone());
+  // Some intermediate state carries an outstanding promise — the paper's
+  // execution needs one.
+  bool SawPromise = false;
+  for (const PsMachineState &S : Path)
+    for (const PsThread &T : S.Threads)
+      SawPromise |= !T.Promises.empty();
+  EXPECT_TRUE(SawPromise);
+}
+
+TEST(PsWitnessTest, UnreachableBehaviorHasNoWitness) {
+  auto P = prog("atomic y;\n"
+                "thread { a := y@rlx; return a; }");
+  EXPECT_TRUE(findPsnaWitness(*P, cfg(), "ret(7)").empty());
+  EXPECT_FALSE(findPsnaWitness(*P, cfg(), "ret(0)").empty());
+}
+
+//===----------------------------------------------------------------------===
+// Normalization
+//===----------------------------------------------------------------------===
+
+TEST(PsMachineTest, NormalizationMergesIsomorphicStates) {
+  // Two relaxed writes to different locations commute up to timestamps;
+  // exploration should stay tiny thanks to normalization.
+  auto P = prog("atomic x, y;\n"
+                "thread { x@rlx := 1; return 0; }\n"
+                "thread { y@rlx := 1; return 0; }");
+  PsBehaviorSet B = explorePsna(*P, cfg());
+  EXPECT_EQ(B.All.size(), 1u);
+  EXPECT_LT(B.StatesExplored, 40u) << "state dedup must be effective";
+}
+
+TEST(PsMemoryTest, FromMessagesRoundTrips) {
+  PsMemory M = PsMemory::initial(2);
+  PsMessage A;
+  A.Loc = 0;
+  A.From = Rational(1, 2);
+  A.To = Rational(1);
+  A.V = Value::of(1);
+  A.MView = View::single(2, 0, Rational(1));
+  M.insert(A);
+  PsMessage B;
+  B.Loc = 1;
+  B.From = Rational(0);
+  B.To = Rational(1, 3);
+  B.Valueless = true;
+  M.insert(B);
+
+  std::vector<PsMessage> All;
+  for (unsigned L = 0; L != 2; ++L)
+    for (const PsMessage &Msg : M.msgs(L))
+      All.push_back(Msg);
+  PsMemory M2 = PsMemory::fromMessages(2, All);
+  EXPECT_TRUE(M == M2);
+  ASSERT_NE(M2.find(MsgId{0, Rational(1)}), nullptr);
+  EXPECT_TRUE(M2.find(MsgId{1, Rational(1, 3)})->Valueless);
+}
+
+TEST(PsMachineTest, NormalizationIsIdempotentAndOrderPreserving) {
+  auto P = prog("atomic x; na y;\n"
+                "thread { x@rlx := 1; y@na := 1; x@rel := 0; return 0; }\n"
+                "thread { a := x@acq; return a; }");
+  PsMachine M(*P, PsConfig());
+  // Drive a few steps and check normalize ∘ normalize = normalize and
+  // that message order per location is unchanged by ranking.
+  PsMachineState S = M.initialState();
+  for (unsigned Step = 0; Step != 3; ++Step) {
+    std::vector<PsMachineState> Succ = M.threadSuccessors(S, 0);
+    ASSERT_FALSE(Succ.empty());
+    S = Succ.front();
+    std::vector<Value> OrderBefore;
+    for (const PsMessage &Msg : S.Mem.msgs(0))
+      OrderBefore.push_back(Msg.Valueless ? Value::undef() : Msg.V);
+    PsMachineState Twice = S;
+    Twice.normalize();
+    EXPECT_TRUE(S == Twice) << "normalize must be idempotent (successors "
+                               "are already normalized)";
+    std::vector<Value> OrderAfter;
+    for (const PsMessage &Msg : Twice.Mem.msgs(0))
+      OrderAfter.push_back(Msg.Valueless ? Value::undef() : Msg.V);
+    EXPECT_EQ(OrderBefore, OrderAfter);
+  }
+}

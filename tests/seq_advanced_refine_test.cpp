@@ -1,0 +1,161 @@
+//===- tests/seq_advanced_refine_test.cpp - §3 verdict table (E4/E5) ------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// Reproduces the advanced-refinement (⊑w, Def 3.3) verdict of every corpus
+// example — in particular the §3 cases the simple notion rejects: late UB,
+// writes across release, and Example 3.5's DSE across a release write.
+// Also checks Proposition 3.4 (⊑ implies ⊑w) across the corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "seq/AdvancedRefinement.h"
+#include "seq/SimpleRefinement.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pseq;
+
+namespace {
+
+class AdvancedRefineCorpusTest
+    : public ::testing::TestWithParam<RefinementCase> {};
+
+} // namespace
+
+TEST_P(AdvancedRefineCorpusTest, VerdictMatchesPaper) {
+  const RefinementCase &RC = GetParam();
+  auto Src = prog(RC.Src);
+  auto Tgt = prog(RC.Tgt);
+
+  SeqConfig Cfg;
+  Cfg.Domain = RC.Domain;
+  Cfg.StepBudget = RC.StepBudget;
+  RefinementResult R = checkAdvancedRefinement(*Src, *Tgt, Cfg);
+
+  EXPECT_EQ(R.Holds, RC.AdvancedHolds)
+      << RC.Name << " (" << RC.PaperRef << ")\n"
+      << (R.Holds ? "" : "counterexample: " + R.Counterexample);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperExamples, AdvancedRefineCorpusTest,
+    ::testing::ValuesIn(refinementCorpus()),
+    [](const ::testing::TestParamInfo<RefinementCase> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===
+// Proposition 3.4: σ_tgt ⊑ σ_src ⇒ σ_tgt ⊑w σ_src. The corpus encodes
+// this as "SimpleHolds implies AdvancedHolds"; verify it against the
+// actual checkers, not just the expectations.
+//===----------------------------------------------------------------------===
+
+TEST(Prop34Test, SimpleImpliesAdvancedOnCorpus) {
+  for (const RefinementCase &RC : refinementCorpus()) {
+    ASSERT_FALSE(RC.SimpleHolds && !RC.AdvancedHolds)
+        << RC.Name << ": corpus expectation violates Prop 3.4";
+    if (!RC.SimpleHolds || RC.HasLoops)
+      continue;
+    auto Src = prog(RC.Src);
+    auto Tgt = prog(RC.Tgt);
+    SeqConfig Cfg;
+    Cfg.Domain = RC.Domain;
+    Cfg.StepBudget = RC.StepBudget;
+    ASSERT_TRUE(checkSimpleRefinement(*Src, *Tgt, Cfg).Holds) << RC.Name;
+    EXPECT_TRUE(checkAdvancedRefinement(*Src, *Tgt, Cfg).Holds)
+        << RC.Name << ": Prop 3.4 violated by the implementation";
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Targeted §3 sanity checks beyond the corpus.
+//===----------------------------------------------------------------------===
+
+TEST(AdvancedRefineTest, LateUBDoesNotLeakAcrossAcquire) {
+  // Source must not pass an acquire on its way to late UB.
+  auto Src = prog("na y; atomic x;\nthread { a := x@acq; abort; }");
+  auto Tgt = prog("na y; atomic x;\nthread { abort; }");
+  EXPECT_FALSE(checkAdvancedRefinement(*Src, *Tgt).Holds);
+}
+
+TEST(AdvancedRefineTest, LateUBAllowsReleaseOnTheWay) {
+  // A release write in the UB-suffix is fine: the adversary may take any
+  // permissions, but ⊥ is reached regardless.
+  auto Src = prog("atomic x;\nthread { x@rel := 1; abort; }");
+  auto Tgt = prog("atomic x;\nthread { abort; }");
+  EXPECT_TRUE(checkAdvancedRefinement(*Src, *Tgt).Holds);
+}
+
+TEST(AdvancedRefineTest, LateUBMustBeOracleRobust) {
+  // The source reaches UB only when reading 1; an adversarial oracle
+  // denies that value, so the target's unconditional UB is unmatched.
+  auto Src = prog("atomic x;\nthread { a := x@rlx; "
+                  "if (a == 1) { abort; } return 0; }");
+  auto Tgt = prog("atomic x;\nthread { abort; }");
+  EXPECT_FALSE(checkAdvancedRefinement(*Src, *Tgt).Holds);
+}
+
+TEST(AdvancedRefineTest, UnconditionalUBAfterReadIsRobust) {
+  // Reading then UB-ing regardless of the value is robust.
+  auto Src = prog("atomic x;\nthread { a := x@rlx; abort; }");
+  auto Tgt = prog("atomic x;\nthread { abort; }");
+  EXPECT_TRUE(checkAdvancedRefinement(*Src, *Tgt).Holds);
+}
+
+TEST(AdvancedRefineTest, CommitmentMustBeFulfilledBeforeTermination) {
+  // The target writes y before its release; the source never writes y at
+  // all — the commitment {y} stays unfulfilled.
+  auto Src = prog("na y; atomic x;\nthread { x@rel := 1; return 0; }");
+  auto Tgt =
+      prog("na y; atomic x;\nthread { y@na := 1; x@rel := 1; return 0; }");
+  EXPECT_FALSE(checkAdvancedRefinement(*Src, *Tgt).Holds);
+}
+
+TEST(AdvancedRefineTest, CommitmentMustNotCrossAcquire) {
+  // Fulfilling commitments after an acquire read corresponds to the
+  // disallowed reordering of writes after an acquire.
+  auto Src = prog("na y; atomic x, z;\nthread { x@rel := 1; a := z@acq; "
+                  "y@na := 1; return 0; }");
+  auto Tgt = prog("na y; atomic x, z;\nthread { y@na := 1; x@rel := 1; "
+                  "a := z@acq; return 0; }");
+  EXPECT_FALSE(checkAdvancedRefinement(*Src, *Tgt).Holds);
+}
+
+TEST(AdvancedRefineTest, CommitmentFulfilledAfterRelease) {
+  // Same shape, but the source writes y right after the release: sound.
+  auto Src = prog("na y; atomic x;\nthread { x@rel := 1; y@na := 1; "
+                  "return 0; }");
+  auto Tgt = prog("na y; atomic x;\nthread { y@na := 1; x@rel := 1; "
+                  "return 0; }");
+  EXPECT_TRUE(checkAdvancedRefinement(*Src, *Tgt).Holds);
+}
+
+//===----------------------------------------------------------------------===
+// The extension corpus (fences/RMWs/choose): both notions, plus Prop 3.4.
+//===----------------------------------------------------------------------===
+
+TEST(ExtensionCorpusTest, VerdictsMatchExpectations) {
+  for (const RefinementCase &RC : extensionCorpus()) {
+    auto Src = prog(RC.Src);
+    auto Tgt = prog(RC.Tgt);
+    SeqConfig Cfg;
+    Cfg.Domain = RC.Domain;
+    Cfg.StepBudget = RC.StepBudget;
+    RefinementResult S = checkSimpleRefinement(*Src, *Tgt, Cfg);
+    RefinementResult A = checkAdvancedRefinement(*Src, *Tgt, Cfg);
+    EXPECT_EQ(S.Holds, RC.SimpleHolds)
+        << RC.Name << " (simple)\n" << S.Counterexample;
+    EXPECT_EQ(A.Holds, RC.AdvancedHolds)
+        << RC.Name << " (advanced)\n" << A.Counterexample;
+    ASSERT_FALSE(RC.SimpleHolds && !RC.AdvancedHolds) << RC.Name;
+  }
+}

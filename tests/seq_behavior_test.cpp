@@ -1,0 +1,198 @@
+//===- tests/seq_behavior_test.cpp - Behaviors and Def 2.3 ----------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// Reproduces Example 2.2's exact behavior set and unit-tests the behavior
+// refinement order of Def 2.3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "seq/BehaviorEnum.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pseq;
+
+namespace {
+
+SeqConfig cfg(const Program &P, ValueDomain D = ValueDomain::binary()) {
+  SeqConfig C;
+  C.Domain = D;
+  C.Universe = P.naLocs();
+  return C;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Example 2.2: x@rlx := 1; y@na := 2; return 3, with y ∈ P.
+//===----------------------------------------------------------------------===
+
+TEST(SeqBehaviorTest, Example22WithPermission) {
+  auto P = prog("atomic x; na y;\n"
+                "thread { x@rlx := 1; y@na := 2; return 3; }");
+  unsigned Y = *P->lookupLoc("y");
+  SeqConfig C = cfg(*P, ValueDomain({1, 2, 3}));
+  SeqMachine M(*P, 0, C);
+  std::vector<Value> Mem(P->numLocs(), Value::of(0));
+  SeqState Init = M.initial(LocSet::single(Y), LocSet::empty(), Mem);
+
+  BehaviorSet B = enumerateBehaviors(M, Init);
+  EXPECT_FALSE(B.Truncated);
+
+  SeqEvent W = SeqEvent::rlxWrite(*P->lookupLoc("x"), Value::of(1));
+
+  // ⟨ε, prt(∅)⟩.
+  SeqBehavior B1;
+  B1.Kind = SeqBehavior::End::Partial;
+  // ⟨Wrlx(x,1), prt(∅)⟩.
+  SeqBehavior B2;
+  B2.Trace = {W};
+  B2.Kind = SeqBehavior::End::Partial;
+  // ⟨Wrlx(x,1), prt({y})⟩.
+  SeqBehavior B3;
+  B3.Trace = {W};
+  B3.Kind = SeqBehavior::End::Partial;
+  B3.F = LocSet::single(Y);
+  // ⟨Wrlx(x,1), trm(3, {y}, M[y↦2])⟩.
+  SeqBehavior B4;
+  B4.Trace = {W};
+  B4.Kind = SeqBehavior::End::Term;
+  B4.RetVal = Value::of(3);
+  B4.F = LocSet::single(Y);
+  B4.Mem = Mem;
+  B4.Mem[Y] = Value::of(2);
+
+  for (const SeqBehavior *Want : {&B1, &B2, &B3, &B4}) {
+    bool Found = false;
+    for (const SeqBehavior &Have : B.All)
+      if (Have == *Want)
+        Found = true;
+    EXPECT_TRUE(Found) << "missing behavior " << Want->str();
+  }
+  // Exactly these four behaviors (Example 2.2 lists them exhaustively).
+  EXPECT_EQ(B.All.size(), 4u);
+}
+
+TEST(SeqBehaviorTest, Example22WithoutPermission) {
+  auto P = prog("atomic x; na y;\n"
+                "thread { x@rlx := 1; y@na := 2; return 3; }");
+  SeqConfig C = cfg(*P, ValueDomain({1, 2, 3}));
+  SeqMachine M(*P, 0, C);
+  std::vector<Value> Mem(P->numLocs(), Value::of(0));
+  SeqState Init = M.initial(LocSet::empty(), LocSet::empty(), Mem);
+
+  BehaviorSet B = enumerateBehaviors(M, Init);
+  // With y ∉ P, ⟨Wrlx(x,1), ⊥⟩ is the only terminating behavior.
+  unsigned Terminating = 0;
+  for (const SeqBehavior &Have : B.All) {
+    if (Have.Kind == SeqBehavior::End::Partial)
+      continue;
+    ++Terminating;
+    EXPECT_EQ(Have.Kind, SeqBehavior::End::Bottom);
+    ASSERT_EQ(Have.Trace.size(), 1u);
+    EXPECT_EQ(Have.Trace[0].K, SeqEvent::Kind::RlxWrite);
+  }
+  EXPECT_EQ(Terminating, 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Behavior refinement (Def 2.3)
+//===----------------------------------------------------------------------===
+
+namespace {
+
+SeqBehavior term(Value V, LocSet F, std::vector<Value> Mem,
+                 std::vector<SeqEvent> Tr = {}) {
+  SeqBehavior B;
+  B.Trace = std::move(Tr);
+  B.Kind = SeqBehavior::End::Term;
+  B.RetVal = V;
+  B.F = F;
+  B.Mem = std::move(Mem);
+  return B;
+}
+
+} // namespace
+
+TEST(BehaviorRefineTest, TargetValueRefinesUndefSource) {
+  LocSet U = LocSet::single(0);
+  std::vector<Value> M0 = {Value::of(0)};
+  std::vector<Value> MU = {Value::undef()};
+  // Source returning undef matches any target value; memory likewise.
+  EXPECT_TRUE(term(Value::of(7), LocSet::empty(), M0)
+                  .refines(term(Value::undef(), LocSet::empty(), MU), U));
+  EXPECT_FALSE(term(Value::undef(), LocSet::empty(), M0)
+                   .refines(term(Value::of(7), LocSet::empty(), M0), U));
+}
+
+TEST(BehaviorRefineTest, WrittenSetsMustShrink) {
+  LocSet U = LocSet::single(0);
+  std::vector<Value> M0 = {Value::of(0)};
+  // F_tgt ⊆ F_src required.
+  EXPECT_TRUE(term(Value::of(0), LocSet::empty(), M0)
+                  .refines(term(Value::of(0), LocSet::single(0), M0), U));
+  EXPECT_FALSE(term(Value::of(0), LocSet::single(0), M0)
+                   .refines(term(Value::of(0), LocSet::empty(), M0), U));
+}
+
+TEST(BehaviorRefineTest, SourceBottomMatchesAnyContinuation) {
+  LocSet U;
+  SeqBehavior SrcBot;
+  SrcBot.Kind = SeqBehavior::End::Bottom;
+  SrcBot.Trace = {SeqEvent::rlxWrite(1, Value::of(1))};
+
+  SeqBehavior Tgt = term(Value::of(3), LocSet::empty(), {});
+  Tgt.Trace = {SeqEvent::rlxWrite(1, Value::of(1)),
+               SeqEvent::rlxRead(1, Value::of(0))};
+  EXPECT_TRUE(Tgt.refines(SrcBot, U))
+      << "UB source allows any target continuation";
+
+  SeqBehavior TgtShort = term(Value::of(3), LocSet::empty(), {});
+  EXPECT_FALSE(TgtShort.refines(SrcBot, U))
+      << "the source's pre-UB trace must be covered by the target";
+}
+
+TEST(BehaviorRefineTest, TargetBottomNeedsSourceBottom) {
+  LocSet U;
+  SeqBehavior TgtBot;
+  TgtBot.Kind = SeqBehavior::End::Bottom;
+  EXPECT_FALSE(TgtBot.refines(term(Value::of(0), LocSet::empty(), {}), U));
+
+  SeqBehavior SrcBot;
+  SrcBot.Kind = SeqBehavior::End::Bottom;
+  EXPECT_TRUE(TgtBot.refines(SrcBot, U));
+}
+
+TEST(BehaviorRefineTest, PartialNeverMatchesTerm) {
+  LocSet U;
+  SeqBehavior Prt;
+  Prt.Kind = SeqBehavior::End::Partial;
+  EXPECT_FALSE(Prt.refines(term(Value::of(0), LocSet::empty(), {}), U));
+  EXPECT_FALSE(term(Value::of(0), LocSet::empty(), {}).refines(Prt, U));
+}
+
+TEST(BehaviorRefineTest, RelWriteLabelsCompareReleasedMemory) {
+  PartialMem SrcMem, TgtMem;
+  SrcMem.set(0, Value::undef());
+  TgtMem.set(0, Value::of(5));
+  SeqEvent Src = SeqEvent::relWrite(1, Value::of(1), LocSet::single(0),
+                                    LocSet::empty(), LocSet::empty(), SrcMem);
+  SeqEvent Tgt = SeqEvent::relWrite(1, Value::of(1), LocSet::single(0),
+                                    LocSet::empty(), LocSet::empty(), TgtMem);
+  EXPECT_TRUE(Tgt.refinesLabel(Src)) << "target memory refines undef";
+  EXPECT_FALSE(Src.refinesLabel(Tgt));
+}
+
+TEST(BehaviorRefineTest, StrippedLabelsDropF) {
+  PartialMem Mem;
+  SeqEvent A = SeqEvent::acqRead(0, Value::of(1), LocSet::empty(),
+                                 LocSet::empty(), LocSet::single(2), Mem);
+  SeqEvent B = SeqEvent::acqRead(0, Value::of(1), LocSet::empty(),
+                                 LocSet::empty(), LocSet::empty(), Mem);
+  EXPECT_FALSE(A == B);
+  EXPECT_TRUE(A.strippedEquals(B)) << "|e| drops the F component (Def 3.2)";
+}

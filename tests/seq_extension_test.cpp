@@ -1,0 +1,185 @@
+//===- tests/seq_extension_test.cpp - Fence/RMW refinement (extensions) ---===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// The Coq development covers fences and RMWs beyond the paper's presented
+// fragment; these tests pin down our SEQ extension semantics: acquire
+// fences gain permissions like acquire reads, release fences release like
+// release writes, and RMWs behave as their read/write parts — so the §2/§3
+// example verdicts transfer mutatis mutandis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "seq/AdvancedRefinement.h"
+#include "seq/SimpleRefinement.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pseq;
+
+namespace {
+
+void expectVerdicts(const char *Src, const char *Tgt, bool Simple,
+                    bool Advanced, const char *What) {
+  auto SrcP = prog(Src);
+  auto TgtP = prog(Tgt);
+  RefinementResult S = checkSimpleRefinement(*SrcP, *TgtP);
+  RefinementResult A = checkAdvancedRefinement(*SrcP, *TgtP);
+  EXPECT_EQ(S.Holds, Simple) << What << " (simple)\n" << S.Counterexample;
+  EXPECT_EQ(A.Holds, Advanced) << What << " (advanced)\n"
+                               << A.Counterexample;
+  if (S.Holds) {
+    EXPECT_TRUE(A.Holds) << What << ": Prop 3.4";
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Fences follow the roach-motel discipline of Example 2.9.
+//===----------------------------------------------------------------------===
+
+TEST(FenceRefineTest, NaWriteMayNotMoveBeforeAcquireFence) {
+  expectVerdicts("na y;\nthread { fence @ acq; y@na := 1; return 0; }",
+                 "na y;\nthread { y@na := 1; fence @ acq; return 0; }",
+                 false, false, "2.9(i) with an acquire fence");
+}
+
+TEST(FenceRefineTest, NaWriteMayMoveAfterAcquireFence) {
+  expectVerdicts("na y;\nthread { y@na := 1; fence @ acq; return 0; }",
+                 "na y;\nthread { fence @ acq; y@na := 1; return 0; }",
+                 true, true, "2.9(i') with an acquire fence");
+}
+
+TEST(FenceRefineTest, NaWriteMayNotMoveAfterReleaseFence) {
+  expectVerdicts("na y;\nthread { y@na := 1; fence @ rel; return 0; }",
+                 "na y;\nthread { fence @ rel; y@na := 1; return 0; }",
+                 false, false, "2.9(ii) with a release fence");
+}
+
+TEST(FenceRefineTest, NaWriteBeforeReleaseFenceNeedsAdvanced) {
+  expectVerdicts("na y;\nthread { fence @ rel; y@na := 1; return 0; }",
+                 "na y;\nthread { y@na := 1; fence @ rel; return 0; }",
+                 false, true, "converse of 2.9(ii) with a release fence");
+}
+
+TEST(FenceRefineTest, StoreIntroductionAfterReleaseFenceUnsound) {
+  // Example 2.10 with a fence: F resets at the release fence.
+  expectVerdicts(
+      "na x;\nthread { x@na := 1; fence @ rel; return 0; }",
+      "na x;\nthread { x@na := 1; fence @ rel; x@na := 1; return 0; }",
+      false, false, "2.10 with a release fence");
+}
+
+TEST(FenceRefineTest, SlfBlockedAcrossFullFence) {
+  // An acqrel/sc fence is a release-acquire pair by itself: no forwarding.
+  expectVerdicts(
+      "na x;\nthread { x@na := 1; fence @ sc; b := x@na; return b; }",
+      "na x;\nthread { x@na := 1; fence @ sc; b := 1; return b; }",
+      false, false, "2.12 with an SC fence");
+}
+
+TEST(FenceRefineTest, DseAcrossReleaseFenceNeedsAdvanced) {
+  // Example 3.5's • case with a fence instead of a release write.
+  expectVerdicts(
+      "na x;\nthread { x@na := 1; fence @ rel; x@na := 2; return 0; }",
+      "na x;\nthread { fence @ rel; x@na := 2; return 0; }",
+      false, true, "3.5 with a release fence");
+}
+
+//===----------------------------------------------------------------------===
+// RMWs behave as their parts.
+//===----------------------------------------------------------------------===
+
+TEST(RmwRefineTest, SlfAcrossRelaxedRmw) {
+  // Example 2.11 with α = a relaxed fetch-add.
+  expectVerdicts("na x; atomic z;\nthread { x@na := 1; "
+                 "r := fadd(z, 1) @ rlx rlx; b := x@na; return b; }",
+                 "na x; atomic z;\nthread { x@na := 1; "
+                 "r := fadd(z, 1) @ rlx rlx; b := 1; return b; }",
+                 true, true, "2.11 with a relaxed RMW");
+}
+
+TEST(RmwRefineTest, SlfAcrossAcqRelRmwIsSound) {
+  // An acq-rel RMW is acquire-THEN-release — not a release-acquire pair
+  // (Example 2.12 needs the release first). The acquire only refreshes
+  // locations whose permission is gained; x's value survives, so
+  // forwarding remains sound (and Fig. 3's token is •(1): ◦ is unaffected
+  // by the acquire part, then moved to • by the release part).
+  expectVerdicts("na x; atomic z;\nthread { x@na := 1; "
+                 "r := fadd(z, 1) @ acq rel; b := x@na; return b; }",
+                 "na x; atomic z;\nthread { x@na := 1; "
+                 "r := fadd(z, 1) @ acq rel; b := 1; return b; }",
+                 true, true, "SLF across an acq-rel RMW");
+}
+
+TEST(RmwRefineTest, NaWriteMayNotMoveBeforeAcquireRmw) {
+  expectVerdicts("na y; atomic z;\nthread { r := fadd(z, 1) @ acq rlx; "
+                 "y@na := 1; return r; }",
+                 "na y; atomic z;\nthread { y@na := 1; "
+                 "r := fadd(z, 1) @ acq rlx; return r; }",
+                 false, false, "2.9(i) with an acquire RMW");
+}
+
+TEST(RmwRefineTest, RmwIsNotAPlainRead) {
+  // Dropping the write part of an RMW changes the trace: unsound.
+  expectVerdicts(
+      "atomic z;\nthread { r := fadd(z, 0) @ rlx rlx; return r; }",
+      "atomic z;\nthread { r := z@rlx; return r; }",
+      false, false, "RMW to read weakening");
+}
+
+TEST(RmwRefineTest, FailedCasReadsLikeARead) {
+  // A CAS that can never succeed (expected value outside the domain
+  // written) still emits its read label; identical programs refine.
+  expectVerdicts(
+      "atomic z;\nthread { r := cas(z, 7, 1) @ rlx rlx; return r; }",
+      "atomic z;\nthread { r := cas(z, 7, 1) @ rlx rlx; return r; }",
+      true, true, "CAS reflexivity");
+}
+
+//===----------------------------------------------------------------------===
+// choose / freeze interplay with traces (Remark 3 / Appendix C).
+//===----------------------------------------------------------------------===
+
+TEST(ChooseRefineTest, ChooseMayNotReorderWithReleaseWrite) {
+  // Appendix C: PS disallows it, hence SEQ's choose labels must too.
+  expectVerdicts(
+      "atomic x;\nthread { b := freeze(undef); x@rel := 0; return b; }",
+      "atomic x;\nthread { x@rel := 0; b := freeze(undef); return b; }",
+      false, false, "Appendix C reordering");
+}
+
+TEST(ChooseRefineTest, ChooseReordersWithNaAccesses) {
+  // Remark 3: "the reordering of non-deterministic choices and non-atomic
+  // accesses is fully allowed by SEQ" — via the *advanced* notion. The
+  // simple one rejects it: without permission on y the target hits UB
+  // with an empty trace while the source must emit its choose(v) label
+  // first (the same shape as §3's late-UB motivation), and the partial
+  // traces' F-sets disagree before the choose.
+  expectVerdicts(
+      "na y;\nthread { b := freeze(undef); y@na := 1; return b; }",
+      "na y;\nthread { y@na := 1; b := freeze(undef); return b; }",
+      false, true, "choose vs na write");
+  // The converse direction is simple-valid (the source may reach ⊥ with a
+  // shorter trace).
+  expectVerdicts(
+      "na y;\nthread { y@na := 1; b := freeze(undef); return b; }",
+      "na y;\nthread { b := freeze(undef); y@na := 1; return b; }",
+      true, true, "na write vs choose");
+}
+
+TEST(ChooseRefineTest, FreezeIntroductionNotSequentiallyVerifiable) {
+  // Freezing a racy load's undef into a defined value is sound in PS^na
+  // (v ⊑ undef pointwise on return values), but SEQ cannot verify the
+  // introduction: the target's choose(v) label has no counterpart in the
+  // source trace, and choose labels must match exactly — the price of
+  // exposing choices (Remark 3), paid so that Appendix C's reordering is
+  // invalidated. An instance of sufficiency-without-necessity.
+  expectVerdicts("na y;\nthread { a := y@na; return a; }",
+                 "na y;\nthread { a := y@na; a := freeze(a); return a; }",
+                 false, false, "freeze introduction");
+}

@@ -1,0 +1,181 @@
+//===- tests/support_test.cpp - Support library unit tests ----------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LocSet.h"
+#include "support/Rational.h"
+#include "support/Rng.h"
+#include "support/Symbol.h"
+#include "support/ValueDomain.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace pseq;
+
+//===----------------------------------------------------------------------===
+// Rational
+//===----------------------------------------------------------------------===
+
+TEST(RationalTest, NormalizesToLowestTerms) {
+  Rational R(6, 4);
+  EXPECT_EQ(R.num(), 3);
+  EXPECT_EQ(R.den(), 2);
+}
+
+TEST(RationalTest, NormalizesSign) {
+  Rational R(3, -6);
+  EXPECT_EQ(R.num(), -1);
+  EXPECT_EQ(R.den(), 2);
+}
+
+TEST(RationalTest, ZeroHasCanonicalForm) {
+  Rational R(0, 7);
+  EXPECT_EQ(R.num(), 0);
+  EXPECT_EQ(R.den(), 1);
+  EXPECT_TRUE(R.isZero());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+}
+
+TEST(RationalTest, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1), Rational(0));
+  EXPECT_LE(Rational(2), Rational(2));
+  EXPECT_GT(Rational(7, 3), Rational(2));
+}
+
+TEST(RationalTest, MidpointIsStrictlyBetween) {
+  Rational A(1), B(2);
+  Rational M = A.midpoint(B);
+  EXPECT_LT(A, M);
+  EXPECT_LT(M, B);
+  // Midpoints can be iterated forever (density of Q).
+  Rational M2 = A.midpoint(M);
+  EXPECT_LT(A, M2);
+  EXPECT_LT(M2, M);
+}
+
+TEST(RationalTest, SuccessorIsGreater) {
+  EXPECT_LT(Rational(5, 3), Rational(5, 3).successor());
+}
+
+TEST(RationalTest, EqualValuesHashEqually) {
+  EXPECT_EQ(Rational(2, 4).hash(), Rational(1, 2).hash());
+}
+
+TEST(RationalTest, Str) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(1, 2).str(), "1/2");
+}
+
+//===----------------------------------------------------------------------===
+// LocSet
+//===----------------------------------------------------------------------===
+
+TEST(LocSetTest, InsertRemoveContains) {
+  LocSet S;
+  EXPECT_TRUE(S.isEmpty());
+  S.insert(3);
+  S.insert(7);
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_TRUE(S.contains(7));
+  EXPECT_FALSE(S.contains(4));
+  EXPECT_EQ(S.size(), 2u);
+  S.remove(3);
+  EXPECT_FALSE(S.contains(3));
+}
+
+TEST(LocSetTest, SetAlgebra) {
+  LocSet A = LocSet::single(0).plus(1);
+  LocSet B = LocSet::single(1).plus(2);
+  EXPECT_EQ(A.unionWith(B), LocSet::single(0).plus(1).plus(2));
+  EXPECT_EQ(A.intersectWith(B), LocSet::single(1));
+  EXPECT_EQ(A.setMinus(B), LocSet::single(0));
+  EXPECT_TRUE(LocSet::single(1).isSubsetOf(A));
+  EXPECT_FALSE(A.isSubsetOf(B));
+}
+
+TEST(LocSetTest, SubsetEnumerationIsComplete) {
+  LocSet S = LocSet::single(0).plus(2).plus(5);
+  std::vector<LocSet> Subs = S.subsets();
+  EXPECT_EQ(Subs.size(), 8u);
+  std::set<uint64_t> Raw;
+  for (LocSet Sub : Subs) {
+    EXPECT_TRUE(Sub.isSubsetOf(S));
+    Raw.insert(Sub.raw());
+  }
+  EXPECT_EQ(Raw.size(), 8u) << "subsets must be distinct";
+}
+
+TEST(LocSetTest, SupersetEnumerationWithinUniverse) {
+  LocSet Base = LocSet::single(1);
+  LocSet Universe = LocSet::single(0).plus(1).plus(2);
+  std::vector<LocSet> Sups = Base.supersetsWithin(Universe);
+  EXPECT_EQ(Sups.size(), 4u);
+  for (LocSet S : Sups) {
+    EXPECT_TRUE(Base.isSubsetOf(S));
+    EXPECT_TRUE(S.isSubsetOf(Universe));
+  }
+}
+
+TEST(LocSetTest, AllOfN) {
+  EXPECT_EQ(LocSet::all(3).size(), 3u);
+  EXPECT_EQ(LocSet::all(0).size(), 0u);
+  EXPECT_EQ(LocSet::all(64).size(), 64u);
+}
+
+TEST(LocSetTest, MembersAreSorted) {
+  LocSet S = LocSet::single(9).plus(2).plus(33);
+  std::vector<unsigned> M = S.members();
+  ASSERT_EQ(M.size(), 3u);
+  EXPECT_EQ(M[0], 2u);
+  EXPECT_EQ(M[1], 9u);
+  EXPECT_EQ(M[2], 33u);
+}
+
+//===----------------------------------------------------------------------===
+// ValueDomain / SymbolTable / Rng
+//===----------------------------------------------------------------------===
+
+TEST(ValueDomainTest, Factories) {
+  EXPECT_EQ(ValueDomain::binary().size(), 2u);
+  EXPECT_EQ(ValueDomain::ternary().size(), 3u);
+  EXPECT_EQ(ValueDomain::upTo(5).size(), 5u);
+  EXPECT_TRUE(ValueDomain::ternary().contains(2));
+  EXPECT_FALSE(ValueDomain::binary().contains(2));
+}
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable T;
+  unsigned A = T.intern("x");
+  unsigned B = T.intern("y");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(T.intern("x"), A);
+  EXPECT_EQ(T.name(A), "x");
+  EXPECT_EQ(T.size(), 2u);
+  EXPECT_FALSE(T.lookup("z").has_value());
+  EXPECT_EQ(*T.lookup("y"), B);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
