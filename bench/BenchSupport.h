@@ -1,0 +1,171 @@
+//===- bench/BenchSupport.h - Shared bench main with --json -----*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared entry point for the bench_* binaries. Every harness accepts
+///
+///   bench_xxx [--json <path>] [google-benchmark flags...]
+///
+/// Without --json the run is byte-for-byte the plain google-benchmark
+/// harness: telemetry() returns null, so every engine stays on its
+/// uninstrumented fast path. With --json, telemetry is enabled and one JSON
+/// object is written to <path>:
+///
+///   {"benchmarks": [{"name":..., "real_time":..., "cpu_time":...,
+///                    "time_unit":..., "iterations":..., "counters":{...}},
+///                   ...],
+///    "telemetry": <obs::renderReportJson>}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_BENCH_BENCHSUPPORT_H
+#define PSEQ_BENCH_BENCHSUPPORT_H
+
+#include "obs/Report.h"
+#include "obs/Telemetry.h"
+#include "obs/TraceSink.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pseq {
+namespace benchsupport {
+
+namespace detail {
+inline obs::Telemetry *&telemetrySlot() {
+  static obs::Telemetry *Slot = nullptr;
+  return Slot;
+}
+} // namespace detail
+
+/// The harness telemetry: null unless --json was passed (so default runs
+/// measure the uninstrumented engines). Benchmarks pass this into their
+/// SeqConfig/PsConfig/PipelineOptions.
+inline obs::Telemetry *telemetry() { return detail::telemetrySlot(); }
+
+namespace detail {
+
+/// One recorded benchmark run.
+struct Row {
+  std::string Name;
+  double RealTime = 0;
+  double CpuTime = 0;
+  std::string TimeUnit;
+  uint64_t Iterations = 0;
+  bool Error = false;
+  std::vector<std::pair<std::string, double>> Counters;
+};
+
+/// Console output as usual, plus a record of every run for the JSON dump.
+class RecordingReporter : public benchmark::ConsoleReporter {
+public:
+  std::vector<Row> Rows;
+
+  void ReportRuns(const std::vector<Run> &Reports) override {
+    for (const Run &R : Reports) {
+      Row Out;
+      Out.Name = R.benchmark_name();
+      Out.RealTime = R.GetAdjustedRealTime();
+      Out.CpuTime = R.GetAdjustedCPUTime();
+      Out.TimeUnit = benchmark::GetTimeUnitString(R.time_unit);
+      Out.Iterations = static_cast<uint64_t>(R.iterations);
+      Out.Error = R.error_occurred;
+      for (const auto &[Name, Counter] : R.counters)
+        Out.Counters.emplace_back(Name, static_cast<double>(Counter));
+      Rows.push_back(std::move(Out));
+    }
+    benchmark::ConsoleReporter::ReportRuns(Reports);
+  }
+};
+
+inline bool writeJson(const std::string &Path, const std::vector<Row> &Rows,
+                      const obs::Telemetry &Telem) {
+  std::string Out = "{\"benchmarks\":[";
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    if (I)
+      Out += ",";
+    Out += "{\"name\":\"" + obs::jsonEscape(R.Name) + "\"";
+    Out += ",\"real_time\":" + obs::jsonNumber(R.RealTime);
+    Out += ",\"cpu_time\":" + obs::jsonNumber(R.CpuTime);
+    Out += ",\"time_unit\":\"" + obs::jsonEscape(R.TimeUnit) + "\"";
+    Out += ",\"iterations\":" + std::to_string(R.Iterations);
+    if (R.Error)
+      Out += ",\"error\":true";
+    Out += ",\"counters\":{";
+    for (size_t C = 0; C != R.Counters.size(); ++C) {
+      if (C)
+        Out += ",";
+      Out += "\"" + obs::jsonEscape(R.Counters[C].first) +
+             "\":" + obs::jsonNumber(R.Counters[C].second);
+    }
+    Out += "}}";
+  }
+  Out += "],\"telemetry\":" + obs::renderReportJson(Telem) + "}\n";
+
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Out.data(), 1, Out.size(), F) == Out.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+} // namespace detail
+
+/// Runs the harness: strips `--json <path>` (or `--json=<path>`), forwards
+/// everything else to google-benchmark, and — when --json was given —
+/// enables telemetry and writes run timings plus the telemetry report as a
+/// single JSON object to the path.
+inline int benchMain(int Argc, char **Argv) {
+  std::string JsonPath;
+  std::vector<char *> Args;
+  for (int I = 0; I != Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+      continue;
+    }
+    if (A.rfind("--json=", 0) == 0) {
+      JsonPath = A.substr(7);
+      continue;
+    }
+    Args.push_back(Argv[I]);
+  }
+  int NewArgc = static_cast<int>(Args.size());
+
+  obs::Telemetry Telem;
+  std::unique_ptr<obs::TraceSink> EnvSink;
+  if (!JsonPath.empty()) {
+    EnvSink = obs::traceSinkFromEnv();
+    Telem.Sink = EnvSink.get();
+    detail::telemetrySlot() = &Telem;
+  }
+
+  benchmark::Initialize(&NewArgc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(NewArgc, Args.data()))
+    return 1;
+  detail::RecordingReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+
+  if (!JsonPath.empty() &&
+      !detail::writeJson(JsonPath, Reporter.Rows, Telem)) {
+    std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+  detail::telemetrySlot() = nullptr;
+  return 0;
+}
+
+} // namespace benchsupport
+} // namespace pseq
+
+#endif // PSEQ_BENCH_BENCHSUPPORT_H

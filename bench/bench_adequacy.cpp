@@ -13,6 +13,8 @@
 #include "adequacy/RandomProgram.h"
 #include "lang/Parser.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace pseq;
@@ -22,6 +24,7 @@ namespace {
 PsConfig psCfg() {
   PsConfig C;
   C.PromiseBudget = 0;
+  C.Telem = benchsupport::telemetry();
   return C;
 }
 
@@ -74,8 +77,5 @@ int main(int argc, char **argv) {
   registerAll();
   benchmark::RegisterBenchmark("adequacy/random_sweep8", BM_RandomSweep)
       ->Arg(7);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return benchsupport::benchMain(argc, argv);
 }

@@ -14,6 +14,8 @@
 #include "opt/Pipeline.h"
 #include "opt/SlfAnalysis.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace pseq;
@@ -57,6 +59,7 @@ void BM_PipelineNoValidation(benchmark::State &State) {
       parseOrDie(synthetic(static_cast<unsigned>(State.range(0))));
   PipelineOptions Opts;
   Opts.Validate = false;
+  Opts.Telem = benchsupport::telemetry();
   unsigned Rewrites = 0;
   for (auto _ : State) {
     PipelineResult R = runPipeline(*P, Opts);
@@ -75,6 +78,7 @@ void BM_PipelineValidated(benchmark::State &State) {
   PipelineOptions Opts;
   Opts.Cfg.Domain = ValueDomain::ternary();
   Opts.Cfg.StepBudget = 20;
+  Opts.Telem = benchsupport::telemetry();
   bool AllValidated = false;
   for (auto _ : State) {
     PipelineResult R = runPipeline(*P, Opts);
@@ -87,4 +91,6 @@ BENCHMARK(BM_PipelineValidated)->Arg(1)->Arg(2);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return benchsupport::benchMain(argc, argv);
+}

@@ -17,6 +17,8 @@
 #include "litmus/Corpus.h"
 #include "psna/Explorer.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace pseq;
@@ -31,6 +33,7 @@ void runLitmus(benchmark::State &State, const LitmusCase &LC,
   Cfg.PromiseBudget = PromiseBudget;
   Cfg.SplitBudget = LC.SplitBudget;
   Cfg.Normalize = Normalize;
+  Cfg.Telem = benchsupport::telemetry();
 
   PsBehaviorSet B;
   for (auto _ : State) {
@@ -39,7 +42,7 @@ void runLitmus(benchmark::State &State, const LitmusCase &LC,
   }
   State.counters["states"] = static_cast<double>(B.StatesExplored);
   State.counters["behaviors"] = static_cast<double>(B.All.size());
-  State.counters["truncated"] = B.Truncated;
+  State.counters["truncated"] = B.truncated();
 }
 
 void registerAll() {
@@ -73,8 +76,5 @@ void registerAll() {
 
 int main(int argc, char **argv) {
   registerAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return benchsupport::benchMain(argc, argv);
 }

@@ -18,6 +18,8 @@
 #include "seq/Simulation.h"
 #include "seq/SimpleRefinement.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace pseq;
@@ -31,6 +33,7 @@ void runCase(benchmark::State &State, const RefinementCase &RC,
   SeqConfig Cfg;
   Cfg.Domain = RC.Domain;
   Cfg.StepBudget = RC.StepBudget;
+  Cfg.Telem = benchsupport::telemetry();
 
   RefinementResult R;
   for (auto _ : State) {
@@ -49,6 +52,7 @@ void runSimCase(benchmark::State &State, const RefinementCase &RC) {
   SeqConfig Cfg;
   Cfg.Domain = RC.Domain;
   Cfg.StepBudget = RC.StepBudget;
+  Cfg.Telem = benchsupport::telemetry();
   SimulationResult R;
   for (auto _ : State) {
     R = checkSimulation(*Src, *Tgt, Cfg);
@@ -84,8 +88,5 @@ void registerAll() {
 
 int main(int argc, char **argv) {
   registerAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return benchsupport::benchMain(argc, argv);
 }

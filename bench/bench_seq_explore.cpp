@@ -13,6 +13,8 @@
 #include "seq/BehaviorEnum.h"
 #include "seq/SimpleRefinement.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace pseq;
@@ -38,6 +40,7 @@ void runEnum(benchmark::State &State, const std::string &Text,
   SeqConfig Cfg;
   Cfg.Domain = std::move(Domain);
   Cfg.Universe = P->naLocs();
+  Cfg.Telem = benchsupport::telemetry();
   SeqMachine M(*P, 0, Cfg);
   std::vector<SeqState> Inits = enumerateInitialStates(M);
 
@@ -84,4 +87,6 @@ BENCHMARK(BM_SeqEnum_Example22);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return benchsupport::benchMain(argc, argv);
+}

@@ -15,6 +15,8 @@
 #include "psna/Refinement.h"
 #include "seq/AdvancedRefinement.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace pseq;
@@ -54,9 +56,11 @@ void BM_SeqAdvancedCheck(benchmark::State &State) {
   // range(0) is carried only to align the series in the output table.
   std::unique_ptr<Program> Src = parseOrDie(SrcText);
   std::unique_ptr<Program> Tgt = parseOrDie(TgtText);
+  SeqConfig Cfg;
+  Cfg.Telem = benchsupport::telemetry();
   bool Holds = false;
   for (auto _ : State) {
-    Holds = checkAdvancedRefinement(*Src, *Tgt).Holds;
+    Holds = checkAdvancedRefinement(*Src, *Tgt, Cfg).Holds;
     benchmark::ClobberMemory();
   }
   State.counters["holds"] = Holds;
@@ -71,6 +75,7 @@ void BM_PsnaContextualCheck(benchmark::State &State) {
   addContexts(*Src, N);
   addContexts(*Tgt, N);
   PsConfig Cfg;
+  Cfg.Telem = benchsupport::telemetry();
   unsigned long long States = 0;
   bool Holds = false;
   for (auto _ : State) {
@@ -87,4 +92,6 @@ BENCHMARK(BM_PsnaContextualCheck)->Arg(0)->Arg(1)->Arg(2);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return benchsupport::benchMain(argc, argv);
+}

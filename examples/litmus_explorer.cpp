@@ -35,9 +35,12 @@ void explore(const std::string &Title, const std::string &Text,
              const PsConfig &Cfg) {
   std::unique_ptr<Program> P = parseOrDie(Text);
   PsBehaviorSet B = explorePsna(*P, Cfg);
+  std::string Trunc;
+  if (B.truncated())
+    Trunc = std::string("  [TRUNCATED: ") + truncationCauseName(B.Cause) + "]";
   std::printf("%-28s (promises=%u splits=%u)  %u states%s\n", Title.c_str(),
               Cfg.PromiseBudget, Cfg.SplitBudget, B.StatesExplored,
-              B.Truncated ? "  [TRUNCATED]" : "");
+              Trunc.c_str());
   for (const std::string &S : B.strs())
     std::printf("    %s\n", S.c_str());
 }

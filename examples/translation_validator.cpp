@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "litmus/Corpus.h"
+#include "opt/Validator.h"
 #include "seq/AdvancedRefinement.h"
 #include "seq/Simulation.h"
 #include "seq/SimpleRefinement.h"
@@ -69,6 +70,15 @@ int main(int Argc, char **Argv) {
                 Sim.Complete ? "" : " (bounded)");
     if (!Sim.Holds)
       std::printf("  %s\n", Sim.Counterexample.c_str());
+
+    // The per-thread validator entry point, with its work/time accounting.
+    ValidationResult V = validateTransform(*Src, *Tgt);
+    std::printf("validator  (%s): %s — %llu states, %.2f ms%s\n",
+                validationMethodName(V.MethodUsed),
+                V.Ok ? "ACCEPTS" : "REJECTS", V.StatesExplored, V.ElapsedMs,
+                V.Bounded ? " (bounded)" : "");
+    if (!V.Counterexample.empty())
+      std::printf("  %s\n", V.Counterexample.c_str());
     return Advanced.Holds ? 0 : 1;
   }
 

@@ -8,6 +8,7 @@
 #include "adequacy/Harness.h"
 
 #include "lang/Parser.h"
+#include "obs/Telemetry.h"
 #include "seq/SimpleRefinement.h"
 
 using namespace pseq;
@@ -18,8 +19,18 @@ AdequacyRecord pseq::runAdequacy(const std::string &Name, const Program &Src,
   AdequacyRecord Rec;
   Rec.Name = Name;
 
-  RefinementResult Simple = checkSimpleRefinement(Src, Tgt, SeqCfg);
-  RefinementResult Advanced = checkAdvancedRefinement(Src, Tgt, SeqCfg);
+  // Either config may carry the telemetry handle; the SEQ checkers and the
+  // PS^na explorer each read their own.
+  obs::Telemetry *Telem = PsCfg.Telem ? PsCfg.Telem : SeqCfg.Telem;
+  obs::TimerTree *Timers = Telem ? &Telem->Timers : nullptr;
+  obs::ScopedTimer PairTimer(Timers, "adequacy");
+
+  RefinementResult Simple, Advanced;
+  {
+    obs::ScopedTimer SeqTimer(Timers, "seq");
+    Simple = checkSimpleRefinement(Src, Tgt, SeqCfg);
+    Advanced = checkAdvancedRefinement(Src, Tgt, SeqCfg);
+  }
   Rec.SeqSimple = Simple.Holds;
   Rec.SeqAdvanced = Advanced.Holds;
   Rec.AnyBounded = Simple.Bounded || Advanced.Bounded || HasLoops;
@@ -32,15 +43,49 @@ AdequacyRecord pseq::runAdequacy(const std::string &Name, const Program &Src,
     if (SrcC->numThreads() != TgtC->numThreads())
       continue; // context not applicable to this layout
 
+    obs::ScopedTimer CtxTimer(Timers, Ctx.Name);
     PsRefinementResult R = checkPsRefinement(*SrcC, *TgtC, PsCfg);
     ContextVerdict V;
     V.Context = Ctx.Name;
     V.Holds = R.Holds;
     V.Bounded = R.Bounded;
     V.Counterexample = R.Counterexample;
+    V.ElapsedMs = CtxTimer.stop();
     Rec.PsnaAllContexts &= R.Holds;
     Rec.AnyBounded |= R.Bounded;
+    if (Telem) {
+      obs::ScopedTally Tally(&Telem->Counters);
+      ++Tally.slot("adequacy.ctx_checks");
+      if (R.Holds)
+        ++Tally.slot("adequacy.ctx_holds");
+      if (R.Bounded)
+        ++Tally.slot("adequacy.ctx_bounded");
+      if (Telem->tracing())
+        Telem->trace("adequacy.context", {{"pair", Name},
+                                          {"context", Ctx.Name},
+                                          {"holds", R.Holds},
+                                          {"bounded", R.Bounded},
+                                          {"ms", V.ElapsedMs}});
+    }
     Rec.Contexts.push_back(std::move(V));
+  }
+
+  if (Telem) {
+    obs::ScopedTally Tally(&Telem->Counters);
+    ++Tally.slot("adequacy.pairs");
+    if (Rec.adequacyHolds())
+      ++Tally.slot("adequacy.agree");
+    else
+      ++Tally.slot("adequacy.disagree");
+    if (Rec.witnessFound())
+      ++Tally.slot("adequacy.witnesses");
+    if (Telem->tracing())
+      Telem->trace("adequacy.pair", {{"pair", Name},
+                                     {"seq_simple", Rec.SeqSimple},
+                                     {"seq_advanced", Rec.SeqAdvanced},
+                                     {"psna_all", Rec.PsnaAllContexts},
+                                     {"bounded", Rec.AnyBounded},
+                                     {"ms", PairTimer.stop()}});
   }
   return Rec;
 }

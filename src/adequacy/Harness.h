@@ -36,6 +36,7 @@ struct ContextVerdict {
   bool Holds = true;
   bool Bounded = false;
   std::string Counterexample;
+  double ElapsedMs = 0.0; ///< wall time of the PS^na comparison
 };
 
 /// Full adequacy record for one (source, target) pair.

@@ -1,0 +1,78 @@
+//===- obs/Counters.cpp - Named counters and gauges -----------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Counters.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace pseq::obs;
+
+void Stats::add(const std::string &Name, uint64_t Delta) {
+  CounterMap[Name] += Delta;
+}
+
+void Stats::setGauge(const std::string &Name, double Value) {
+  GaugeMap[Name] = Value;
+}
+
+void Stats::maxGauge(const std::string &Name, double Value) {
+  auto [It, Inserted] = GaugeMap.try_emplace(Name, Value);
+  if (!Inserted)
+    It->second = std::max(It->second, Value);
+}
+
+uint64_t Stats::counter(const std::string &Name) const {
+  auto It = CounterMap.find(Name);
+  return It == CounterMap.end() ? 0 : It->second;
+}
+
+double Stats::gauge(const std::string &Name) const {
+  auto It = GaugeMap.find(Name);
+  return It == GaugeMap.end() ? 0 : It->second;
+}
+
+void Stats::merge(const Stats &O) {
+  for (const auto &[Name, Value] : O.CounterMap)
+    CounterMap[Name] += Value;
+  for (const auto &[Name, Value] : O.GaugeMap)
+    maxGauge(Name, Value);
+}
+
+void Stats::clear() {
+  CounterMap.clear();
+  GaugeMap.clear();
+}
+
+uint64_t &ScopedTally::slot(const char *Name) {
+  // Null target: nothing will ever be flushed, so skip registration and
+  // hand every site the shared sink — keeps telemetry-off construction
+  // free of the strcmp scans below.
+  if (!Target)
+    return Overflow;
+  for (unsigned I = 0; I != NumSlots; ++I)
+    if (Slots[I].Name == Name || std::strcmp(Slots[I].Name, Name) == 0)
+      return Slots[I].Value;
+  if (NumSlots == Capacity)
+    return Overflow; // degrade gracefully: tallied but never flushed
+  Slots[NumSlots].Name = Name;
+  return Slots[NumSlots++].Value;
+}
+
+void ScopedTally::flush() {
+  if (!Target) {
+    for (unsigned I = 0; I != NumSlots; ++I)
+      Slots[I].Value = 0;
+    return;
+  }
+  for (unsigned I = 0; I != NumSlots; ++I) {
+    if (Slots[I].Value == 0)
+      continue;
+    Target->add(Slots[I].Name, Slots[I].Value);
+    Slots[I].Value = 0;
+  }
+}

@@ -1,0 +1,95 @@
+//===- obs/Counters.h - Named counters and gauges ---------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counter half of the observability layer (`src/obs`): a registry of
+/// named monotonic counters and gauges, plus a fixed-capacity accumulation
+/// block (ScopedTally) cheap enough for the explorers' inner loops — sites
+/// increment plain uint64 slots and the block folds them into the registry
+/// once, at scope exit. A null registry target makes every operation a
+/// no-op, so instrumented code costs one branch when telemetry is off.
+///
+/// Keys are dotted paths ("seq.enum.dedup_hits"); the registry stores them
+/// in sorted order so every report iteration is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OBS_COUNTERS_H
+#define PSEQ_OBS_COUNTERS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pseq::obs {
+
+/// Registry of named monotonic counters (uint64, add-only) and gauges
+/// (double, set/max). Deterministic iteration order (sorted keys).
+class Stats {
+  std::map<std::string, uint64_t> CounterMap;
+  std::map<std::string, double> GaugeMap;
+
+public:
+  void add(const std::string &Name, uint64_t Delta = 1);
+  void setGauge(const std::string &Name, double Value);
+  /// Keeps the max of the existing and new value (for depths, frontiers).
+  void maxGauge(const std::string &Name, double Value);
+
+  /// \returns the counter's value, 0 when never touched.
+  uint64_t counter(const std::string &Name) const;
+  /// \returns the gauge's value, 0 when never touched.
+  double gauge(const std::string &Name) const;
+
+  /// Folds \p O into this registry: counters add, gauges take the max.
+  void merge(const Stats &O);
+
+  const std::map<std::string, uint64_t> &counters() const {
+    return CounterMap;
+  }
+  const std::map<std::string, double> &gauges() const { return GaugeMap; }
+
+  bool empty() const { return CounterMap.empty() && GaugeMap.empty(); }
+  void clear();
+};
+
+/// A fixed-capacity block of counter slots for inner loops. Sites register
+/// a slot once (by string literal), hold the returned uint64 reference, and
+/// increment it freely; the destructor folds all nonzero slots into the
+/// target registry. With a null target registration is skipped entirely —
+/// every site shares one sink cell, so increments stay branch-free and
+/// nothing is ever flushed.
+class ScopedTally {
+public:
+  static constexpr unsigned Capacity = 12;
+
+  explicit ScopedTally(Stats *Target) : Target(Target) {}
+  ScopedTally(const ScopedTally &) = delete;
+  ScopedTally &operator=(const ScopedTally &) = delete;
+  ~ScopedTally() { flush(); }
+
+  /// Registers (or finds) the slot named \p Name and returns its cell.
+  /// \p Name must outlive the tally — pass a string literal.
+  uint64_t &slot(const char *Name);
+
+  /// Folds nonzero slots into the target and zeroes them (also called by
+  /// the destructor; safe to call repeatedly).
+  void flush();
+
+private:
+  Stats *Target;
+  struct Slot {
+    const char *Name = nullptr;
+    uint64_t Value = 0;
+  };
+  Slot Slots[Capacity];
+  unsigned NumSlots = 0;
+  uint64_t Overflow = 0; ///< sink for slots past Capacity (never flushed)
+};
+
+} // namespace pseq::obs
+
+#endif // PSEQ_OBS_COUNTERS_H

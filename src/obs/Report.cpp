@@ -1,0 +1,114 @@
+//===- obs/Report.cpp - Telemetry rendering -------------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Report.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace pseq::obs;
+
+namespace {
+
+std::string fixed(double V, int Prec = 2) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Prec, V);
+  return Buf;
+}
+
+} // namespace
+
+std::string pseq::obs::renderReportTable(const Telemetry &T) {
+  std::string Out;
+  Out += "== telemetry "
+         "==========================================================\n";
+  if (!T.Counters.counters().empty()) {
+    Out += "counters\n";
+    for (const auto &[Name, Value] : T.Counters.counters()) {
+      char Line[128];
+      std::snprintf(Line, sizeof(Line), "  %-44s %14llu\n", Name.c_str(),
+                    static_cast<unsigned long long>(Value));
+      Out += Line;
+    }
+  }
+  if (!T.Counters.gauges().empty()) {
+    Out += "gauges\n";
+    for (const auto &[Name, Value] : T.Counters.gauges()) {
+      char Line[128];
+      std::snprintf(Line, sizeof(Line), "  %-44s %14s\n", Name.c_str(),
+                    fixed(Value).c_str());
+      Out += Line;
+    }
+  }
+  if (!T.Timers.empty()) {
+    Out += "timers\n";
+    for (const TimerTree::Row &R : T.Timers.rows()) {
+      std::string Name(2 + 2 * static_cast<size_t>(R.Depth), ' ');
+      size_t Slash = R.Path.rfind('/');
+      Name += Slash == std::string::npos ? R.Path : R.Path.substr(Slash + 1);
+      char Line[160];
+      std::snprintf(Line, sizeof(Line), "%-46s %11s ms %6llux\n",
+                    Name.c_str(), fixed(R.Ms).c_str(),
+                    static_cast<unsigned long long>(R.Count));
+      Out += Line;
+    }
+  }
+  if (T.Counters.empty() && T.Timers.empty())
+    Out += "(no telemetry recorded)\n";
+  Out += "================================================================="
+         "=====\n";
+  return Out;
+}
+
+std::string pseq::obs::renderReportJson(const Telemetry &T) {
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, Value] : T.Counters.counters()) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += jsonEscape(Name);
+    Out += "\":";
+    Out += std::to_string(Value);
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, Value] : T.Counters.gauges()) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += jsonEscape(Name);
+    Out += "\":";
+    Out += jsonNumber(Value);
+  }
+  Out += "},\"timers\":[";
+  First = true;
+  for (const TimerTree::Row &R : T.Timers.rows()) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"path\":\"";
+    Out += jsonEscape(R.Path);
+    Out += "\",\"ms\":";
+    Out += jsonNumber(R.Ms);
+    Out += ",\"count\":";
+    Out += std::to_string(R.Count);
+    Out += '}';
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool pseq::obs::writeReportJson(const Telemetry &T, const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << renderReportJson(T) << '\n';
+  return Out.good();
+}

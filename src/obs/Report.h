@@ -1,0 +1,40 @@
+//===- obs/Report.h - Telemetry rendering -----------------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a Telemetry bundle as a human-readable summary table or as one
+/// machine-readable JSON object. Both renderings are deterministic:
+/// counters and gauges iterate in sorted key order, timer phases in
+/// execution order.
+///
+/// JSON shape:
+///   {"counters":{"k":v,...},"gauges":{"k":v,...},
+///    "timers":[{"path":"a/b","ms":t,"count":n},...]}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OBS_REPORT_H
+#define PSEQ_OBS_REPORT_H
+
+#include "obs/Telemetry.h"
+
+#include <string>
+
+namespace pseq::obs {
+
+/// Human-readable summary: counters, gauges, and the indented timer tree.
+std::string renderReportTable(const Telemetry &T);
+
+/// One JSON object (no trailing newline); see the schema above.
+std::string renderReportJson(const Telemetry &T);
+
+/// Writes renderReportJson + '\n' to \p Path. \returns false on I/O error.
+bool writeReportJson(const Telemetry &T, const std::string &Path);
+
+} // namespace pseq::obs
+
+#endif // PSEQ_OBS_REPORT_H

@@ -1,0 +1,46 @@
+//===- obs/Telemetry.h - The per-run telemetry bundle -----------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The handle the configs (SeqConfig, PsConfig, PipelineOptions) carry: a
+/// counter/gauge registry, a timer tree, and an optional trace sink. All
+/// engines treat a null Telemetry pointer as "telemetry off" and skip every
+/// observation behind a single branch, so the default-constructed configs
+/// cost nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OBS_TELEMETRY_H
+#define PSEQ_OBS_TELEMETRY_H
+
+#include "obs/Counters.h"
+#include "obs/Timer.h"
+#include "obs/TraceSink.h"
+
+namespace pseq::obs {
+
+/// One run's worth of telemetry. Non-copyable; share by pointer.
+struct Telemetry {
+  Stats Counters;
+  TimerTree Timers;
+  /// Borrowed, not owned; null means "no tracing". Prefer tracing() +
+  /// trace() over touching this directly.
+  TraceSink *Sink = nullptr;
+
+  bool tracing() const { return Sink && Sink->enabled(); }
+
+  /// Emits an event when tracing is on. Callers on hot paths should guard
+  /// with tracing() first so the field vector is never built needlessly.
+  void trace(std::string_view Kind, const std::vector<TraceField> &Fields) {
+    if (tracing())
+      Sink->event(Kind, Fields);
+  }
+};
+
+} // namespace pseq::obs
+
+#endif // PSEQ_OBS_TELEMETRY_H

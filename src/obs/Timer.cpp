@@ -1,0 +1,75 @@
+//===- obs/Timer.cpp - RAII scoped timers with phase nesting --------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Timer.h"
+
+using namespace pseq::obs;
+
+void TimerTree::enter(std::string_view Name) {
+  Node *Cur = current();
+  for (const std::unique_ptr<Node> &C : Cur->Children) {
+    if (C->Name == Name) {
+      Stack.push_back(C.get());
+      return;
+    }
+  }
+  Cur->Children.push_back(std::make_unique<Node>());
+  Node *Fresh = Cur->Children.back().get();
+  Fresh->Name = std::string(Name);
+  Stack.push_back(Fresh);
+}
+
+void TimerTree::exit(double Ms) {
+  if (Stack.empty())
+    return; // unbalanced exit: ignore rather than corrupt the tree
+  Node *N = Stack.back();
+  Stack.pop_back();
+  N->Ms += Ms;
+  N->Count += 1;
+}
+
+void TimerTree::clear() {
+  Root.Children.clear();
+  Stack.clear();
+}
+
+namespace {
+
+void flatten(const TimerTree::Node &N, const std::string &Prefix,
+             unsigned Depth, std::vector<TimerTree::Row> &Out) {
+  for (const std::unique_ptr<TimerTree::Node> &C : N.Children) {
+    std::string Path = Prefix.empty() ? C->Name : Prefix + "/" + C->Name;
+    Out.push_back({Path, C->Ms, C->Count, Depth});
+    flatten(*C, Path, Depth + 1, Out);
+  }
+}
+
+} // namespace
+
+std::vector<TimerTree::Row> TimerTree::rows() const {
+  std::vector<Row> Out;
+  flatten(Root, "", 0, Out);
+  return Out;
+}
+
+ScopedTimer::ScopedTimer(TimerTree *Tree, std::string_view Name)
+    : Tree(Tree) {
+  if (!Tree)
+    return;
+  Tree->enter(Name);
+  Start = std::chrono::steady_clock::now();
+}
+
+double ScopedTimer::stop() {
+  if (!Tree)
+    return 0;
+  std::chrono::duration<double, std::milli> Elapsed =
+      std::chrono::steady_clock::now() - Start;
+  Tree->exit(Elapsed.count());
+  Tree = nullptr;
+  return Elapsed.count();
+}

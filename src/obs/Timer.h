@@ -1,0 +1,95 @@
+//===- obs/Timer.h - RAII scoped timers with phase nesting ------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timing half of the observability layer: a tree of named phases
+/// (TimerTree) populated by RAII guards (ScopedTimer). Nested guards build
+/// nested phases — entering "validate" while "slf" is open records the time
+/// under pipeline/slf/validate. Re-entering a phase name under the same
+/// parent accumulates into the same node (Ms adds, Count increments), so
+/// loops over passes/contexts produce one row per distinct phase.
+///
+/// A null tree makes the guard a complete no-op — the clock is never read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OBS_TIMER_H
+#define PSEQ_OBS_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pseq::obs {
+
+/// A tree of timed phases. Children keep first-entry order, which is the
+/// (deterministic) execution order of the instrumented code.
+class TimerTree {
+public:
+  struct Node {
+    std::string Name;
+    double Ms = 0;      ///< total wall time across all entries
+    uint64_t Count = 0; ///< number of times the phase was entered
+    std::vector<std::unique_ptr<Node>> Children;
+  };
+
+  /// One flattened row: Path joins ancestor names with '/'.
+  struct Row {
+    std::string Path;
+    double Ms = 0;
+    uint64_t Count = 0;
+    unsigned Depth = 0;
+  };
+
+  TimerTree() = default;
+  TimerTree(const TimerTree &) = delete;
+  TimerTree &operator=(const TimerTree &) = delete;
+
+  /// Opens phase \p Name under the current phase (find-or-create).
+  void enter(std::string_view Name);
+  /// Closes the current phase, charging \p Ms to it.
+  void exit(double Ms);
+
+  const Node &root() const { return Root; }
+  bool empty() const { return Root.Children.empty(); }
+
+  /// Pre-order flattening (parent before children, siblings in execution
+  /// order) — the deterministic report layout.
+  std::vector<Row> rows() const;
+
+  void clear();
+
+private:
+  Node Root;
+  std::vector<Node *> Stack; ///< open phases; empty means "at root"
+
+  Node *current() { return Stack.empty() ? &Root : Stack.back(); }
+};
+
+/// RAII guard timing one phase of \p Tree (null tree = no-op).
+class ScopedTimer {
+public:
+  ScopedTimer(TimerTree *Tree, std::string_view Name);
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Closes the phase early and \returns its elapsed milliseconds
+  /// (0 with a null tree). Idempotent.
+  double stop();
+
+private:
+  TimerTree *Tree;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace pseq::obs
+
+#endif // PSEQ_OBS_TIMER_H

@@ -7,6 +7,8 @@
 
 #include "opt/Pipeline.h"
 
+#include "obs/Telemetry.h"
+
 using namespace pseq;
 
 namespace {
@@ -20,6 +22,12 @@ PipelineResult pseq::runPipeline(const Program &P,
   PipelineResult Out;
   Out.Prog = cloneProgram(P);
 
+  obs::Telemetry *Telem = Opts.Telem ? Opts.Telem : Opts.Cfg.Telem;
+  SeqConfig ValidateCfg = Opts.Cfg;
+  ValidateCfg.Telem = Telem;
+  obs::TimerTree *Timers = Telem ? &Telem->Timers : nullptr;
+  obs::ScopedTimer PipeTimer(Timers, "pipeline");
+
   std::vector<std::pair<const char *, PassFn>> Passes;
   if (Opts.EnableConstProp)
     Passes.push_back({"constprop", runConstPropPass});
@@ -31,8 +39,18 @@ PipelineResult pseq::runPipeline(const Program &P,
   for (const auto &[Name, Pass] : Passes) {
     PassReport Report;
     Report.Name = Name;
-    PassResult PR = Pass(*Out.Prog);
+    // Phase nesting: pipeline / <pass> / {opt, validate}.
+    obs::ScopedTimer PassTimer(Timers, Name);
+    PassResult PR = [&] {
+      obs::ScopedTimer OptTimer(Timers, "opt");
+      PassResult R = Pass(*Out.Prog);
+      Report.OptMs = OptTimer.stop();
+      return R;
+    }();
     Report.Rewrites = PR.Rewrites;
+    if (Telem && PR.Rewrites)
+      Telem->Counters.add(std::string("opt.pass.") + Name + ".rewrites",
+                          PR.Rewrites);
 
     if (PR.Rewrites == 0) {
       // Nothing changed: skip validation, keep the (equivalent) output.
@@ -43,9 +61,19 @@ PipelineResult pseq::runPipeline(const Program &P,
 
     if (Opts.Validate) {
       ValidationResult V =
-          validateTransform(*Out.Prog, *PR.Prog, Opts.Cfg, Opts.Method);
+          validateTransform(*Out.Prog, *PR.Prog, ValidateCfg, Opts.Method);
       Report.Validated = V.Ok;
       Report.ValidationBounded = V.Bounded;
+      Report.ValidationCause = V.Cause;
+      Report.ValidateMs = V.ElapsedMs;
+      Report.ValidationStates = V.StatesExplored;
+      if (Telem && Telem->tracing())
+        Telem->trace("opt.pass", {{"pass", Name},
+                                  {"rewrites", uint64_t(PR.Rewrites)},
+                                  {"validated", V.Ok},
+                                  {"bounded", V.Bounded},
+                                  {"opt_ms", Report.OptMs},
+                                  {"validate_ms", V.ElapsedMs}});
       if (!V.Ok) {
         Report.Error = V.Counterexample;
         Out.AllValidated = false;
@@ -58,5 +86,6 @@ PipelineResult pseq::runPipeline(const Program &P,
     Out.Prog = std::move(PR.Prog);
     Out.Reports.push_back(std::move(Report));
   }
+  Out.TotalMs = PipeTimer.stop();
   return Out;
 }

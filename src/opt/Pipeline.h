@@ -34,6 +34,9 @@ struct PipelineOptions {
   /// Run the extension constant-propagation pass before the paper's four
   /// (it feeds SLF constant stores and folds decided branches).
   bool EnableConstProp = false;
+  /// Optional telemetry (borrowed; see obs/Telemetry.h). Also forwarded to
+  /// the validator through Cfg, overriding Cfg.Telem when set.
+  obs::Telemetry *Telem = nullptr;
 };
 
 /// One line of the pipeline report.
@@ -42,7 +45,11 @@ struct PassReport {
   unsigned Rewrites = 0;
   bool Validated = false;       ///< checker ran and accepted
   bool ValidationBounded = false;
+  TruncationCause ValidationCause = TruncationCause::None;
   std::string Error;            ///< non-empty iff validation rejected
+  double OptMs = 0.0;           ///< wall time of the pass itself
+  double ValidateMs = 0.0;      ///< wall time of its validation (0 if skipped)
+  unsigned long long ValidationStates = 0; ///< checker states examined
 };
 
 /// Pipeline output: the final program plus per-pass reports.
@@ -51,6 +58,7 @@ struct PipelineResult {
   std::vector<PassReport> Reports;
   bool AllValidated = true;
   unsigned TotalRewrites = 0;
+  double TotalMs = 0.0; ///< wall time of the whole pipeline
 };
 
 /// Runs the full pipeline on \p P. When validation rejects a pass (which

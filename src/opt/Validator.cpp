@@ -7,9 +7,12 @@
 
 #include "opt/Validator.h"
 
+#include "obs/Telemetry.h"
 #include "seq/SimpleRefinement.h"
 
 #include <cassert>
+#include <chrono>
+#include <string>
 
 using namespace pseq;
 
@@ -28,40 +31,86 @@ ValidationResult pseq::validateTransform(const Program &Src,
   assert(Src.numThreads() == Tgt.numThreads() &&
          "passes must preserve the thread structure");
 
+  obs::Telemetry *Telem = Cfg.Telem;
+  obs::ScopedTimer Timer(Telem ? &Telem->Timers : nullptr, "validate");
+  // ElapsedMs is part of the result (not just telemetry), so it is
+  // measured unconditionally; the phase timer above only feeds the tree.
+  std::chrono::steady_clock::time_point Start =
+      std::chrono::steady_clock::now();
+
   ValidationResult Out;
+  Out.MethodUsed = Method;
   for (unsigned T = 0, E = Src.numThreads(); T != E; ++T) {
     bool Holds = false;
     bool Bounded = false;
+    TruncationCause Cause = TruncationCause::None;
     std::string Cex;
     switch (Method) {
     case ValidationMethod::Simple: {
       RefinementResult R = checkSimpleRefinement(Src, T, Tgt, T, Cfg);
       Holds = R.Holds;
       Bounded = R.Bounded;
+      Cause = R.Cause;
       Cex = R.Counterexample;
+      Out.StatesExplored += R.InitialStates + R.SrcBehaviors + R.TgtBehaviors;
       break;
     }
     case ValidationMethod::Advanced: {
       RefinementResult R = checkAdvancedRefinement(Src, T, Tgt, T, Cfg);
       Holds = R.Holds;
       Bounded = R.Bounded;
+      Cause = R.Cause;
       Cex = R.Counterexample;
+      Out.StatesExplored += R.InitialStates + R.TgtBehaviors;
       break;
     }
     case ValidationMethod::Simulation: {
       SimulationResult R = checkSimulation(Src, T, Tgt, T, Cfg);
       Holds = R.Holds;
       Bounded = !R.Complete;
+      if (Bounded)
+        Cause = TruncationCause::StateBudget;
       Cex = R.Counterexample;
+      Out.StatesExplored += R.ProductNodes;
       break;
     }
     }
     Out.Bounded |= Bounded;
+    noteTruncation(Out.Cause, Cause);
     if (Holds)
       continue;
     Out.Ok = false;
     Out.Counterexample = "thread " + std::to_string(T) + ": " + Cex;
-    return Out;
+    break;
+  }
+  if (Out.Bounded) {
+    if (!Out.Counterexample.empty())
+      Out.Counterexample += " ";
+    Out.Counterexample += std::string("[bounded: ") +
+                          truncationCauseName(Out.Cause) + " truncation]";
+  }
+  Timer.stop();
+  Out.ElapsedMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+
+  if (Telem) {
+    obs::ScopedTally Tally(&Telem->Counters);
+    ++Tally.slot("opt.validate.calls");
+    if (!Out.Ok)
+      ++Tally.slot("opt.validate.rejects");
+    if (Out.Bounded)
+      ++Tally.slot("opt.validate.bounded");
+    Telem->Counters.add(std::string("opt.validate.method.") +
+                        validationMethodName(Method));
+    if (Telem->tracing())
+      Telem->trace("opt.validate",
+                   {{"ok", Out.Ok},
+                    {"bounded", Out.Bounded},
+                    {"method", validationMethodName(Method)},
+                    {"cause", truncationCauseName(Out.Cause)},
+                    {"states", Out.StatesExplored},
+                    {"ms", Out.ElapsedMs}});
   }
   return Out;
 }

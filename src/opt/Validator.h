@@ -30,11 +30,33 @@ enum class ValidationMethod {
   Simulation, ///< Fig. 6 coinductive simulation — exact on loops
 };
 
+/// Lower-case label for reports and trace events.
+constexpr const char *validationMethodName(ValidationMethod M) {
+  switch (M) {
+  case ValidationMethod::Simple:
+    return "simple";
+  case ValidationMethod::Advanced:
+    return "advanced";
+  case ValidationMethod::Simulation:
+    return "simulation";
+  }
+  return "unknown";
+}
+
 /// Outcome of validating one transformation.
 struct ValidationResult {
   bool Ok = true;
   bool Bounded = false;
+  /// The budget responsible for Bounded (None when exhaustive); also
+  /// appended to Counterexample for bounded verdicts.
+  TruncationCause Cause = TruncationCause::None;
+  ValidationMethod MethodUsed = ValidationMethod::Advanced;
   std::string Counterexample; ///< includes the offending thread index
+  /// States/behaviors the underlying decision procedure examined, summed
+  /// over threads (initial states + behaviors for the trace checkers,
+  /// product nodes for the simulation).
+  unsigned long long StatesExplored = 0;
+  double ElapsedMs = 0.0; ///< wall time of the whole validation
 };
 
 /// Checks σ_tgt ⊑w σ_src (or the chosen weaker/stronger notion) for every

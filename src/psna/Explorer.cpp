@@ -7,6 +7,7 @@
 
 #include "psna/Explorer.h"
 
+#include "obs/Telemetry.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -110,23 +111,39 @@ PsBehaviorSet pseq::explorePsna(const Program &P, const PsConfig &Cfg) {
   std::unordered_set<PsBehavior, BehaviorHash> Behaviors;
   std::deque<PsMachineState> Work;
 
+  obs::Telemetry *Telem = Cfg.Telem;
+  obs::ScopedTimer Timer(Telem ? &Telem->Timers : nullptr, "psna.explore");
+  obs::ScopedTally Tally(Telem ? &Telem->Counters : nullptr);
+  uint64_t &Runs = Tally.slot("psna.explore.runs");
+  uint64_t &Expanded = Tally.slot("psna.explore.states_expanded");
+  uint64_t &DedupHits = Tally.slot("psna.explore.dedup_hits");
+  uint64_t &Emitted = Tally.slot("psna.explore.behaviors");
+  // Per-thread successor counts (dynamic names, so outside the tally).
+  std::vector<uint64_t> ThreadSteps(P.numThreads(), 0);
+  size_t MaxFrontier = 1;
+  ++Runs;
+
   PsMachineState Init = M.initialState();
   Init.normalize();
   Visited.insert(Init);
   Work.push_back(std::move(Init));
 
   auto record = [&](PsBehavior B) {
-    if (Behaviors.insert(B).second)
+    if (Behaviors.insert(B).second) {
+      ++Emitted;
       Result.All.push_back(std::move(B));
+    }
   };
 
   while (!Work.empty()) {
     if (Visited.size() > Cfg.MaxStates) {
-      Result.Truncated = true;
+      noteTruncation(Result.Cause, TruncationCause::StateBudget);
       break;
     }
+    MaxFrontier = std::max(MaxFrontier, Work.size());
     PsMachineState S = Work.front();
     Work.pop_front();
+    ++Expanded;
 
     if (S.Bottom) {
       record(PsBehavior::ub());
@@ -142,14 +159,35 @@ PsBehaviorSet pseq::explorePsna(const Program &P, const PsConfig &Cfg) {
     }
     for (unsigned Tid = 0, E = static_cast<unsigned>(S.Threads.size());
          Tid != E; ++Tid) {
-      for (PsMachineState &Next : M.threadSuccessors(S, Tid))
+      for (PsMachineState &Next : M.threadSuccessors(S, Tid)) {
+        ++ThreadSteps[Tid];
         if (Visited.insert(Next).second)
           Work.push_back(std::move(Next));
+        else
+          ++DedupHits;
+      }
     }
   }
 
-  Result.Truncated |= M.certBudgetHit();
+  if (M.certBudgetHit())
+    noteTruncation(Result.Cause, TruncationCause::CertBudget);
   Result.StatesExplored = static_cast<unsigned>(Visited.size());
+
+  if (Telem) {
+    Telem->Counters.maxGauge("psna.explore.max_frontier",
+                             static_cast<double>(MaxFrontier));
+    for (size_t Tid = 0; Tid != ThreadSteps.size(); ++Tid)
+      Telem->Counters.add("psna.explore.thread" + std::to_string(Tid) +
+                              ".steps",
+                          ThreadSteps[Tid]);
+    if (Telem->tracing())
+      Telem->trace("psna.explore",
+                   {{"states", uint64_t(Result.StatesExplored)},
+                    {"behaviors", uint64_t(Result.All.size())},
+                    {"dedup_hits", DedupHits},
+                    {"cause", truncationCauseName(Result.Cause)},
+                    {"ms", Timer.stop()}});
+  }
   return Result;
 }
 

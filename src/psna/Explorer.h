@@ -18,6 +18,7 @@
 #define PSEQ_PSNA_EXPLORER_H
 
 #include "psna/Machine.h"
+#include "support/Truncation.h"
 
 #include <string>
 
@@ -51,8 +52,12 @@ struct PsBehavior {
 /// The deduplicated outcome set of a program.
 struct PsBehaviorSet {
   std::vector<PsBehavior> All;
-  bool Truncated = false; ///< a state or certification budget was hit
+  /// Which budget (state cap or certification nodes) cut the exploration
+  /// short; None when the state space was exhausted.
+  TruncationCause Cause = TruncationCause::None;
   unsigned StatesExplored = 0;
+
+  bool truncated() const { return Cause != TruncationCause::None; }
 
   bool containsStr(const std::string &S) const;
   bool covers(const PsBehavior &Tgt) const;

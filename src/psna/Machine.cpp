@@ -7,6 +7,7 @@
 
 #include "psna/Machine.h"
 
+#include "obs/Telemetry.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -601,6 +602,11 @@ struct StateHash {
 bool PsMachine::certifiable(const PsMachineState &S, unsigned Tid) const {
   if (S.Threads[Tid].Promises.empty())
     return true;
+  obs::ScopedTally Tally(Cfg.Telem ? &Cfg.Telem->Counters : nullptr);
+  uint64_t &Searches = Tally.slot("psna.cert.searches");
+  uint64_t &Nodes = Tally.slot("psna.cert.nodes");
+  uint64_t &BudgetHits = Tally.slot("psna.cert.budget_hits");
+  ++Searches;
   // Depth-first search over thread-local futures.
   std::unordered_set<PsMachineState, StateHash> Visited;
   std::vector<PsMachineState> Stack;
@@ -609,9 +615,11 @@ bool PsMachine::certifiable(const PsMachineState &S, unsigned Tid) const {
   unsigned Budget = Cfg.CertNodeBudget;
   while (!Stack.empty()) {
     if (Budget-- == 0) {
+      ++BudgetHits;
       CertBudgetHit = true;
       return false;
     }
+    ++Nodes;
     PsMachineState Cur = Stack.back();
     Stack.pop_back();
     if (Cur.Threads[Tid].Promises.empty())

@@ -36,6 +36,10 @@
 
 namespace pseq {
 
+namespace obs {
+struct Telemetry;
+} // namespace obs
+
 /// Bounding knobs of the PS^na explorer.
 struct PsConfig {
   ValueDomain Domain = ValueDomain::binary();
@@ -47,6 +51,9 @@ struct PsConfig {
   /// order-isomorphic states). Off, exploration still terminates on
   /// loop-free programs but visits many more states (bench_psna_explore).
   bool Normalize = true;
+  /// Optional telemetry (borrowed; see obs/Telemetry.h). Null — the
+  /// default — keeps the explorer and machine on their fast paths.
+  obs::Telemetry *Telem = nullptr;
 };
 
 /// A whole-machine state ⟨T, M⟩ plus the system-call output so far.

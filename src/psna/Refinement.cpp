@@ -22,7 +22,8 @@ PsRefinementResult pseq::checkPsRefinement(const Program &Src,
   PsBehaviorSet TgtB = explorePsna(Tgt, Cfg);
 
   PsRefinementResult R;
-  R.Bounded = SrcB.Truncated || TgtB.Truncated;
+  R.Bounded = SrcB.truncated() || TgtB.truncated();
+  noteTruncation(R.Cause, SrcB.truncated() ? SrcB.Cause : TgtB.Cause);
   R.SrcStates = SrcB.StatesExplored;
   R.TgtStates = TgtB.StatesExplored;
   for (const PsBehavior &TB : TgtB.All) {

@@ -25,6 +25,8 @@ namespace pseq {
 struct PsRefinementResult {
   bool Holds = true;
   bool Bounded = false; ///< some exploration was truncated
+  /// The first budget responsible for Bounded (None when exhaustive).
+  TruncationCause Cause = TruncationCause::None;
   std::string Counterexample;
   unsigned SrcStates = 0;
   unsigned TgtStates = 0;

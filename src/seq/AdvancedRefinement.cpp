@@ -7,6 +7,7 @@
 
 #include "seq/AdvancedRefinement.h"
 
+#include "obs/Telemetry.h"
 #include "seq/OracleGame.h"
 #include "support/Hashing.h"
 
@@ -163,6 +164,9 @@ RefinementResult pseq::checkAdvancedRefinement(const Program &SrcP,
          "refinement requires identical memory layouts");
   Cfg = resolveUniverse(Cfg, SrcP, SrcTid, TgtP, TgtTid);
 
+  obs::Telemetry *Telem = Cfg.Telem;
+  obs::ScopedTimer Timer(Telem ? &Telem->Timers : nullptr, "seq.advanced");
+
   SeqMachine SrcM(SrcP, SrcTid, Cfg);
   SeqMachine TgtM(TgtP, TgtTid, Cfg);
 
@@ -179,12 +183,16 @@ RefinementResult pseq::checkAdvancedRefinement(const Program &SrcP,
 
   for (size_t Idx = 0, E = SrcInits.size(); Idx != E; ++Idx) {
     BehaviorSet Tgt = enumerateBehaviors(TgtM, TgtInits[Idx]);
-    Result.Bounded |= Tgt.Truncated;
+    Result.Bounded |= Tgt.truncated();
+    noteTruncation(Result.Cause, Tgt.Cause);
     Result.TgtBehaviors += Tgt.All.size();
     for (const SeqBehavior &TB : Tgt.All) {
       Matcher M(SrcM, TB, Cfg.Universe, NodeBudget);
       bool Matched = M.run(SrcInits[Idx]);
-      Result.Bounded |= M.budgetHit();
+      if (M.budgetHit()) {
+        Result.Bounded = true;
+        noteTruncation(Result.Cause, TruncationCause::StateBudget);
+      }
       if (Matched)
         continue;
       Result.Holds = false;
@@ -192,9 +200,12 @@ RefinementResult pseq::checkAdvancedRefinement(const Program &SrcP,
       Result.Counterexample = "initial " + TgtInits[Idx].str(&Names) +
                               " target behavior " + TB.str(&Names) +
                               " unmatched by source (advanced)";
+      observeRefinementCheck(Telem, "seq.check.advanced", Result,
+                             Timer.stop());
       return Result;
     }
   }
+  observeRefinementCheck(Telem, "seq.check.advanced", Result, Timer.stop());
   return Result;
 }
 

@@ -7,6 +7,9 @@
 
 #include "seq/BehaviorEnum.h"
 
+#include "obs/Telemetry.h"
+
+#include <algorithm>
 #include <unordered_set>
 
 using namespace pseq;
@@ -28,17 +31,33 @@ struct BehaviorHash {
 
 class Enumerator {
   const SeqMachine &M;
+  obs::Telemetry *Telem;
   BehaviorSet Result;
   std::unordered_set<SeqBehavior, BehaviorHash> Seen;
   std::vector<SeqEvent> Trace;
 
+  // Run-local tallies: plain members so the hot path costs one increment
+  // each whether or not telemetry is attached; folded into the registry
+  // once, at the end of run().
+  uint64_t Expanded = 0;
+  uint64_t Emitted = 0;
+  uint64_t DedupHits = 0;
+  uint64_t TruncStep = 0;
+  uint64_t TruncCap = 0;
+  unsigned MaxDepth = 0;
+
   void emit(SeqBehavior B) {
     if (Seen.size() >= M.config().MaxBehaviors) {
-      Result.Truncated = true;
+      ++TruncCap;
+      noteTruncation(Result.Cause, TruncationCause::BehaviorCap);
       return;
     }
-    if (Seen.insert(B).second)
+    if (Seen.insert(B).second) {
+      ++Emitted;
       Result.All.push_back(std::move(B));
+    } else {
+      ++DedupHits;
+    }
   }
 
   void emitPartial(const SeqState &S) {
@@ -50,6 +69,8 @@ class Enumerator {
   }
 
   void visit(const SeqState &S, unsigned StepsLeft) {
+    ++Expanded;
+    MaxDepth = std::max(MaxDepth, M.config().StepBudget - StepsLeft);
     // Every reachable state generates ⟨tr, prt(F)⟩ — including states that
     // could also terminate (Def 2.1's "otherwise" applies only to
     // non-terminal states, so skip those).
@@ -72,7 +93,8 @@ class Enumerator {
     }
     emitPartial(S);
     if (StepsLeft == 0) {
-      Result.Truncated = true;
+      ++TruncStep;
+      noteTruncation(Result.Cause, TruncationCause::StepBudget);
       return;
     }
     for (SeqTransition &T : M.successors(S)) {
@@ -85,10 +107,20 @@ class Enumerator {
   }
 
 public:
-  explicit Enumerator(const SeqMachine &M) : M(M) {}
+  explicit Enumerator(const SeqMachine &M) : M(M), Telem(M.config().Telem) {}
 
   BehaviorSet run(const SeqState &Init) {
     visit(Init, M.config().StepBudget);
+    if (Telem) {
+      obs::ScopedTally Tally(&Telem->Counters);
+      Tally.slot("seq.enum.runs") += 1;
+      Tally.slot("seq.enum.states_expanded") += Expanded;
+      Tally.slot("seq.enum.behaviors_emitted") += Emitted;
+      Tally.slot("seq.enum.dedup_hits") += DedupHits;
+      Tally.slot("seq.enum.trunc_step_budget") += TruncStep;
+      Tally.slot("seq.enum.trunc_behavior_cap") += TruncCap;
+      Telem->Counters.maxGauge("seq.enum.max_depth", MaxDepth);
+    }
     return std::move(Result);
   }
 };

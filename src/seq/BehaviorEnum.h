@@ -10,7 +10,8 @@
 /// a SEQ state: every reachable point contributes a partial behavior
 /// ⟨tr, prt(F)⟩, terminated runs contribute ⟨tr, trm(v, F, M)⟩, and runs
 /// reaching ⊥ contribute ⟨tr, ⊥⟩. Enumeration is exact for programs whose
-/// runs fit in the step budget; otherwise `Truncated` is set and verdicts
+/// runs fit in the step budget; otherwise `Cause` records which budget was
+/// hit and verdicts
 /// derived from the set are "bounded".
 ///
 //===----------------------------------------------------------------------===//
@@ -20,13 +21,19 @@
 
 #include "seq/Behavior.h"
 #include "seq/SeqMachine.h"
+#include "support/Truncation.h"
 
 namespace pseq {
 
 /// A deduplicated set of behaviors.
 struct BehaviorSet {
   std::vector<SeqBehavior> All;
-  bool Truncated = false; ///< step budget or behavior cap was hit
+  /// Which budget (if any) cut the enumeration short.
+  TruncationCause Cause = TruncationCause::None;
+
+  /// True when some budget was hit: verdicts derived from the set are
+  /// "bounded" rather than exhaustive.
+  bool truncated() const { return Cause != TruncationCause::None; }
 
   /// \returns true when some behavior of the set ⊒-matches \p Tgt.
   bool covers(const SeqBehavior &Tgt, LocSet Universe) const;

@@ -7,6 +7,8 @@
 
 #include "seq/SeqMachine.h"
 
+#include "obs/Telemetry.h"
+
 #include <cassert>
 
 using namespace pseq;
@@ -64,6 +66,16 @@ PartialMem restrict(const std::vector<Value> &Mem, LocSet Dom) {
 } // namespace
 
 std::vector<SeqTransition> SeqMachine::successors(const SeqState &S) const {
+  std::vector<SeqTransition> Out = successorsUncounted(S);
+  if (Cfg.Telem) {
+    Cfg.Telem->Counters.add("seq.machine.successor_calls");
+    Cfg.Telem->Counters.add("seq.machine.transitions", Out.size());
+  }
+  return Out;
+}
+
+std::vector<SeqTransition>
+SeqMachine::successorsUncounted(const SeqState &S) const {
   std::vector<SeqTransition> Out;
   if (S.Prog.status() != ProgState::Status::Running)
     return Out;

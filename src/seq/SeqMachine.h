@@ -32,12 +32,19 @@
 
 namespace pseq {
 
+namespace obs {
+struct Telemetry;
+} // namespace obs
+
 /// Shared bounding knobs of the SEQ-side checkers.
 struct SeqConfig {
   ValueDomain Domain = ValueDomain::ternary();
   LocSet Universe; ///< non-atomic locations subject to P/M enumeration
   unsigned StepBudget = 48;      ///< max transitions per behavior
   unsigned MaxBehaviors = 200000; ///< safety valve for the enumerator
+  /// Optional telemetry (borrowed; see obs/Telemetry.h). Null — the
+  /// default — keeps every engine on its uninstrumented fast path.
+  obs::Telemetry *Telem = nullptr;
 };
 
 /// One SEQ transition: zero, one, or (for RMWs) two trace labels, plus the
@@ -80,6 +87,10 @@ public:
 
   /// All partial memories over \p Dom with values from Domain ∪ {undef}.
   std::vector<PartialMem> partialMems(LocSet Dom) const;
+
+private:
+  /// successors() minus the telemetry accounting.
+  std::vector<SeqTransition> successorsUncounted(const SeqState &S) const;
 };
 
 } // namespace pseq

@@ -7,9 +7,31 @@
 
 #include "seq/SimpleRefinement.h"
 
+#include "obs/Telemetry.h"
+
 #include <cassert>
 
 using namespace pseq;
+
+void pseq::observeRefinementCheck(obs::Telemetry *Telem, const char *Kind,
+                                  const RefinementResult &R, double Ms) {
+  if (!Telem)
+    return;
+  std::string Prefix = std::string(Kind);
+  Telem->Counters.add(Prefix + ".calls");
+  if (!R.Holds)
+    Telem->Counters.add(Prefix + ".fails");
+  if (R.Bounded)
+    Telem->Counters.add(Prefix + ".bounded");
+  if (Telem->tracing())
+    Telem->trace(Kind, {{"holds", R.Holds},
+                        {"bounded", R.Bounded},
+                        {"cause", truncationCauseName(R.Cause)},
+                        {"initial_states", uint64_t(R.InitialStates)},
+                        {"src_behaviors", R.SrcBehaviors},
+                        {"tgt_behaviors", R.TgtBehaviors},
+                        {"ms", Ms}});
+}
 
 SeqConfig pseq::resolveUniverse(SeqConfig Cfg, const Program &SrcP,
                                 unsigned SrcTid, const Program &TgtP,
@@ -30,6 +52,9 @@ RefinementResult pseq::checkSimpleRefinement(const Program &SrcP,
          "refinement requires identical memory layouts");
   Cfg = resolveUniverse(Cfg, SrcP, SrcTid, TgtP, TgtTid);
 
+  obs::Telemetry *Telem = Cfg.Telem;
+  obs::ScopedTimer Timer(Telem ? &Telem->Timers : nullptr, "seq.simple");
+
   SeqMachine SrcM(SrcP, SrcTid, Cfg);
   SeqMachine TgtM(TgtP, TgtTid, Cfg);
 
@@ -43,7 +68,9 @@ RefinementResult pseq::checkSimpleRefinement(const Program &SrcP,
   for (size_t Idx = 0, E = SrcInits.size(); Idx != E; ++Idx) {
     BehaviorSet Tgt = enumerateBehaviors(TgtM, TgtInits[Idx]);
     BehaviorSet Src = enumerateBehaviors(SrcM, SrcInits[Idx]);
-    Result.Bounded |= Tgt.Truncated || Src.Truncated;
+    Result.Bounded |= Tgt.truncated() || Src.truncated();
+    noteTruncation(Result.Cause,
+                   Tgt.truncated() ? Tgt.Cause : Src.Cause);
     Result.SrcBehaviors += Src.All.size();
     Result.TgtBehaviors += Tgt.All.size();
     for (const SeqBehavior &TB : Tgt.All) {
@@ -54,9 +81,11 @@ RefinementResult pseq::checkSimpleRefinement(const Program &SrcP,
       Result.Counterexample = "initial " + TgtInits[Idx].str(&Names) +
                               " target behavior " + TB.str(&Names) +
                               " unmatched by source";
+      observeRefinementCheck(Telem, "seq.check.simple", Result, Timer.stop());
       return Result;
     }
   }
+  observeRefinementCheck(Telem, "seq.check.simple", Result, Timer.stop());
   return Result;
 }
 

@@ -34,6 +34,9 @@ struct RefinementResult {
   /// verdict is then "bounded-verified" rather than exhaustive. Negative
   /// verdicts (counterexamples) are always definite.
   bool Bounded = false;
+  /// The first budget responsible for Bounded (None when exhaustive).
+  /// Matcher/game node budgets report as StateBudget.
+  TruncationCause Cause = TruncationCause::None;
   std::string Counterexample; ///< initial state + unmatched target behavior
 
   // Statistics for the bench harness.
@@ -46,6 +49,12 @@ struct RefinementResult {
 /// non-atomic footprints.
 SeqConfig resolveUniverse(SeqConfig Cfg, const Program &SrcP, unsigned SrcTid,
                           const Program &TgtP, unsigned TgtTid);
+
+/// Telemetry epilogue shared by the refinement checkers: bumps
+/// `<Kind>.{calls,fails,bounded}` and emits one trace event per call.
+/// No-op when \p Telem is null.
+void observeRefinementCheck(obs::Telemetry *Telem, const char *Kind,
+                            const RefinementResult &R, double Ms);
 
 /// Decides σ_tgt ⊑ σ_src (Def 2.4) for thread \p TgtTid of \p TgtP against
 /// thread \p SrcTid of \p SrcP. The programs must share a memory layout.

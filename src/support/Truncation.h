@@ -1,0 +1,59 @@
+//===- support/Truncation.h - Why an exploration stopped --------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every bounded-exhaustive engine in this repo (the SEQ behavior
+/// enumerator, the PS^na explorer, the refinement matchers) can stop early
+/// when one of its budgets runs out. Verdicts derived from a truncated set
+/// are "bounded" rather than exhaustive; this enum records *which* budget
+/// was responsible, so diagnostics can say more than a bare flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_SUPPORT_TRUNCATION_H
+#define PSEQ_SUPPORT_TRUNCATION_H
+
+#include <cstdint>
+
+namespace pseq {
+
+/// The budget that cut an exploration short (None = exhaustive).
+enum class TruncationCause : uint8_t {
+  None,        ///< exploration ran to completion
+  StepBudget,  ///< SeqConfig::StepBudget hit mid-run
+  BehaviorCap, ///< SeqConfig::MaxBehaviors safety valve hit
+  StateBudget, ///< a state/node cap hit (PsConfig::MaxStates, match budgets)
+  CertBudget,  ///< PsConfig::CertNodeBudget hit during certification
+};
+
+/// Stable lowercase token for reports and JSONL traces.
+constexpr const char *truncationCauseName(TruncationCause C) {
+  switch (C) {
+  case TruncationCause::None:
+    return "none";
+  case TruncationCause::StepBudget:
+    return "step-budget";
+  case TruncationCause::BehaviorCap:
+    return "behavior-cap";
+  case TruncationCause::StateBudget:
+    return "state-budget";
+  case TruncationCause::CertBudget:
+    return "cert-budget";
+  }
+  return "none";
+}
+
+/// Keeps the first recorded cause: the budget that fired first explains the
+/// truncation; later ones are downstream noise.
+inline void noteTruncation(TruncationCause &Slot, TruncationCause C) {
+  if (Slot == TruncationCause::None)
+    Slot = C;
+}
+
+} // namespace pseq
+
+#endif // PSEQ_SUPPORT_TRUNCATION_H

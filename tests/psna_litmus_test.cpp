@@ -48,7 +48,7 @@ TEST_P(PsLitmusTest, OutcomesMatchPaper) {
         << LC.Name << " (" << LC.PaperRef << "): forbidden outcome "
         << Forbidden << " observed\nall outcomes:\n"
         << AllStr;
-  EXPECT_FALSE(B.Truncated)
+  EXPECT_FALSE(B.truncated())
       << LC.Name << ": exploration must be exhaustive for litmus programs";
 }
 

@@ -84,7 +84,7 @@ TEST(PsMachineTest, SequentialExecutionIsDeterministic) {
   PsBehaviorSet B = explorePsna(*P, cfg());
   ASSERT_EQ(B.All.size(), 1u);
   EXPECT_EQ(B.All[0].str(), "ret(1)");
-  EXPECT_FALSE(B.Truncated);
+  EXPECT_FALSE(B.truncated());
 }
 
 TEST(PsMachineTest, SingleThreadReadsLatestOrInit) {

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Telemetry.h"
 #include "seq/BehaviorEnum.h"
 
 #include "TestUtil.h"
@@ -41,7 +42,8 @@ TEST(SeqBehaviorTest, Example22WithPermission) {
   SeqState Init = M.initial(LocSet::single(Y), LocSet::empty(), Mem);
 
   BehaviorSet B = enumerateBehaviors(M, Init);
-  EXPECT_FALSE(B.Truncated);
+  EXPECT_FALSE(B.truncated());
+  EXPECT_EQ(B.Cause, TruncationCause::None);
 
   SeqEvent W = SeqEvent::rlxWrite(*P->lookupLoc("x"), Value::of(1));
 
@@ -97,6 +99,40 @@ TEST(SeqBehaviorTest, Example22WithoutPermission) {
     EXPECT_EQ(Have.Trace[0].K, SeqEvent::Kind::RlxWrite);
   }
   EXPECT_EQ(Terminating, 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Telemetry: the enumerator's counters are deterministic
+//===----------------------------------------------------------------------===
+
+TEST(SeqBehaviorTest, DedupCountersStableAcrossRuns) {
+  // NA accesses emit no trace events, so every intermediate state of this
+  // thread produces the same partial behavior — guaranteed dedup hits.
+  auto P = prog("na x;\nthread { a := x@na; b := x@na; return 1; }");
+
+  auto countersFor = [&](obs::Telemetry &Telem) {
+    SeqConfig C = cfg(*P);
+    C.Telem = &Telem;
+    SeqMachine M(*P, 0, C);
+    std::vector<Value> Mem(P->numLocs(), Value::of(0));
+    BehaviorSet B = enumerateBehaviors(
+        M, M.initial(P->naLocs(), LocSet::empty(), Mem));
+    EXPECT_FALSE(B.truncated());
+  };
+
+  obs::Telemetry T1, T2;
+  countersFor(T1);
+  countersFor(T2);
+
+  uint64_t Dedup1 = T1.Counters.counter("seq.enum.dedup_hits");
+  EXPECT_GT(Dedup1, 0u) << "identical partials must collide in the dedup set";
+  EXPECT_EQ(Dedup1, T2.Counters.counter("seq.enum.dedup_hits"))
+      << "enumeration is deterministic: counters agree across identical runs";
+  EXPECT_EQ(T1.Counters.counter("seq.enum.states_expanded"),
+            T2.Counters.counter("seq.enum.states_expanded"));
+  EXPECT_EQ(T1.Counters.counter("seq.enum.behaviors_emitted"),
+            T2.Counters.counter("seq.enum.behaviors_emitted"));
+  EXPECT_GT(T1.Counters.counter("seq.enum.runs"), 0u);
 }
 
 //===----------------------------------------------------------------------===

@@ -28,6 +28,8 @@ void expectRejected(const char *Src, const char *Tgt, const char *Bug) {
   ValidationResult V = validateTransform(*SrcP, *TgtP, Cfg);
   EXPECT_FALSE(V.Ok) << "validator missed: " << Bug;
   EXPECT_FALSE(V.Counterexample.empty());
+  EXPECT_GT(V.StatesExplored, 0u) << "rejection must report the work done";
+  EXPECT_GE(V.ElapsedMs, 0.0);
 }
 
 void expectAccepted(const char *Src, const char *Tgt, const char *What) {
@@ -37,6 +39,8 @@ void expectAccepted(const char *Src, const char *Tgt, const char *What) {
   Cfg.Domain = ValueDomain::ternary();
   ValidationResult V = validateTransform(*SrcP, *TgtP, Cfg);
   EXPECT_TRUE(V.Ok) << What << ": " << V.Counterexample;
+  EXPECT_GT(V.StatesExplored, 0u) << "acceptance must report the work done";
+  EXPECT_GE(V.ElapsedMs, 0.0);
 }
 
 } // namespace
@@ -130,6 +134,40 @@ TEST(FaultInjectionTest, DominatedFoldIsActuallySound) {
       "na x;\nthread { x@na := 1; a := 1; b := x@na; return a + b; }",
       "na x;\nthread { x@na := 1; a := 1; b := x@na; return 2; }",
       "fold dominated by a store");
+}
+
+TEST(FaultInjectionTest, BoundedVerdictReportsTruncationCause) {
+  // A choose-driven loop under a tiny step budget: the check cannot be
+  // exhaustive, so the verdict must carry the responsible budget.
+  const char *Loop = "na x;\n"
+                     "thread { c := choose; "
+                     "while (c != 0) { x@na := 1; c := choose; } "
+                     "return 0; }";
+  auto SrcP = prog(Loop);
+  auto TgtP = prog(Loop);
+  SeqConfig Cfg;
+  Cfg.Domain = ValueDomain::binary();
+  Cfg.StepBudget = 6;
+  ValidationResult V = validateTransform(*SrcP, *TgtP, Cfg);
+  EXPECT_TRUE(V.Bounded);
+  EXPECT_NE(V.Cause, TruncationCause::None);
+  EXPECT_GT(V.StatesExplored, 0u);
+  EXPECT_GT(V.ElapsedMs, 0.0)
+      << "ElapsedMs must be measured even without a telemetry handle";
+  EXPECT_NE(V.Counterexample.find("[bounded:"), std::string::npos)
+      << "bounded verdicts must say why: " << V.Counterexample;
+  EXPECT_NE(V.Counterexample.find(truncationCauseName(V.Cause)),
+            std::string::npos);
+}
+
+TEST(FaultInjectionTest, ExhaustiveVerdictHasNoCause) {
+  auto SrcP = prog("na x;\nthread { x@na := 1; return 0; }");
+  auto TgtP = prog("na x;\nthread { x@na := 1; return 0; }");
+  ValidationResult V = validateTransform(*SrcP, *TgtP);
+  EXPECT_TRUE(V.Ok);
+  EXPECT_FALSE(V.Bounded);
+  EXPECT_EQ(V.Cause, TruncationCause::None);
+  EXPECT_TRUE(V.Counterexample.empty());
 }
 
 TEST(FaultInjectionTest, SanityAcceptsEquivalentPrograms) {
