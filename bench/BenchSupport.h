@@ -8,7 +8,11 @@
 /// \file
 /// Shared entry point for the bench_* binaries. Every harness accepts
 ///
-///   bench_xxx [--json <path>] [google-benchmark flags...]
+///   bench_xxx [--json <path>] [--threads N] [google-benchmark flags...]
+///
+/// --threads N sets the engines' worker count (0 = all hardware threads;
+/// default from PSEQ_THREADS, else 1); benchmarks read it via numThreads()
+/// and pass it into their SeqConfig/PsConfig/PipelineOptions.
 ///
 /// Without --json the run is byte-for-byte the plain google-benchmark
 /// harness: telemetry() returns null, so every engine stays on its
@@ -25,6 +29,7 @@
 #ifndef PSEQ_BENCH_BENCHSUPPORT_H
 #define PSEQ_BENCH_BENCHSUPPORT_H
 
+#include "exec/ThreadPool.h"
 #include "obs/Report.h"
 #include "obs/Telemetry.h"
 #include "obs/TraceSink.h"
@@ -32,6 +37,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -43,12 +49,21 @@ inline obs::Telemetry *&telemetrySlot() {
   static obs::Telemetry *Slot = nullptr;
   return Slot;
 }
+inline unsigned &numThreadsSlot() {
+  static unsigned Slot = exec::defaultNumThreads();
+  return Slot;
+}
 } // namespace detail
 
 /// The harness telemetry: null unless --json was passed (so default runs
 /// measure the uninstrumented engines). Benchmarks pass this into their
 /// SeqConfig/PsConfig/PipelineOptions.
 inline obs::Telemetry *telemetry() { return detail::telemetrySlot(); }
+
+/// The worker count requested with --threads (0 = hardware concurrency;
+/// defaults to PSEQ_THREADS, else 1). Benchmarks pass this into their
+/// SeqConfig/PsConfig/PipelineOptions.
+inline unsigned numThreads() { return detail::numThreadsSlot(); }
 
 namespace detail {
 
@@ -120,10 +135,11 @@ inline bool writeJson(const std::string &Path, const std::vector<Row> &Rows,
 
 } // namespace detail
 
-/// Runs the harness: strips `--json <path>` (or `--json=<path>`), forwards
-/// everything else to google-benchmark, and — when --json was given —
-/// enables telemetry and writes run timings plus the telemetry report as a
-/// single JSON object to the path.
+/// Runs the harness: strips `--json <path>` (or `--json=<path>`) and
+/// `--threads N` (or `--threads=N`), forwards everything else to
+/// google-benchmark, and — when --json was given — enables telemetry and
+/// writes run timings plus the telemetry report as a single JSON object to
+/// the path.
 inline int benchMain(int Argc, char **Argv) {
   std::string JsonPath;
   std::vector<char *> Args;
@@ -135,6 +151,16 @@ inline int benchMain(int Argc, char **Argv) {
     }
     if (A.rfind("--json=", 0) == 0) {
       JsonPath = A.substr(7);
+      continue;
+    }
+    if (A == "--threads" && I + 1 < Argc) {
+      detail::numThreadsSlot() =
+          static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+      continue;
+    }
+    if (A.rfind("--threads=", 0) == 0) {
+      detail::numThreadsSlot() =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 10, nullptr, 10));
       continue;
     }
     Args.push_back(Argv[I]);

@@ -25,6 +25,7 @@ PsConfig psCfg() {
   PsConfig C;
   C.PromiseBudget = 0;
   C.Telem = benchsupport::telemetry();
+  C.NumThreads = benchsupport::numThreads();
   return C;
 }
 

@@ -60,6 +60,7 @@ void BM_PipelineNoValidation(benchmark::State &State) {
   PipelineOptions Opts;
   Opts.Validate = false;
   Opts.Telem = benchsupport::telemetry();
+  Opts.NumThreads = benchsupport::numThreads();
   unsigned Rewrites = 0;
   for (auto _ : State) {
     PipelineResult R = runPipeline(*P, Opts);
@@ -79,6 +80,7 @@ void BM_PipelineValidated(benchmark::State &State) {
   Opts.Cfg.Domain = ValueDomain::ternary();
   Opts.Cfg.StepBudget = 20;
   Opts.Telem = benchsupport::telemetry();
+  Opts.NumThreads = benchsupport::numThreads();
   bool AllValidated = false;
   for (auto _ : State) {
     PipelineResult R = runPipeline(*P, Opts);

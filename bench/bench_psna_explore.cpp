@@ -34,6 +34,7 @@ void runLitmus(benchmark::State &State, const LitmusCase &LC,
   Cfg.SplitBudget = LC.SplitBudget;
   Cfg.Normalize = Normalize;
   Cfg.Telem = benchsupport::telemetry();
+  Cfg.NumThreads = benchsupport::numThreads();
 
   PsBehaviorSet B;
   for (auto _ : State) {

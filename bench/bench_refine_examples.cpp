@@ -34,6 +34,7 @@ void runCase(benchmark::State &State, const RefinementCase &RC,
   Cfg.Domain = RC.Domain;
   Cfg.StepBudget = RC.StepBudget;
   Cfg.Telem = benchsupport::telemetry();
+  Cfg.NumThreads = benchsupport::numThreads();
 
   RefinementResult R;
   for (auto _ : State) {
@@ -53,6 +54,7 @@ void runSimCase(benchmark::State &State, const RefinementCase &RC) {
   Cfg.Domain = RC.Domain;
   Cfg.StepBudget = RC.StepBudget;
   Cfg.Telem = benchsupport::telemetry();
+  Cfg.NumThreads = benchsupport::numThreads();
   SimulationResult R;
   for (auto _ : State) {
     R = checkSimulation(*Src, *Tgt, Cfg);

@@ -41,14 +41,17 @@ void runEnum(benchmark::State &State, const std::string &Text,
   Cfg.Domain = std::move(Domain);
   Cfg.Universe = P->naLocs();
   Cfg.Telem = benchsupport::telemetry();
+  Cfg.NumThreads = benchsupport::numThreads();
   SeqMachine M(*P, 0, Cfg);
   std::vector<SeqState> Inits = enumerateInitialStates(M);
 
   unsigned long long Behaviors = 0;
   for (auto _ : State) {
     Behaviors = 0;
-    for (const SeqState &Init : Inits)
-      Behaviors += enumerateBehaviors(M, Init).All.size();
+    // Batch across initial states so the pool parallelizes both across and
+    // within enumerations.
+    for (const BehaviorSet &B : enumerateBehaviorsBatch(M, Inits))
+      Behaviors += B.All.size();
     benchmark::ClobberMemory();
   }
   State.counters["behaviors"] = static_cast<double>(Behaviors);

@@ -58,6 +58,7 @@ void BM_SeqAdvancedCheck(benchmark::State &State) {
   std::unique_ptr<Program> Tgt = parseOrDie(TgtText);
   SeqConfig Cfg;
   Cfg.Telem = benchsupport::telemetry();
+  Cfg.NumThreads = benchsupport::numThreads();
   bool Holds = false;
   for (auto _ : State) {
     Holds = checkAdvancedRefinement(*Src, *Tgt, Cfg).Holds;
@@ -76,6 +77,7 @@ void BM_PsnaContextualCheck(benchmark::State &State) {
   addContexts(*Tgt, N);
   PsConfig Cfg;
   Cfg.Telem = benchsupport::telemetry();
+  Cfg.NumThreads = benchsupport::numThreads();
   unsigned long long States = 0;
   bool Holds = false;
   for (auto _ : State) {

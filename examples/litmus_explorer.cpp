@@ -6,8 +6,11 @@
 // Explores litmus tests under PS^na and prints their outcome sets —
 // either the built-in corpus (no arguments) or a program from a file:
 //
-//   litmus_explorer [file [promise-budget [split-budget]]]
-//   litmus_explorer --witness <corpus-case> <behavior>
+//   litmus_explorer [--threads N] [file [promise-budget [split-budget]]]
+//   litmus_explorer [--threads N] --witness <corpus-case> <behavior>
+//
+// --threads N parallelizes exploration across N workers (0 = all hardware
+// threads); the printed outcome sets are identical for every N.
 //
 // The witness mode prints an execution (machine states step by step)
 // exhibiting the given outcome, e.g.
@@ -16,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "exec/ThreadPool.h"
 #include "litmus/Corpus.h"
 #include "psna/Explorer.h"
 
@@ -26,6 +30,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 using namespace pseq;
 
@@ -48,6 +53,26 @@ void explore(const std::string &Title, const std::string &Text,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  unsigned NumThreads = exec::defaultNumThreads();
+  {
+    std::vector<char *> Rest;
+    for (int I = 0; I != Argc; ++I) {
+      std::string A = Argv[I];
+      if (A == "--threads" && I + 1 < Argc) {
+        NumThreads = static_cast<unsigned>(std::atoi(Argv[++I]));
+        continue;
+      }
+      if (A.rfind("--threads=", 0) == 0) {
+        NumThreads = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+        continue;
+      }
+      Rest.push_back(Argv[I]);
+    }
+    Argc = static_cast<int>(Rest.size());
+    for (int I = 0; I != Argc; ++I)
+      Argv[I] = Rest[I];
+  }
+
   if (Argc == 4 && std::string(Argv[1]) == "--witness") {
     const LitmusCase &LC = litmusCaseByName(Argv[2]);
     std::unique_ptr<Program> P = parseOrDie(LC.Text);
@@ -55,6 +80,7 @@ int main(int Argc, char **Argv) {
     Cfg.Domain = LC.Domain;
     Cfg.PromiseBudget = LC.PromiseBudget;
     Cfg.SplitBudget = LC.SplitBudget;
+    Cfg.NumThreads = NumThreads;
     std::vector<PsMachineState> Path = findPsnaWitness(*P, Cfg, Argv[3]);
     if (Path.empty()) {
       std::printf("behavior %s not reachable for %s\n", Argv[3], Argv[2]);
@@ -75,6 +101,7 @@ int main(int Argc, char **Argv) {
     std::stringstream Buf;
     Buf << In.rdbuf();
     PsConfig Cfg;
+    Cfg.NumThreads = NumThreads;
     if (Argc > 2)
       Cfg.PromiseBudget = static_cast<unsigned>(std::atoi(Argv[2]));
     if (Argc > 3)
@@ -90,6 +117,7 @@ int main(int Argc, char **Argv) {
     Cfg.Domain = LC.Domain;
     Cfg.PromiseBudget = LC.PromiseBudget;
     Cfg.SplitBudget = LC.SplitBudget;
+    Cfg.NumThreads = NumThreads;
     explore(LC.Name + " [" + LC.PaperRef + "]", LC.Text, Cfg);
     std::printf("\n");
   }

@@ -7,11 +7,52 @@
 
 #include "adequacy/Harness.h"
 
+#include "exec/ThreadPool.h"
 #include "lang/Parser.h"
 #include "obs/Telemetry.h"
 #include "seq/SimpleRefinement.h"
 
+#include <chrono>
+#include <memory>
+
 using namespace pseq;
+
+namespace {
+
+/// One context's contribution, computed off-thread in the parallel mode.
+struct ContextRecord {
+  bool Applicable = false;
+  ContextVerdict V;
+};
+
+/// Clone-build-check for one context; the only work the context loop does
+/// besides folding and observing. \p UseCfg carries the (possibly
+/// worker-private) telemetry.
+ContextRecord checkContext(const ContextSpec &Ctx, const Program &Src,
+                           const Program &Tgt, const PsConfig &UseCfg) {
+  ContextRecord Rec;
+  std::unique_ptr<Program> SrcC = cloneProgram(Src);
+  std::unique_ptr<Program> TgtC = cloneProgram(Tgt);
+  Ctx.Build(*SrcC);
+  Ctx.Build(*TgtC);
+  if (SrcC->numThreads() != TgtC->numThreads())
+    return Rec; // context not applicable to this layout
+  Rec.Applicable = true;
+
+  std::chrono::steady_clock::time_point Start =
+      std::chrono::steady_clock::now();
+  PsRefinementResult R = checkPsRefinement(*SrcC, *TgtC, UseCfg);
+  Rec.V.Context = Ctx.Name;
+  Rec.V.Holds = R.Holds;
+  Rec.V.Bounded = R.Bounded;
+  Rec.V.Counterexample = R.Counterexample;
+  Rec.V.ElapsedMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+  return Rec;
+}
+
+} // namespace
 
 AdequacyRecord pseq::runAdequacy(const std::string &Name, const Program &Src,
                                  const Program &Tgt, const SeqConfig &SeqCfg,
@@ -35,36 +76,52 @@ AdequacyRecord pseq::runAdequacy(const std::string &Name, const Program &Src,
   Rec.SeqAdvanced = Advanced.Holds;
   Rec.AnyBounded = Simple.Bounded || Advanced.Bounded || HasLoops;
 
-  for (const ContextSpec &Ctx : contextLibrary()) {
-    std::unique_ptr<Program> SrcC = cloneProgram(Src);
-    std::unique_ptr<Program> TgtC = cloneProgram(Tgt);
-    Ctx.Build(*SrcC);
-    Ctx.Build(*TgtC);
-    if (SrcC->numThreads() != TgtC->numThreads())
-      continue; // context not applicable to this layout
+  // Contexts are independent, so they fan out across the pool; verdicts,
+  // tallies, and trace events fold in library order afterwards, making the
+  // record identical (modulo ElapsedMs) for every worker count.
+  const std::vector<ContextSpec> &Lib = contextLibrary();
+  std::vector<ContextRecord> CtxRecords(Lib.size());
+  unsigned N = std::min<size_t>(exec::resolveThreads(PsCfg.NumThreads),
+                                Lib.size());
+  if (N > 1 && !exec::ThreadPool::insideWorker()) {
+    std::vector<std::unique_ptr<obs::Telemetry>> WTelems;
+    std::vector<PsConfig> WCfgs(N, PsCfg);
+    if (Telem)
+      for (unsigned W = 0; W != N; ++W) {
+        WTelems.push_back(std::make_unique<obs::Telemetry>());
+        WCfgs[W].Telem = WTelems.back().get();
+      }
+    exec::parallelFor(N, Lib.size(), [&](size_t I, unsigned W) {
+      CtxRecords[I] = checkContext(Lib[I], Src, Tgt, WCfgs[W]);
+    });
+    if (Telem)
+      for (const std::unique_ptr<obs::Telemetry> &WT : WTelems)
+        Telem->mergeCounters(WT->Counters);
+  } else {
+    for (size_t I = 0; I != Lib.size(); ++I) {
+      obs::ScopedTimer CtxTimer(Timers, Lib[I].Name);
+      CtxRecords[I] = checkContext(Lib[I], Src, Tgt, PsCfg);
+    }
+  }
 
-    obs::ScopedTimer CtxTimer(Timers, Ctx.Name);
-    PsRefinementResult R = checkPsRefinement(*SrcC, *TgtC, PsCfg);
-    ContextVerdict V;
-    V.Context = Ctx.Name;
-    V.Holds = R.Holds;
-    V.Bounded = R.Bounded;
-    V.Counterexample = R.Counterexample;
-    V.ElapsedMs = CtxTimer.stop();
-    Rec.PsnaAllContexts &= R.Holds;
-    Rec.AnyBounded |= R.Bounded;
+  for (ContextRecord &CR : CtxRecords) {
+    if (!CR.Applicable)
+      continue;
+    ContextVerdict &V = CR.V;
+    Rec.PsnaAllContexts &= V.Holds;
+    Rec.AnyBounded |= V.Bounded;
     if (Telem) {
       obs::ScopedTally Tally(&Telem->Counters);
       ++Tally.slot("adequacy.ctx_checks");
-      if (R.Holds)
+      if (V.Holds)
         ++Tally.slot("adequacy.ctx_holds");
-      if (R.Bounded)
+      if (V.Bounded)
         ++Tally.slot("adequacy.ctx_bounded");
       if (Telem->tracing())
         Telem->trace("adequacy.context", {{"pair", Name},
-                                          {"context", Ctx.Name},
-                                          {"holds", R.Holds},
-                                          {"bounded", R.Bounded},
+                                          {"context", V.Context},
+                                          {"holds", V.Holds},
+                                          {"bounded", V.Bounded},
                                           {"ms", V.ElapsedMs}});
     }
     Rec.Contexts.push_back(std::move(V));

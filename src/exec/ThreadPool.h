@@ -1,0 +1,107 @@
+//===- exec/ThreadPool.h - Fixed pool for exploration fan-out ---*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel-execution layer shared by the four engines (the SEQ
+/// behavior enumerator, the PS^na explorer, the translation validator, and
+/// the adequacy harness). One process-wide pool of persistent workers runs
+/// index-addressed batches: `run(N, Body)` executes Body(0) … Body(N-1)
+/// concurrently and returns when all are done. Engines keep their output
+/// deterministic by giving every worker an isolated arena (local Seen set,
+/// local telemetry, local machine) and folding the per-index results in
+/// index order afterwards — scheduling never leaks into results.
+///
+/// Nesting: a body that calls run() again (the validator fans out per
+/// thread, each thread check fans out per initial state) executes the inner
+/// batch sequentially inline on the calling worker. The partitioning is
+/// unchanged, so determinism is preserved, and the pool cannot deadlock on
+/// itself. `run(1, Body)` is always inline and does NOT mark the caller as
+/// a pool worker, so a single-element outer fan-out leaves the pool free
+/// for inner engines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_EXEC_THREADPOOL_H
+#define PSEQ_EXEC_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pseq::exec {
+
+/// \returns std::thread::hardware_concurrency(), at least 1.
+unsigned hardwareThreads();
+
+/// Resolves a NumThreads knob: 0 means "all hardware threads", anything
+/// else is taken literally (clamped to a sane ceiling).
+unsigned resolveThreads(unsigned NumThreads);
+
+/// The default for SeqConfig/PsConfig NumThreads: the PSEQ_THREADS
+/// environment variable when set ("0" = hardware concurrency), else 1.
+/// Reading the environment once lets CI run the whole suite multi-threaded
+/// without touching every call site.
+unsigned defaultNumThreads();
+
+/// A fixed pool of persistent worker threads executing index batches.
+class ThreadPool {
+public:
+  /// The process-wide pool every engine shares. Threads are spawned lazily
+  /// on first multi-worker run() and live for the process.
+  static ThreadPool &global();
+
+  /// Runs Body(0) … Body(NumWorkers-1), each exactly once, concurrently on
+  /// the pool (the calling thread participates). Returns when all bodies
+  /// finished. With NumWorkers <= 1, or when called from inside a pool
+  /// worker, the bodies run sequentially inline on the caller.
+  void run(unsigned NumWorkers, const std::function<void(unsigned)> &Body);
+
+  /// True on a thread currently executing a pool batch body (used by
+  /// nested run() calls to degrade to inline execution).
+  static bool insideWorker();
+
+  /// Threads spawned so far (test introspection).
+  unsigned spawned();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+private:
+  ThreadPool() = default;
+
+  void workerLoop();
+  void ensureThreads(unsigned N);
+
+  std::mutex Mu;
+  std::condition_variable WorkCv; ///< workers wait for a new generation
+  std::condition_variable DoneCv; ///< run() waits for batch completion
+  std::vector<std::thread> Threads;
+
+  // Batch slot (guarded by Mu except the two atomics).
+  uint64_t Generation = 0;
+  const std::function<void(unsigned)> *Body = nullptr;
+  unsigned BatchSize = 0;
+  std::atomic<unsigned> NextIdx{0};
+  std::atomic<unsigned> Completed{0};
+  unsigned InLoop = 0; ///< workers still claiming from this batch
+  bool ShuttingDown = false;
+};
+
+/// Convenience fan-out: runs Fn(Item, Worker) for every Item in [0, Items)
+/// on \p NumWorkers workers, items claimed dynamically. Deterministic
+/// callers must make Fn's effect per-item (indexed results), not per-order.
+void parallelFor(unsigned NumWorkers, size_t Items,
+                 const std::function<void(size_t, unsigned)> &Fn);
+
+} // namespace pseq::exec
+
+#endif // PSEQ_EXEC_THREADPOOL_H

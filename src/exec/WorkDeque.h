@@ -1,0 +1,98 @@
+//===- exec/WorkDeque.h - Work-stealing deques of frontiers -----*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-worker deques of exploration tasks with work stealing: the owner
+/// pushes and pops at the back (LIFO — depth-first, cache-warm), thieves
+/// steal from the front (FIFO — the oldest, typically largest subtrees).
+/// Deques are mutex-guarded: exploration tasks are coarse (a whole DFS
+/// subtree), so the lock is cold next to the work it hands out.
+///
+/// Stealing makes the *schedule* nondeterministic; engines stay
+/// deterministic by tagging every task with its index in a fixed task list
+/// and folding per-index results in index order after the pool joins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_EXEC_WORKDEQUE_H
+#define PSEQ_EXEC_WORKDEQUE_H
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace pseq::exec {
+
+/// A set of per-worker task deques with stealing.
+template <typename T> class WorkDequeSet {
+  struct Shard {
+    std::mutex Mu;
+    std::deque<T> Items;
+  };
+  std::vector<Shard> Shards;
+
+public:
+  explicit WorkDequeSet(unsigned NumWorkers) : Shards(NumWorkers) {}
+
+  unsigned workers() const { return static_cast<unsigned>(Shards.size()); }
+
+  /// Owner push (back of the own deque).
+  void push(unsigned Worker, T Item) {
+    Shard &S = Shards[Worker];
+    std::lock_guard<std::mutex> L(S.Mu);
+    S.Items.push_back(std::move(Item));
+  }
+
+  /// Owner pop (back of the own deque; LIFO).
+  std::optional<T> pop(unsigned Worker) {
+    Shard &S = Shards[Worker];
+    std::lock_guard<std::mutex> L(S.Mu);
+    if (S.Items.empty())
+      return std::nullopt;
+    T Item = std::move(S.Items.back());
+    S.Items.pop_back();
+    return Item;
+  }
+
+  /// Steal from the front of some other worker's deque (round-robin scan
+  /// starting after \p Worker).
+  std::optional<T> steal(unsigned Worker) {
+    unsigned N = workers();
+    for (unsigned K = 1; K < N; ++K) {
+      Shard &S = Shards[(Worker + K) % N];
+      std::lock_guard<std::mutex> L(S.Mu);
+      if (S.Items.empty())
+        continue;
+      T Item = std::move(S.Items.front());
+      S.Items.pop_front();
+      return Item;
+    }
+    return std::nullopt;
+  }
+
+  /// Own deque first, then steal.
+  std::optional<T> next(unsigned Worker) {
+    if (std::optional<T> Item = pop(Worker))
+      return Item;
+    return steal(Worker);
+  }
+
+  /// Total queued items (racy snapshot; tests only call it quiescent).
+  size_t size() {
+    size_t N = 0;
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> L(S.Mu);
+      N += S.Items.size();
+    }
+    return N;
+  }
+};
+
+} // namespace pseq::exec
+
+#endif // PSEQ_EXEC_WORKDEQUE_H

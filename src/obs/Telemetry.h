@@ -21,6 +21,8 @@
 #include "obs/Timer.h"
 #include "obs/TraceSink.h"
 
+#include <mutex>
+
 namespace pseq::obs {
 
 /// One run's worth of telemetry. Non-copyable; share by pointer.
@@ -31,6 +33,16 @@ struct Telemetry {
   /// trace() over touching this directly.
   TraceSink *Sink = nullptr;
 
+  /// Folds a worker arena's counter registry into this one (counters add,
+  /// gauges max). The parallel engines give every pool worker a private
+  /// Telemetry and fold the arenas back through this after the join; the
+  /// lock makes concurrent folds safe. Timers and traces stay
+  /// orchestrator-only — they are ordered artifacts, not tallies.
+  void mergeCounters(const Stats &S) {
+    std::lock_guard<std::mutex> L(MergeMu);
+    Counters.merge(S);
+  }
+
   bool tracing() const { return Sink && Sink->enabled(); }
 
   /// Emits an event when tracing is on. Callers on hot paths should guard
@@ -39,6 +51,9 @@ struct Telemetry {
     if (tracing())
       Sink->event(Kind, Fields);
   }
+
+private:
+  std::mutex MergeMu;
 };
 
 } // namespace pseq::obs

@@ -25,6 +25,7 @@ PipelineResult pseq::runPipeline(const Program &P,
   obs::Telemetry *Telem = Opts.Telem ? Opts.Telem : Opts.Cfg.Telem;
   SeqConfig ValidateCfg = Opts.Cfg;
   ValidateCfg.Telem = Telem;
+  ValidateCfg.NumThreads = Opts.NumThreads;
   obs::TimerTree *Timers = Telem ? &Telem->Timers : nullptr;
   obs::ScopedTimer PipeTimer(Timers, "pipeline");
 

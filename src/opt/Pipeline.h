@@ -34,6 +34,11 @@ struct PipelineOptions {
   /// Run the extension constant-propagation pass before the paper's four
   /// (it feeds SLF constant stores and folds decided branches).
   bool EnableConstProp = false;
+  /// Worker count forwarded to the validator through Cfg (overriding
+  /// Cfg.NumThreads, like Telem below): 1 validates on the calling thread,
+  /// 0 uses all hardware threads. Verdicts are identical either way.
+  /// Defaults to the PSEQ_THREADS environment variable (unset = 1).
+  unsigned NumThreads = exec::defaultNumThreads();
   /// Optional telemetry (borrowed; see obs/Telemetry.h). Also forwarded to
   /// the validator through Cfg, overriding Cfg.Telem when set.
   obs::Telemetry *Telem = nullptr;

@@ -7,14 +7,30 @@
 
 #include "opt/Validator.h"
 
+#include "exec/ThreadPool.h"
 #include "obs/Telemetry.h"
 #include "seq/SimpleRefinement.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <memory>
 #include <string>
 
 using namespace pseq;
+
+namespace {
+
+/// What validating one program thread contributes to the verdict.
+struct ThreadRecord {
+  bool Holds = false;
+  bool Bounded = false;
+  TruncationCause Cause = TruncationCause::None;
+  std::string Cex;
+  unsigned long long States = 0;
+};
+
+} // namespace
 
 ValidationResult pseq::validateTransform(const Program &Src,
                                          const Program &Tgt, SeqConfig Cfg,
@@ -40,47 +56,80 @@ ValidationResult pseq::validateTransform(const Program &Src,
 
   ValidationResult Out;
   Out.MethodUsed = Method;
-  for (unsigned T = 0, E = Src.numThreads(); T != E; ++T) {
-    bool Holds = false;
-    bool Bounded = false;
-    TruncationCause Cause = TruncationCause::None;
-    std::string Cex;
+
+  const unsigned NumT = Src.numThreads();
+  auto checkThread = [&](unsigned T, const SeqConfig &UseCfg,
+                         ThreadRecord &Rec) {
     switch (Method) {
     case ValidationMethod::Simple: {
-      RefinementResult R = checkSimpleRefinement(Src, T, Tgt, T, Cfg);
-      Holds = R.Holds;
-      Bounded = R.Bounded;
-      Cause = R.Cause;
-      Cex = R.Counterexample;
-      Out.StatesExplored += R.InitialStates + R.SrcBehaviors + R.TgtBehaviors;
+      RefinementResult R = checkSimpleRefinement(Src, T, Tgt, T, UseCfg);
+      Rec.Holds = R.Holds;
+      Rec.Bounded = R.Bounded;
+      Rec.Cause = R.Cause;
+      Rec.Cex = R.Counterexample;
+      Rec.States = R.InitialStates + R.SrcBehaviors + R.TgtBehaviors;
       break;
     }
     case ValidationMethod::Advanced: {
-      RefinementResult R = checkAdvancedRefinement(Src, T, Tgt, T, Cfg);
-      Holds = R.Holds;
-      Bounded = R.Bounded;
-      Cause = R.Cause;
-      Cex = R.Counterexample;
-      Out.StatesExplored += R.InitialStates + R.TgtBehaviors;
+      RefinementResult R = checkAdvancedRefinement(Src, T, Tgt, T, UseCfg);
+      Rec.Holds = R.Holds;
+      Rec.Bounded = R.Bounded;
+      Rec.Cause = R.Cause;
+      Rec.Cex = R.Counterexample;
+      Rec.States = R.InitialStates + R.TgtBehaviors;
       break;
     }
     case ValidationMethod::Simulation: {
-      SimulationResult R = checkSimulation(Src, T, Tgt, T, Cfg);
-      Holds = R.Holds;
-      Bounded = !R.Complete;
-      if (Bounded)
-        Cause = TruncationCause::StateBudget;
-      Cex = R.Counterexample;
-      Out.StatesExplored += R.ProductNodes;
+      SimulationResult R = checkSimulation(Src, T, Tgt, T, UseCfg);
+      Rec.Holds = R.Holds;
+      Rec.Bounded = !R.Complete;
+      if (Rec.Bounded)
+        Rec.Cause = TruncationCause::StateBudget;
+      Rec.Cex = R.Counterexample;
+      Rec.States = R.ProductNodes;
       break;
     }
     }
-    Out.Bounded |= Bounded;
-    noteTruncation(Out.Cause, Cause);
-    if (Holds)
+  };
+
+  // (pass, thread) checks are independent; with several program threads and
+  // a multi-threaded config they fan out across the pool against per-worker
+  // configs (private telemetry arenas, merged after the join). Records fold
+  // in thread order through the first failure, so the verdict and
+  // counterexample match the sequential loop for every worker count.
+  std::vector<ThreadRecord> Records(NumT);
+  unsigned N = std::min(exec::resolveThreads(Cfg.NumThreads), NumT);
+  if (N > 1 && !exec::ThreadPool::insideWorker()) {
+    std::vector<std::unique_ptr<obs::Telemetry>> WTelems;
+    std::vector<SeqConfig> WCfgs(N, Cfg);
+    if (Telem)
+      for (unsigned W = 0; W != N; ++W) {
+        WTelems.push_back(std::make_unique<obs::Telemetry>());
+        WCfgs[W].Telem = WTelems.back().get();
+      }
+    exec::parallelFor(N, NumT, [&](size_t T, unsigned W) {
+      checkThread(static_cast<unsigned>(T), WCfgs[W], Records[T]);
+    });
+    if (Telem)
+      for (const std::unique_ptr<obs::Telemetry> &WT : WTelems)
+        Telem->mergeCounters(WT->Counters);
+  } else {
+    for (unsigned T = 0; T != NumT; ++T) {
+      checkThread(T, Cfg, Records[T]);
+      if (!Records[T].Holds)
+        break;
+    }
+  }
+
+  for (unsigned T = 0; T != NumT; ++T) {
+    ThreadRecord &Rec = Records[T];
+    Out.StatesExplored += Rec.States;
+    Out.Bounded |= Rec.Bounded;
+    noteTruncation(Out.Cause, Rec.Cause);
+    if (Rec.Holds)
       continue;
     Out.Ok = false;
-    Out.Counterexample = "thread " + std::to_string(T) + ": " + Cex;
+    Out.Counterexample = "thread " + std::to_string(T) + ": " + Rec.Cex;
     break;
   }
   if (Out.Bounded) {

@@ -7,11 +7,13 @@
 
 #include "psna/Explorer.h"
 
+#include "exec/ThreadPool.h"
 #include "obs/Telemetry.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <unordered_set>
 
 using namespace pseq;
@@ -102,9 +104,7 @@ struct BehaviorHash {
   }
 };
 
-} // namespace
-
-PsBehaviorSet pseq::explorePsna(const Program &P, const PsConfig &Cfg) {
+PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
   PsMachine M(P, Cfg);
   PsBehaviorSet Result;
   std::unordered_set<PsMachineState, StateHash> Visited;
@@ -189,6 +189,173 @@ PsBehaviorSet pseq::explorePsna(const Program &P, const PsConfig &Cfg) {
                     {"ms", Timer.stop()}});
   }
   return Result;
+}
+
+/// Per-worker arenas: machine copies whose telemetry (if any) is a private
+/// registry, folded into the orchestrator's after the exploration.
+struct PsArenas {
+  std::vector<std::unique_ptr<obs::Telemetry>> Telems;
+  std::vector<std::unique_ptr<PsMachine>> Machines;
+
+  PsArenas(const Program &P, const PsConfig &Cfg, unsigned N) {
+    for (unsigned W = 0; W != N; ++W) {
+      PsConfig WCfg = Cfg;
+      if (WCfg.Telem) {
+        Telems.push_back(std::make_unique<obs::Telemetry>());
+        WCfg.Telem = Telems.back().get();
+      }
+      Machines.push_back(std::make_unique<PsMachine>(P, WCfg));
+    }
+  }
+
+  void mergeInto(obs::Telemetry *Telem) {
+    if (!Telem)
+      return;
+    for (const std::unique_ptr<obs::Telemetry> &WT : Telems)
+      Telem->mergeCounters(WT->Counters);
+  }
+
+  bool certBudgetHit() const {
+    for (const std::unique_ptr<PsMachine> &M : Machines)
+      if (M->certBudgetHit())
+        return true;
+    return false;
+  }
+};
+
+/// One frontier state's successors, computed off-thread: concatenated in
+/// thread order, with the per-thread counts the sequential loop tallies.
+struct PsExpansion {
+  std::vector<PsMachineState> Succs;
+  std::vector<uint32_t> PerThread;
+};
+
+/// Level-synchronous parallel BFS. Each round expands the whole current
+/// frontier across the pool, then merges expansions *in pop order*, with
+/// the MaxStates check re-run before each merged index exactly where the
+/// sequential loop checks it before each pop. The merged Visited/Work
+/// evolution is therefore identical to the sequential explorer's —
+/// behaviors, insertion order, StatesExplored, and the truncation cause
+/// match for every worker count, even mid-level truncation. (A truncating
+/// round expands frontier states the sequential loop never pops; their
+/// results are discarded, costing only wasted work, and their
+/// certification searches cannot change any verdict because every search
+/// carries its own private node budget.)
+PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
+                                  unsigned N) {
+  PsArenas Arenas(P, Cfg, N);
+  PsBehaviorSet Result;
+  std::unordered_set<PsMachineState, StateHash> Visited;
+  std::unordered_set<PsBehavior, BehaviorHash> Behaviors;
+  std::deque<PsMachineState> Work;
+
+  obs::Telemetry *Telem = Cfg.Telem;
+  obs::ScopedTimer Timer(Telem ? &Telem->Timers : nullptr, "psna.explore");
+  obs::ScopedTally Tally(Telem ? &Telem->Counters : nullptr);
+  uint64_t &Runs = Tally.slot("psna.explore.runs");
+  uint64_t &Expanded = Tally.slot("psna.explore.states_expanded");
+  uint64_t &DedupHits = Tally.slot("psna.explore.dedup_hits");
+  uint64_t &Emitted = Tally.slot("psna.explore.behaviors");
+  std::vector<uint64_t> ThreadSteps(P.numThreads(), 0);
+  size_t MaxFrontier = 1;
+  ++Runs;
+
+  PsMachineState Init = Arenas.Machines[0]->initialState();
+  Init.normalize();
+  Visited.insert(Init);
+  Work.push_back(std::move(Init));
+
+  auto record = [&](PsBehavior B) {
+    if (Behaviors.insert(B).second) {
+      ++Emitted;
+      Result.All.push_back(std::move(B));
+    }
+  };
+
+  bool Truncated = false;
+  while (!Work.empty() && !Truncated) {
+    size_t K = Work.size();
+    std::vector<PsExpansion> Level(K);
+    exec::parallelFor(N, K, [&](size_t I, unsigned W) {
+      const PsMachineState &S = Work[I];
+      if (S.Bottom || S.allDone())
+        return;
+      PsExpansion &E = Level[I];
+      unsigned NumThreads = static_cast<unsigned>(S.Threads.size());
+      E.PerThread.resize(NumThreads, 0);
+      for (unsigned Tid = 0; Tid != NumThreads; ++Tid) {
+        std::vector<PsMachineState> Succ =
+            Arenas.Machines[W]->threadSuccessors(S, Tid);
+        E.PerThread[Tid] = static_cast<uint32_t>(Succ.size());
+        for (PsMachineState &Next : Succ)
+          E.Succs.push_back(std::move(Next));
+      }
+    });
+
+    for (size_t I = 0; I != K; ++I) {
+      if (Visited.size() > Cfg.MaxStates) {
+        noteTruncation(Result.Cause, TruncationCause::StateBudget);
+        Truncated = true;
+        break;
+      }
+      MaxFrontier = std::max(MaxFrontier, Work.size());
+      PsMachineState S = std::move(Work.front());
+      Work.pop_front();
+      ++Expanded;
+
+      if (S.Bottom) {
+        record(PsBehavior::ub());
+        continue;
+      }
+      if (S.allDone()) {
+        PsBehavior B;
+        for (const PsThread &T : S.Threads)
+          B.Rets.push_back(T.Prog.retVal());
+        B.Outs = S.Outs;
+        record(std::move(B));
+        continue;
+      }
+      for (size_t Tid = 0; Tid != Level[I].PerThread.size(); ++Tid)
+        ThreadSteps[Tid] += Level[I].PerThread[Tid];
+      for (PsMachineState &Next : Level[I].Succs) {
+        if (Visited.insert(Next).second)
+          Work.push_back(std::move(Next));
+        else
+          ++DedupHits;
+      }
+    }
+  }
+
+  Arenas.mergeInto(Telem);
+  if (Arenas.certBudgetHit())
+    noteTruncation(Result.Cause, TruncationCause::CertBudget);
+  Result.StatesExplored = static_cast<unsigned>(Visited.size());
+
+  if (Telem) {
+    Telem->Counters.maxGauge("psna.explore.max_frontier",
+                             static_cast<double>(MaxFrontier));
+    for (size_t Tid = 0; Tid != ThreadSteps.size(); ++Tid)
+      Telem->Counters.add("psna.explore.thread" + std::to_string(Tid) +
+                              ".steps",
+                          ThreadSteps[Tid]);
+    if (Telem->tracing())
+      Telem->trace("psna.explore",
+                   {{"states", uint64_t(Result.StatesExplored)},
+                    {"behaviors", uint64_t(Result.All.size())},
+                    {"dedup_hits", DedupHits},
+                    {"cause", truncationCauseName(Result.Cause)},
+                    {"ms", Timer.stop()}});
+  }
+  return Result;
+}
+
+} // namespace
+
+PsBehaviorSet pseq::explorePsna(const Program &P, const PsConfig &Cfg) {
+  unsigned N = exec::resolveThreads(Cfg.NumThreads);
+  if (N <= 1 || exec::ThreadPool::insideWorker())
+    return explorePsnaSequential(P, Cfg);
+  return explorePsnaParallel(P, Cfg, N);
 }
 
 std::vector<PsMachineState> pseq::findPsnaWitness(const Program &P,

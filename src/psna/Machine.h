@@ -31,6 +31,7 @@
 #ifndef PSEQ_PSNA_MACHINE_H
 #define PSEQ_PSNA_MACHINE_H
 
+#include "exec/ThreadPool.h"
 #include "psna/Thread.h"
 #include "support/ValueDomain.h"
 
@@ -51,6 +52,12 @@ struct PsConfig {
   /// order-isomorphic states). Off, exploration still terminates on
   /// loop-free programs but visits many more states (bench_psna_explore).
   bool Normalize = true;
+  /// Worker count for the explorer: 1 runs on the calling thread, 0 uses
+  /// all hardware threads. The frontier is expanded level-synchronously
+  /// and merged in pop order, so behaviors, StatesExplored, and the
+  /// truncation cause are identical for every value (see DESIGN.md).
+  /// Defaults to the PSEQ_THREADS environment variable (unset = 1).
+  unsigned NumThreads = exec::defaultNumThreads();
   /// Optional telemetry (borrowed; see obs/Telemetry.h). Null — the
   /// default — keeps the explorer and machine on their fast paths.
   obs::Telemetry *Telem = nullptr;

@@ -8,6 +8,7 @@
 #include "seq/AdvancedRefinement.h"
 
 #include "obs/Telemetry.h"
+#include "seq/InitSweep.h"
 #include "seq/OracleGame.h"
 #include "support/Hashing.h"
 
@@ -181,30 +182,31 @@ RefinementResult pseq::checkAdvancedRefinement(const Program &SrcP,
   // enumeration budget (the matcher explores a product space).
   const unsigned NodeBudget = Cfg.StepBudget * 4096;
 
-  for (size_t Idx = 0, E = SrcInits.size(); Idx != E; ++Idx) {
-    BehaviorSet Tgt = enumerateBehaviors(TgtM, TgtInits[Idx]);
-    Result.Bounded |= Tgt.truncated();
-    noteTruncation(Result.Cause, Tgt.Cause);
-    Result.TgtBehaviors += Tgt.All.size();
-    for (const SeqBehavior &TB : Tgt.All) {
-      Matcher M(SrcM, TB, Cfg.Universe, NodeBudget);
-      bool Matched = M.run(SrcInits[Idx]);
-      if (M.budgetHit()) {
-        Result.Bounded = true;
-        noteTruncation(Result.Cause, TruncationCause::StateBudget);
-      }
-      if (Matched)
-        continue;
-      Result.Holds = false;
-      const std::vector<std::string> &Names = SrcP.locNames();
-      Result.Counterexample = "initial " + TgtInits[Idx].str(&Names) +
-                              " target behavior " + TB.str(&Names) +
-                              " unmatched by source (advanced)";
-      observeRefinementCheck(Telem, "seq.check.advanced", Result,
-                             Timer.stop());
-      return Result;
-    }
-  }
+  detail::sweepInits(
+      SrcM, TgtM, SrcInits.size(), Result,
+      [&](const SeqMachine &SM, const SeqMachine &TM, size_t Idx,
+          detail::InitRecord &R) {
+        BehaviorSet Tgt = enumerateBehaviors(TM, TgtInits[Idx]);
+        R.Bounded = Tgt.truncated();
+        R.Cause = Tgt.Cause;
+        R.TgtBehaviors = Tgt.All.size();
+        for (const SeqBehavior &TB : Tgt.All) {
+          Matcher M(SM, TB, Cfg.Universe, NodeBudget);
+          bool Matched = M.run(SrcInits[Idx]);
+          if (M.budgetHit()) {
+            R.Bounded = true;
+            noteTruncation(R.Cause, TruncationCause::StateBudget);
+          }
+          if (Matched)
+            continue;
+          R.Failed = true;
+          const std::vector<std::string> &Names = SrcP.locNames();
+          R.Counterexample = "initial " + TgtInits[Idx].str(&Names) +
+                             " target behavior " + TB.str(&Names) +
+                             " unmatched by source (advanced)";
+          return;
+        }
+      });
   observeRefinementCheck(Telem, "seq.check.advanced", Result, Timer.stop());
   return Result;
 }

@@ -62,6 +62,112 @@ uint64_t SeqBehavior::hash() const {
   return H;
 }
 
+uint64_t SeqBehavior::refinementKey() const {
+  // Include only what refines() forces to be equal between a target and a
+  // non-⊥ source. Per refinesLabel: every label pins (K, Loc); choices,
+  // reads, and acquire labels additionally pin V (and acquires pin P, P',
+  // Vm); release labels pin P, P' and — because PartialMem::refines
+  // requires equal domains — dom(Vm). F is always ⊆-compared and the
+  // terminal components (RetVal, F, Mem) are ⊑-compared, so none of those
+  // may enter the key.
+  uint64_t H = hashCombine(static_cast<uint64_t>(Kind), Trace.size());
+  for (const SeqEvent &E : Trace) {
+    H = hashCombine(H, hashCombine(static_cast<uint64_t>(E.K), E.Loc));
+    switch (E.K) {
+    case SeqEvent::Kind::Choose:
+    case SeqEvent::Kind::RlxRead:
+      H = hashCombine(H, E.V.hash());
+      break;
+    case SeqEvent::Kind::RlxWrite:
+    case SeqEvent::Kind::Syscall:
+      break; // V is ⊑-compared
+    case SeqEvent::Kind::AcqRead:
+    case SeqEvent::Kind::AcqFence:
+      H = hashCombine(H, E.V.hash());
+      H = hashCombine(H, E.P.raw());
+      H = hashCombine(H, E.P2.raw());
+      H = hashCombine(H, E.Vm.hash());
+      break;
+    case SeqEvent::Kind::RelWrite:
+    case SeqEvent::Kind::RelFence:
+      H = hashCombine(H, E.P.raw());
+      H = hashCombine(H, E.P2.raw());
+      H = hashCombine(H, E.Vm.domain().raw());
+      break;
+    }
+  }
+  return H;
+}
+
+namespace {
+
+/// undef orders before every defined value; defined values by payload.
+int valueCompare(Value A, Value B) {
+  if (A.isUndef() != B.isUndef())
+    return A.isUndef() ? -1 : 1;
+  if (A.isUndef())
+    return 0;
+  if (A.get() != B.get())
+    return A.get() < B.get() ? -1 : 1;
+  return 0;
+}
+
+int partialMemCompare(const PartialMem &A, const PartialMem &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = 0, E = A.size(); I != E; ++I) {
+    const auto &EA = A.entries()[I];
+    const auto &EB = B.entries()[I];
+    if (EA.first != EB.first)
+      return EA.first < EB.first ? -1 : 1;
+    if (int C = valueCompare(EA.second, EB.second))
+      return C;
+  }
+  return 0;
+}
+
+int rawCompare(uint64_t A, uint64_t B) {
+  return A == B ? 0 : (A < B ? -1 : 1);
+}
+
+int eventCompare(const SeqEvent &A, const SeqEvent &B) {
+  if (A.K != B.K)
+    return A.K < B.K ? -1 : 1;
+  if (A.Loc != B.Loc)
+    return A.Loc < B.Loc ? -1 : 1;
+  if (int C = valueCompare(A.V, B.V))
+    return C;
+  if (int C = rawCompare(A.P.raw(), B.P.raw()))
+    return C;
+  if (int C = rawCompare(A.P2.raw(), B.P2.raw()))
+    return C;
+  if (int C = rawCompare(A.F.raw(), B.F.raw()))
+    return C;
+  return partialMemCompare(A.Vm, B.Vm);
+}
+
+} // namespace
+
+bool pseq::behaviorLess(const SeqBehavior &A, const SeqBehavior &B) {
+  if (A.Kind != B.Kind)
+    return A.Kind < B.Kind;
+  if (A.Trace.size() != B.Trace.size())
+    return A.Trace.size() < B.Trace.size();
+  for (size_t I = 0, E = A.Trace.size(); I != E; ++I)
+    if (int C = eventCompare(A.Trace[I], B.Trace[I]))
+      return C < 0;
+  if (int C = valueCompare(A.RetVal, B.RetVal))
+    return C < 0;
+  if (int C = rawCompare(A.F.raw(), B.F.raw()))
+    return C < 0;
+  if (A.Mem.size() != B.Mem.size())
+    return A.Mem.size() < B.Mem.size();
+  for (size_t I = 0, E = A.Mem.size(); I != E; ++I)
+    if (int C = valueCompare(A.Mem[I], B.Mem[I]))
+      return C < 0;
+  return false;
+}
+
 std::string
 SeqBehavior::str(const std::vector<std::string> *LocNames) const {
   std::string Out = "<[";

@@ -43,7 +43,20 @@ struct SeqBehavior {
   bool operator==(const SeqBehavior &O) const;
   uint64_t hash() const;
   std::string str(const std::vector<std::string> *LocNames = nullptr) const;
+
+  /// A hash over exactly the components refines() requires to be *equal*
+  /// (kind, trace length, and per label: kind, location, and — where the
+  /// label rules demand equality — value, permission sets, and gained
+  /// values). Any target refining a non-⊥ source shares the source's key,
+  /// so a key-indexed source set answers covers() without a linear scan.
+  /// ⊥-ended sources match by trace prefix and have no such key.
+  uint64_t refinementKey() const;
 };
+
+/// Strict total order on behaviors, consistent with operator== (field-wise
+/// lexicographic). The enumerator sorts every BehaviorSet canonically with
+/// it so results are identical no matter how many workers explored.
+bool behaviorLess(const SeqBehavior &A, const SeqBehavior &B);
 
 } // namespace pseq
 

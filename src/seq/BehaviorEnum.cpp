@@ -7,16 +7,43 @@
 
 #include "seq/BehaviorEnum.h"
 
+#include "exec/ThreadPool.h"
+#include "exec/WorkDeque.h"
 #include "obs/Telemetry.h"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
+#include <memory>
 #include <unordered_set>
 
 using namespace pseq;
 
+void BehaviorSet::buildIndex() const {
+  RefineIndex.reserve(All.size());
+  for (uint32_t I = 0, E = static_cast<uint32_t>(All.size()); I != E; ++I) {
+    if (All[I].Kind == SeqBehavior::End::Bottom)
+      BottomSources.push_back(I);
+    else
+      RefineIndex.emplace(All[I].refinementKey(), I);
+  }
+  Indexed = true;
+}
+
 bool BehaviorSet::covers(const SeqBehavior &Tgt, LocSet Universe) const {
-  for (const SeqBehavior &Src : All)
-    if (Tgt.refines(Src, Universe))
+  if (!Indexed)
+    buildIndex();
+  // ⟨tr_tgt · tr, r⟩ ⊑ ⟨tr_src, ⊥⟩ matches by trace *prefix*, so ⊥-ended
+  // sources share no key with their targets; they stay in a linear side
+  // list (short in practice — one per distinct UB prefix).
+  for (uint32_t I : BottomSources)
+    if (Tgt.refines(All[I], Universe))
+      return true;
+  // Every non-⊥ source a target can refine agrees with it on all the
+  // equality-pinned label components, i.e. shares its refinement key.
+  auto [B, E] = RefineIndex.equal_range(Tgt.refinementKey());
+  for (auto It = B; It != E; ++It)
+    if (Tgt.refines(All[It->second], Universe))
       return true;
   return false;
 }
@@ -29,48 +56,89 @@ struct BehaviorHash {
   }
 };
 
-class Enumerator {
-  const SeqMachine &M;
-  obs::Telemetry *Telem;
-  BehaviorSet Result;
-  std::unordered_set<SeqBehavior, BehaviorHash> Seen;
-  std::vector<SeqEvent> Trace;
-
-  // Run-local tallies: plain members so the hot path costs one increment
-  // each whether or not telemetry is attached; folded into the registry
-  // once, at the end of run().
+/// Run-local tallies: plain fields so the hot path costs one increment each
+/// whether or not telemetry is attached; folded into the registry once per
+/// enumerateBehaviors call.
+struct EnumTallies {
   uint64_t Expanded = 0;
   uint64_t Emitted = 0;
   uint64_t DedupHits = 0;
   uint64_t TruncStep = 0;
   uint64_t TruncCap = 0;
   unsigned MaxDepth = 0;
+};
+
+/// A frontier subtree handed to a pool worker: explore \p State (reached
+/// via \p Trace) with \p StepsLeft transitions of budget remaining.
+struct EnumTask {
+  SeqState State;
+  std::vector<SeqEvent> Trace;
+  unsigned StepsLeft = 0;
+};
+
+/// Explicit-stack DFS over the SEQ transition tree, emitting one behavior
+/// per visited node (Def 2.1). Owns a local Seen set, so several
+/// enumerators can run concurrently without sharing anything but the
+/// optional approximate unique-behavior counter.
+class DfsEnumerator {
+  const SeqMachine &M;
+  /// Cross-worker count of unique emissions, checked against MaxBehaviors.
+  /// Null (the sequential / merge enumerator) uses the exact local
+  /// Seen.size() instead.
+  std::atomic<uint64_t> *SharedUnique;
+  BehaviorSet Result;
+  std::unordered_set<SeqBehavior, BehaviorHash> Seen;
+  std::vector<SeqEvent> Trace;
+  EnumTallies T;
+
+  /// One DFS level: the successor list of some expanded node, the next
+  /// child to explore, and how many labels the *previous* child pushed
+  /// (undone when control returns to this level).
+  struct Frame {
+    std::vector<SeqTransition> Succs;
+    size_t Idx = 0;
+    size_t PrevPushed = 0;
+    unsigned StepsLeft = 0;
+  };
+
+public:
+  explicit DfsEnumerator(const SeqMachine &M,
+                         std::atomic<uint64_t> *SharedUnique = nullptr)
+      : M(M), SharedUnique(SharedUnique) {}
+
+  EnumTallies &tallies() { return T; }
+  BehaviorSet &result() { return Result; }
+  BehaviorSet take() { return std::move(Result); }
 
   void emit(SeqBehavior B) {
-    if (Seen.size() >= M.config().MaxBehaviors) {
-      ++TruncCap;
+    // Dedup *before* the cap check: a behavior already in the set is a
+    // dedup hit, never a capped emission. (Checking the cap first made it
+    // fire early by however many duplicates arrived once the set was
+    // full, and misattributed the truncation.)
+    if (Seen.find(B) != Seen.end()) {
+      ++T.DedupHits;
+      return;
+    }
+    uint64_t Unique = SharedUnique
+                          ? SharedUnique->load(std::memory_order_relaxed)
+                          : Seen.size();
+    if (Unique >= M.config().MaxBehaviors) {
+      ++T.TruncCap;
       noteTruncation(Result.Cause, TruncationCause::BehaviorCap);
       return;
     }
-    if (Seen.insert(B).second) {
-      ++Emitted;
-      Result.All.push_back(std::move(B));
-    } else {
-      ++DedupHits;
-    }
+    if (SharedUnique)
+      SharedUnique->fetch_add(1, std::memory_order_relaxed);
+    ++T.Emitted;
+    Seen.insert(B);
+    Result.All.push_back(std::move(B));
   }
 
-  void emitPartial(const SeqState &S) {
-    SeqBehavior B;
-    B.Trace = Trace;
-    B.Kind = SeqBehavior::End::Partial;
-    B.F = S.Written;
-    emit(std::move(B));
-  }
-
-  void visit(const SeqState &S, unsigned StepsLeft) {
-    ++Expanded;
-    MaxDepth = std::max(MaxDepth, M.config().StepBudget - StepsLeft);
+  /// Emits \p S's behavior under the current trace. \returns true when the
+  /// node's successors should be explored.
+  bool visitNode(const SeqState &S, unsigned StepsLeft) {
+    ++T.Expanded;
+    T.MaxDepth = std::max(T.MaxDepth, M.config().StepBudget - StepsLeft);
     // Every reachable state generates ⟨tr, prt(F)⟩ — including states that
     // could also terminate (Def 2.1's "otherwise" applies only to
     // non-terminal states, so skip those).
@@ -79,7 +147,7 @@ class Enumerator {
       B.Trace = Trace;
       B.Kind = SeqBehavior::End::Bottom;
       emit(std::move(B));
-      return;
+      return false;
     }
     if (S.isTerminated()) {
       SeqBehavior B;
@@ -89,48 +157,224 @@ class Enumerator {
       B.F = S.Written;
       B.Mem = S.Mem;
       emit(std::move(B));
-      return;
+      return false;
     }
-    emitPartial(S);
+    SeqBehavior B;
+    B.Trace = Trace;
+    B.Kind = SeqBehavior::End::Partial;
+    B.F = S.Written;
+    emit(std::move(B));
     if (StepsLeft == 0) {
-      ++TruncStep;
+      ++T.TruncStep;
       noteTruncation(Result.Cause, TruncationCause::StepBudget);
-      return;
+      return false;
     }
-    for (SeqTransition &T : M.successors(S)) {
-      size_t Pushed = T.Labels.size();
-      for (SeqEvent &E : T.Labels)
+    return true;
+  }
+
+  /// Task-generation front-end: visit \p S under an explicit trace.
+  bool visitWithTrace(const SeqState &S, const std::vector<SeqEvent> &Tr,
+                      unsigned StepsLeft) {
+    Trace = Tr;
+    return visitNode(S, StepsLeft);
+  }
+
+  /// DFS from \p Start, visiting nodes in exactly the order the recursive
+  /// formulation would (parent, then children left to right), on an
+  /// explicit frame stack so deep trees cannot exhaust the call stack.
+  void explore(const SeqState &Start, std::vector<SeqEvent> StartTrace,
+               unsigned StepsLeft) {
+    Trace = std::move(StartTrace);
+    if (!visitNode(Start, StepsLeft))
+      return;
+    std::vector<Frame> Stack;
+    Stack.push_back(Frame{M.successors(Start), 0, 0, StepsLeft});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      Trace.resize(Trace.size() - F.PrevPushed);
+      F.PrevPushed = 0;
+      if (F.Idx == F.Succs.size()) {
+        Stack.pop_back();
+        continue;
+      }
+      SeqTransition &Tr = F.Succs[F.Idx++];
+      F.PrevPushed = Tr.Labels.size();
+      for (SeqEvent &E : Tr.Labels)
         Trace.push_back(std::move(E));
-      visit(T.Next, StepsLeft - 1);
-      Trace.resize(Trace.size() - Pushed);
+      unsigned Left = F.StepsLeft - 1;
+      if (visitNode(Tr.Next, Left)) {
+        // Compute successors before push_back: growing the stack
+        // invalidates F and Tr.
+        std::vector<SeqTransition> Succs = M.successors(Tr.Next);
+        Stack.push_back(Frame{std::move(Succs), 0, 0, Left});
+      }
     }
   }
 
-public:
-  explicit Enumerator(const SeqMachine &M) : M(M), Telem(M.config().Telem) {}
-
-  BehaviorSet run(const SeqState &Init) {
-    visit(Init, M.config().StepBudget);
-    if (Telem) {
-      obs::ScopedTally Tally(&Telem->Counters);
-      Tally.slot("seq.enum.runs") += 1;
-      Tally.slot("seq.enum.states_expanded") += Expanded;
-      Tally.slot("seq.enum.behaviors_emitted") += Emitted;
-      Tally.slot("seq.enum.dedup_hits") += DedupHits;
-      Tally.slot("seq.enum.trunc_step_budget") += TruncStep;
-      Tally.slot("seq.enum.trunc_behavior_cap") += TruncCap;
-      Telem->Counters.maxGauge("seq.enum.max_depth", MaxDepth);
-    }
-    return std::move(Result);
+  /// Task-order merge step: folds a worker's subtree result into this
+  /// enumerator — global dedup through emit(), first-seen truncation cause.
+  void absorb(BehaviorSet &&S) {
+    noteTruncation(Result.Cause, S.Cause);
+    for (SeqBehavior &B : S.All)
+      emit(std::move(B));
   }
 };
+
+void foldTallies(obs::Telemetry *Telem, const EnumTallies &T) {
+  if (!Telem)
+    return;
+  obs::ScopedTally Tally(&Telem->Counters);
+  Tally.slot("seq.enum.runs") += 1;
+  Tally.slot("seq.enum.states_expanded") += T.Expanded;
+  Tally.slot("seq.enum.behaviors_emitted") += T.Emitted;
+  Tally.slot("seq.enum.dedup_hits") += T.DedupHits;
+  Tally.slot("seq.enum.trunc_step_budget") += T.TruncStep;
+  Tally.slot("seq.enum.trunc_behavior_cap") += T.TruncCap;
+  Telem->Counters.maxGauge("seq.enum.max_depth", T.MaxDepth);
+}
+
+/// Per-worker arenas for the parallel paths: each worker gets a machine
+/// copy whose telemetry (if any) is a private registry, folded into the
+/// orchestrator's registry after the pool joins.
+struct WorkerArenas {
+  std::vector<std::unique_ptr<obs::Telemetry>> Telems;
+  std::vector<std::unique_ptr<SeqMachine>> Machines;
+
+  WorkerArenas(const SeqMachine &M, unsigned N) {
+    for (unsigned W = 0; W != N; ++W) {
+      SeqConfig WCfg = M.config();
+      if (WCfg.Telem) {
+        Telems.push_back(std::make_unique<obs::Telemetry>());
+        WCfg.Telem = Telems.back().get();
+      }
+      Machines.push_back(
+          std::make_unique<SeqMachine>(M.program(), M.tid(), std::move(WCfg)));
+    }
+  }
+
+  void mergeInto(obs::Telemetry *Telem) {
+    if (!Telem)
+      return;
+    for (const std::unique_ptr<obs::Telemetry> &WT : Telems)
+      Telem->mergeCounters(WT->Counters);
+  }
+};
+
+BehaviorSet enumerateSequential(const SeqMachine &M, const SeqState &Init,
+                                EnumTallies &Out) {
+  DfsEnumerator E(M);
+  E.explore(Init, {}, M.config().StepBudget);
+  Out = E.tallies();
+  return E.take();
+}
+
+BehaviorSet enumerateParallel(const SeqMachine &M, const SeqState &Init,
+                              unsigned N, EnumTallies &Out) {
+  const SeqConfig &Cfg = M.config();
+  DfsEnumerator Root(M);
+
+  // Phase 1 (orchestrator): BFS from Init until the frontier holds enough
+  // independent subtrees to ride out uneven subtree sizes. Popped nodes are
+  // emitted into the root result here; the frontier remainder becomes the
+  // task list, in BFS order.
+  std::deque<EnumTask> Queue;
+  Queue.push_back(EnumTask{Init, {}, Cfg.StepBudget});
+  const size_t Target = static_cast<size_t>(N) * 4;
+  while (!Queue.empty() && Queue.size() < Target) {
+    EnumTask Tk = std::move(Queue.front());
+    Queue.pop_front();
+    if (!Root.visitWithTrace(Tk.State, Tk.Trace, Tk.StepsLeft))
+      continue;
+    for (SeqTransition &Tr : M.successors(Tk.State)) {
+      EnumTask Child;
+      Child.Trace = Tk.Trace;
+      for (SeqEvent &E : Tr.Labels)
+        Child.Trace.push_back(std::move(E));
+      Child.State = std::move(Tr.Next);
+      Child.StepsLeft = Tk.StepsLeft - 1;
+      Queue.push_back(std::move(Child));
+    }
+  }
+  std::vector<EnumTask> Tasks(std::make_move_iterator(Queue.begin()),
+                              std::make_move_iterator(Queue.end()));
+
+  // Phase 2 (pool): workers drain the task deques (own shard LIFO, steal
+  // FIFO), each subtree explored by a private enumerator against a private
+  // machine. Results land in per-task slots — scheduling decides only *who*
+  // fills a slot, never what the merge sees. MaxBehaviors is enforced
+  // approximately here, via a shared count of unique-per-worker emissions,
+  // and exactly at merge below.
+  std::atomic<uint64_t> UniqueCount{Root.tallies().Emitted};
+  WorkerArenas Arenas(M, N);
+  std::vector<BehaviorSet> TaskSets(Tasks.size());
+  std::vector<EnumTallies> TaskTallies(Tasks.size());
+  exec::WorkDequeSet<size_t> Deques(N);
+  for (size_t I = 0; I != Tasks.size(); ++I)
+    Deques.push(static_cast<unsigned>(I % N), I);
+  exec::ThreadPool::global().run(N, [&](unsigned W) {
+    while (std::optional<size_t> Idx = Deques.next(W)) {
+      EnumTask &Tk = Tasks[*Idx];
+      DfsEnumerator E(*Arenas.Machines[W], &UniqueCount);
+      E.explore(Tk.State, std::move(Tk.Trace), Tk.StepsLeft);
+      TaskSets[*Idx] = E.take();
+      TaskTallies[*Idx] = E.tallies();
+    }
+  });
+  Arenas.mergeInto(Cfg.Telem);
+
+  // Phase 3 (orchestrator): merge per-task results in task order with
+  // global dedup. Behaviors are emitted counters-exact: Emitted counts the
+  // root's and the merge's unique insertions, DedupHits the workers' local
+  // hits plus the cross-task hits seen here.
+  for (BehaviorSet &TS : TaskSets)
+    Root.absorb(std::move(TS));
+  Out = Root.tallies();
+  for (const EnumTallies &TT : TaskTallies) {
+    Out.Expanded += TT.Expanded;
+    Out.DedupHits += TT.DedupHits;
+    Out.TruncStep += TT.TruncStep;
+    Out.TruncCap += TT.TruncCap;
+    Out.MaxDepth = std::max(Out.MaxDepth, TT.MaxDepth);
+  }
+  return Root.take();
+}
 
 } // namespace
 
 BehaviorSet pseq::enumerateBehaviors(const SeqMachine &M,
                                      const SeqState &Init) {
-  Enumerator E(M);
-  return E.run(Init);
+  unsigned N = exec::resolveThreads(M.config().NumThreads);
+  EnumTallies T;
+  BehaviorSet R = (N <= 1 || exec::ThreadPool::insideWorker())
+                      ? enumerateSequential(M, Init, T)
+                      : enumerateParallel(M, Init, N, T);
+  // Canonical order: both paths sort, so the vector is identical for every
+  // NumThreads (the parallel merge alone would leave task-generation
+  // prefixes first).
+  std::sort(R.All.begin(), R.All.end(), behaviorLess);
+  foldTallies(M.config().Telem, T);
+  return R;
+}
+
+std::vector<BehaviorSet>
+pseq::enumerateBehaviorsBatch(const SeqMachine &M,
+                              const std::vector<SeqState> &Inits) {
+  unsigned N = exec::resolveThreads(M.config().NumThreads);
+  std::vector<BehaviorSet> Out(Inits.size());
+  if (N <= 1 || exec::ThreadPool::insideWorker() || Inits.size() <= 1) {
+    for (size_t I = 0, E = Inits.size(); I != E; ++I)
+      Out[I] = enumerateBehaviors(M, Inits[I]);
+    return Out;
+  }
+  // Initial states fan out across the pool; each per-init enumeration runs
+  // on a pool worker and therefore degrades to its sequential path, which
+  // is exactly the deterministic per-init result.
+  WorkerArenas Arenas(M, N);
+  exec::parallelFor(N, Inits.size(), [&](size_t I, unsigned W) {
+    Out[I] = enumerateBehaviors(*Arenas.Machines[W], Inits[I]);
+  });
+  Arenas.mergeInto(M.config().Telem);
+  return Out;
 }
 
 std::vector<SeqState> pseq::enumerateInitialStates(const SeqMachine &M) {

@@ -23,9 +23,13 @@
 #include "seq/SeqMachine.h"
 #include "support/Truncation.h"
 
+#include <cstdint>
+#include <unordered_map>
+
 namespace pseq {
 
-/// A deduplicated set of behaviors.
+/// A deduplicated set of behaviors, canonically sorted (behaviorLess) by
+/// the enumerator so the vector is identical for every NumThreads.
 struct BehaviorSet {
   std::vector<SeqBehavior> All;
   /// Which budget (if any) cut the enumeration short.
@@ -36,11 +40,33 @@ struct BehaviorSet {
   bool truncated() const { return Cause != TruncationCause::None; }
 
   /// \returns true when some behavior of the set ⊒-matches \p Tgt.
+  /// Hash-indexed on the refinement key (built lazily on first call; do
+  /// not mutate All afterwards): only sources whose forced-equal
+  /// components match the target are tried, plus the ⊥-ended sources,
+  /// which match by trace prefix and stay in a linear side list.
   bool covers(const SeqBehavior &Tgt, LocSet Universe) const;
+
+private:
+  mutable std::unordered_multimap<uint64_t, uint32_t> RefineIndex;
+  mutable std::vector<uint32_t> BottomSources;
+  mutable bool Indexed = false;
+  void buildIndex() const;
 };
 
-/// Enumerates the behaviors of \p Init under machine \p M.
+/// Enumerates the behaviors of \p Init under machine \p M. With
+/// M.config().NumThreads > 1 the root successor tree is split into
+/// frontier tasks explored by the pool; per-task results merge in task
+/// order and the set sorts canonically, so the outcome matches the
+/// single-threaded run (see DESIGN.md for the BehaviorCap caveat).
 BehaviorSet enumerateBehaviors(const SeqMachine &M, const SeqState &Init);
+
+/// Enumerates behaviors of every state in \p Inits (one BehaviorSet per
+/// state, in order). With NumThreads > 1 the initial states fan out
+/// across the pool — the natural axis for Def 2.4-style sweeps, where
+/// each initial state's tree is independent.
+std::vector<BehaviorSet>
+enumerateBehaviorsBatch(const SeqMachine &M,
+                        const std::vector<SeqState> &Inits);
 
 /// Enumerates all initial SEQ states of \p M: P and F range over subsets of
 /// the universe, M over functions Universe → Domain ∪ {undef} (zero outside

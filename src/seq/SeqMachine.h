@@ -26,6 +26,7 @@
 #ifndef PSEQ_SEQ_SEQMACHINE_H
 #define PSEQ_SEQ_SEQMACHINE_H
 
+#include "exec/ThreadPool.h"
 #include "seq/SeqEvent.h"
 #include "seq/SeqState.h"
 #include "support/ValueDomain.h"
@@ -42,6 +43,11 @@ struct SeqConfig {
   LocSet Universe; ///< non-atomic locations subject to P/M enumeration
   unsigned StepBudget = 48;      ///< max transitions per behavior
   unsigned MaxBehaviors = 200000; ///< safety valve for the enumerator
+  /// Worker count for the enumerator and refinement checkers: 1 runs
+  /// everything on the calling thread (bit-identical results either way;
+  /// see DESIGN.md "Parallel execution"), 0 uses all hardware threads.
+  /// Defaults to the PSEQ_THREADS environment variable (unset = 1).
+  unsigned NumThreads = exec::defaultNumThreads();
   /// Optional telemetry (borrowed; see obs/Telemetry.h). Null — the
   /// default — keeps every engine on its uninstrumented fast path.
   obs::Telemetry *Telem = nullptr;

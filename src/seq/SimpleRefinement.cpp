@@ -8,6 +8,7 @@
 #include "seq/SimpleRefinement.h"
 
 #include "obs/Telemetry.h"
+#include "seq/InitSweep.h"
 
 #include <cassert>
 
@@ -65,26 +66,27 @@ RefinementResult pseq::checkSimpleRefinement(const Program &SrcP,
          "initial-state spaces must coincide");
   Result.InitialStates = static_cast<unsigned>(SrcInits.size());
 
-  for (size_t Idx = 0, E = SrcInits.size(); Idx != E; ++Idx) {
-    BehaviorSet Tgt = enumerateBehaviors(TgtM, TgtInits[Idx]);
-    BehaviorSet Src = enumerateBehaviors(SrcM, SrcInits[Idx]);
-    Result.Bounded |= Tgt.truncated() || Src.truncated();
-    noteTruncation(Result.Cause,
-                   Tgt.truncated() ? Tgt.Cause : Src.Cause);
-    Result.SrcBehaviors += Src.All.size();
-    Result.TgtBehaviors += Tgt.All.size();
-    for (const SeqBehavior &TB : Tgt.All) {
-      if (Src.covers(TB, Cfg.Universe))
-        continue;
-      Result.Holds = false;
-      const std::vector<std::string> &Names = SrcP.locNames();
-      Result.Counterexample = "initial " + TgtInits[Idx].str(&Names) +
-                              " target behavior " + TB.str(&Names) +
-                              " unmatched by source";
-      observeRefinementCheck(Telem, "seq.check.simple", Result, Timer.stop());
-      return Result;
-    }
-  }
+  detail::sweepInits(
+      SrcM, TgtM, SrcInits.size(), Result,
+      [&](const SeqMachine &SM, const SeqMachine &TM, size_t Idx,
+          detail::InitRecord &R) {
+        BehaviorSet Tgt = enumerateBehaviors(TM, TgtInits[Idx]);
+        BehaviorSet Src = enumerateBehaviors(SM, SrcInits[Idx]);
+        R.Bounded = Tgt.truncated() || Src.truncated();
+        R.Cause = Tgt.truncated() ? Tgt.Cause : Src.Cause;
+        R.SrcBehaviors = Src.All.size();
+        R.TgtBehaviors = Tgt.All.size();
+        for (const SeqBehavior &TB : Tgt.All) {
+          if (Src.covers(TB, Cfg.Universe))
+            continue;
+          R.Failed = true;
+          const std::vector<std::string> &Names = SrcP.locNames();
+          R.Counterexample = "initial " + TgtInits[Idx].str(&Names) +
+                             " target behavior " + TB.str(&Names) +
+                             " unmatched by source";
+          return;
+        }
+      });
   observeRefinementCheck(Telem, "seq.check.simple", Result, Timer.stop());
   return Result;
 }

@@ -27,15 +27,20 @@ namespace pseq {
 
 /// An exact rational number n/d with d > 0, stored in lowest terms.
 ///
-/// Overflow safety: the explorers only ever create timestamps by midpoint()
-/// and successor() starting from small integers, and normalize state
-/// timestamps back to small integers after every step, so numerators and
-/// denominators stay tiny in practice. Debug builds assert on overflow.
+/// Overflow safety: all arithmetic runs over __int128 intermediates and is
+/// exact; a result whose lowest-terms form does not fit int64 aborts with
+/// a hard error in every build type (the explorers run optimized, so a
+/// debug-only assert would let timestamp comparison silently wrap). In
+/// practice the explorers create timestamps only by midpoint() and
+/// successor() from small integers and renormalize after every step, so
+/// the error path is never taken.
 class Rational {
   int64_t Num = 0;
   int64_t Den = 1;
 
-  void normalize();
+  /// Normalizes N/D into lowest terms with D > 0, aborting (never
+  /// wrapping) when the reduced form does not fit int64.
+  static Rational make(__int128 N, __int128 D, const char *Op);
 
 public:
   Rational() = default;

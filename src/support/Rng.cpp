@@ -21,8 +21,17 @@ uint64_t Rng::next() {
 
 uint64_t Rng::below(uint64_t Bound) {
   assert(Bound > 0 && "below() with zero bound");
-  // Modulo bias is irrelevant for test-case generation.
-  return next() % Bound;
+  // Rejection sampling: draws from the incomplete top slice of the 2^64
+  // range (the top 2^64 mod Bound values) are discarded, so every residue
+  // is equally likely. Rejecting the *top* slice keeps every accepted draw
+  // equal to the plain `next() % Bound` of earlier versions — seeded
+  // expectations only shift in the rare (p = Bound/2^64) rejection case.
+  uint64_t Rem = (UINT64_MAX % Bound + 1) % Bound; // 2^64 mod Bound
+  uint64_t Limit = UINT64_MAX - Rem;               // last unbiased draw
+  uint64_t X = next();
+  while (X > Limit)
+    X = next();
+  return X % Bound;
 }
 
 bool Rng::chance(uint64_t Num, uint64_t Den) {

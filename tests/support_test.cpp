@@ -79,6 +79,33 @@ TEST(RationalTest, Str) {
   EXPECT_EQ(Rational(1, 2).str(), "1/2");
 }
 
+TEST(RationalTest, ComparisonNearInt64Max) {
+  // Cross-multiplication must not wrap: 7 * INT64_MAX and 8 * INT64_MAX
+  // both exceed int64, but the 128-bit intermediates order correctly.
+  EXPECT_LT(Rational(7, INT64_MAX), Rational(8, INT64_MAX));
+  EXPECT_LT(Rational(1, INT64_MAX), Rational(1, INT64_MAX - 1));
+  EXPECT_LT(Rational(INT64_MAX - 1), Rational(INT64_MAX));
+  EXPECT_FALSE(Rational(INT64_MAX) < Rational(INT64_MAX - 1));
+}
+
+TEST(RationalTest, ArithmeticNearInt64Max) {
+  // Intermediates overflow int64 but the reduced results fit exactly.
+  EXPECT_EQ(Rational(INT64_MAX - 1, 2) + Rational(1, 2),
+            Rational(INT64_MAX, 2));
+  EXPECT_EQ(Rational(INT64_MAX) - Rational(INT64_MAX - 1), Rational(1));
+  EXPECT_EQ(Rational(int64_t(1) << 62, 3) * Rational(9, int64_t(1) << 62),
+            Rational(3));
+  EXPECT_EQ(Rational(INT64_MAX) / Rational(INT64_MAX), Rational(1));
+  EXPECT_LT(Rational(INT64_MAX - 1), Rational(INT64_MAX - 1).successor());
+}
+
+TEST(RationalDeathTest, UnrepresentableResultIsHardError) {
+  // A result that cannot be reduced into int64 must abort — timestamp
+  // arithmetic silently wrapping would reorder messages.
+  EXPECT_DEATH(Rational(INT64_MAX) + Rational(1), "rational overflow");
+  EXPECT_DEATH(Rational(INT64_MAX) * Rational(2), "rational overflow");
+}
+
 //===----------------------------------------------------------------------===
 // LocSet
 //===----------------------------------------------------------------------===
@@ -178,4 +205,45 @@ TEST(RngTest, BelowRespectsBound) {
   Rng R(7);
   for (int I = 0; I < 1000; ++I)
     EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(RngTest, BelowMatchesLegacyModuloForSmallBounds) {
+  // Rejection sampling discards only the top 2^64 mod Bound draws, so for
+  // small bounds every accepted draw equals the historical next() % Bound
+  // — seeded goldens stay stable across the bias fix.
+  for (uint64_t Seed : {0ull, 7ull, 42ull, 2022ull}) {
+    Rng A(Seed), B(Seed);
+    for (int I = 0; I < 200; ++I)
+      EXPECT_EQ(A.below(13), B.next() % 13);
+  }
+}
+
+TEST(RngTest, BelowRejectsBiasedTopSlice) {
+  // With Bound = 2^63 + 1 every raw draw above 2^63 is biased (it maps to
+  // a residue the incomplete top slice over-represents) and must be
+  // redrawn, not reduced. Find a seed whose first draw lands in the
+  // rejection slice and check below() skipped it.
+  const uint64_t Bound = (uint64_t(1) << 63) + 1;
+  const uint64_t Rem = (UINT64_MAX % Bound + 1) % Bound;
+  const uint64_t Limit = UINT64_MAX - Rem;
+  bool SawRejection = false;
+  for (uint64_t Seed = 0; Seed != 64 && !SawRejection; ++Seed) {
+    Rng Probe(Seed);
+    uint64_t First = Probe.next();
+    Rng R(Seed);
+    uint64_t Got = R.below(Bound);
+    EXPECT_LT(Got, Bound);
+    if (First > Limit) {
+      SawRejection = true;
+      // The biased first draw was discarded; the result is a later,
+      // in-range draw reduced mod Bound — not First % Bound.
+      uint64_t X = First;
+      Rng Replay(Seed);
+      Replay.next();
+      while (X > Limit)
+        X = Replay.next();
+      EXPECT_EQ(Got, X % Bound);
+    }
+  }
+  EXPECT_TRUE(SawRejection) << "no seed in [0,64) hit the rejection slice";
 }
