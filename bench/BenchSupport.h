@@ -8,11 +8,18 @@
 /// \file
 /// Shared entry point for the bench_* binaries. Every harness accepts
 ///
-///   bench_xxx [--json <path>] [--threads N] [google-benchmark flags...]
+///   bench_xxx [--json <path>] [--threads N] [--deadline-ms N] [--mem-mb N]
+///             [google-benchmark flags...]
 ///
 /// --threads N sets the engines' worker count (0 = all hardware threads;
 /// default from PSEQ_THREADS, else 1); benchmarks read it via numThreads()
 /// and pass it into their SeqConfig/PsConfig/PipelineOptions.
+///
+/// --deadline-ms / --mem-mb arm a ResourceGuard governing the whole run
+/// (read via resourceGuard()): once either budget trips, remaining engine
+/// work returns bounded verdicts instead of running unchecked. Numeric
+/// flags are parsed strictly — a malformed value is a usage error, never a
+/// silent 0.
 ///
 /// Without --json the run is byte-for-byte the plain google-benchmark
 /// harness: telemetry() returns null, so every engine stays on its
@@ -30,9 +37,11 @@
 #define PSEQ_BENCH_BENCHSUPPORT_H
 
 #include "exec/ThreadPool.h"
+#include "guard/Guard.h"
 #include "obs/Report.h"
 #include "obs/Telemetry.h"
 #include "obs/TraceSink.h"
+#include "support/CliArgs.h"
 
 #include <benchmark/benchmark.h>
 
@@ -53,6 +62,10 @@ inline unsigned &numThreadsSlot() {
   static unsigned Slot = exec::defaultNumThreads();
   return Slot;
 }
+inline guard::ResourceGuard *&guardSlot() {
+  static guard::ResourceGuard *Slot = nullptr;
+  return Slot;
+}
 } // namespace detail
 
 /// The harness telemetry: null unless --json was passed (so default runs
@@ -64,6 +77,11 @@ inline obs::Telemetry *telemetry() { return detail::telemetrySlot(); }
 /// defaults to PSEQ_THREADS, else 1). Benchmarks pass this into their
 /// SeqConfig/PsConfig/PipelineOptions.
 inline unsigned numThreads() { return detail::numThreadsSlot(); }
+
+/// The run-wide guard armed by --deadline-ms / --mem-mb, or null when
+/// neither flag was given. Benchmarks pass this into their configs; a
+/// governed run degrades to bounded verdicts once a budget trips.
+inline guard::ResourceGuard *resourceGuard() { return detail::guardSlot(); }
 
 namespace detail {
 
@@ -142,30 +160,70 @@ inline bool writeJson(const std::string &Path, const std::vector<Row> &Rows,
 /// the path.
 inline int benchMain(int Argc, char **Argv) {
   std::string JsonPath;
+  uint64_t DeadlineMs = 0, MemMb = 0;
   std::vector<char *> Args;
+
+  // Strict numeric flags: a malformed value must fail loudly, never parse
+  // as 0 (which would silently mean "all hardware threads" / "no budget").
+  auto usageError = [&](const std::string &Flag,
+                        const char *Value) -> int {
+    std::fprintf(stderr, "error: invalid value '%s' for %s (expected an "
+                         "unsigned integer)\n",
+                 Value ? Value : "", Flag.c_str());
+    std::fprintf(stderr,
+                 "usage: %s [--json <path>] [--threads N] [--deadline-ms N] "
+                 "[--mem-mb N] [google-benchmark flags...]\n",
+                 Argc ? Argv[0] : "bench");
+    return 1;
+  };
+  // Matches `--flag N` and `--flag=N`; null when the flag is absent.
+  auto flagValue = [&](const std::string &A, const std::string &Flag, int &I,
+                       const char *&Value) {
+    if (A == Flag && I + 1 < Argc) {
+      Value = Argv[++I];
+      return true;
+    }
+    if (A.rfind(Flag + "=", 0) == 0) {
+      Value = Argv[I] + Flag.size() + 1;
+      return true;
+    }
+    return false;
+  };
+
   for (int I = 0; I != Argc; ++I) {
     std::string A = Argv[I];
-    if (A == "--json" && I + 1 < Argc) {
-      JsonPath = Argv[++I];
+    const char *Value = nullptr;
+    if (flagValue(A, "--json", I, Value)) {
+      JsonPath = Value;
       continue;
     }
-    if (A.rfind("--json=", 0) == 0) {
-      JsonPath = A.substr(7);
+    if (flagValue(A, "--threads", I, Value)) {
+      if (!cli::parseUnsigned(Value, detail::numThreadsSlot()))
+        return usageError("--threads", Value);
       continue;
     }
-    if (A == "--threads" && I + 1 < Argc) {
-      detail::numThreadsSlot() =
-          static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    if (flagValue(A, "--deadline-ms", I, Value)) {
+      if (!cli::parseUnsigned(Value, DeadlineMs) || DeadlineMs == 0)
+        return usageError("--deadline-ms", Value);
       continue;
     }
-    if (A.rfind("--threads=", 0) == 0) {
-      detail::numThreadsSlot() =
-          static_cast<unsigned>(std::strtoul(A.c_str() + 10, nullptr, 10));
+    if (flagValue(A, "--mem-mb", I, Value)) {
+      if (!cli::parseUnsigned(Value, MemMb) || MemMb == 0)
+        return usageError("--mem-mb", Value);
       continue;
     }
     Args.push_back(Argv[I]);
   }
   int NewArgc = static_cast<int>(Args.size());
+
+  guard::ResourceGuard Guard;
+  if (DeadlineMs || MemMb) {
+    if (DeadlineMs)
+      Guard.setDeadlineInMs(DeadlineMs);
+    if (MemMb)
+      Guard.setMemLimitBytes(MemMb << 20);
+    detail::guardSlot() = &Guard;
+  }
 
   obs::Telemetry Telem;
   std::unique_ptr<obs::TraceSink> EnvSink;
@@ -188,6 +246,7 @@ inline int benchMain(int Argc, char **Argv) {
     return 1;
   }
   detail::telemetrySlot() = nullptr;
+  detail::guardSlot() = nullptr;
   return 0;
 }
 

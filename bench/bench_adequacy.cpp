@@ -26,6 +26,7 @@ PsConfig psCfg() {
   C.PromiseBudget = 0;
   C.Telem = benchsupport::telemetry();
   C.NumThreads = benchsupport::numThreads();
+  C.Guard = benchsupport::resourceGuard();
   return C;
 }
 

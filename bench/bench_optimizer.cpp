@@ -61,6 +61,7 @@ void BM_PipelineNoValidation(benchmark::State &State) {
   Opts.Validate = false;
   Opts.Telem = benchsupport::telemetry();
   Opts.NumThreads = benchsupport::numThreads();
+  Opts.Guard = benchsupport::resourceGuard();
   unsigned Rewrites = 0;
   for (auto _ : State) {
     PipelineResult R = runPipeline(*P, Opts);
@@ -81,6 +82,7 @@ void BM_PipelineValidated(benchmark::State &State) {
   Opts.Cfg.StepBudget = 20;
   Opts.Telem = benchsupport::telemetry();
   Opts.NumThreads = benchsupport::numThreads();
+  Opts.Guard = benchsupport::resourceGuard();
   bool AllValidated = false;
   for (auto _ : State) {
     PipelineResult R = runPipeline(*P, Opts);

@@ -35,6 +35,7 @@ void runLitmus(benchmark::State &State, const LitmusCase &LC,
   Cfg.Normalize = Normalize;
   Cfg.Telem = benchsupport::telemetry();
   Cfg.NumThreads = benchsupport::numThreads();
+  Cfg.Guard = benchsupport::resourceGuard();
 
   PsBehaviorSet B;
   for (auto _ : State) {

@@ -35,6 +35,7 @@ void runCase(benchmark::State &State, const RefinementCase &RC,
   Cfg.StepBudget = RC.StepBudget;
   Cfg.Telem = benchsupport::telemetry();
   Cfg.NumThreads = benchsupport::numThreads();
+  Cfg.Guard = benchsupport::resourceGuard();
 
   RefinementResult R;
   for (auto _ : State) {
@@ -55,6 +56,7 @@ void runSimCase(benchmark::State &State, const RefinementCase &RC) {
   Cfg.StepBudget = RC.StepBudget;
   Cfg.Telem = benchsupport::telemetry();
   Cfg.NumThreads = benchsupport::numThreads();
+  Cfg.Guard = benchsupport::resourceGuard();
   SimulationResult R;
   for (auto _ : State) {
     R = checkSimulation(*Src, *Tgt, Cfg);

@@ -42,6 +42,7 @@ void runEnum(benchmark::State &State, const std::string &Text,
   Cfg.Universe = P->naLocs();
   Cfg.Telem = benchsupport::telemetry();
   Cfg.NumThreads = benchsupport::numThreads();
+  Cfg.Guard = benchsupport::resourceGuard();
   SeqMachine M(*P, 0, Cfg);
   std::vector<SeqState> Inits = enumerateInitialStates(M);
 

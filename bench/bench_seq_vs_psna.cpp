@@ -59,6 +59,7 @@ void BM_SeqAdvancedCheck(benchmark::State &State) {
   SeqConfig Cfg;
   Cfg.Telem = benchsupport::telemetry();
   Cfg.NumThreads = benchsupport::numThreads();
+  Cfg.Guard = benchsupport::resourceGuard();
   bool Holds = false;
   for (auto _ : State) {
     Holds = checkAdvancedRefinement(*Src, *Tgt, Cfg).Holds;
@@ -78,6 +79,7 @@ void BM_PsnaContextualCheck(benchmark::State &State) {
   PsConfig Cfg;
   Cfg.Telem = benchsupport::telemetry();
   Cfg.NumThreads = benchsupport::numThreads();
+  Cfg.Guard = benchsupport::resourceGuard();
   unsigned long long States = 0;
   bool Holds = false;
   for (auto _ : State) {

@@ -6,11 +6,18 @@
 // Explores litmus tests under PS^na and prints their outcome sets —
 // either the built-in corpus (no arguments) or a program from a file:
 //
-//   litmus_explorer [--threads N] [file [promise-budget [split-budget]]]
-//   litmus_explorer [--threads N] --witness <corpus-case> <behavior>
+//   litmus_explorer [flags] [file [promise-budget [split-budget]]]
+//   litmus_explorer [flags] --witness <corpus-case> <behavior>
 //
-// --threads N parallelizes exploration across N workers (0 = all hardware
-// threads); the printed outcome sets are identical for every N.
+//   --threads N      parallelize exploration across N workers (0 = all
+//                    hardware threads); outcome sets are identical for any N
+//   --deadline-ms N  soft wall-clock budget for the whole run
+//   --mem-mb N       approximate memory budget for retained states
+//
+// Numeric arguments are parsed strictly: garbage is a usage error, not a
+// silent 0. Once a --deadline-ms / --mem-mb budget trips, remaining
+// outcome sets print with a [TRUNCATED: deadline] / [TRUNCATED:
+// mem-budget] marker instead of the run hanging or dying.
 //
 // The witness mode prints an execution (machine states step by step)
 // exhibiting the given outcome, e.g.
@@ -20,8 +27,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "exec/ThreadPool.h"
+#include "guard/Guard.h"
 #include "litmus/Corpus.h"
 #include "psna/Explorer.h"
+#include "support/CliArgs.h"
 
 #include "lang/Parser.h"
 #include "lang/Printer.h"
@@ -52,18 +61,56 @@ void explore(const std::string &Title, const std::string &Text,
 
 } // namespace
 
+namespace {
+
+int usageError(const char *Prog, const std::string &What,
+               const char *Value) {
+  std::fprintf(stderr, "error: invalid value '%s' for %s (expected an "
+                       "unsigned integer)\n",
+               Value ? Value : "", What.c_str());
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--deadline-ms N] [--mem-mb N] "
+               "[file [promise-budget [split-budget]]]\n"
+               "       %s [--threads N] --witness <corpus-case> <behavior>\n",
+               Prog, Prog);
+  return 2;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
+  const char *Prog = Argc ? Argv[0] : "litmus_explorer";
   unsigned NumThreads = exec::defaultNumThreads();
+  uint64_t DeadlineMs = 0, MemMb = 0;
   {
     std::vector<char *> Rest;
     for (int I = 0; I != Argc; ++I) {
       std::string A = Argv[I];
-      if (A == "--threads" && I + 1 < Argc) {
-        NumThreads = static_cast<unsigned>(std::atoi(Argv[++I]));
+      const char *Value = nullptr;
+      auto flagValue = [&](const std::string &Flag) {
+        if (A == Flag && I + 1 < Argc) {
+          Value = Argv[++I];
+          return true;
+        }
+        if (A.rfind(Flag + "=", 0) == 0) {
+          Value = Argv[I] + Flag.size() + 1;
+          return true;
+        }
+        return false;
+      };
+      if (flagValue("--threads")) {
+        if (!cli::parseUnsigned(Value, NumThreads))
+          return usageError(Prog, "--threads", Value);
         continue;
       }
-      if (A.rfind("--threads=", 0) == 0) {
-        NumThreads = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+      if (flagValue("--deadline-ms")) {
+        if (!cli::parseUnsigned(Value, DeadlineMs) || DeadlineMs == 0)
+          return usageError(Prog, "--deadline-ms", Value);
+        continue;
+      }
+      if (flagValue("--mem-mb")) {
+        if (!cli::parseUnsigned(Value, MemMb) || MemMb == 0)
+          return usageError(Prog, "--mem-mb", Value);
         continue;
       }
       Rest.push_back(Argv[I]);
@@ -71,6 +118,16 @@ int main(int Argc, char **Argv) {
     Argc = static_cast<int>(Rest.size());
     for (int I = 0; I != Argc; ++I)
       Argv[I] = Rest[I];
+  }
+
+  guard::ResourceGuard Guard;
+  guard::ResourceGuard *GuardPtr = nullptr;
+  if (DeadlineMs || MemMb) {
+    if (DeadlineMs)
+      Guard.setDeadlineInMs(DeadlineMs);
+    if (MemMb)
+      Guard.setMemLimitBytes(MemMb << 20);
+    GuardPtr = &Guard;
   }
 
   if (Argc == 4 && std::string(Argv[1]) == "--witness") {
@@ -81,6 +138,7 @@ int main(int Argc, char **Argv) {
     Cfg.PromiseBudget = LC.PromiseBudget;
     Cfg.SplitBudget = LC.SplitBudget;
     Cfg.NumThreads = NumThreads;
+    Cfg.Guard = GuardPtr;
     std::vector<PsMachineState> Path = findPsnaWitness(*P, Cfg, Argv[3]);
     if (Path.empty()) {
       std::printf("behavior %s not reachable for %s\n", Argv[3], Argv[2]);
@@ -102,10 +160,11 @@ int main(int Argc, char **Argv) {
     Buf << In.rdbuf();
     PsConfig Cfg;
     Cfg.NumThreads = NumThreads;
-    if (Argc > 2)
-      Cfg.PromiseBudget = static_cast<unsigned>(std::atoi(Argv[2]));
-    if (Argc > 3)
-      Cfg.SplitBudget = static_cast<unsigned>(std::atoi(Argv[3]));
+    Cfg.Guard = GuardPtr;
+    if (Argc > 2 && !cli::parseUnsigned(Argv[2], Cfg.PromiseBudget))
+      return usageError(Prog, "promise-budget", Argv[2]);
+    if (Argc > 3 && !cli::parseUnsigned(Argv[3], Cfg.SplitBudget))
+      return usageError(Prog, "split-budget", Argv[3]);
     explore(Argv[1], Buf.str(), Cfg);
     return 0;
   }
@@ -118,6 +177,7 @@ int main(int Argc, char **Argv) {
     Cfg.PromiseBudget = LC.PromiseBudget;
     Cfg.SplitBudget = LC.SplitBudget;
     Cfg.NumThreads = NumThreads;
+    Cfg.Guard = GuardPtr;
     explore(LC.Name + " [" + LC.PaperRef + "]", LC.Text, Cfg);
     std::printf("\n");
   }

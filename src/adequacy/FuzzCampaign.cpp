@@ -1,0 +1,255 @@
+//===- adequacy/FuzzCampaign.cpp - Crash-isolated fuzzing -----------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adequacy/FuzzCampaign.h"
+
+#include "adequacy/Harness.h"
+#include "adequacy/RandomProgram.h"
+#include "guard/Guard.h"
+#include "guard/Isolate.h"
+#include "guard/Shrink.h"
+#include "lang/Parser.h"
+#include "obs/Telemetry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+using namespace pseq;
+
+namespace {
+
+/// Child → parent verdict protocol (exit codes). Anything else is a
+/// protocol violation and counts as a crash.
+constexpr int ExitAgree = 0;
+constexpr int ExitMismatch = 10;
+constexpr int ExitBounded = 11;
+constexpr int ExitBroken = 12; ///< generator produced an unparseable pair
+
+/// Runs the adequacy harness on one pair and maps the record onto the
+/// exit-code protocol. Single-threaded on purpose: fork-isolated children
+/// must not touch the thread pool, and the parent wants fork safety too.
+int checkPairInline(const RandomPair &Pair, const CampaignOptions &Opts,
+                    AdequacyRecord *RecOut) {
+  ParseResult S = parseProgram(Pair.Src);
+  ParseResult T = parseProgram(Pair.Tgt);
+  if (!S.ok() || !T.ok())
+    return ExitBroken;
+
+  guard::ResourceGuard Guard;
+  bool Governed = Opts.DeadlineMs || Opts.MemMb;
+  if (Opts.DeadlineMs)
+    Guard.setDeadlineInMs(Opts.DeadlineMs);
+  if (Opts.MemMb)
+    Guard.setMemLimitBytes(Opts.MemMb << 20);
+
+  SeqConfig SeqCfg;
+  SeqCfg.NumThreads = 1;
+  SeqCfg.Guard = Governed ? &Guard : nullptr;
+  PsConfig PsCfg;
+  PsCfg.NumThreads = 1;
+  PsCfg.Guard = SeqCfg.Guard;
+
+  AdequacyRecord Rec = runAdequacy(Pair.Mutation, *S.Prog, *T.Prog, SeqCfg,
+                                   PsCfg, /*HasLoops=*/false);
+  if (RecOut)
+    *RecOut = Rec;
+  if (!Rec.adequacyHolds())
+    return ExitMismatch;
+  return Rec.AnyBounded ? ExitBounded : ExitAgree;
+}
+
+/// Injected faults (campaign self-tests). Each is bounded so that even
+/// without the expected limit the child terminates on its own.
+[[noreturn]] void injectFault(FaultKind F, uint64_t WallMs) {
+  switch (F) {
+  case FaultKind::Crash:
+    std::abort();
+  case FaultKind::Oom: {
+    // Reserve address space until RLIMIT_AS refuses; bad_alloc would be
+    // caught higher up, so exit with the OOM code directly. Capped at 8 GiB
+    // in case no limit is in force.
+    std::vector<std::unique_ptr<char[]>> Chunks;
+    constexpr size_t ChunkBytes = 16u << 20;
+    try {
+      for (unsigned I = 0; I != 512; ++I) {
+        Chunks.push_back(std::make_unique<char[]>(ChunkBytes));
+        std::memset(Chunks.back().get(), 1, 4096); // touch one page
+      }
+    } catch (const std::bad_alloc &) {
+    }
+    std::_Exit(guard::IsolateOomExit);
+  }
+  case FaultKind::Hang: {
+    // Spin well past the wall timeout; the parent's SIGKILL ends this. The
+    // bound keeps it finite should the timeout machinery be absent.
+    std::chrono::steady_clock::time_point Until =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(WallMs ? WallMs * 10 : 60000);
+    volatile uint64_t Sink = 0;
+    while (std::chrono::steady_clock::now() < Until)
+      Sink = Sink + 1;
+    std::_Exit(ExitAgree);
+  }
+  case FaultKind::None:
+    break;
+  }
+  std::_Exit(ExitBroken);
+}
+
+/// Delta-debugs a mismatching pair; the predicate requires the candidate
+/// to parse, keep the single-thread shape, and still disagree.
+void shrinkFinding(const CampaignOptions &Opts, RandomPair &Pair) {
+  guard::ResourceGuard ShrinkGuard;
+  ShrinkGuard.setDeadlineInMs(Opts.DeadlineMs ? Opts.DeadlineMs * 4 : 5000);
+  guard::ShrinkOptions SOpts;
+  SOpts.MaxProbes = 128;
+  SOpts.Guard = &ShrinkGuard;
+  guard::ShrinkResult SR = guard::shrinkPair(
+      Pair.Src, Pair.Tgt,
+      [&](const std::string &S, const std::string &T) {
+        ParseResult PS = parseProgram(S);
+        ParseResult PT = parseProgram(T);
+        if (!PS.ok() || !PT.ok())
+          return false;
+        if (!sameLayout(*PS.Prog, *PT.Prog) || PS.Prog->numThreads() != 1 ||
+            PT.Prog->numThreads() != 1)
+          return false;
+        RandomPair Cand{S, T, Pair.Mutation};
+        return checkPairInline(Cand, Opts, nullptr) == ExitMismatch;
+      },
+      SOpts);
+  Pair.Src = std::move(SR.Src);
+  Pair.Tgt = std::move(SR.Tgt);
+}
+
+} // namespace
+
+CampaignStats pseq::runFuzzCampaign(const CampaignOptions &Opts) {
+  CampaignStats Stats;
+  Rng R(Opts.Seed);
+  obs::Telemetry *Telem = Opts.Telem;
+  std::chrono::steady_clock::time_point Start =
+      std::chrono::steady_clock::now();
+  auto elapsedMs = [&] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  };
+  const bool UseIsolation = Opts.Isolate && guard::isolationSupported();
+
+  for (unsigned I = 0; I != Opts.Count; ++I) {
+    if (Opts.TotalMs && elapsedMs() >= static_cast<double>(Opts.TotalMs)) {
+      Stats.TimedOut = true;
+      break;
+    }
+    RandomPair Pair = randomRefinementPair(R);
+    ++Stats.Pairs;
+    FaultKind Fault = (Opts.Fault != FaultKind::None && I == Opts.InjectAt)
+                          ? Opts.Fault
+                          : FaultKind::None;
+
+    // Maps a child exit code (or an inline verdict) onto a stats bucket.
+    auto classifyExit = [&](int Code) -> const char * {
+      switch (Code) {
+      case ExitAgree:
+        ++Stats.Agree;
+        return "agree";
+      case ExitMismatch:
+        ++Stats.Mismatch;
+        return "mismatch";
+      case ExitBounded:
+        ++Stats.Bounded;
+        return "bounded";
+      default:
+        ++Stats.Crash; // protocol violation (includes ExitBroken)
+        return "crash";
+      }
+    };
+
+    const char *Outcome = "agree";
+    std::chrono::steady_clock::time_point PairStart =
+        std::chrono::steady_clock::now();
+    if (UseIsolation) {
+      guard::IsolateLimits Limits;
+      Limits.WallMs = Opts.WallMs;
+      // Soft guard budgets run inside the child; the rlimits back them up
+      // with headroom so the guard normally wins and returns an honest
+      // bounded verdict instead of a killed child.
+      if (Opts.WallMs)
+        Limits.CpuSeconds = Opts.WallMs / 1000 + 2;
+      if (Opts.MemMb)
+        Limits.MemBytes = (Opts.MemMb << 20) * 4 + (256u << 20);
+      else if (Fault == FaultKind::Oom)
+        Limits.MemBytes = 512u << 20; // give the injected OOM a wall to hit
+      guard::IsolateResult IR = guard::runIsolated(
+          [&]() -> int {
+            if (Fault != FaultKind::None)
+              injectFault(Fault, Opts.WallMs); // never returns
+            return checkPairInline(Pair, Opts, nullptr);
+          },
+          Limits);
+      switch (IR.Status) {
+      case guard::IsolateStatus::Ok:
+      case guard::IsolateStatus::Fail:
+        ++Stats.Isolated;
+        Outcome = classifyExit(IR.ExitCode);
+        break;
+      case guard::IsolateStatus::Deadline:
+        ++Stats.Isolated;
+        ++Stats.Deadline;
+        Outcome = "deadline";
+        break;
+      case guard::IsolateStatus::Oom:
+        ++Stats.Isolated;
+        ++Stats.Oom;
+        Outcome = "oom";
+        break;
+      case guard::IsolateStatus::Crash:
+        ++Stats.Isolated;
+        ++Stats.Crash;
+        Outcome = "crash";
+        break;
+      case guard::IsolateStatus::Unsupported:
+        // fork() failed on this pair; run it inline instead.
+        Outcome = classifyExit(checkPairInline(Pair, Opts, nullptr));
+        break;
+      }
+    } else {
+      Outcome = classifyExit(checkPairInline(Pair, Opts, nullptr));
+    }
+
+    if (std::strcmp(Outcome, "mismatch") == 0) {
+      if (Opts.ShrinkFailures)
+        shrinkFinding(Opts, Pair);
+      Stats.Findings.push_back("pair " + std::to_string(I) + " [" +
+                               Pair.Mutation + "]\n--- source\n" + Pair.Src +
+                               "--- target\n" + Pair.Tgt);
+    }
+
+    double PairMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - PairStart)
+                        .count();
+    if (Telem) {
+      Telem->Counters.add("fuzz.pairs");
+      Telem->Counters.add(std::string("fuzz.") + Outcome);
+      if (Telem->tracing())
+        Telem->trace("fuzz.pair", {{"index", uint64_t(I)},
+                                   {"mutation", Pair.Mutation},
+                                   {"outcome", Outcome},
+                                   {"isolated", UseIsolation},
+                                   {"ms", PairMs}});
+    }
+    if (Opts.Verbose)
+      std::fprintf(stderr, "[fuzz] pair %u: %s (%.1f ms)\n", I, Outcome,
+                   PairMs);
+  }
+  return Stats;
+}

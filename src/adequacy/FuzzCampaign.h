@@ -1,0 +1,95 @@
+//===- adequacy/FuzzCampaign.h - Crash-isolated fuzzing ---------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-running fuzz campaign over random (source, target) pairs from
+/// adequacy/RandomProgram.h. Each pair runs the full adequacy harness
+/// (Thm 6.2: SEQ verdicts vs. the PS^na context library), by default in a
+/// fork-isolated child (guard/Isolate.h) so a pathological input — a
+/// hang, an allocation blow-up, a crash — costs one pair, not the
+/// campaign. Per-pair soft budgets (deadline, memory) run inside the
+/// child via a ResourceGuard; a hard wall timeout and rlimits back them
+/// up from outside.
+///
+/// Adequacy mismatches are real findings: the driver re-checks them
+/// in-process, delta-debugs them to a minimal still-failing pair
+/// (guard/Shrink.h), and reports them in CampaignStats::Findings.
+///
+/// Fault injection (CampaignOptions::Fault) exists to test the campaign
+/// itself: it makes one designated child crash, exhaust memory, or hang,
+/// and the driver must classify it and carry on. Faults are only injected
+/// when the pair actually runs isolated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_ADEQUACY_FUZZCAMPAIGN_H
+#define PSEQ_ADEQUACY_FUZZCAMPAIGN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pseq {
+
+namespace obs {
+class Telemetry;
+}
+
+/// Fault to inject into one designated child (campaign self-tests).
+enum class FaultKind : uint8_t {
+  None,
+  Crash, ///< abort() — a fatal signal
+  Oom,   ///< allocate until the address-space limit trips
+  Hang,  ///< spin past the wall timeout (bounded; never a true hang)
+};
+
+/// Campaign configuration.
+struct CampaignOptions {
+  uint64_t Seed = 1;       ///< RNG seed; same seed = same pair stream
+  unsigned Count = 100;    ///< pairs to generate and check
+  uint64_t DeadlineMs = 0; ///< per-pair soft guard deadline (0 = off)
+  uint64_t MemMb = 0;      ///< per-pair soft guard memory budget (0 = off)
+  uint64_t WallMs = 5000;  ///< per-pair hard wall timeout for isolated runs
+  uint64_t TotalMs = 0;    ///< whole-campaign wall budget (0 = off)
+  bool Isolate = true;     ///< fork-isolate pairs when the host supports it
+  bool ShrinkFailures = true; ///< delta-debug mismatches before reporting
+  FaultKind Fault = FaultKind::None; ///< self-test fault injection
+  unsigned InjectAt = 0;             ///< pair index receiving the fault
+  bool Verbose = false;              ///< per-pair stderr lines
+  /// Optional telemetry (borrowed): per-outcome counters plus a
+  /// "fuzz.pair" trace event per pair. Only the parent writes to it —
+  /// isolated children run without telemetry (their writes would die with
+  /// them anyway).
+  obs::Telemetry *Telem = nullptr;
+};
+
+/// Per-outcome counts plus the findings. Every generated pair lands in
+/// exactly one outcome bucket.
+struct CampaignStats {
+  unsigned Pairs = 0;    ///< pairs actually run
+  unsigned Agree = 0;    ///< adequacy agreed (exhaustively or bounded-clean)
+  unsigned Mismatch = 0; ///< adequacy disagreement — a real finding
+  unsigned Bounded = 0;  ///< in-child guard budget truncated the verdict
+  unsigned Deadline = 0; ///< child hit the wall/CPU timeout
+  unsigned Oom = 0;      ///< child hit the memory limit
+  unsigned Crash = 0;    ///< child died of a signal / uncaught exception
+  unsigned Isolated = 0; ///< pairs that ran fork-isolated
+  bool TimedOut = false; ///< TotalMs ended the campaign early
+  /// One entry per mismatch: the mutation description plus the (shrunk
+  /// when enabled) failing pair.
+  std::vector<std::string> Findings;
+
+  /// Campaign health: no finding and no unclassified malfunction.
+  bool clean() const { return Mismatch == 0 && Crash == 0; }
+};
+
+/// Runs the campaign and reports per-outcome counts.
+CampaignStats runFuzzCampaign(const CampaignOptions &Opts);
+
+} // namespace pseq
+
+#endif // PSEQ_ADEQUACY_FUZZCAMPAIGN_H

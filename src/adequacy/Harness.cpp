@@ -8,6 +8,7 @@
 #include "adequacy/Harness.h"
 
 #include "exec/ThreadPool.h"
+#include "guard/Guard.h"
 #include "lang/Parser.h"
 #include "obs/Telemetry.h"
 #include "seq/SimpleRefinement.h"
@@ -39,12 +40,24 @@ ContextRecord checkContext(const ContextSpec &Ctx, const Program &Src,
     return Rec; // context not applicable to this layout
   Rec.Applicable = true;
 
+  if (guard::ResourceGuard *G = UseCfg.Guard;
+      G && G->checkpoint() != TruncationCause::None) {
+    // Applicability is just a layout check; the exploration itself is
+    // skipped once the guard trips. Unverified, so bounded — never a
+    // spurious "holds exhaustively" and never a spurious failure.
+    Rec.V.Context = Ctx.Name;
+    Rec.V.Bounded = true;
+    Rec.V.Cause = G->cause();
+    return Rec;
+  }
+
   std::chrono::steady_clock::time_point Start =
       std::chrono::steady_clock::now();
   PsRefinementResult R = checkPsRefinement(*SrcC, *TgtC, UseCfg);
   Rec.V.Context = Ctx.Name;
   Rec.V.Holds = R.Holds;
   Rec.V.Bounded = R.Bounded;
+  Rec.V.Cause = R.Cause;
   Rec.V.Counterexample = R.Counterexample;
   Rec.V.ElapsedMs = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - Start)
@@ -75,6 +88,8 @@ AdequacyRecord pseq::runAdequacy(const std::string &Name, const Program &Src,
   Rec.SeqSimple = Simple.Holds;
   Rec.SeqAdvanced = Advanced.Holds;
   Rec.AnyBounded = Simple.Bounded || Advanced.Bounded || HasLoops;
+  noteTruncation(Rec.FirstCause, Simple.Cause);
+  noteTruncation(Rec.FirstCause, Advanced.Cause);
 
   // Contexts are independent, so they fan out across the pool; verdicts,
   // tallies, and trace events fold in library order afterwards, making the
@@ -91,9 +106,12 @@ AdequacyRecord pseq::runAdequacy(const std::string &Name, const Program &Src,
         WTelems.push_back(std::make_unique<obs::Telemetry>());
         WCfgs[W].Telem = WTelems.back().get();
       }
-    exec::parallelFor(N, Lib.size(), [&](size_t I, unsigned W) {
-      CtxRecords[I] = checkContext(Lib[I], Src, Tgt, WCfgs[W]);
-    });
+    exec::parallelFor(
+        N, Lib.size(),
+        [&](size_t I, unsigned W) {
+          CtxRecords[I] = checkContext(Lib[I], Src, Tgt, WCfgs[W]);
+        },
+        PsCfg.Guard ? &PsCfg.Guard->stopFlag() : nullptr);
     if (Telem)
       for (const std::unique_ptr<obs::Telemetry> &WT : WTelems)
         Telem->mergeCounters(WT->Counters);
@@ -110,6 +128,7 @@ AdequacyRecord pseq::runAdequacy(const std::string &Name, const Program &Src,
     ContextVerdict &V = CR.V;
     Rec.PsnaAllContexts &= V.Holds;
     Rec.AnyBounded |= V.Bounded;
+    noteTruncation(Rec.FirstCause, V.Cause);
     if (Telem) {
       obs::ScopedTally Tally(&Telem->Counters);
       ++Tally.slot("adequacy.ctx_checks");
@@ -122,9 +141,17 @@ AdequacyRecord pseq::runAdequacy(const std::string &Name, const Program &Src,
                                           {"context", V.Context},
                                           {"holds", V.Holds},
                                           {"bounded", V.Bounded},
+                                          {"cause", truncationCauseName(V.Cause)},
                                           {"ms", V.ElapsedMs}});
     }
     Rec.Contexts.push_back(std::move(V));
+  }
+
+  // Contexts drained by a guard trip in the parallel fan-out leave default
+  // (inapplicable-looking) records; the guard still makes the pair bounded.
+  if (guard::ResourceGuard *G = PsCfg.Guard; G && G->stopped()) {
+    Rec.AnyBounded = true;
+    noteTruncation(Rec.FirstCause, G->cause());
   }
 
   if (Telem) {
@@ -137,12 +164,14 @@ AdequacyRecord pseq::runAdequacy(const std::string &Name, const Program &Src,
     if (Rec.witnessFound())
       ++Tally.slot("adequacy.witnesses");
     if (Telem->tracing())
-      Telem->trace("adequacy.pair", {{"pair", Name},
-                                     {"seq_simple", Rec.SeqSimple},
-                                     {"seq_advanced", Rec.SeqAdvanced},
-                                     {"psna_all", Rec.PsnaAllContexts},
-                                     {"bounded", Rec.AnyBounded},
-                                     {"ms", PairTimer.stop()}});
+      Telem->trace("adequacy.pair",
+                   {{"pair", Name},
+                    {"seq_simple", Rec.SeqSimple},
+                    {"seq_advanced", Rec.SeqAdvanced},
+                    {"psna_all", Rec.PsnaAllContexts},
+                    {"bounded", Rec.AnyBounded},
+                    {"cause", truncationCauseName(Rec.FirstCause)},
+                    {"ms", PairTimer.stop()}});
   }
   return Rec;
 }
@@ -154,5 +183,6 @@ AdequacyRecord pseq::runAdequacy(const RefinementCase &RC,
   SeqConfig SeqCfg;
   SeqCfg.Domain = RC.Domain;
   SeqCfg.StepBudget = RC.StepBudget;
+  SeqCfg.Guard = PsCfg.Guard; // one guard governs both sides of the pair
   return runAdequacy(RC.Name, *Src, *Tgt, SeqCfg, PsCfg, RC.HasLoops);
 }

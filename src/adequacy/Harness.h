@@ -35,6 +35,8 @@ struct ContextVerdict {
   std::string Context;
   bool Holds = true;
   bool Bounded = false;
+  /// Which budget (or guard resource) bounded this context's comparison.
+  TruncationCause Cause = TruncationCause::None;
   std::string Counterexample;
   double ElapsedMs = 0.0; ///< wall time of the PS^na comparison
 };
@@ -47,6 +49,9 @@ struct AdequacyRecord {
   bool PsnaAllContexts = true;           ///< conjunction over contexts
   std::vector<ContextVerdict> Contexts;  ///< per-context detail
   bool AnyBounded = false;
+  /// First truncation cause across the SEQ checks and the per-context fold
+  /// (library order) — names the budget behind AnyBounded.
+  TruncationCause FirstCause = TruncationCause::None;
 
   /// Thm 6.2's direction: ⊑w must imply PS^na refinement in every context.
   bool adequacyHolds() const { return !SeqAdvanced || PsnaAllContexts; }

@@ -20,6 +20,10 @@ constexpr unsigned MaxThreads = 256;
 
 thread_local bool InPoolWorker = false;
 
+bool cancelRequested(const std::atomic<bool> *Cancel) {
+  return Cancel && Cancel->load(std::memory_order_relaxed);
+}
+
 } // namespace
 
 unsigned exec::hardwareThreads() {
@@ -76,13 +80,15 @@ void ThreadPool::ensureThreads(unsigned N) {
 }
 
 void ThreadPool::run(unsigned NumWorkers,
-                     const std::function<void(unsigned)> &BatchBody) {
+                     const std::function<void(unsigned)> &BatchBody,
+                     const std::atomic<bool> *Cancel) {
   NumWorkers = resolveThreads(NumWorkers == 0 ? 1 : NumWorkers);
   if (NumWorkers <= 1) {
     // Inline, and deliberately NOT flagged as a pool worker: a
     // single-element fan-out must leave inner engines free to use the
     // pool themselves.
-    BatchBody(0);
+    if (!cancelRequested(Cancel))
+      BatchBody(0);
     return;
   }
   if (InPoolWorker) {
@@ -90,13 +96,15 @@ void ThreadPool::run(unsigned NumWorkers,
     // partitioning (who computes what) is unchanged, so deterministic
     // merges downstream see identical per-index results.
     for (unsigned I = 0; I != NumWorkers; ++I)
-      BatchBody(I);
+      if (!cancelRequested(Cancel))
+        BatchBody(I);
     return;
   }
 
   std::unique_lock<std::mutex> L(Mu);
   ensureThreads(NumWorkers);
   Body = &BatchBody;
+  BatchCancel = Cancel;
   BatchSize = NumWorkers;
   NextIdx.store(0, std::memory_order_relaxed);
   Completed.store(0, std::memory_order_relaxed);
@@ -104,11 +112,14 @@ void ThreadPool::run(unsigned NumWorkers,
   L.unlock();
   WorkCv.notify_all();
 
-  // The caller claims indices like any worker.
+  // The caller claims indices like any worker. A cancelled batch still
+  // claims every index (draining), so Completed reaches BatchSize and the
+  // join below terminates — cancellation never turns into a hang.
   InPoolWorker = true;
   for (unsigned I;
        (I = NextIdx.fetch_add(1, std::memory_order_relaxed)) < NumWorkers;) {
-    BatchBody(I);
+    if (!cancelRequested(Cancel))
+      BatchBody(I);
     Completed.fetch_add(1, std::memory_order_release);
   }
   InPoolWorker = false;
@@ -119,6 +130,7 @@ void ThreadPool::run(unsigned NumWorkers,
            InLoop == 0;
   });
   Body = nullptr;
+  BatchCancel = nullptr;
   BatchSize = 0;
 }
 
@@ -131,6 +143,7 @@ void ThreadPool::workerLoop() {
       return;
     SeenGen = Generation;
     const std::function<void(unsigned)> *B = Body;
+    const std::atomic<bool> *Cancel = BatchCancel;
     unsigned N = BatchSize;
     if (!B || N == 0)
       continue; // stale wakeup after the batch already drained
@@ -140,7 +153,8 @@ void ThreadPool::workerLoop() {
     InPoolWorker = true;
     for (unsigned I;
          (I = NextIdx.fetch_add(1, std::memory_order_relaxed)) < N;) {
-      (*B)(I);
+      if (!cancelRequested(Cancel))
+        (*B)(I);
       Completed.fetch_add(1, std::memory_order_release);
     }
     InPoolWorker = false;
@@ -154,18 +168,23 @@ void ThreadPool::workerLoop() {
 }
 
 void exec::parallelFor(unsigned NumWorkers, size_t Items,
-                       const std::function<void(size_t, unsigned)> &Fn) {
+                       const std::function<void(size_t, unsigned)> &Fn,
+                       const std::atomic<bool> *Cancel) {
   NumWorkers = resolveThreads(NumWorkers == 0 ? 1 : NumWorkers);
   if (NumWorkers <= 1 || Items <= 1 || ThreadPool::insideWorker()) {
     for (size_t I = 0; I != Items; ++I)
-      Fn(I, 0);
+      if (!cancelRequested(Cancel))
+        Fn(I, 0);
     return;
   }
   if (NumWorkers > Items)
     NumWorkers = static_cast<unsigned>(Items);
   std::atomic<size_t> Next{0};
   ThreadPool::global().run(NumWorkers, [&](unsigned Worker) {
-    for (size_t I; (I = Next.fetch_add(1, std::memory_order_relaxed)) < Items;)
-      Fn(I, Worker);
+    for (size_t I;
+         (I = Next.fetch_add(1, std::memory_order_relaxed)) < Items;) {
+      if (!cancelRequested(Cancel))
+        Fn(I, Worker);
+    }
   });
 }

@@ -62,7 +62,16 @@ public:
   /// the pool (the calling thread participates). Returns when all bodies
   /// finished. With NumWorkers <= 1, or when called from inside a pool
   /// worker, the bodies run sequentially inline on the caller.
-  void run(unsigned NumWorkers, const std::function<void(unsigned)> &Body);
+  ///
+  /// \p Cancel, when non-null, is a cooperative stop signal (typically
+  /// guard::ResourceGuard::stopFlag()): once it reads true, not-yet-started
+  /// bodies are drained — claimed and counted complete without running — so
+  /// a deadline on one engine stops all its queued work. Bodies already
+  /// running are not interrupted; engines poll the guard themselves.
+  /// Callers that skip bodies this way must derive their verdict from the
+  /// guard, not from per-body results alone (drained slots stay default).
+  void run(unsigned NumWorkers, const std::function<void(unsigned)> &Body,
+           const std::atomic<bool> *Cancel = nullptr);
 
   /// True on a thread currently executing a pool batch body (used by
   /// nested run() calls to degrade to inline execution).
@@ -89,6 +98,7 @@ private:
   // Batch slot (guarded by Mu except the two atomics).
   uint64_t Generation = 0;
   const std::function<void(unsigned)> *Body = nullptr;
+  const std::atomic<bool> *BatchCancel = nullptr;
   unsigned BatchSize = 0;
   std::atomic<unsigned> NextIdx{0};
   std::atomic<unsigned> Completed{0};
@@ -99,8 +109,11 @@ private:
 /// Convenience fan-out: runs Fn(Item, Worker) for every Item in [0, Items)
 /// on \p NumWorkers workers, items claimed dynamically. Deterministic
 /// callers must make Fn's effect per-item (indexed results), not per-order.
+/// \p Cancel as in ThreadPool::run — items claimed after it reads true are
+/// skipped (their slots keep whatever default the caller initialized).
 void parallelFor(unsigned NumWorkers, size_t Items,
-                 const std::function<void(size_t, unsigned)> &Fn);
+                 const std::function<void(size_t, unsigned)> &Fn,
+                 const std::atomic<bool> *Cancel = nullptr);
 
 } // namespace pseq::exec
 

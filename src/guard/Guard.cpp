@@ -1,0 +1,38 @@
+//===- guard/Guard.cpp - Deadlines, cancellation, memory budgets ----------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guard/Guard.h"
+
+using namespace pseq;
+using namespace pseq::guard;
+
+TruncationCause ResourceGuard::trip(TruncationCause C) {
+  uint8_t Expected = static_cast<uint8_t>(TruncationCause::None);
+  CauseSlot.compare_exchange_strong(Expected, static_cast<uint8_t>(C),
+                                    std::memory_order_relaxed);
+  Stop.store(true, std::memory_order_relaxed);
+  return cause();
+}
+
+TruncationCause ResourceGuard::checkpoint() {
+  TruncationCause C = cause();
+  if (C != TruncationCause::None)
+    return C;
+  if (Token && Token->poll())
+    return trip(TruncationCause::Cancelled);
+  if (HasDeadline) {
+    // Stride the clock read: checkpoints fire per node/pop, and a syscall
+    // (even vDSO) per node would dominate small explorations. The counter
+    // is per guard and starts at 0, so the very first checkpoint checks
+    // the clock — a guard armed with an already-expired deadline trips on
+    // its first checkpoint, which tests rely on.
+    if ((ClockStride.fetch_add(1, std::memory_order_relaxed) & 63u) == 0 &&
+        std::chrono::steady_clock::now() >= DeadlineAt)
+      return trip(TruncationCause::Deadline);
+  }
+  return TruncationCause::None;
+}

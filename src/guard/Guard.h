@@ -1,0 +1,156 @@
+//===- guard/Guard.h - Deadlines, cancellation, memory budgets --*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource governance for the bounded-exhaustive engines. The existing
+/// budgets (step/behavior/state/cert) bound *work items*; a ResourceGuard
+/// additionally bounds wall-clock time, approximate memory, and allows
+/// external cancellation, all surfacing through the same TruncationCause
+/// plumbing: a governed run never hangs or aborts, it returns an honest
+/// bounded verdict naming the resource that ran out.
+///
+/// The protocol is cooperative. Engines call checkpoint() at coarse
+/// exploration points (one node expansion, one frontier pop, one init
+/// check) and charge() when a retained structure grows (a deduplicated
+/// behavior, a newly visited state). Once any limit trips, the guard is
+/// sticky: every subsequent checkpoint() returns the same first cause, so a
+/// single guard shared across engines (enumerator -> matcher -> validator)
+/// shuts the whole run down with one coherent verdict.
+///
+/// Determinism: cancellation and deadline expiry change *when* an
+/// exploration stops, so the truncated content can vary across runs or
+/// worker counts; the verdict shape (Bounded + cause) does not. Tests that
+/// need exact truncation points use CancellationToken::tripAfterPolls,
+/// which trips after a fixed number of checkpoints instead of wall clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_GUARD_GUARD_H
+#define PSEQ_GUARD_GUARD_H
+
+#include "support/Truncation.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace pseq::guard {
+
+/// A cooperative cancellation flag shared between an orchestrator and any
+/// number of engine workers. Cheap to poll (one relaxed load when idle).
+class CancellationToken {
+public:
+  /// Requests cancellation. Idempotent, callable from any thread.
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+
+  /// True once cancel() has been called (or an armed poll count expired).
+  bool cancelled() const { return Flag.load(std::memory_order_relaxed); }
+
+  /// Arms the token to cancel itself after \p Polls calls to poll(): the
+  /// first \p Polls polls return false, every later one returns true. This
+  /// is the deterministic stand-in for a wall-clock deadline in tests —
+  /// single-threaded, the Nth checkpoint is the same node every run.
+  void tripAfterPolls(uint64_t Polls) {
+    PollsLeft.store(static_cast<int64_t>(Polls), std::memory_order_relaxed);
+  }
+
+  /// One cooperative checkpoint; returns true when cancelled.
+  bool poll() {
+    if (Flag.load(std::memory_order_relaxed))
+      return true;
+    if (PollsLeft.load(std::memory_order_relaxed) >= 0 &&
+        PollsLeft.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      Flag.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+private:
+  std::atomic<bool> Flag{false};
+  std::atomic<int64_t> PollsLeft{-1}; ///< < 0 = no poll budget armed
+};
+
+/// Bundles a deadline, a memory budget, and an optional cancellation token
+/// into one sticky first-cause-wins stop signal. Thread-safe; one guard is
+/// shared by every worker of a governed run (engines copy configs per
+/// worker arena, the Guard pointer copies with them).
+class ResourceGuard {
+public:
+  ResourceGuard() = default;
+
+  /// Attaches an external cancellation token (not owned; may be null).
+  void setToken(CancellationToken *T) { Token = T; }
+
+  /// Sets a soft deadline \p Ms milliseconds from now (steady clock).
+  void setDeadlineInMs(uint64_t Ms) {
+    DeadlineAt = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(static_cast<int64_t>(Ms));
+    HasDeadline = true;
+  }
+
+  /// Sets the approximate memory budget in bytes (0 = unlimited).
+  void setMemLimitBytes(uint64_t Bytes) { MemLimit = Bytes; }
+
+  /// Cooperative checkpoint: returns the sticky first tripped cause, or
+  /// None while all resources hold. The token is consulted on every call
+  /// (poll-count determinism requires it); the clock only every 64th call
+  /// per thread, so a checkpoint in a hot loop stays cheap.
+  TruncationCause checkpoint();
+
+  /// Accounts ~\p Bytes of retained growth; trips MemBudget at the limit.
+  void charge(uint64_t Bytes) {
+    if (MemLimit == 0 || stopped())
+      return;
+    if (MemUsed.fetch_add(Bytes, std::memory_order_relaxed) + Bytes > MemLimit)
+      trip(TruncationCause::MemBudget);
+  }
+
+  /// The tripped cause (None = still running). Does not advance the clock.
+  TruncationCause cause() const {
+    return static_cast<TruncationCause>(
+        CauseSlot.load(std::memory_order_relaxed));
+  }
+
+  /// True once any resource tripped.
+  bool stopped() const { return cause() != TruncationCause::None; }
+
+  /// Raw flag for exec::ThreadPool cooperative drain (set on first trip).
+  const std::atomic<bool> &stopFlag() const { return Stop; }
+
+  /// Approximate bytes charged so far.
+  uint64_t memUsedBytes() const {
+    return MemUsed.load(std::memory_order_relaxed);
+  }
+
+  /// Clears the trip state and memory accounting between campaign programs.
+  /// Deadline and token configuration are kept; re-arm them explicitly.
+  void reset() {
+    CauseSlot.store(static_cast<uint8_t>(TruncationCause::None),
+                    std::memory_order_relaxed);
+    Stop.store(false, std::memory_order_relaxed);
+    MemUsed.store(0, std::memory_order_relaxed);
+    ClockStride.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  /// Records \p C as the cause if none is set yet; returns the winner.
+  TruncationCause trip(TruncationCause C);
+
+  CancellationToken *Token = nullptr;
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point DeadlineAt{};
+  uint64_t MemLimit = 0;
+  std::atomic<uint64_t> MemUsed{0};
+  std::atomic<uint8_t> CauseSlot{static_cast<uint8_t>(TruncationCause::None)};
+  std::atomic<bool> Stop{false};
+  std::atomic<uint32_t> ClockStride{0};
+};
+
+} // namespace pseq::guard
+
+#endif // PSEQ_GUARD_GUARD_H

@@ -1,0 +1,192 @@
+//===- guard/Isolate.cpp - Fork-based crash isolation ---------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guard/Isolate.h"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PSEQ_HAVE_FORK 1
+#include <csignal>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define PSEQ_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define PSEQ_UNDER_SANITIZER 1
+#endif
+#endif
+
+using namespace pseq;
+using namespace pseq::guard;
+
+bool pseq::guard::underSanitizer() {
+#ifdef PSEQ_UNDER_SANITIZER
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char *pseq::guard::isolateStatusName(IsolateStatus S) {
+  switch (S) {
+  case IsolateStatus::Ok:
+    return "ok";
+  case IsolateStatus::Fail:
+    return "fail";
+  case IsolateStatus::Deadline:
+    return "deadline";
+  case IsolateStatus::Oom:
+    return "oom";
+  case IsolateStatus::Crash:
+    return "crash";
+  case IsolateStatus::Unsupported:
+    return "unsupported";
+  }
+  return "unknown";
+}
+
+bool pseq::guard::isolationSupported() {
+#ifdef PSEQ_HAVE_FORK
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef PSEQ_HAVE_FORK
+
+namespace {
+
+/// Child-side setup + body. Never returns.
+[[noreturn]] void runChild(const std::function<int()> &Body,
+                           const IsolateLimits &Limits) {
+  if (Limits.CpuSeconds) {
+    struct rlimit RL;
+    RL.rlim_cur = static_cast<rlim_t>(Limits.CpuSeconds);
+    RL.rlim_max = static_cast<rlim_t>(Limits.CpuSeconds + 1); // hard SIGKILL
+    setrlimit(RLIMIT_CPU, &RL);
+  }
+  if (Limits.MemBytes && !underSanitizer()) {
+    struct rlimit RL;
+    RL.rlim_cur = static_cast<rlim_t>(Limits.MemBytes);
+    RL.rlim_max = static_cast<rlim_t>(Limits.MemBytes);
+    setrlimit(RLIMIT_AS, &RL);
+  }
+  int Code;
+  try {
+    Code = Body();
+  } catch (const std::bad_alloc &) {
+    Code = IsolateOomExit;
+  } catch (...) {
+    Code = IsolateExceptionExit;
+  }
+  // _Exit: no static destructors, no atexit, no flushing of parent-shared
+  // buffers (the parent flushed before forking).
+  std::_Exit(Code & 0xff);
+}
+
+IsolateResult classify(int WStatus) {
+  IsolateResult R;
+  if (WIFEXITED(WStatus)) {
+    R.ExitCode = WEXITSTATUS(WStatus);
+    if (R.ExitCode == 0)
+      R.Status = IsolateStatus::Ok;
+    else if (R.ExitCode == IsolateOomExit)
+      R.Status = IsolateStatus::Oom;
+    else if (R.ExitCode == IsolateExceptionExit)
+      R.Status = IsolateStatus::Crash;
+    else
+      R.Status = IsolateStatus::Fail;
+    return R;
+  }
+  if (WIFSIGNALED(WStatus)) {
+    R.Signal = WTERMSIG(WStatus);
+    // SIGXCPU/SIGKILL: the rlimit machinery ran out of CPU budget (the
+    // hard limit delivers SIGKILL). Wall timeouts are classified by the
+    // parent before this runs.
+    R.Status = (R.Signal == SIGXCPU || R.Signal == SIGKILL)
+                   ? IsolateStatus::Deadline
+                   : IsolateStatus::Crash;
+    return R;
+  }
+  R.Status = IsolateStatus::Crash;
+  return R;
+}
+
+} // namespace
+
+IsolateResult pseq::guard::runIsolated(const std::function<int()> &Body,
+                                       const IsolateLimits &Limits) {
+  IsolateResult R;
+  // Shared stdio buffers would otherwise be flushed twice (parent + child).
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  std::chrono::steady_clock::time_point Start =
+      std::chrono::steady_clock::now();
+  pid_t Pid = fork();
+  if (Pid < 0)
+    return R; // Unsupported: fork failed (EAGAIN/ENOMEM)
+  if (Pid == 0)
+    runChild(Body, Limits); // never returns
+
+  auto elapsedMs = [&] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  };
+
+  int WStatus = 0;
+  bool TimedOut = false;
+  for (;;) {
+    pid_t Got = waitpid(Pid, &WStatus, Limits.WallMs ? WNOHANG : 0);
+    if (Got == Pid)
+      break;
+    if (Got < 0) {
+      R.Status = IsolateStatus::Crash; // waitpid failure: treat as lost child
+      R.ElapsedMs = elapsedMs();
+      return R;
+    }
+    if (Limits.WallMs && elapsedMs() >= static_cast<double>(Limits.WallMs)) {
+      if (!TimedOut) {
+        TimedOut = true;
+        kill(Pid, SIGKILL);
+      }
+      // Fall through to a blocking reap of the killed child.
+      waitpid(Pid, &WStatus, 0);
+      break;
+    }
+    struct timespec TS = {0, 2 * 1000 * 1000}; // 2ms poll
+    nanosleep(&TS, nullptr);
+  }
+
+  R = classify(WStatus);
+  if (TimedOut) {
+    R.Status = IsolateStatus::Deadline;
+    R.Signal = SIGKILL;
+  }
+  R.ElapsedMs = elapsedMs();
+  return R;
+}
+
+#else // !PSEQ_HAVE_FORK
+
+IsolateResult pseq::guard::runIsolated(const std::function<int()> &,
+                                       const IsolateLimits &) {
+  return IsolateResult{};
+}
+
+#endif

@@ -1,0 +1,84 @@
+//===- guard/Isolate.h - Fork-based crash isolation -------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-level isolation for untrusted work items (fuzzing, third-party
+/// programs). `runIsolated` forks, applies rlimits (CPU seconds, address
+/// space) in the child, runs the body, and classifies how the child died:
+/// a clean verdict exit, a deadline (wall or CPU), memory exhaustion, or a
+/// crash signal. The parent survives anything the child does, so one
+/// pathological input cannot take down a whole campaign.
+///
+/// On non-POSIX hosts (and when explicitly disabled) the isolation status
+/// is `Unsupported` and callers fall back to in-process execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_GUARD_ISOLATE_H
+#define PSEQ_GUARD_ISOLATE_H
+
+#include <cstdint>
+#include <functional>
+
+namespace pseq {
+namespace guard {
+
+/// True when the binary is built under ASan/TSan: address-space rlimits
+/// would kill the sanitizer's shadow mappings, so `runIsolated` skips
+/// RLIMIT_AS (wall/CPU limits still apply).
+bool underSanitizer();
+
+/// Reserved child exit codes. The child's body maps resource failures onto
+/// these so the parent can classify them without shared memory: a caught
+/// std::bad_alloc exits with `IsolateOomExit`, any other uncaught
+/// exception with `IsolateExceptionExit`.
+inline constexpr int IsolateOomExit = 113;
+inline constexpr int IsolateExceptionExit = 114;
+
+/// Resource limits applied to the isolated child. Zero means unlimited.
+struct IsolateLimits {
+  uint64_t WallMs = 0;     ///< wall-clock timeout enforced by the parent
+  uint64_t CpuSeconds = 0; ///< RLIMIT_CPU in the child
+  uint64_t MemBytes = 0;   ///< RLIMIT_AS in the child (skipped under sanitizers)
+};
+
+/// How the isolated child finished.
+enum class IsolateStatus : uint8_t {
+  Ok,          ///< exited 0
+  Fail,        ///< exited nonzero (a verdict, not a malfunction)
+  Deadline,    ///< wall timeout (parent SIGKILL) or CPU limit (SIGXCPU)
+  Oom,         ///< address-space limit hit (IsolateOomExit)
+  Crash,       ///< fatal signal (SIGSEGV, SIGABRT, ...) or uncaught exception
+  Unsupported, ///< no fork() on this host; body was not run
+};
+
+const char *isolateStatusName(IsolateStatus S);
+
+/// Outcome of one isolated run.
+struct IsolateResult {
+  IsolateStatus Status = IsolateStatus::Unsupported;
+  int ExitCode = -1;      ///< child exit code when Ok/Fail/Oom
+  int Signal = 0;         ///< terminating signal when Crash/Deadline
+  double ElapsedMs = 0.0; ///< parent-measured wall time
+};
+
+/// True when this host can fork-isolate (POSIX).
+bool isolationSupported();
+
+/// Runs \p Body in a forked child under \p Limits and reports how it died.
+/// The body's return value becomes the child's exit code (0 = Ok). The
+/// child never returns to the caller's code: it exits via _Exit, skipping
+/// static destructors (safe because the child shares no external state).
+/// Spawn no threads before calling this in a loop — forked children only
+/// retain the calling thread.
+IsolateResult runIsolated(const std::function<int()> &Body,
+                          const IsolateLimits &Limits);
+
+} // namespace guard
+} // namespace pseq
+
+#endif // PSEQ_GUARD_ISOLATE_H

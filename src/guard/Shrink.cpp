@@ -1,0 +1,147 @@
+//===- guard/Shrink.cpp - Counterexample shrinking ------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guard/Shrink.h"
+
+#include "guard/Guard.h"
+
+#include <vector>
+
+using namespace pseq;
+using namespace pseq::guard;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos) {
+      if (Pos < Text.size())
+        Lines.push_back(Text.substr(Pos));
+      break;
+    }
+    Lines.push_back(Text.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// Shared budget/stop state across both programs of the pair.
+struct Budget {
+  const ShrinkOptions &Opts;
+  unsigned Probes = 0;
+  bool Cut = false; ///< a budget or guard trip ended the run early
+
+  bool exhausted() {
+    if (Cut)
+      return true;
+    if (Probes >= Opts.MaxProbes ||
+        (Opts.Guard &&
+         Opts.Guard->checkpoint() != TruncationCause::None))
+      Cut = true;
+    return Cut;
+  }
+};
+
+/// One ddmin-style pass over \p Lines: try deleting chunks of ChunkLen
+/// consecutive lines, halving ChunkLen until 1, repeating until no single
+/// line can be removed. \p Probe re-checks a candidate for this side with
+/// the other side held fixed. Returns lines removed.
+unsigned shrinkLines(std::vector<std::string> &Lines,
+                     const std::function<bool(const std::string &)> &Probe,
+                     Budget &B) {
+  unsigned Removed = 0;
+  size_t ChunkLen = Lines.size() / 2;
+  if (ChunkLen == 0)
+    ChunkLen = 1;
+  while (!Lines.empty()) {
+    bool AnyRemoved = false;
+    for (size_t Start = 0; Start < Lines.size();) {
+      if (B.exhausted())
+        return Removed;
+      size_t Len = std::min(ChunkLen, Lines.size() - Start);
+      std::vector<std::string> Candidate;
+      Candidate.reserve(Lines.size() - Len);
+      Candidate.insert(Candidate.end(), Lines.begin(),
+                       Lines.begin() + static_cast<long>(Start));
+      Candidate.insert(Candidate.end(),
+                       Lines.begin() + static_cast<long>(Start + Len),
+                       Lines.end());
+      ++B.Probes;
+      if (Probe(joinLines(Candidate))) {
+        Lines = std::move(Candidate);
+        Removed += static_cast<unsigned>(Len);
+        AnyRemoved = true;
+        // Retry at the same start: the next chunk slid into this slot.
+      } else {
+        Start += Len;
+      }
+    }
+    if (ChunkLen == 1) {
+      if (!AnyRemoved)
+        break; // 1-minimal for this pass
+    } else {
+      ChunkLen = (ChunkLen + 1) / 2;
+      if (ChunkLen == 0)
+        ChunkLen = 1;
+    }
+  }
+  return Removed;
+}
+
+} // namespace
+
+ShrinkResult pseq::guard::shrinkPair(const std::string &Src,
+                                     const std::string &Tgt,
+                                     const ShrinkPredicate &StillFails,
+                                     const ShrinkOptions &Opts) {
+  ShrinkResult R;
+  std::vector<std::string> SrcLines = splitLines(Src);
+  std::vector<std::string> TgtLines = splitLines(Tgt);
+  Budget B{Opts};
+
+  // Alternate sides per round: removals on one side often unlock removals
+  // on the other (e.g. a dropped store makes the matching load removable).
+  for (unsigned Round = 0; Round != Opts.MaxRounds; ++Round) {
+    if (B.exhausted())
+      break;
+    unsigned RemovedThisRound = 0;
+    RemovedThisRound += shrinkLines(
+        SrcLines,
+        [&](const std::string &Cand) {
+          return StillFails(Cand, joinLines(TgtLines));
+        },
+        B);
+    RemovedThisRound += shrinkLines(
+        TgtLines,
+        [&](const std::string &Cand) {
+          return StillFails(joinLines(SrcLines), Cand);
+        },
+        B);
+    R.LinesRemoved += RemovedThisRound;
+    if (RemovedThisRound == 0) {
+      R.Converged = !B.Cut;
+      break;
+    }
+  }
+
+  R.Src = joinLines(SrcLines);
+  R.Tgt = joinLines(TgtLines);
+  R.Probes = B.Probes;
+  return R;
+}

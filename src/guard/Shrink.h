@@ -1,0 +1,68 @@
+//===- guard/Shrink.h - Counterexample shrinking ----------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging minimizer for failing (source, target) program pairs.
+/// Given the two program texts and a predicate that re-runs the failing
+/// check, `shrinkPair` greedily deletes lines (largest chunks first, down
+/// to single lines, to a fixpoint) as long as the predicate keeps failing.
+/// The predicate owns all validity checking — a candidate that no longer
+/// parses, changes layout, or stops failing is simply rejected — so the
+/// shrinker needs no knowledge of the language.
+///
+/// Shrinking is best-effort and budget-bounded: an optional ResourceGuard
+/// (deadline / cancellation) and a probe cap stop it early, returning the
+/// smallest pair found so far. The result is always a pair the predicate
+/// accepted (or the unmodified input when nothing could be removed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_GUARD_SHRINK_H
+#define PSEQ_GUARD_SHRINK_H
+
+#include <functional>
+#include <string>
+
+namespace pseq {
+namespace guard {
+
+class ResourceGuard;
+
+/// Re-runs the failing check on candidate texts. Must return true iff the
+/// candidate pair is valid AND still exhibits the original failure.
+using ShrinkPredicate =
+    std::function<bool(const std::string &Src, const std::string &Tgt)>;
+
+/// Budgets for one shrink run.
+struct ShrinkOptions {
+  unsigned MaxRounds = 8;   ///< full passes over both programs
+  unsigned MaxProbes = 512; ///< total predicate invocations
+  /// Optional deadline/cancellation source (borrowed). Polled before every
+  /// probe; a trip ends the run with the best pair so far.
+  ResourceGuard *Guard = nullptr;
+};
+
+/// Outcome of `shrinkPair`.
+struct ShrinkResult {
+  std::string Src; ///< minimized source text (still failing)
+  std::string Tgt; ///< minimized target text (still failing)
+  unsigned Probes = 0;       ///< predicate invocations spent
+  unsigned LinesRemoved = 0; ///< lines deleted across both programs
+  bool Converged = false;    ///< reached a 1-minimal fixpoint (no budget cut)
+};
+
+/// Minimizes a failing pair under \p StillFails. The input pair itself is
+/// assumed to fail (it is never re-probed); the result is the smallest
+/// accepted candidate, or the input when every removal was rejected.
+ShrinkResult shrinkPair(const std::string &Src, const std::string &Tgt,
+                        const ShrinkPredicate &StillFails,
+                        const ShrinkOptions &Opts = ShrinkOptions());
+
+} // namespace guard
+} // namespace pseq
+
+#endif // PSEQ_GUARD_SHRINK_H

@@ -9,6 +9,7 @@
 
 #include <cassert>
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -57,11 +58,13 @@ struct Token {
   std::string Text;
   int64_t Num = 0;
   unsigned Line = 1;
+  unsigned Col = 1;
 };
 
 class Lexer {
   const std::string &Src;
   size_t Pos = 0;
+  size_t LineStart = 0;
   unsigned Line = 1;
 
 public:
@@ -71,6 +74,7 @@ public:
     skipWhitespaceAndComments();
     Token T;
     T.Line = Line;
+    T.Col = static_cast<unsigned>(Pos - LineStart + 1);
     if (Pos >= Src.size()) {
       T.K = Tok::Eof;
       return T;
@@ -91,9 +95,17 @@ public:
       while (Pos < Src.size() &&
              std::isdigit(static_cast<unsigned char>(Src[Pos])))
         ++Pos;
+      std::string Digits = Src.substr(Start, Pos - Start);
+      errno = 0;
+      T.Num = std::strtoll(Digits.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        // A silently saturated literal would change program semantics;
+        // surface it as a bad token instead.
+        T.K = Tok::Bad;
+        T.Text = std::move(Digits);
+        return T;
+      }
       T.K = Tok::Number;
-      T.Num = std::strtoll(Src.substr(Start, Pos - Start).c_str(), nullptr,
-                           10);
       return T;
     }
     auto two = [&](char A, char B) {
@@ -195,6 +207,7 @@ private:
       if (C == '\n') {
         ++Line;
         ++Pos;
+        LineStart = Pos;
         continue;
       }
       if (std::isspace(static_cast<unsigned char>(C))) {
@@ -224,6 +237,26 @@ class Parser {
   bool Failed = false;
   std::string ErrMsg;
   unsigned ErrLine = 0;
+  unsigned ErrCol = 0;
+
+  /// Recursion depth across nested statements / parenthesized and unary
+  /// expressions. Bounded so hostile inputs (fuzzing!) produce an error,
+  /// not a stack overflow.
+  unsigned Depth = 0;
+  static constexpr unsigned MaxDepth = 200;
+
+  /// RAII depth accounting; `Ok == false` means the limit was hit and a
+  /// parse error is already recorded — bail out without recursing.
+  struct DepthScope {
+    Parser &P;
+    bool Ok;
+    explicit DepthScope(Parser &P) : P(P), Ok(++P.Depth <= MaxDepth) {
+      if (!Ok)
+        P.fail("nesting exceeds the depth limit (" +
+               std::to_string(MaxDepth) + ")");
+    }
+    ~DepthScope() { --P.Depth; }
+  };
 
   void advance() { Cur = Lex.next(); }
 
@@ -233,6 +266,7 @@ class Parser {
     Failed = true;
     ErrMsg = Msg;
     ErrLine = Cur.Line;
+    ErrCol = Cur.Col;
   }
 
   bool expect(Tok K, const char *What) {
@@ -281,8 +315,14 @@ public:
       fail("program has no threads");
     ParseResult R;
     if (Failed) {
-      R.Error = ErrMsg;
+      // The error string carries the position itself, so every consumer
+      // (not just those reading the Line/Column fields) reports it.
+      if (ErrMsg.empty())
+        ErrMsg = "malformed program";
+      R.Error = "line " + std::to_string(ErrLine) + ", column " +
+                std::to_string(ErrCol) + ": " + ErrMsg;
       R.Line = ErrLine;
+      R.Column = ErrCol;
       return R;
     }
     R.Prog = std::move(Prog);
@@ -365,6 +405,9 @@ private:
   }
 
   const Stmt *parseStmt() {
+    DepthScope D(*this);
+    if (!D.Ok)
+      return Prog->stmtSkip();
     if (acceptKeyword("skip")) {
       expect(Tok::Semi, "';'");
       return Prog->stmtSkip();
@@ -538,7 +581,12 @@ private:
   // Expressions (precedence climbing)
   //===--------------------------------------------------------------------===
 
-  const Expr *parseExpr() { return parseOr(); }
+  const Expr *parseExpr() {
+    DepthScope D(*this);
+    if (!D.Ok)
+      return Prog->exprConst(Value::of(0));
+    return parseOr();
+  }
 
   const Expr *parseOr() {
     const Expr *L = parseAnd();
@@ -613,6 +661,9 @@ private:
   }
 
   const Expr *parseUnary() {
+    DepthScope D(*this);
+    if (!D.Ok)
+      return Prog->exprConst(Value::of(0));
     if (Cur.K == Tok::Minus) {
       advance();
       return Prog->exprUn(UnOp::Neg, parseUnary());
@@ -663,8 +714,7 @@ ParseResult pseq::parseProgram(const std::string &Source) {
 std::unique_ptr<Program> pseq::parseOrDie(const std::string &Source) {
   ParseResult R = parseProgram(Source);
   if (!R.ok()) {
-    std::fprintf(stderr, "parse error at line %u: %s\n", R.Line,
-                 R.Error.c_str());
+    std::fprintf(stderr, "parse error: %s\n", R.Error.c_str());
     std::abort();
   }
   return std::move(R.Prog);

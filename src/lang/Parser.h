@@ -40,11 +40,14 @@
 
 namespace pseq {
 
-/// Outcome of parsing: a program, or an error message with a line number.
+/// Outcome of parsing: a program, or an error. On failure `Error` is
+/// always non-empty and starts with "line L, column C:"; the position is
+/// also available structurally via Line/Column.
 struct ParseResult {
   std::unique_ptr<Program> Prog;
   std::string Error;
   unsigned Line = 0;
+  unsigned Column = 0;
 
   bool ok() const { return Prog != nullptr; }
 };

@@ -7,6 +7,10 @@
 
 #include "opt/Pipeline.h"
 
+#include "guard/Guard.h"
+#include "guard/Shrink.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
 #include "obs/Telemetry.h"
 
 using namespace pseq;
@@ -14,6 +18,33 @@ using namespace pseq;
 namespace {
 
 using PassFn = PassResult (*)(const Program &);
+
+/// Delta-debugs a rejected (input, output) pair down to a minimal pair the
+/// validator still rejects. Candidates that fail to parse, change the
+/// memory layout, or change the thread structure are rejected by the
+/// predicate, so the shrinker never feeds the validator an ill-formed pair.
+void shrinkRejectedPair(const Program &Src, const Program &Tgt,
+                        const SeqConfig &Cfg, ValidationMethod Method,
+                        guard::ResourceGuard *Guard, PassReport &Report) {
+  guard::ShrinkPredicate StillFails = [&](const std::string &S,
+                                          const std::string &T) {
+    ParseResult PS = parseProgram(S);
+    ParseResult PT = parseProgram(T);
+    if (!PS.ok() || !PT.ok())
+      return false;
+    if (!sameLayout(*PS.Prog, *PT.Prog) ||
+        PS.Prog->numThreads() != PT.Prog->numThreads())
+      return false;
+    return !validateTransform(*PS.Prog, *PT.Prog, Cfg, Method).Ok;
+  };
+  guard::ShrinkOptions SOpts;
+  SOpts.Guard = Guard;
+  guard::ShrinkResult SR =
+      guard::shrinkPair(printProgram(Src), printProgram(Tgt), StillFails,
+                        SOpts);
+  Report.ShrunkSrc = std::move(SR.Src);
+  Report.ShrunkTgt = std::move(SR.Tgt);
+}
 
 } // namespace
 
@@ -23,9 +54,11 @@ PipelineResult pseq::runPipeline(const Program &P,
   Out.Prog = cloneProgram(P);
 
   obs::Telemetry *Telem = Opts.Telem ? Opts.Telem : Opts.Cfg.Telem;
+  guard::ResourceGuard *Guard = Opts.Guard ? Opts.Guard : Opts.Cfg.Guard;
   SeqConfig ValidateCfg = Opts.Cfg;
   ValidateCfg.Telem = Telem;
   ValidateCfg.NumThreads = Opts.NumThreads;
+  ValidateCfg.Guard = Guard;
   obs::TimerTree *Timers = Telem ? &Telem->Timers : nullptr;
   obs::ScopedTimer PipeTimer(Timers, "pipeline");
 
@@ -78,6 +111,11 @@ PipelineResult pseq::runPipeline(const Program &P,
       if (!V.Ok) {
         Report.Error = V.Counterexample;
         Out.AllValidated = false;
+        if (Opts.ShrinkFailures) {
+          obs::ScopedTimer ShrinkTimer(Timers, "shrink");
+          shrinkRejectedPair(*Out.Prog, *PR.Prog, ValidateCfg, Opts.Method,
+                             Guard, Report);
+        }
         Out.Reports.push_back(std::move(Report));
         continue; // discard this pass's output
       }

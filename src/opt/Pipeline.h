@@ -24,6 +24,10 @@
 
 namespace pseq {
 
+namespace guard {
+class ResourceGuard;
+}
+
 /// Pipeline configuration.
 struct PipelineOptions {
   bool Validate = true; ///< run the SEQ checker after every pass
@@ -42,6 +46,16 @@ struct PipelineOptions {
   /// Optional telemetry (borrowed; see obs/Telemetry.h). Also forwarded to
   /// the validator through Cfg, overriding Cfg.Telem when set.
   obs::Telemetry *Telem = nullptr;
+  /// Optional resource guard (borrowed; see guard/Guard.h). Forwarded to
+  /// the validator through Cfg, overriding Cfg.Guard when set: governed
+  /// pipelines report bounded validation verdicts instead of running past
+  /// their deadline / memory budget.
+  guard::ResourceGuard *Guard = nullptr;
+  /// On a validation rejection, delta-debug the failing (input, output)
+  /// pair down to a minimal still-rejected pair (PassReport::ShrunkSrc /
+  /// ShrunkTgt). Rejections signal library bugs, so the cost only ever
+  /// shows up when something is already wrong.
+  bool ShrinkFailures = true;
 };
 
 /// One line of the pipeline report.
@@ -52,6 +66,10 @@ struct PassReport {
   bool ValidationBounded = false;
   TruncationCause ValidationCause = TruncationCause::None;
   std::string Error;            ///< non-empty iff validation rejected
+  /// Minimal still-rejected pair from the shrinker (empty when validation
+  /// accepted, shrinking is disabled, or nothing could be removed).
+  std::string ShrunkSrc;
+  std::string ShrunkTgt;
   double OptMs = 0.0;           ///< wall time of the pass itself
   double ValidateMs = 0.0;      ///< wall time of its validation (0 if skipped)
   unsigned long long ValidationStates = 0; ///< checker states examined

@@ -8,6 +8,7 @@
 #include "opt/Validator.h"
 
 #include "exec/ThreadPool.h"
+#include "guard/Guard.h"
 #include "obs/Telemetry.h"
 #include "seq/SimpleRefinement.h"
 
@@ -23,6 +24,7 @@ namespace {
 
 /// What validating one program thread contributes to the verdict.
 struct ThreadRecord {
+  bool Ran = false; ///< false = skipped (guard tripped before this thread)
   bool Holds = false;
   bool Bounded = false;
   TruncationCause Cause = TruncationCause::None;
@@ -58,8 +60,10 @@ ValidationResult pseq::validateTransform(const Program &Src,
   Out.MethodUsed = Method;
 
   const unsigned NumT = Src.numThreads();
+  guard::ResourceGuard *Guard = Cfg.Guard;
   auto checkThread = [&](unsigned T, const SeqConfig &UseCfg,
                          ThreadRecord &Rec) {
+    Rec.Ran = true;
     switch (Method) {
     case ValidationMethod::Simple: {
       RefinementResult R = checkSimpleRefinement(Src, T, Tgt, T, UseCfg);
@@ -84,7 +88,9 @@ ValidationResult pseq::validateTransform(const Program &Src,
       Rec.Holds = R.Holds;
       Rec.Bounded = !R.Complete;
       if (Rec.Bounded)
-        Rec.Cause = TruncationCause::StateBudget;
+        Rec.Cause = R.Cause != TruncationCause::None
+                        ? R.Cause
+                        : TruncationCause::StateBudget;
       Rec.Cex = R.Counterexample;
       Rec.States = R.ProductNodes;
       break;
@@ -107,14 +113,19 @@ ValidationResult pseq::validateTransform(const Program &Src,
         WTelems.push_back(std::make_unique<obs::Telemetry>());
         WCfgs[W].Telem = WTelems.back().get();
       }
-    exec::parallelFor(N, NumT, [&](size_t T, unsigned W) {
-      checkThread(static_cast<unsigned>(T), WCfgs[W], Records[T]);
-    });
+    exec::parallelFor(
+        N, NumT,
+        [&](size_t T, unsigned W) {
+          checkThread(static_cast<unsigned>(T), WCfgs[W], Records[T]);
+        },
+        Guard ? &Guard->stopFlag() : nullptr);
     if (Telem)
       for (const std::unique_ptr<obs::Telemetry> &WT : WTelems)
         Telem->mergeCounters(WT->Counters);
   } else {
     for (unsigned T = 0; T != NumT; ++T) {
+      if (Guard && Guard->checkpoint() != TruncationCause::None)
+        break; // remaining threads fold as bounded-skipped below
       checkThread(T, Cfg, Records[T]);
       if (!Records[T].Holds)
         break;
@@ -123,6 +134,16 @@ ValidationResult pseq::validateTransform(const Program &Src,
 
   for (unsigned T = 0; T != NumT; ++T) {
     ThreadRecord &Rec = Records[T];
+    if (!Rec.Ran) {
+      // Skipped by a guard trip (or sequenced after a failure): the check
+      // ran out of resources before reaching this thread, so the verdict
+      // is bounded — never "checked and fine", never a spurious failure.
+      if (Guard && Guard->stopped()) {
+        Out.Bounded = true;
+        noteTruncation(Out.Cause, Guard->cause());
+      }
+      continue;
+    }
     Out.StatesExplored += Rec.States;
     Out.Bounded |= Rec.Bounded;
     noteTruncation(Out.Cause, Rec.Cause);
@@ -131,6 +152,10 @@ ValidationResult pseq::validateTransform(const Program &Src,
     Out.Ok = false;
     Out.Counterexample = "thread " + std::to_string(T) + ": " + Rec.Cex;
     break;
+  }
+  if (Guard && Guard->stopped()) {
+    Out.Bounded = true;
+    noteTruncation(Out.Cause, Guard->cause());
   }
   if (Out.Bounded) {
     if (!Out.Counterexample.empty())

@@ -8,6 +8,7 @@
 #include "psna/Explorer.h"
 
 #include "exec/ThreadPool.h"
+#include "guard/Guard.h"
 #include "obs/Telemetry.h"
 #include "support/Hashing.h"
 
@@ -104,6 +105,13 @@ struct BehaviorHash {
   }
 };
 
+/// Rough retained footprint of a visited state, for MemBudget accounting
+/// (Visited keeps one copy, the frontier briefly another).
+uint64_t approxStateBytes(const PsMachineState &S) {
+  return 2 * (sizeof(PsMachineState) + S.Threads.size() * sizeof(PsThread) +
+              S.Outs.size() * sizeof(Value));
+}
+
 PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
   PsMachine M(P, Cfg);
   PsBehaviorSet Result;
@@ -135,10 +143,19 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
     }
   };
 
+  guard::ResourceGuard *G = Cfg.Guard;
   while (!Work.empty()) {
     if (Visited.size() > Cfg.MaxStates) {
       noteTruncation(Result.Cause, TruncationCause::StateBudget);
       break;
+    }
+    if (G) {
+      // One checkpoint per pop, exactly where the state cap is checked.
+      TruncationCause C = G->checkpoint();
+      if (C != TruncationCause::None) {
+        noteTruncation(Result.Cause, C);
+        break;
+      }
     }
     MaxFrontier = std::max(MaxFrontier, Work.size());
     PsMachineState S = Work.front();
@@ -161,13 +178,18 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
          Tid != E; ++Tid) {
       for (PsMachineState &Next : M.threadSuccessors(S, Tid)) {
         ++ThreadSteps[Tid];
-        if (Visited.insert(Next).second)
+        if (Visited.insert(Next).second) {
+          if (G)
+            G->charge(approxStateBytes(Next));
           Work.push_back(std::move(Next));
-        else
+        } else {
           ++DedupHits;
+        }
       }
     }
   }
+  if (G && G->stopped())
+    noteTruncation(Result.Cause, G->cause());
 
   if (M.certBudgetHit())
     noteTruncation(Result.Cause, TruncationCause::CertBudget);
@@ -272,29 +294,43 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
     }
   };
 
+  guard::ResourceGuard *G = Cfg.Guard;
   bool Truncated = false;
   while (!Work.empty() && !Truncated) {
     size_t K = Work.size();
     std::vector<PsExpansion> Level(K);
-    exec::parallelFor(N, K, [&](size_t I, unsigned W) {
-      const PsMachineState &S = Work[I];
-      if (S.Bottom || S.allDone())
-        return;
-      PsExpansion &E = Level[I];
-      unsigned NumThreads = static_cast<unsigned>(S.Threads.size());
-      E.PerThread.resize(NumThreads, 0);
-      for (unsigned Tid = 0; Tid != NumThreads; ++Tid) {
-        std::vector<PsMachineState> Succ =
-            Arenas.Machines[W]->threadSuccessors(S, Tid);
-        E.PerThread[Tid] = static_cast<uint32_t>(Succ.size());
-        for (PsMachineState &Next : Succ)
-          E.Succs.push_back(std::move(Next));
-      }
-    });
+    exec::parallelFor(
+        N, K,
+        [&](size_t I, unsigned W) {
+          if (G && G->checkpoint() != TruncationCause::None)
+            return; // drained; the merge below stops at the trip anyway
+          const PsMachineState &S = Work[I];
+          if (S.Bottom || S.allDone())
+            return;
+          PsExpansion &E = Level[I];
+          unsigned NumThreads = static_cast<unsigned>(S.Threads.size());
+          E.PerThread.resize(NumThreads, 0);
+          for (unsigned Tid = 0; Tid != NumThreads; ++Tid) {
+            std::vector<PsMachineState> Succ =
+                Arenas.Machines[W]->threadSuccessors(S, Tid);
+            E.PerThread[Tid] = static_cast<uint32_t>(Succ.size());
+            for (PsMachineState &Next : Succ)
+              E.Succs.push_back(std::move(Next));
+          }
+        },
+        G ? &G->stopFlag() : nullptr);
 
     for (size_t I = 0; I != K; ++I) {
       if (Visited.size() > Cfg.MaxStates) {
         noteTruncation(Result.Cause, TruncationCause::StateBudget);
+        Truncated = true;
+        break;
+      }
+      if (G && G->stopped()) {
+        // Expansion slots past the trip may be empty or partial; merging
+        // them would make the truncated *content* depend on timing. Stop
+        // at the trip — the verdict is bounded either way.
+        noteTruncation(Result.Cause, G->cause());
         Truncated = true;
         break;
       }
@@ -318,10 +354,13 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
       for (size_t Tid = 0; Tid != Level[I].PerThread.size(); ++Tid)
         ThreadSteps[Tid] += Level[I].PerThread[Tid];
       for (PsMachineState &Next : Level[I].Succs) {
-        if (Visited.insert(Next).second)
+        if (Visited.insert(Next).second) {
+          if (G)
+            G->charge(approxStateBytes(Next));
           Work.push_back(std::move(Next));
-        else
+        } else {
           ++DedupHits;
+        }
       }
     }
   }
@@ -329,6 +368,8 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
   Arenas.mergeInto(Telem);
   if (Arenas.certBudgetHit())
     noteTruncation(Result.Cause, TruncationCause::CertBudget);
+  if (G && G->stopped())
+    noteTruncation(Result.Cause, G->cause());
   Result.StatesExplored = static_cast<unsigned>(Visited.size());
 
   if (Telem) {
@@ -386,6 +427,8 @@ std::vector<PsMachineState> pseq::findPsnaWitness(const Program &P,
   while (!Work.empty()) {
     if (States.size() > Cfg.MaxStates)
       break;
+    if (Cfg.Guard && Cfg.Guard->checkpoint() != TruncationCause::None)
+      break; // witness search is best-effort; a trip just ends it empty
     unsigned Idx = Work.front();
     Work.pop_front();
     // Note: States may reallocate while expanding; index, don't hold refs.

@@ -41,6 +41,10 @@ namespace obs {
 struct Telemetry;
 } // namespace obs
 
+namespace guard {
+class ResourceGuard;
+} // namespace guard
+
 /// Bounding knobs of the PS^na explorer.
 struct PsConfig {
   ValueDomain Domain = ValueDomain::binary();
@@ -61,6 +65,9 @@ struct PsConfig {
   /// Optional telemetry (borrowed; see obs/Telemetry.h). Null — the
   /// default — keeps the explorer and machine on their fast paths.
   obs::Telemetry *Telem = nullptr;
+  /// Optional resource guard (borrowed; see guard/Guard.h): deadline,
+  /// memory budget, cancellation. Null — the default — means ungoverned.
+  guard::ResourceGuard *Guard = nullptr;
 };
 
 /// A whole-machine state ⟨T, M⟩ plus the system-call output so far.

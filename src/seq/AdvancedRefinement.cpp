@@ -199,6 +199,9 @@ RefinementResult pseq::checkAdvancedRefinement(const Program &SrcP,
           }
           if (Matched)
             continue;
+          if (M.budgetHit())
+            continue; // the match may live past the node budget: already
+                      // recorded as bounded, not a definite counterexample
           R.Failed = true;
           const std::vector<std::string> &Names = SrcP.locNames();
           R.Counterexample = "initial " + TgtInits[Idx].str(&Names) +

@@ -9,6 +9,7 @@
 
 #include "exec/ThreadPool.h"
 #include "exec/WorkDeque.h"
+#include "guard/Guard.h"
 #include "obs/Telemetry.h"
 
 #include <algorithm>
@@ -86,6 +87,7 @@ class DfsEnumerator {
   /// Null (the sequential / merge enumerator) uses the exact local
   /// Seen.size() instead.
   std::atomic<uint64_t> *SharedUnique;
+  guard::ResourceGuard *Guard;
   BehaviorSet Result;
   std::unordered_set<SeqBehavior, BehaviorHash> Seen;
   std::vector<SeqEvent> Trace;
@@ -104,7 +106,7 @@ class DfsEnumerator {
 public:
   explicit DfsEnumerator(const SeqMachine &M,
                          std::atomic<uint64_t> *SharedUnique = nullptr)
-      : M(M), SharedUnique(SharedUnique) {}
+      : M(M), SharedUnique(SharedUnique), Guard(M.config().Guard) {}
 
   EnumTallies &tallies() { return T; }
   BehaviorSet &result() { return Result; }
@@ -130,6 +132,11 @@ public:
     if (SharedUnique)
       SharedUnique->fetch_add(1, std::memory_order_relaxed);
     ++T.Emitted;
+    if (Guard)
+      // Retained twice (Seen + All); approximate both copies.
+      Guard->charge(2 * (sizeof(SeqBehavior) +
+                         B.Trace.size() * sizeof(SeqEvent) +
+                         B.Mem.size() * sizeof(Value)));
     Seen.insert(B);
     Result.All.push_back(std::move(B));
   }
@@ -137,6 +144,15 @@ public:
   /// Emits \p S's behavior under the current trace. \returns true when the
   /// node's successors should be explored.
   bool visitNode(const SeqState &S, unsigned StepsLeft) {
+    if (Guard) {
+      // One checkpoint per expanded node: a tripped guard stops the DFS
+      // from growing (frames unwind without emitting or expanding).
+      TruncationCause C = Guard->checkpoint();
+      if (C != TruncationCause::None) {
+        noteTruncation(Result.Cause, C);
+        return false;
+      }
+    }
     ++T.Expanded;
     T.MaxDepth = std::max(T.MaxDepth, M.config().StepBudget - StepsLeft);
     // Every reachable state generates ⟨tr, prt(F)⟩ — including states that
@@ -311,15 +327,20 @@ BehaviorSet enumerateParallel(const SeqMachine &M, const SeqState &Init,
   exec::WorkDequeSet<size_t> Deques(N);
   for (size_t I = 0; I != Tasks.size(); ++I)
     Deques.push(static_cast<unsigned>(I % N), I);
-  exec::ThreadPool::global().run(N, [&](unsigned W) {
-    while (std::optional<size_t> Idx = Deques.next(W)) {
-      EnumTask &Tk = Tasks[*Idx];
-      DfsEnumerator E(*Arenas.Machines[W], &UniqueCount);
-      E.explore(Tk.State, std::move(Tk.Trace), Tk.StepsLeft);
-      TaskSets[*Idx] = E.take();
-      TaskTallies[*Idx] = E.tallies();
-    }
-  });
+  exec::ThreadPool::global().run(
+      N,
+      [&](unsigned W) {
+        while (std::optional<size_t> Idx = Deques.next(W)) {
+          if (Cfg.Guard && Cfg.Guard->stopped())
+            continue; // drain remaining tasks; verdict comes from the guard
+          EnumTask &Tk = Tasks[*Idx];
+          DfsEnumerator E(*Arenas.Machines[W], &UniqueCount);
+          E.explore(Tk.State, std::move(Tk.Trace), Tk.StepsLeft);
+          TaskSets[*Idx] = E.take();
+          TaskTallies[*Idx] = E.tallies();
+        }
+      },
+      Cfg.Guard ? &Cfg.Guard->stopFlag() : nullptr);
   Arenas.mergeInto(Cfg.Telem);
 
   // Phase 3 (orchestrator): merge per-task results in task order with
@@ -352,6 +373,11 @@ BehaviorSet pseq::enumerateBehaviors(const SeqMachine &M,
   // NumThreads (the parallel merge alone would leave task-generation
   // prefixes first).
   std::sort(R.All.begin(), R.All.end(), behaviorLess);
+  // A tripped guard always surfaces in the set's cause, even when the trip
+  // happened after the last node this enumeration visited (e.g. drained
+  // pool tasks whose results never reached the merge).
+  if (guard::ResourceGuard *G = M.config().Guard; G && G->stopped())
+    noteTruncation(R.Cause, G->cause());
   foldTallies(M.config().Telem, T);
   return R;
 }
@@ -370,10 +396,16 @@ pseq::enumerateBehaviorsBatch(const SeqMachine &M,
   // on a pool worker and therefore degrades to its sequential path, which
   // is exactly the deterministic per-init result.
   WorkerArenas Arenas(M, N);
-  exec::parallelFor(N, Inits.size(), [&](size_t I, unsigned W) {
-    Out[I] = enumerateBehaviors(*Arenas.Machines[W], Inits[I]);
-  });
+  exec::parallelFor(
+      N, Inits.size(),
+      [&](size_t I, unsigned W) {
+        Out[I] = enumerateBehaviors(*Arenas.Machines[W], Inits[I]);
+      },
+      M.config().Guard ? &M.config().Guard->stopFlag() : nullptr);
   Arenas.mergeInto(M.config().Telem);
+  if (guard::ResourceGuard *G = M.config().Guard; G && G->stopped())
+    for (BehaviorSet &S : Out)
+      noteTruncation(S.Cause, G->cause());
   return Out;
 }
 

@@ -21,6 +21,7 @@
 #define PSEQ_SEQ_INITSWEEP_H
 
 #include "exec/ThreadPool.h"
+#include "guard/Guard.h"
 #include "obs/Telemetry.h"
 #include "seq/SimpleRefinement.h"
 
@@ -69,14 +70,27 @@ void sweepInits(const SeqMachine &SrcM, const SeqMachine &TgtM,
                 CheckFn CheckInit) {
   const SeqConfig &Cfg = SrcM.config();
   unsigned N = exec::resolveThreads(Cfg.NumThreads);
+  guard::ResourceGuard *G = Cfg.Guard;
   std::vector<InitRecord> Records(NumInits);
+
+  // An initial state skipped because the guard tripped contributes a
+  // bounded record naming the trip cause: the sweep over-approximates
+  // "unknown" as "bounded", never as "checked and fine". The fold keeps
+  // going through such records — only definite failures stop it.
+  auto MarkSkipped = [&](InitRecord &R) {
+    R.Bounded = true;
+    noteTruncation(R.Cause, G->cause());
+  };
 
   if (N <= 1 || exec::ThreadPool::insideWorker() || NumInits <= 1) {
     // Inline. A multi-threaded config with a single initial state still
     // parallelizes *inside* the per-state check (the enumerators fan out
     // their subtrees).
     for (size_t Idx = 0; Idx != NumInits; ++Idx) {
-      CheckInit(SrcM, TgtM, Idx, Records[Idx]);
+      if (G && G->checkpoint() != TruncationCause::None)
+        MarkSkipped(Records[Idx]);
+      else
+        CheckInit(SrcM, TgtM, Idx, Records[Idx]);
       if (!foldInitRecord(Result, Records[Idx]))
         return;
     }
@@ -99,24 +113,39 @@ void sweepInits(const SeqMachine &SrcM, const SeqMachine &TgtM,
 
   std::atomic<size_t> Next{0};
   std::atomic<size_t> MinFail{NumInits};
-  exec::ThreadPool::global().run(N, [&](unsigned W) {
-    size_t Idx;
-    while ((Idx = Next.fetch_add(1, std::memory_order_relaxed)) < NumInits) {
-      if (Idx > MinFail.load(std::memory_order_relaxed))
-        continue; // the fold stops before this index no matter what
-      CheckInit(*WSrc[W], *WTgt[W], Idx, Records[Idx]);
-      if (Records[Idx].Failed) {
-        size_t Cur = MinFail.load(std::memory_order_relaxed);
-        while (Idx < Cur && !MinFail.compare_exchange_weak(
-                                Cur, Idx, std::memory_order_relaxed))
-          ;
-      }
-    }
-  });
+  exec::ThreadPool::global().run(
+      N,
+      [&](unsigned W) {
+        size_t Idx;
+        while ((Idx = Next.fetch_add(1, std::memory_order_relaxed)) <
+               NumInits) {
+          if (Idx > MinFail.load(std::memory_order_relaxed))
+            continue; // the fold stops before this index no matter what
+          if (G && G->stopped())
+            continue; // marked bounded below, after the join
+          CheckInit(*WSrc[W], *WTgt[W], Idx, Records[Idx]);
+          if (Records[Idx].Failed) {
+            size_t Cur = MinFail.load(std::memory_order_relaxed);
+            while (Idx < Cur && !MinFail.compare_exchange_weak(
+                                    Cur, Idx, std::memory_order_relaxed))
+              ;
+          }
+        }
+      },
+      G ? &G->stopFlag() : nullptr);
 
   if (Cfg.Telem)
     for (const std::unique_ptr<obs::Telemetry> &WT : WTelems)
       Cfg.Telem->mergeCounters(WT->Counters);
+
+  if (G && G->stopped()) {
+    // Indices neither failed nor bounded after a trip were skipped (or
+    // their results raced the trip); mark them so the fold stays honest.
+    // A failure found before the trip is still a definite failure.
+    for (InitRecord &R : Records)
+      if (!R.Failed && !R.Bounded && R.SrcBehaviors == 0)
+        MarkSkipped(R);
+  }
 
   for (size_t Idx = 0; Idx != NumInits; ++Idx)
     if (!foldInitRecord(Result, Records[Idx]))

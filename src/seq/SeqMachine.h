@@ -37,6 +37,10 @@ namespace obs {
 struct Telemetry;
 } // namespace obs
 
+namespace guard {
+class ResourceGuard;
+} // namespace guard
+
 /// Shared bounding knobs of the SEQ-side checkers.
 struct SeqConfig {
   ValueDomain Domain = ValueDomain::ternary();
@@ -51,6 +55,11 @@ struct SeqConfig {
   /// Optional telemetry (borrowed; see obs/Telemetry.h). Null — the
   /// default — keeps every engine on its uninstrumented fast path.
   obs::Telemetry *Telem = nullptr;
+  /// Optional resource guard (borrowed; see guard/Guard.h): deadline,
+  /// memory budget, cancellation. Null — the default — means ungoverned.
+  /// Shared by every worker of the run; a trip surfaces as a Deadline /
+  /// MemBudget / Cancelled truncation cause in the bounded verdict.
+  guard::ResourceGuard *Guard = nullptr;
 };
 
 /// One SEQ transition: zero, one, or (for RMWs) two trace labels, plus the

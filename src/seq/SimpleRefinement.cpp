@@ -79,6 +79,12 @@ RefinementResult pseq::checkSimpleRefinement(const Program &SrcP,
         for (const SeqBehavior &TB : Tgt.All) {
           if (Src.covers(TB, Cfg.Universe))
             continue;
+          if (Src.truncated() && isGuardCause(Src.Cause))
+            break; // a guard trip leaves an arbitrary source prefix: the
+                   // match may live in the unexplored part, so this is
+                   // bounded, not a definite counterexample (step-budget
+                   // truncation still explores every run to depth, so its
+                   // cover test stays meaningful)
           R.Failed = true;
           const std::vector<std::string> &Names = SrcP.locNames();
           R.Counterexample = "initial " + TgtInits[Idx].str(&Names) +

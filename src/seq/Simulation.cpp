@@ -7,6 +7,7 @@
 
 #include "seq/Simulation.h"
 
+#include "guard/Guard.h"
 #include "seq/BehaviorEnum.h"
 #include "seq/OracleGame.h"
 #include "seq/SimpleRefinement.h"
@@ -27,6 +28,7 @@ class SimChecker {
   LocSet Universe;
   unsigned MaxNodes;
   bool Exhausted = false;
+  guard::ResourceGuard *Guard;
   OracleGame Game;
 
   //===--------------------------------------------------------------------===
@@ -157,6 +159,12 @@ class SimChecker {
       Exhausted = true;
       return Dead;
     }
+    if (Guard && Guard->checkpoint() != TruncationCause::None) {
+      // A guard trip behaves like node exhaustion: the product space is cut
+      // short, the caller reports an incomplete (never negative) verdict.
+      Exhausted = true;
+      return Dead;
+    }
 
     unsigned Id = static_cast<unsigned>(Nodes.size());
     Ids.emplace(Key, Id);
@@ -247,7 +255,7 @@ public:
   SimChecker(const SeqMachine &SrcM, const SeqMachine &TgtM, LocSet Universe,
              unsigned MaxNodes, unsigned GameBudget)
       : SrcM(SrcM), TgtM(TgtM), Universe(Universe), MaxNodes(MaxNodes),
-        Game(SrcM, GameBudget) {}
+        Guard(SrcM.config().Guard), Game(SrcM, GameBudget) {}
 
   bool run(const SeqState &SrcInit, const SeqState &TgtInit) {
     unsigned Root = build(SrcInit, TgtInit, LocSet::empty());
@@ -280,12 +288,31 @@ SimulationResult pseq::checkSimulation(const Program &SrcP, unsigned SrcTid,
          "initial-state spaces must coincide");
 
   const unsigned GameBudget = Cfg.StepBudget * 4096;
+  guard::ResourceGuard *G = Cfg.Guard;
   for (size_t Idx = 0, E = SrcInits.size(); Idx != E; ++Idx) {
+    if (G && G->checkpoint() != TruncationCause::None) {
+      // Remaining initial states go unverified: incomplete, not negative.
+      Result.Complete = false;
+      noteTruncation(Result.Cause, G->cause());
+      return Result;
+    }
     SimChecker Checker(SrcM, TgtM, Cfg.Universe, MaxNodes, GameBudget);
     bool Ok = Checker.run(SrcInits[Idx], TgtInits[Idx]);
     Result.ProductNodes += Checker.nodeCount();
-    Result.Complete &= !Checker.exhausted();
+    if (Checker.exhausted()) {
+      Result.Complete = false;
+      noteTruncation(Result.Cause, G && G->stopped()
+                                       ? G->cause()
+                                       : TruncationCause::StateBudget);
+    }
     if (!Ok) {
+      if (G && G->stopped()) {
+        // The product graph was cut by the trip; a dead root proves
+        // nothing. Report incomplete instead of a spurious rejection.
+        Result.Complete = false;
+        noteTruncation(Result.Cause, G->cause());
+        return Result;
+      }
       Result.Holds = false;
       const std::vector<std::string> &Names = SrcP.locNames();
       Result.Counterexample =

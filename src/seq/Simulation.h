@@ -33,6 +33,7 @@
 #define PSEQ_SEQ_SIMULATION_H
 
 #include "seq/SeqMachine.h"
+#include "support/Truncation.h"
 
 #include <string>
 
@@ -44,6 +45,9 @@ struct SimulationResult {
   /// True when every product space fit in the node budget and no game hit
   /// its budget: the verdict is then exact even for loop programs.
   bool Complete = true;
+  /// Why the check is incomplete (StateBudget for node/game budgets, or a
+  /// guard cause — Deadline / MemBudget / Cancelled). None when Complete.
+  TruncationCause Cause = TruncationCause::None;
   unsigned ProductNodes = 0;
   std::string Counterexample;
 };

@@ -1,0 +1,55 @@
+//===- support/CliArgs.h - Strict CLI argument parsing ----------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strict numeric parsing for the example and bench binaries. `atoi` /
+/// bare `strtoul` silently turn garbage into 0 — `--threads garbage`
+/// becoming "use all hardware threads" is exactly the kind of quiet
+/// misconfiguration this project's determinism story cannot afford — so
+/// every CLI number goes through these: the whole token must be a base-10
+/// number in range, or the caller reports usage and exits nonzero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_SUPPORT_CLIARGS_H
+#define PSEQ_SUPPORT_CLIARGS_H
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+namespace pseq {
+namespace cli {
+
+/// Parses \p Text as a base-10 unsigned integer. The entire token must be
+/// digits (no sign, no whitespace, no trailing junk) and fit in uint64_t.
+inline bool parseUnsigned(const char *Text, uint64_t &Out) {
+  if (!Text || *Text < '0' || *Text > '9')
+    return false; // also rejects strtoull's tolerated "+", "-", " 7"
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (errno == ERANGE || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Same, bounded to `unsigned`.
+inline bool parseUnsigned(const char *Text, unsigned &Out) {
+  uint64_t V = 0;
+  if (!parseUnsigned(Text, V) || V > std::numeric_limits<unsigned>::max())
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+} // namespace cli
+} // namespace pseq
+
+#endif // PSEQ_SUPPORT_CLIARGS_H

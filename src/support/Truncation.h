@@ -28,6 +28,9 @@ enum class TruncationCause : uint8_t {
   BehaviorCap, ///< SeqConfig::MaxBehaviors safety valve hit
   StateBudget, ///< a state/node cap hit (PsConfig::MaxStates, match budgets)
   CertBudget,  ///< PsConfig::CertNodeBudget hit during certification
+  Deadline,    ///< guard::ResourceGuard soft wall-clock deadline expired
+  MemBudget,   ///< guard::ResourceGuard approximate memory budget exceeded
+  Cancelled,   ///< guard::CancellationToken tripped
 };
 
 /// Stable lowercase token for reports and JSONL traces.
@@ -43,8 +46,24 @@ constexpr const char *truncationCauseName(TruncationCause C) {
     return "state-budget";
   case TruncationCause::CertBudget:
     return "cert-budget";
+  case TruncationCause::Deadline:
+    return "deadline";
+  case TruncationCause::MemBudget:
+    return "mem-budget";
+  case TruncationCause::Cancelled:
+    return "cancelled";
   }
   return "none";
+}
+
+/// True for the guard-driven causes (deadline, memory, cancellation).
+/// Unlike the work-item budgets, these cut an exploration at an arbitrary
+/// point mid-run, so a set truncated by them is an arbitrary prefix:
+/// verdicts that quantify over the *absence* of an element (an unmatched
+/// behavior) must degrade to bounded instead of failing.
+constexpr bool isGuardCause(TruncationCause C) {
+  return C == TruncationCause::Deadline || C == TruncationCause::MemBudget ||
+         C == TruncationCause::Cancelled;
 }
 
 /// Keeps the first recorded cause: the budget that fired first explains the

@@ -128,6 +128,81 @@ TEST(ParserTest, ReportsLineNumbers) {
   ParseResult R = parseProgram("na x;\nthread {\n  ??? }\n");
   ASSERT_FALSE(R.ok());
   EXPECT_EQ(R.Line, 3u);
+  EXPECT_EQ(R.Column, 3u);
+  // The error string itself carries the position.
+  EXPECT_NE(R.Error.find("line 3"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("column 3"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, MalformedCorpusNeverCrashesAndAlwaysExplains) {
+  // A corpus of hostile inputs: every one must be rejected with a
+  // non-empty, position-carrying error — never a crash, hang, or a
+  // silently "ok" parse.
+  const char *Corpus[] = {
+      "",
+      ";",
+      "}",
+      "{",
+      "thread",
+      "thread {",
+      "thread }",
+      "thread { return }",
+      "thread { return 0; } garbage",
+      "na; thread { return 0; }",
+      "na x thread { return 0; }",
+      "atomic ; thread { return 0; }",
+      "na x; thread { x@ := 1; return 0; }",
+      "na x; thread { x@na = 1; return 0; }",
+      "na x; thread { @na := 1; return 0; }",
+      "thread { a := ; return a; }",
+      "thread { a := (1; return a; }",
+      "thread { a := 1 +; return a; }",
+      "thread { a := cas(, 0, 1) @ acq rel; }",
+      "thread { a := fadd(x, 1) @ rlx rlx; }", // x undeclared
+      "thread { if (a { skip; } return 0; }",
+      "thread { while () { skip; } return 0; }",
+      "thread { fence; return 0; }",
+      "thread { print(; return 0; }",
+      "thread { 123; }",
+      "thread { a := 99999999999999999999999999999; return a; }",
+      "\xff\xfe\xfd",
+      "thread { a := \xc3\xa9; return a; }",
+      "na x; // comment never ends",
+  };
+  for (const char *Text : Corpus) {
+    ParseResult R = parseProgram(Text);
+    ASSERT_FALSE(R.ok()) << "accepted: " << Text;
+    EXPECT_FALSE(R.Error.empty()) << "empty error for: " << Text;
+    EXPECT_NE(R.Error.find("line "), std::string::npos)
+        << "no position in: " << R.Error;
+    EXPECT_NE(R.Error.find("column "), std::string::npos)
+        << "no position in: " << R.Error;
+  }
+}
+
+TEST(ParserTest, DeepNestingIsAnErrorNotAStackOverflow) {
+  // 100k unary minuses / parens / nested ifs: the depth limit must kick in.
+  std::string Minuses = "thread { a := " + std::string(100000, '-') +
+                        "1; return a; }";
+  ParseResult R1 = parseProgram(Minuses);
+  ASSERT_FALSE(R1.ok());
+  EXPECT_NE(R1.Error.find("depth"), std::string::npos) << R1.Error;
+
+  std::string Parens = "thread { a := " + std::string(100000, '(') + "1" +
+                       std::string(100000, ')') + "; return a; }";
+  EXPECT_FALSE(parseProgram(Parens).ok());
+
+  std::string Ifs = "thread { ";
+  for (int I = 0; I != 100000; ++I)
+    Ifs += "if (a == 0) { ";
+  ParseResult R3 = parseProgram(Ifs);
+  ASSERT_FALSE(R3.ok());
+  EXPECT_NE(R3.Error.find("depth"), std::string::npos) << R3.Error;
+
+  // A depth well under the limit still parses.
+  std::string Ok = "thread { a := " + std::string(50, '(') + "1" +
+                   std::string(50, ')') + "; return a; }";
+  EXPECT_TRUE(parseProgram(Ok).ok());
 }
 
 TEST(ParserTest, ParsesControlFlowAndRmw) {
