@@ -9,7 +9,7 @@
 /// Shared entry point for the bench_* binaries. Every harness accepts
 ///
 ///   bench_xxx [--json <path>] [--threads N] [--deadline-ms N] [--mem-mb N]
-///             [google-benchmark flags...]
+///             [--no-memo] [google-benchmark flags...]
 ///
 /// --threads N sets the engines' worker count (0 = all hardware threads;
 /// default from PSEQ_THREADS, else 1); benchmarks read it via numThreads()
@@ -38,6 +38,7 @@
 
 #include "exec/ThreadPool.h"
 #include "guard/Guard.h"
+#include "memo/MemoContext.h"
 #include "obs/Report.h"
 #include "obs/Telemetry.h"
 #include "obs/TraceSink.h"
@@ -66,6 +67,10 @@ inline guard::ResourceGuard *&guardSlot() {
   static guard::ResourceGuard *Slot = nullptr;
   return Slot;
 }
+inline memo::MemoContext *&memoSlot() {
+  static memo::MemoContext *Slot = nullptr;
+  return Slot;
+}
 } // namespace detail
 
 /// The harness telemetry: null unless --json was passed (so default runs
@@ -82,6 +87,12 @@ inline unsigned numThreads() { return detail::numThreadsSlot(); }
 /// neither flag was given. Benchmarks pass this into their configs; a
 /// governed run degrades to bounded verdicts once a budget trips.
 inline guard::ResourceGuard *resourceGuard() { return detail::guardSlot(); }
+
+/// The run-wide memoization context, shared across every benchmark of the
+/// binary (repeated iterations of the same workload hit the caches), or
+/// null when --no-memo was passed. Benchmarks pass this into their
+/// SeqConfig/PsConfig/PipelineOptions.
+inline memo::MemoContext *memoContext() { return detail::memoSlot(); }
 
 namespace detail {
 
@@ -119,7 +130,8 @@ public:
 };
 
 inline bool writeJson(const std::string &Path, const std::vector<Row> &Rows,
-                      const obs::Telemetry &Telem) {
+                      const obs::Telemetry &Telem,
+                      const memo::MemoContext *Memo) {
   std::string Out = "{\"benchmarks\":[";
   for (size_t I = 0; I != Rows.size(); ++I) {
     const Row &R = Rows[I];
@@ -141,7 +153,21 @@ inline bool writeJson(const std::string &Path, const std::vector<Row> &Rows,
     }
     Out += "}}";
   }
-  Out += "],\"telemetry\":" + obs::renderReportJson(Telem) + "}\n";
+  Out += "]";
+
+  // Memo summary for the perf-regression gate (tools/check_bench_baseline):
+  // total engine states explored plus the cache/prune counters.
+  uint64_t States = Telem.Counters.counter("seq.enum.states_expanded") +
+                    Telem.Counters.counter("psna.explore.states_expanded");
+  Out += ",\"memo\":{";
+  Out += "\"enabled\":" + std::string(Memo ? "true" : "false");
+  Out += ",\"states_explored\":" + std::to_string(States);
+  Out += ",\"memo_hits\":" + std::to_string(Memo ? Memo->hits() : 0);
+  Out += ",\"memo_misses\":" + std::to_string(Memo ? Memo->misses() : 0);
+  Out += ",\"pruned_states\":" + std::to_string(Memo ? Memo->pruned() : 0);
+  Out += "}";
+
+  Out += ",\"telemetry\":" + obs::renderReportJson(Telem) + "}\n";
 
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F)
@@ -161,6 +187,7 @@ inline bool writeJson(const std::string &Path, const std::vector<Row> &Rows,
 inline int benchMain(int Argc, char **Argv) {
   std::string JsonPath;
   uint64_t DeadlineMs = 0, MemMb = 0;
+  bool NoMemo = false;
   std::vector<char *> Args;
 
   // Strict numeric flags: a malformed value must fail loudly, never parse
@@ -172,7 +199,7 @@ inline int benchMain(int Argc, char **Argv) {
                  Value ? Value : "", Flag.c_str());
     std::fprintf(stderr,
                  "usage: %s [--json <path>] [--threads N] [--deadline-ms N] "
-                 "[--mem-mb N] [google-benchmark flags...]\n",
+                 "[--mem-mb N] [--no-memo] [google-benchmark flags...]\n",
                  Argc ? Argv[0] : "bench");
     return 1;
   };
@@ -212,9 +239,17 @@ inline int benchMain(int Argc, char **Argv) {
         return usageError("--mem-mb", Value);
       continue;
     }
+    if (A == "--no-memo") {
+      NoMemo = true;
+      continue;
+    }
     Args.push_back(Argv[I]);
   }
   int NewArgc = static_cast<int>(Args.size());
+
+  memo::MemoContext Memo;
+  if (!NoMemo)
+    detail::memoSlot() = &Memo;
 
   guard::ResourceGuard Guard;
   if (DeadlineMs || MemMb) {
@@ -241,12 +276,14 @@ inline int benchMain(int Argc, char **Argv) {
   benchmark::Shutdown();
 
   if (!JsonPath.empty() &&
-      !detail::writeJson(JsonPath, Reporter.Rows, Telem)) {
+      !detail::writeJson(JsonPath, Reporter.Rows, Telem,
+                         NoMemo ? nullptr : &Memo)) {
     std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
     return 1;
   }
   detail::telemetrySlot() = nullptr;
   detail::guardSlot() = nullptr;
+  detail::memoSlot() = nullptr;
   return 0;
 }
 

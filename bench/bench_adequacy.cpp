@@ -27,6 +27,7 @@ PsConfig psCfg() {
   C.Telem = benchsupport::telemetry();
   C.NumThreads = benchsupport::numThreads();
   C.Guard = benchsupport::resourceGuard();
+  C.Memo = benchsupport::memoContext();
   return C;
 }
 

@@ -62,6 +62,7 @@ void BM_PipelineNoValidation(benchmark::State &State) {
   Opts.Telem = benchsupport::telemetry();
   Opts.NumThreads = benchsupport::numThreads();
   Opts.Guard = benchsupport::resourceGuard();
+  Opts.Memo = benchsupport::memoContext();
   unsigned Rewrites = 0;
   for (auto _ : State) {
     PipelineResult R = runPipeline(*P, Opts);
@@ -83,6 +84,7 @@ void BM_PipelineValidated(benchmark::State &State) {
   Opts.Telem = benchsupport::telemetry();
   Opts.NumThreads = benchsupport::numThreads();
   Opts.Guard = benchsupport::resourceGuard();
+  Opts.Memo = benchsupport::memoContext();
   bool AllValidated = false;
   for (auto _ : State) {
     PipelineResult R = runPipeline(*P, Opts);

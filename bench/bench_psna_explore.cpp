@@ -36,6 +36,7 @@ void runLitmus(benchmark::State &State, const LitmusCase &LC,
   Cfg.Telem = benchsupport::telemetry();
   Cfg.NumThreads = benchsupport::numThreads();
   Cfg.Guard = benchsupport::resourceGuard();
+  Cfg.Memo = benchsupport::memoContext();
 
   PsBehaviorSet B;
   for (auto _ : State) {

@@ -36,6 +36,7 @@ void runCase(benchmark::State &State, const RefinementCase &RC,
   Cfg.Telem = benchsupport::telemetry();
   Cfg.NumThreads = benchsupport::numThreads();
   Cfg.Guard = benchsupport::resourceGuard();
+  Cfg.Memo = benchsupport::memoContext();
 
   RefinementResult R;
   for (auto _ : State) {
@@ -57,6 +58,7 @@ void runSimCase(benchmark::State &State, const RefinementCase &RC) {
   Cfg.Telem = benchsupport::telemetry();
   Cfg.NumThreads = benchsupport::numThreads();
   Cfg.Guard = benchsupport::resourceGuard();
+  Cfg.Memo = benchsupport::memoContext();
   SimulationResult R;
   for (auto _ : State) {
     R = checkSimulation(*Src, *Tgt, Cfg);

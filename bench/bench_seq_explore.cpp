@@ -43,6 +43,7 @@ void runEnum(benchmark::State &State, const std::string &Text,
   Cfg.Telem = benchsupport::telemetry();
   Cfg.NumThreads = benchsupport::numThreads();
   Cfg.Guard = benchsupport::resourceGuard();
+  Cfg.Memo = benchsupport::memoContext();
   SeqMachine M(*P, 0, Cfg);
   std::vector<SeqState> Inits = enumerateInitialStates(M);
 

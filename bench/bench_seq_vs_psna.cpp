@@ -60,6 +60,7 @@ void BM_SeqAdvancedCheck(benchmark::State &State) {
   Cfg.Telem = benchsupport::telemetry();
   Cfg.NumThreads = benchsupport::numThreads();
   Cfg.Guard = benchsupport::resourceGuard();
+  Cfg.Memo = benchsupport::memoContext();
   bool Holds = false;
   for (auto _ : State) {
     Holds = checkAdvancedRefinement(*Src, *Tgt, Cfg).Holds;
@@ -80,6 +81,7 @@ void BM_PsnaContextualCheck(benchmark::State &State) {
   Cfg.Telem = benchsupport::telemetry();
   Cfg.NumThreads = benchsupport::numThreads();
   Cfg.Guard = benchsupport::resourceGuard();
+  Cfg.Memo = benchsupport::memoContext();
   unsigned long long States = 0;
   bool Holds = false;
   for (auto _ : State) {

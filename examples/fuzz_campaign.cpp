@@ -9,7 +9,8 @@
 //
 //   fuzz_campaign [--seed N] [--count N] [--deadline-ms N] [--mem-mb N]
 //                 [--wall-ms N] [--total-ms N] [--no-isolate] [--no-shrink]
-//                 [--fault crash|oom|hang] [--inject-at N] [--verbose]
+//                 [--no-memo] [--fault crash|oom|hang] [--inject-at N]
+//                 [--verbose]
 //
 // Numeric arguments are parsed strictly (garbage = usage error). --fault
 // injects one artificial child failure (self-test of the isolation and
@@ -40,8 +41,8 @@ int usage(const char *Prog, const char *What, const char *Value) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--count N] [--deadline-ms N] "
                "[--mem-mb N] [--wall-ms N] [--total-ms N] [--no-isolate] "
-               "[--no-shrink] [--fault crash|oom|hang] [--inject-at N] "
-               "[--verbose]\n",
+               "[--no-shrink] [--no-memo] [--fault crash|oom|hang] "
+               "[--inject-at N] [--verbose]\n",
                Prog);
   return 2;
 }
@@ -101,6 +102,8 @@ int main(int Argc, char **Argv) {
       Opts.Isolate = false;
     } else if (A == "--no-shrink") {
       Opts.ShrinkFailures = false;
+    } else if (A == "--no-memo") {
+      Opts.UseMemo = false;
     } else if (A == "--verbose") {
       Opts.Verbose = true;
     } else {

@@ -13,6 +13,14 @@
 //                    hardware threads); outcome sets are identical for any N
 //   --deadline-ms N  soft wall-clock budget for the whole run
 //   --mem-mb N       approximate memory budget for retained states
+//   --no-memo        disable memoization (sleep-set pruning and the
+//                    cross-run behavior cache); outcome sets are identical
+//                    either way
+//   --sweep N        corpus mode only: explore the whole corpus N times
+//                    sharing one memo context, then print a deterministic
+//                    "memo summary" block (states explored, hits, misses,
+//                    pruned). The perf-regression gate diffs this block
+//                    against BENCH_BASELINE.json.
 //
 // Numeric arguments are parsed strictly: garbage is a usage error, not a
 // silent 0. Once a --deadline-ms / --mem-mb budget trips, remaining
@@ -29,6 +37,8 @@
 #include "exec/ThreadPool.h"
 #include "guard/Guard.h"
 #include "litmus/Corpus.h"
+#include "memo/MemoContext.h"
+#include "obs/Telemetry.h"
 #include "psna/Explorer.h"
 #include "support/CliArgs.h"
 
@@ -46,9 +56,11 @@ using namespace pseq;
 namespace {
 
 void explore(const std::string &Title, const std::string &Text,
-             const PsConfig &Cfg) {
+             const PsConfig &Cfg, bool Quiet = false) {
   std::unique_ptr<Program> P = parseOrDie(Text);
   PsBehaviorSet B = explorePsna(*P, Cfg);
+  if (Quiet)
+    return;
   std::string Trunc;
   if (B.truncated())
     Trunc = std::string("  [TRUNCATED: ") + truncationCauseName(B.Cause) + "]";
@@ -59,10 +71,6 @@ void explore(const std::string &Title, const std::string &Text,
     std::printf("    %s\n", S.c_str());
 }
 
-} // namespace
-
-namespace {
-
 int usageError(const char *Prog, const std::string &What,
                const char *Value) {
   std::fprintf(stderr, "error: invalid value '%s' for %s (expected an "
@@ -70,6 +78,7 @@ int usageError(const char *Prog, const std::string &What,
                Value ? Value : "", What.c_str());
   std::fprintf(stderr,
                "usage: %s [--threads N] [--deadline-ms N] [--mem-mb N] "
+               "[--no-memo] [--sweep N] "
                "[file [promise-budget [split-budget]]]\n"
                "       %s [--threads N] --witness <corpus-case> <behavior>\n",
                Prog, Prog);
@@ -82,6 +91,8 @@ int main(int Argc, char **Argv) {
   const char *Prog = Argc ? Argv[0] : "litmus_explorer";
   unsigned NumThreads = exec::defaultNumThreads();
   uint64_t DeadlineMs = 0, MemMb = 0;
+  uint64_t Sweeps = 1;
+  bool NoMemo = false;
   {
     std::vector<char *> Rest;
     for (int I = 0; I != Argc; ++I) {
@@ -113,6 +124,15 @@ int main(int Argc, char **Argv) {
           return usageError(Prog, "--mem-mb", Value);
         continue;
       }
+      if (flagValue("--sweep")) {
+        if (!cli::parseUnsigned(Value, Sweeps) || Sweeps == 0)
+          return usageError(Prog, "--sweep", Value);
+        continue;
+      }
+      if (A == "--no-memo") {
+        NoMemo = true;
+        continue;
+      }
       Rest.push_back(Argv[I]);
     }
     Argc = static_cast<int>(Rest.size());
@@ -129,6 +149,9 @@ int main(int Argc, char **Argv) {
       Guard.setMemLimitBytes(MemMb << 20);
     GuardPtr = &Guard;
   }
+
+  memo::MemoContext Memo;
+  memo::MemoContext *MemoPtr = NoMemo ? nullptr : &Memo;
 
   if (Argc == 4 && std::string(Argv[1]) == "--witness") {
     const LitmusCase &LC = litmusCaseByName(Argv[2]);
@@ -161,6 +184,7 @@ int main(int Argc, char **Argv) {
     PsConfig Cfg;
     Cfg.NumThreads = NumThreads;
     Cfg.Guard = GuardPtr;
+    Cfg.Memo = MemoPtr;
     if (Argc > 2 && !cli::parseUnsigned(Argv[2], Cfg.PromiseBudget))
       return usageError(Prog, "promise-budget", Argv[2]);
     if (Argc > 3 && !cli::parseUnsigned(Argv[3], Cfg.SplitBudget))
@@ -169,17 +193,36 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // Corpus mode. With --sweep N the corpus is explored N times sharing one
+  // memo context and one telemetry registry; repeat sweeps hit the cross-run
+  // behavior cache, and the summary below is deterministic (state counts and
+  // cache counters only — no timing), which is what the perf gate consumes.
+  obs::Telemetry Telem;
   std::printf("PS^na litmus outcomes (corpus of %zu tests)\n\n",
               litmusCorpus().size());
-  for (const LitmusCase &LC : litmusCorpus()) {
-    PsConfig Cfg;
-    Cfg.Domain = LC.Domain;
-    Cfg.PromiseBudget = LC.PromiseBudget;
-    Cfg.SplitBudget = LC.SplitBudget;
-    Cfg.NumThreads = NumThreads;
-    Cfg.Guard = GuardPtr;
-    explore(LC.Name + " [" + LC.PaperRef + "]", LC.Text, Cfg);
-    std::printf("\n");
+  for (uint64_t Sweep = 0; Sweep != Sweeps; ++Sweep) {
+    for (const LitmusCase &LC : litmusCorpus()) {
+      PsConfig Cfg;
+      Cfg.Domain = LC.Domain;
+      Cfg.PromiseBudget = LC.PromiseBudget;
+      Cfg.SplitBudget = LC.SplitBudget;
+      Cfg.NumThreads = NumThreads;
+      Cfg.Guard = GuardPtr;
+      Cfg.Memo = MemoPtr;
+      Cfg.Telem = &Telem;
+      bool Quiet = Sweep != 0; // outcome sets are identical across sweeps
+      explore(LC.Name + " [" + LC.PaperRef + "]", LC.Text, Cfg, Quiet);
+      if (!Quiet)
+        std::printf("\n");
+    }
   }
+  std::printf("memo summary: sweeps=%llu states_explored=%llu "
+              "memo_hits=%llu memo_misses=%llu pruned_states=%llu\n",
+              static_cast<unsigned long long>(Sweeps),
+              static_cast<unsigned long long>(
+                  Telem.Counters.counter("psna.explore.states_expanded")),
+              static_cast<unsigned long long>(MemoPtr ? Memo.hits() : 0),
+              static_cast<unsigned long long>(MemoPtr ? Memo.misses() : 0),
+              static_cast<unsigned long long>(MemoPtr ? Memo.pruned() : 0));
   return 0;
 }

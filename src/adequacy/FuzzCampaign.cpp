@@ -13,6 +13,7 @@
 #include "guard/Isolate.h"
 #include "guard/Shrink.h"
 #include "lang/Parser.h"
+#include "memo/MemoContext.h"
 #include "obs/Telemetry.h"
 
 #include <chrono>
@@ -56,6 +57,16 @@ int checkPairInline(const RandomPair &Pair, const CampaignOptions &Opts,
   PsConfig PsCfg;
   PsCfg.NumThreads = 1;
   PsCfg.Guard = SeqCfg.Guard;
+
+  // A fresh per-pair context: the SEQ suffix cache is shared across the
+  // simple/advanced checks and every context-library clone of this pair.
+  // Fork-isolated children construct their own (cross-pair sharing would
+  // die with the child anyway).
+  memo::MemoContext Memo;
+  if (Opts.UseMemo) {
+    SeqCfg.Memo = &Memo;
+    PsCfg.Memo = &Memo;
+  }
 
   AdequacyRecord Rec = runAdequacy(Pair.Mutation, *S.Prog, *T.Prog, SeqCfg,
                                    PsCfg, /*HasLoops=*/false);

@@ -60,6 +60,11 @@ struct CampaignOptions {
   FaultKind Fault = FaultKind::None; ///< self-test fault injection
   unsigned InjectAt = 0;             ///< pair index receiving the fault
   bool Verbose = false;              ///< per-pair stderr lines
+  /// Memoize within each pair's adequacy check (a fresh MemoContext per
+  /// pair: fork-isolated children cannot share cross-pair state anyway,
+  /// and random pairs rarely repeat). --no-memo turns this off to compare
+  /// verdict streams against the exact unmemoized paths.
+  bool UseMemo = true;
   /// Optional telemetry (borrowed): per-outcome counters plus a
   /// "fuzz.pair" trace event per pair. Only the parent writes to it —
   /// isolated children run without telemetry (their writes would die with

@@ -107,6 +107,22 @@ std::vector<LitmusCase> buildLitmus() {
        ValueDomain::binary(),
        /*PromiseBudget=*/0});
 
+  // 2+2W: both threads double-write both locations in opposite orders,
+  // then read back the location they wrote first. Relaxed timestamp
+  // placement lets each thread's later write slot *below* the other
+  // thread's earlier write, so both readers may still see their own first
+  // write (ret(1,1)) — or both may pick up the other thread's second
+  // write (ret(2,2)). No promises needed for either.
+  add({"2+2w-rlx",
+       "PS2.1 fragment (2+2W)",
+       "atomic x, y;\n"
+       "thread { x@rlx := 1; y@rlx := 2; a := x@rlx; return a; }\n"
+       "thread { y@rlx := 1; x@rlx := 2; b := y@rlx; return b; }",
+       /*MustInclude=*/{"ret(1,1)", "ret(2,2)"},
+       /*MustExclude=*/{},
+       ValueDomain::ternary(),
+       /*PromiseBudget=*/0});
+
   // Message passing through a release/acquire pair: the guarded non-atomic
   // read is race-free and must see the value 1 (a DRF-style guarantee).
   add({"mp-rel-acq",

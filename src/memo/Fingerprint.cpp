@@ -1,0 +1,25 @@
+//===- memo/Fingerprint.cpp - Program fingerprints ------------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memo/Fingerprint.h"
+
+#include "lang/Printer.h"
+#include "lang/Program.h"
+
+using namespace pseq;
+using namespace pseq::memo;
+
+Fp128 pseq::memo::fingerprintProgram(const Program &P) {
+  // The printed form carries the declarations (layout, atomicity) and every
+  // thread body, so it determines the program's semantics completely.
+  std::string Text = printProgram(P);
+  Fp128 F = fpSeed(/*Tag=*/0x70726f67 /* "prog" */);
+  fpMixBytes(F, Text.data(), Text.size());
+  fpMix(F, P.numThreads());
+  fpMix(F, P.numLocs());
+  return F;
+}

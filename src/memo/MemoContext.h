@@ -1,0 +1,125 @@
+//===- memo/MemoContext.h - Cross-run memoization context ------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared service object behind `SeqConfig::Memo` / `PsConfig::Memo`.
+/// Like the telemetry and guard slots it is borrowed, optional, and
+/// thread-safe; a null pointer means "memoization off" and every engine
+/// falls back to its exact legacy path.
+///
+/// A MemoContext owns a small number of typed-by-convention tables keyed
+/// by 128-bit fingerprints. Values are type-erased `shared_ptr<const
+/// void>`; each call site uses `lookupAs<T>` / `insertAs<T>` with the
+/// table that it owns the type of (the memo library itself stays
+/// independent of the SEQ/PS^na state types, keeping the library layering
+/// acyclic). Every value stored must be a pure function of its key —
+/// under that contract first-writer-wins inserts are deterministic no
+/// matter which thread or run gets there first.
+///
+/// Tables:
+///  * SeqSuffix   — SEQ DFS suffix summaries, keyed by
+///                  (machine config fp, canonical state fp, steps left).
+///  * PsBehaviors — whole-exploration PS^na behavior sets, keyed by
+///                  (program fp, exploration config fp).
+///
+/// Stats are plain atomics mirrored into obs counters by the engines
+/// (`memo.hits`, `memo.misses`, `memo.pruned_states`); bench binaries
+/// read them directly for the `--json` summary block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_MEMO_MEMOCONTEXT_H
+#define PSEQ_MEMO_MEMOCONTEXT_H
+
+#include "memo/Fingerprint.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace pseq {
+namespace memo {
+
+class MemoContext {
+public:
+  struct Options {
+    /// Enables the fingerprint caches (suffix summaries, behavior sets).
+    bool Cache = true;
+    /// Enables sleep-set / independence pruning in the explorers.
+    bool Prune = true;
+    /// Per-table entry cap; inserts beyond it are dropped (lookups still
+    /// hit existing entries). Bounds cross-run memory growth.
+    size_t MaxEntriesPerTable = 1u << 22;
+  };
+
+  enum class Table : unsigned { SeqSuffix = 0, PsBehaviors = 1 };
+
+  MemoContext() : MemoContext(Options()) {}
+  explicit MemoContext(const Options &Opts);
+
+  const Options &options() const { return Opts; }
+
+  /// \returns the stored value for \p Key, or null. Does NOT touch the
+  /// hit/miss stats — call sites count a hit/miss themselves so that
+  /// speculative probes don't skew the rates.
+  std::shared_ptr<const void> lookup(Table T, const Fp128 &Key) const;
+
+  /// First-writer-wins insert; \returns the value now stored for \p Key
+  /// (the existing one if a racing insert won, \p Value otherwise, or
+  /// null if the table is at capacity and \p Key is absent).
+  std::shared_ptr<const void> insert(Table T, const Fp128 &Key,
+                                     std::shared_ptr<const void> Value);
+
+  template <typename T>
+  std::shared_ptr<const T> lookupAs(Table Tab, const Fp128 &Key) const {
+    return std::static_pointer_cast<const T>(lookup(Tab, Key));
+  }
+
+  template <typename T>
+  std::shared_ptr<const T> insertAs(Table Tab, const Fp128 &Key,
+                                    std::shared_ptr<const T> Value) {
+    return std::static_pointer_cast<const T>(
+        insert(Tab, Key, std::static_pointer_cast<const void>(Value)));
+  }
+
+  uint64_t entryCount(Table T) const;
+
+  // Stats — bumped by the engines, read by bench/test reporting.
+  void noteHit(uint64_t N = 1) { Hits.fetch_add(N, std::memory_order_relaxed); }
+  void noteMiss(uint64_t N = 1) {
+    Misses.fetch_add(N, std::memory_order_relaxed);
+  }
+  void notePruned(uint64_t N = 1) {
+    Pruned.fetch_add(N, std::memory_order_relaxed);
+  }
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t pruned() const { return Pruned.load(std::memory_order_relaxed); }
+
+private:
+  static constexpr unsigned NumTables = 2;
+  static constexpr unsigned ShardsPerTable = 16;
+
+  struct Shard {
+    mutable std::mutex Mu;
+    std::unordered_map<Fp128, std::shared_ptr<const void>, Fp128Hash> Map;
+  };
+
+  const Shard &shardFor(Table T, const Fp128 &Key) const;
+
+  Options Opts;
+  std::unique_ptr<Shard[]> Shards; // NumTables * ShardsPerTable
+  std::atomic<uint64_t> Sizes[NumTables] = {};
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Pruned{0};
+};
+
+} // namespace memo
+} // namespace pseq
+
+#endif // PSEQ_MEMO_MEMOCONTEXT_H

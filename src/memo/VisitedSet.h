@@ -1,0 +1,78 @@
+//===- memo/VisitedSet.h - Sharded fingerprint hash table -------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe visited-state set over 128-bit canonical fingerprints,
+/// with a 32-bit payload per entry (the explorers store sleep-set masks).
+/// Sharded open-addressing tables: the shard is picked from the Lo lane,
+/// the probe sequence from the Hi lane, so both lanes must collide before
+/// two states alias. Each shard grows independently under its own mutex;
+/// sized for millions of entries (24 bytes/entry at ≤62.5% load).
+///
+/// The payload merge is intersection (sleep sets only ever shrink): an
+/// insert of an existing key replaces the stored mask with stored∩new and
+/// reports whether that strictly shrank it — the Godefroid state-caching
+/// correction re-enqueues such states for re-expansion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_MEMO_VISITEDSET_H
+#define PSEQ_MEMO_VISITEDSET_H
+
+#include "memo/Fingerprint.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace pseq {
+namespace memo {
+
+class VisitedSet {
+public:
+  /// \p Expected sizes the initial per-shard tables (rounded up; the
+  /// tables grow as needed, this only avoids early rehashing).
+  explicit VisitedSet(size_t Expected = 1 << 16);
+
+  struct Outcome {
+    bool Inserted;  ///< key was new; Mask stored as given
+    bool Shrunk;    ///< key existed and the merged mask strictly shrank
+    uint32_t Mask;  ///< the mask now stored for the key
+  };
+
+  /// Inserts \p Fp with \p Mask, or — when present — intersects the stored
+  /// mask with \p Mask. Thread-safe per shard.
+  Outcome insertOrMerge(Fp128 Fp, uint32_t Mask);
+
+  /// Number of distinct keys inserted so far.
+  uint64_t size() const { return Count.load(std::memory_order_relaxed); }
+
+private:
+  struct Shard {
+    std::mutex Mu;
+    std::vector<uint64_t> KeyLo;
+    std::vector<uint64_t> KeyHi;
+    std::vector<uint32_t> Mask;
+    size_t Used = 0;
+
+    void init(size_t Cap);
+    void grow();
+    /// Probe for \p Fp; \returns slot index (occupied by Fp or empty).
+    size_t probe(const Fp128 &Fp) const;
+  };
+
+  static constexpr size_t NumShards = 64;
+  std::unique_ptr<Shard[]> Shards;
+  std::atomic<uint64_t> Count{0};
+};
+
+} // namespace memo
+} // namespace pseq
+
+#endif // PSEQ_MEMO_VISITEDSET_H

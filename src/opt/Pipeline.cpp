@@ -59,6 +59,7 @@ PipelineResult pseq::runPipeline(const Program &P,
   ValidateCfg.Telem = Telem;
   ValidateCfg.NumThreads = Opts.NumThreads;
   ValidateCfg.Guard = Guard;
+  ValidateCfg.Memo = Opts.Memo ? Opts.Memo : Opts.Cfg.Memo;
   obs::TimerTree *Timers = Telem ? &Telem->Timers : nullptr;
   obs::ScopedTimer PipeTimer(Timers, "pipeline");
 

@@ -28,6 +28,10 @@ namespace guard {
 class ResourceGuard;
 }
 
+namespace memo {
+class MemoContext;
+}
+
 /// Pipeline configuration.
 struct PipelineOptions {
   bool Validate = true; ///< run the SEQ checker after every pass
@@ -51,6 +55,11 @@ struct PipelineOptions {
   /// pipelines report bounded validation verdicts instead of running past
   /// their deadline / memory budget.
   guard::ResourceGuard *Guard = nullptr;
+  /// Optional memoization context (borrowed; see memo/MemoContext.h).
+  /// Forwarded to the validator through Cfg, overriding Cfg.Memo when set:
+  /// the per-pass refinement checks then share one suffix cache, so the
+  /// repeated initial-state sweeps after each pass reuse prior work.
+  memo::MemoContext *Memo = nullptr;
   /// On a validation rejection, delta-debug the failing (input, output)
   /// pair down to a minimal still-rejected pair (PassReport::ShrunkSrc /
   /// ShrunkTgt). Rejections signal library bugs, so the cost only ever

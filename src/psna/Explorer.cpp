@@ -9,6 +9,9 @@
 
 #include "exec/ThreadPool.h"
 #include "guard/Guard.h"
+#include "memo/Independence.h"
+#include "memo/MemoContext.h"
+#include "memo/VisitedSet.h"
 #include "obs/Telemetry.h"
 #include "support/Hashing.h"
 
@@ -112,12 +115,169 @@ uint64_t approxStateBytes(const PsMachineState &S) {
               S.Outs.size() * sizeof(Value));
 }
 
+/// Canonical-state fingerprint: the explorer normalizes every state before
+/// hashing (dense per-location timestamp ranks), so mixing the component
+/// hashes of a normalized state is rename-invariant by construction.
+memo::Fp128 psStateFingerprint(const PsMachineState &S) {
+  memo::Fp128 F = memo::fpSeed(/*Tag=*/0x70737374 /* "psst" */);
+  memo::fpMix(F, S.Bottom ? 1 : 0);
+  memo::fpMix(F, S.Threads.size());
+  for (const PsThread &T : S.Threads)
+    memo::fpMix(F, T.hash());
+  memo::fpMix(F, S.Mem.hash());
+  memo::fpMix(F, S.Outs.size());
+  for (const Value &V : S.Outs)
+    memo::fpMix(F, V.hash());
+  return F;
+}
+
+/// Static per-thread access sets feeding the sleep-set conflict predicate;
+/// On only when a MemoContext with pruning is attached and the run shape
+/// supports the independence argument (normalized states, mask-sized
+/// thread count, more than one thread to commute).
+struct PruneInfo {
+  bool On = false;
+  std::vector<LocSet> Writable; ///< NaWritten ∪ AtomicAccessed (= the
+                                ///< locations stepPromise can target)
+  std::vector<LocSet> AllLocs;  ///< NaAccessed ∪ AtomicAccessed (= the
+                                ///< certification search's read set)
+};
+
+PruneInfo makePruneInfo(const Program &P, const PsConfig &Cfg) {
+  PruneInfo PI;
+  if (!Cfg.Memo || !Cfg.Memo->options().Prune || !Cfg.Normalize ||
+      P.numThreads() < 2 || P.numThreads() > 32)
+    return PI;
+  PI.On = true;
+  for (unsigned T = 0, E = P.numThreads(); T != E; ++T) {
+    AccessSummary AS = P.accessSummary(T);
+    PI.Writable.push_back(AS.NaWritten.unionWith(AS.AtomicAccessed));
+    PI.AllLocs.push_back(AS.NaAccessed.unionWith(AS.AtomicAccessed));
+  }
+  return PI;
+}
+
+/// Over-approximates everything thread \p Tid's next machine step can
+/// touch at \p S (see DESIGN.md "Sleep sets" for the soundness argument):
+///
+///  * outstanding promises → Global (lower/fulfillment ordering and
+///    re-certification interact with every step);
+///  * fences → Global (view joins are not per-location);
+///  * reads/writes/RMWs → their location (message insertion, visibility,
+///    race detection, and normalization are all per-location);
+///  * prints → the Output order; silent/choose/fail steps touch nothing
+///    (a fail's Bottom successor records the same UB behavior from any
+///    interleaving point);
+///  * and whenever the thread may still promise, its whole promisable set
+///    plus the certification read set — promise successors insert
+///    messages at any writable location and their certification reads
+///    arbitrary locations the thread accesses.
+memo::Footprint threadFootprint(const Program &P, const PsConfig &Cfg,
+                                const PruneInfo &PI, const PsMachineState &S,
+                                unsigned Tid) {
+  const PsThread &T = S.Threads[Tid];
+  if (!T.Promises.empty())
+    return memo::Footprint::global();
+  if (T.Prog.isDone())
+    return memo::Footprint();
+  if (T.Prog.isError())
+    return memo::Footprint::global(); // unreachable in expanded states
+  memo::Footprint F;
+  ProgState::Pending Pend = T.Prog.pending(P, Tid);
+  switch (Pend.K) {
+  case ProgState::Pending::Kind::Silent:
+  case ProgState::Pending::Kind::Choose:
+  case ProgState::Pending::Kind::Fail:
+    break;
+  case ProgState::Pending::Kind::Read:
+  case ProgState::Pending::Kind::Write:
+  case ProgState::Pending::Kind::Rmw:
+    F.Locs = LocSet::single(Pend.Loc);
+    break;
+  case ProgState::Pending::Kind::Fence:
+    return memo::Footprint::global();
+  case ProgState::Pending::Kind::Print:
+    F.Output = true;
+    break;
+  }
+  if (Cfg.PromiseBudget > 0 && !PI.Writable[Tid].isEmpty())
+    F.Locs = F.Locs.unionWith(PI.Writable[Tid]).unionWith(PI.AllLocs[Tid]);
+  return F;
+}
+
+/// A frontier entry: the state plus the sleep-set mask it was enqueued
+/// with (bit t set = thread t is asleep; always 0 with pruning off).
+struct WorkItem {
+  PsMachineState S;
+  uint32_t Sleep = 0;
+};
+
+/// One frontier state's successors, concatenated in thread order, with
+/// the per-thread counts the explorers tally. With pruning on, SuccSleep
+/// carries each successor's sleep mask and PrunedSkips counts the
+/// thread-expansions the sleep set suppressed.
+struct PsExpansion {
+  std::vector<PsMachineState> Succs;
+  std::vector<uint32_t> SuccSleep;
+  std::vector<uint32_t> PerThread;
+  uint32_t PrunedSkips = 0;
+};
+
+/// Expands \p S under sleep mask \p Sleep — a pure function of its inputs,
+/// so the sequential loop and the parallel workers compute byte-identical
+/// expansions. Sleep-set maintenance is the classic scheme at thread
+/// granularity: expanding threads in index order, the successor taken via
+/// thread t puts to sleep every earlier-expanded or already-sleeping
+/// thread whose footprint is independent of t's (its interleavings are
+/// explored via the sibling branch where it moved first).
+void expandState(const Program &P, const PsMachine &M, const PruneInfo &PI,
+                 const PsMachineState &S, uint32_t Sleep, PsExpansion &E) {
+  unsigned NT = static_cast<unsigned>(S.Threads.size());
+  E.PerThread.assign(NT, 0);
+  std::vector<memo::Footprint> Fp;
+  if (PI.On) {
+    Fp.resize(NT);
+    for (unsigned T = 0; T != NT; ++T)
+      Fp[T] = threadFootprint(P, M.config(), PI, S, T);
+  }
+  uint32_t Done = 0;
+  for (unsigned Tid = 0; Tid != NT; ++Tid) {
+    if (PI.On && ((Sleep >> Tid) & 1)) {
+      ++E.PrunedSkips;
+      continue;
+    }
+    std::vector<PsMachineState> Succ = M.threadSuccessors(S, Tid);
+    E.PerThread[Tid] = static_cast<uint32_t>(Succ.size());
+    uint32_t ChildSleep = 0;
+    if (PI.On) {
+      uint32_t Candidates = Sleep | Done;
+      for (unsigned J = 0; J != NT; ++J)
+        if (((Candidates >> J) & 1) && memo::independent(Fp[J], Fp[Tid]))
+          ChildSleep |= uint32_t(1) << J;
+      if (!Succ.empty())
+        Done |= uint32_t(1) << Tid;
+    }
+    for (PsMachineState &Next : Succ) {
+      E.Succs.push_back(std::move(Next));
+      if (PI.On)
+        E.SuccSleep.push_back(ChildSleep);
+    }
+  }
+}
+
 PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
   PsMachine M(P, Cfg);
   PsBehaviorSet Result;
+  PruneInfo PI = makePruneInfo(P, Cfg);
+  // With pruning on, dedup moves to the fingerprint table (which also
+  // stores the sleep masks); otherwise the exact legacy set is kept.
   std::unordered_set<PsMachineState, StateHash> Visited;
+  memo::VisitedSet PrunedVisited(PI.On ? (size_t(1) << 16) : 64);
+  auto visitedCount = [&] {
+    return PI.On ? PrunedVisited.size() : uint64_t(Visited.size());
+  };
   std::unordered_set<PsBehavior, BehaviorHash> Behaviors;
-  std::deque<PsMachineState> Work;
+  std::deque<WorkItem> Work;
 
   obs::Telemetry *Telem = Cfg.Telem;
   obs::ScopedTimer Timer(Telem ? &Telem->Timers : nullptr, "psna.explore");
@@ -128,13 +288,17 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
   uint64_t &Emitted = Tally.slot("psna.explore.behaviors");
   // Per-thread successor counts (dynamic names, so outside the tally).
   std::vector<uint64_t> ThreadSteps(P.numThreads(), 0);
+  uint64_t PrunedSkips = 0, Requeues = 0;
   size_t MaxFrontier = 1;
   ++Runs;
 
   PsMachineState Init = M.initialState();
   Init.normalize();
-  Visited.insert(Init);
-  Work.push_back(std::move(Init));
+  if (PI.On)
+    PrunedVisited.insertOrMerge(psStateFingerprint(Init), 0);
+  else
+    Visited.insert(Init);
+  Work.push_back(WorkItem{std::move(Init), 0});
 
   auto record = [&](PsBehavior B) {
     if (Behaviors.insert(B).second) {
@@ -145,7 +309,7 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
 
   guard::ResourceGuard *G = Cfg.Guard;
   while (!Work.empty()) {
-    if (Visited.size() > Cfg.MaxStates) {
+    if (visitedCount() > Cfg.MaxStates) {
       noteTruncation(Result.Cause, TruncationCause::StateBudget);
       break;
     }
@@ -158,33 +322,53 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
       }
     }
     MaxFrontier = std::max(MaxFrontier, Work.size());
-    PsMachineState S = Work.front();
+    WorkItem Item = std::move(Work.front());
     Work.pop_front();
     ++Expanded;
 
-    if (S.Bottom) {
+    if (Item.S.Bottom) {
       record(PsBehavior::ub());
       continue;
     }
-    if (S.allDone()) {
+    if (Item.S.allDone()) {
       PsBehavior B;
-      for (const PsThread &T : S.Threads)
+      for (const PsThread &T : Item.S.Threads)
         B.Rets.push_back(T.Prog.retVal());
-      B.Outs = S.Outs;
+      B.Outs = Item.S.Outs;
       record(std::move(B));
       continue;
     }
-    for (unsigned Tid = 0, E = static_cast<unsigned>(S.Threads.size());
-         Tid != E; ++Tid) {
-      for (PsMachineState &Next : M.threadSuccessors(S, Tid)) {
-        ++ThreadSteps[Tid];
+    PsExpansion E;
+    expandState(P, M, PI, Item.S, Item.Sleep, E);
+    for (size_t Tid = 0; Tid != E.PerThread.size(); ++Tid)
+      ThreadSteps[Tid] += E.PerThread[Tid];
+    PrunedSkips += E.PrunedSkips;
+    for (size_t X = 0; X != E.Succs.size(); ++X) {
+      PsMachineState &Next = E.Succs[X];
+      if (!PI.On) {
         if (Visited.insert(Next).second) {
           if (G)
             G->charge(approxStateBytes(Next));
-          Work.push_back(std::move(Next));
+          Work.push_back(WorkItem{std::move(Next), 0});
         } else {
           ++DedupHits;
         }
+        continue;
+      }
+      memo::VisitedSet::Outcome O =
+          PrunedVisited.insertOrMerge(psStateFingerprint(Next), E.SuccSleep[X]);
+      if (O.Inserted) {
+        if (G)
+          G->charge(approxStateBytes(Next));
+        Work.push_back(WorkItem{std::move(Next), O.Mask});
+      } else if (O.Shrunk) {
+        // State-caching correction: a revisit under a strictly smaller
+        // sleep set re-enqueues the state so the newly-awake threads get
+        // expanded (masks only shrink, so this terminates).
+        ++Requeues;
+        Work.push_back(WorkItem{std::move(Next), O.Mask});
+      } else {
+        ++DedupHits;
       }
     }
   }
@@ -193,7 +377,14 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
 
   if (M.certBudgetHit())
     noteTruncation(Result.Cause, TruncationCause::CertBudget);
-  Result.StatesExplored = static_cast<unsigned>(Visited.size());
+  Result.StatesExplored = static_cast<unsigned>(visitedCount());
+  if (PI.On) {
+    Cfg.Memo->notePruned(PrunedSkips);
+    if (Telem) {
+      Telem->Counters.add("memo.pruned_states", PrunedSkips);
+      Telem->Counters.add("psna.explore.sleep_requeues", Requeues);
+    }
+  }
 
   if (Telem) {
     Telem->Counters.maxGauge("psna.explore.max_frontier",
@@ -245,13 +436,6 @@ struct PsArenas {
   }
 };
 
-/// One frontier state's successors, computed off-thread: concatenated in
-/// thread order, with the per-thread counts the sequential loop tallies.
-struct PsExpansion {
-  std::vector<PsMachineState> Succs;
-  std::vector<uint32_t> PerThread;
-};
-
 /// Level-synchronous parallel BFS. Each round expands the whole current
 /// frontier across the pool, then merges expansions *in pop order*, with
 /// the MaxStates check re-run before each merged index exactly where the
@@ -267,9 +451,14 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
                                   unsigned N) {
   PsArenas Arenas(P, Cfg, N);
   PsBehaviorSet Result;
+  PruneInfo PI = makePruneInfo(P, Cfg);
   std::unordered_set<PsMachineState, StateHash> Visited;
+  memo::VisitedSet PrunedVisited(PI.On ? (size_t(1) << 16) : 64);
+  auto visitedCount = [&] {
+    return PI.On ? PrunedVisited.size() : uint64_t(Visited.size());
+  };
   std::unordered_set<PsBehavior, BehaviorHash> Behaviors;
-  std::deque<PsMachineState> Work;
+  std::deque<WorkItem> Work;
 
   obs::Telemetry *Telem = Cfg.Telem;
   obs::ScopedTimer Timer(Telem ? &Telem->Timers : nullptr, "psna.explore");
@@ -279,13 +468,17 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
   uint64_t &DedupHits = Tally.slot("psna.explore.dedup_hits");
   uint64_t &Emitted = Tally.slot("psna.explore.behaviors");
   std::vector<uint64_t> ThreadSteps(P.numThreads(), 0);
+  uint64_t PrunedSkips = 0, Requeues = 0;
   size_t MaxFrontier = 1;
   ++Runs;
 
   PsMachineState Init = Arenas.Machines[0]->initialState();
   Init.normalize();
-  Visited.insert(Init);
-  Work.push_back(std::move(Init));
+  if (PI.On)
+    PrunedVisited.insertOrMerge(psStateFingerprint(Init), 0);
+  else
+    Visited.insert(Init);
+  Work.push_back(WorkItem{std::move(Init), 0});
 
   auto record = [&](PsBehavior B) {
     if (Behaviors.insert(B).second) {
@@ -304,24 +497,20 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
         [&](size_t I, unsigned W) {
           if (G && G->checkpoint() != TruncationCause::None)
             return; // drained; the merge below stops at the trip anyway
-          const PsMachineState &S = Work[I];
-          if (S.Bottom || S.allDone())
+          const WorkItem &Item = Work[I];
+          if (Item.S.Bottom || Item.S.allDone())
             return;
-          PsExpansion &E = Level[I];
-          unsigned NumThreads = static_cast<unsigned>(S.Threads.size());
-          E.PerThread.resize(NumThreads, 0);
-          for (unsigned Tid = 0; Tid != NumThreads; ++Tid) {
-            std::vector<PsMachineState> Succ =
-                Arenas.Machines[W]->threadSuccessors(S, Tid);
-            E.PerThread[Tid] = static_cast<uint32_t>(Succ.size());
-            for (PsMachineState &Next : Succ)
-              E.Succs.push_back(std::move(Next));
-          }
+          // Pure function of (state, mask): workers compute exactly what
+          // the sequential loop would; all VisitedSet decisions stay in
+          // the single-threaded merge below, so results are bit-identical
+          // for every worker count, pruning on or off.
+          expandState(P, *Arenas.Machines[W], PI, Item.S, Item.Sleep,
+                      Level[I]);
         },
         G ? &G->stopFlag() : nullptr);
 
     for (size_t I = 0; I != K; ++I) {
-      if (Visited.size() > Cfg.MaxStates) {
+      if (visitedCount() > Cfg.MaxStates) {
         noteTruncation(Result.Cause, TruncationCause::StateBudget);
         Truncated = true;
         break;
@@ -335,29 +524,47 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
         break;
       }
       MaxFrontier = std::max(MaxFrontier, Work.size());
-      PsMachineState S = std::move(Work.front());
+      WorkItem Item = std::move(Work.front());
       Work.pop_front();
       ++Expanded;
 
-      if (S.Bottom) {
+      if (Item.S.Bottom) {
         record(PsBehavior::ub());
         continue;
       }
-      if (S.allDone()) {
+      if (Item.S.allDone()) {
         PsBehavior B;
-        for (const PsThread &T : S.Threads)
+        for (const PsThread &T : Item.S.Threads)
           B.Rets.push_back(T.Prog.retVal());
-        B.Outs = S.Outs;
+        B.Outs = Item.S.Outs;
         record(std::move(B));
         continue;
       }
-      for (size_t Tid = 0; Tid != Level[I].PerThread.size(); ++Tid)
-        ThreadSteps[Tid] += Level[I].PerThread[Tid];
-      for (PsMachineState &Next : Level[I].Succs) {
-        if (Visited.insert(Next).second) {
+      PsExpansion &E = Level[I];
+      for (size_t Tid = 0; Tid != E.PerThread.size(); ++Tid)
+        ThreadSteps[Tid] += E.PerThread[Tid];
+      PrunedSkips += E.PrunedSkips;
+      for (size_t X = 0; X != E.Succs.size(); ++X) {
+        PsMachineState &Next = E.Succs[X];
+        if (!PI.On) {
+          if (Visited.insert(Next).second) {
+            if (G)
+              G->charge(approxStateBytes(Next));
+            Work.push_back(WorkItem{std::move(Next), 0});
+          } else {
+            ++DedupHits;
+          }
+          continue;
+        }
+        memo::VisitedSet::Outcome O = PrunedVisited.insertOrMerge(
+            psStateFingerprint(Next), E.SuccSleep[X]);
+        if (O.Inserted) {
           if (G)
             G->charge(approxStateBytes(Next));
-          Work.push_back(std::move(Next));
+          Work.push_back(WorkItem{std::move(Next), O.Mask});
+        } else if (O.Shrunk) {
+          ++Requeues;
+          Work.push_back(WorkItem{std::move(Next), O.Mask});
         } else {
           ++DedupHits;
         }
@@ -370,7 +577,14 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
     noteTruncation(Result.Cause, TruncationCause::CertBudget);
   if (G && G->stopped())
     noteTruncation(Result.Cause, G->cause());
-  Result.StatesExplored = static_cast<unsigned>(Visited.size());
+  Result.StatesExplored = static_cast<unsigned>(visitedCount());
+  if (PI.On) {
+    Cfg.Memo->notePruned(PrunedSkips);
+    if (Telem) {
+      Telem->Counters.add("memo.pruned_states", PrunedSkips);
+      Telem->Counters.add("psna.explore.sleep_requeues", Requeues);
+    }
+  }
 
   if (Telem) {
     Telem->Counters.maxGauge("psna.explore.max_frontier",
@@ -390,13 +604,58 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
   return Result;
 }
 
+/// Cross-run cache key: the program plus every config knob the behavior
+/// set depends on. NumThreads is excluded (results are bit-identical for
+/// every worker count) and so are the borrowed Telem/Guard/Memo services;
+/// guard-truncated results are never inserted, so a cached value is
+/// always a clean bounded exploration.
+memo::Fp128 psExploreKey(const Program &P, const PsConfig &Cfg) {
+  memo::Fp128 K = memo::fpSeed(/*Tag=*/0x70736578 /* "psex" */);
+  K = memo::fpCombine(K, memo::fingerprintProgram(P));
+  std::vector<int64_t> Vals = Cfg.Domain.values();
+  memo::fpMix(K, Vals.size());
+  for (int64_t V : Vals)
+    memo::fpMix(K, static_cast<uint64_t>(V));
+  memo::fpMix(K, Cfg.PromiseBudget);
+  memo::fpMix(K, Cfg.SplitBudget);
+  memo::fpMix(K, Cfg.CertNodeBudget);
+  memo::fpMix(K, Cfg.MaxStates);
+  memo::fpMix(K, Cfg.Normalize ? 1 : 0);
+  // Pruning changes StatesExplored (not the behaviors); keep prune-on and
+  // prune-off results distinct so both remain exact for their mode.
+  memo::fpMix(K, Cfg.Memo && Cfg.Memo->options().Prune ? 1 : 0);
+  return K;
+}
+
 } // namespace
 
 PsBehaviorSet pseq::explorePsna(const Program &P, const PsConfig &Cfg) {
+  memo::MemoContext *MC = Cfg.Memo;
+  bool UseCache = MC && MC->options().Cache;
+  memo::Fp128 Key;
+  if (UseCache) {
+    Key = psExploreKey(P, Cfg);
+    if (std::shared_ptr<const PsBehaviorSet> Hit = MC->lookupAs<PsBehaviorSet>(
+            memo::MemoContext::Table::PsBehaviors, Key)) {
+      MC->noteHit();
+      if (Cfg.Telem)
+        Cfg.Telem->Counters.add("memo.hits", 1);
+      return *Hit;
+    }
+    MC->noteMiss();
+    if (Cfg.Telem)
+      Cfg.Telem->Counters.add("memo.misses", 1);
+  }
   unsigned N = exec::resolveThreads(Cfg.NumThreads);
-  if (N <= 1 || exec::ThreadPool::insideWorker())
-    return explorePsnaSequential(P, Cfg);
-  return explorePsnaParallel(P, Cfg, N);
+  PsBehaviorSet R = (N <= 1 || exec::ThreadPool::insideWorker())
+                        ? explorePsnaSequential(P, Cfg)
+                        : explorePsnaParallel(P, Cfg, N);
+  // Guard causes (deadline, memory, cancellation) are timing-dependent;
+  // such results must never answer for a future run.
+  if (UseCache && !isGuardCause(R.Cause))
+    MC->insertAs<PsBehaviorSet>(memo::MemoContext::Table::PsBehaviors, Key,
+                                std::make_shared<const PsBehaviorSet>(R));
+  return R;
 }
 
 std::vector<PsMachineState> pseq::findPsnaWitness(const Program &P,

@@ -45,6 +45,10 @@ namespace guard {
 class ResourceGuard;
 } // namespace guard
 
+namespace memo {
+class MemoContext;
+} // namespace memo
+
 /// Bounding knobs of the PS^na explorer.
 struct PsConfig {
   ValueDomain Domain = ValueDomain::binary();
@@ -68,6 +72,11 @@ struct PsConfig {
   /// Optional resource guard (borrowed; see guard/Guard.h): deadline,
   /// memory budget, cancellation. Null — the default — means ungoverned.
   guard::ResourceGuard *Guard = nullptr;
+  /// Optional memoization context (borrowed; see memo/MemoContext.h):
+  /// sleep-set pruning inside one exploration plus a cross-run behavior
+  /// cache keyed by (program, config) fingerprints. Null — the default —
+  /// keeps the exact unpruned paths.
+  memo::MemoContext *Memo = nullptr;
 };
 
 /// A whole-machine state ⟨T, M⟩ plus the system-call output so far.

@@ -10,6 +10,7 @@
 #include "exec/ThreadPool.h"
 #include "exec/WorkDeque.h"
 #include "guard/Guard.h"
+#include "memo/MemoContext.h"
 #include "obs/Telemetry.h"
 
 #include <algorithm>
@@ -67,6 +68,36 @@ struct EnumTallies {
   uint64_t TruncStep = 0;
   uint64_t TruncCap = 0;
   unsigned MaxDepth = 0;
+  // Memoization (zero unless a MemoContext is attached):
+  uint64_t MemoHits = 0;
+  uint64_t MemoMisses = 0;
+  uint64_t Pruned = 0; ///< states not re-expanded thanks to suffix hits
+};
+
+/// One attempted emission in a memoized subtree, relative to the subtree
+/// root: the trace suffix below the root plus the behavior payload.
+/// AtBudget marks prt-nodes that also charged the step-budget truncation.
+struct SeqSuffixAttempt {
+  std::vector<SeqEvent> Suffix;
+  SeqBehavior::End Kind = SeqBehavior::End::Partial;
+  Value RetVal;           // Term only
+  LocSet F;               // Term and Partial
+  std::vector<Value> Mem; // Term only
+  bool AtBudget = false;  // Partial with StepsLeft == 0
+};
+
+/// A completed subtree summary, keyed by (machine fingerprint, canonical
+/// state fingerprint, steps of budget left). Replaying the attempt stream
+/// through emit() in DFS order reproduces the unmemoized traversal's
+/// emissions exactly — Emitted, DedupHits, TruncStep, TruncCap, and the
+/// cap ordering included — because emission attempts are a pure function
+/// of (machine, state, budget), and dedup/cap outcomes depend only on the
+/// emissions that came before. Subtrees interrupted by a tripped guard
+/// are never recorded (their streams would be incomplete).
+struct SeqSuffixRec {
+  std::vector<SeqSuffixAttempt> Attempts;
+  unsigned RelMaxDepth = 0;    ///< max steps below the root over attempts
+  uint64_t SubtreeStates = 0;  ///< nodes the subtree expanded (incl. virtual)
 };
 
 /// A frontier subtree handed to a pool worker: explore \p State (reached
@@ -88,6 +119,10 @@ class DfsEnumerator {
   /// Seen.size() instead.
   std::atomic<uint64_t> *SharedUnique;
   guard::ResourceGuard *Guard;
+  /// Suffix memo (null = off): set only when the config carries a context
+  /// with caching enabled.
+  memo::MemoContext *Memo = nullptr;
+  memo::Fp128 MachineFp;
   BehaviorSet Result;
   std::unordered_set<SeqBehavior, BehaviorHash> Seen;
   std::vector<SeqEvent> Trace;
@@ -103,14 +138,179 @@ class DfsEnumerator {
     unsigned StepsLeft = 0;
   };
 
+  /// An in-progress SeqSuffixRec for the node at trace length BaseLen,
+  /// aligned 1:1 with explore()'s frame stack (plus a transient frame
+  /// around leaf visits). Every emission attempt below the node lands in
+  /// every active frame; a frame past its attempt cap overflows and is
+  /// discarded at exitNode().
+  struct RecFrame {
+    memo::Fp128 Key;
+    size_t BaseLen = 0;
+    unsigned StepsAtNode = 0;
+    uint64_t StartVirtual = 0;
+    SeqSuffixRec Rec;
+    bool Overflow = false;
+  };
+  std::vector<RecFrame> RecStack;
+  /// Caps recording work: attempts stored per frame, and total attempt
+  /// appends per enumeration (suffix copies are O(depth) each).
+  static constexpr size_t MaxAttemptsPerFrame = 512;
+  size_t AppendBudget = size_t(1) << 17;
+
 public:
   explicit DfsEnumerator(const SeqMachine &M,
                          std::atomic<uint64_t> *SharedUnique = nullptr)
-      : M(M), SharedUnique(SharedUnique), Guard(M.config().Guard) {}
+      : M(M), SharedUnique(SharedUnique), Guard(M.config().Guard) {
+    if (memo::MemoContext *MC = M.config().Memo; MC && MC->options().Cache) {
+      Memo = MC;
+      MachineFp = machineFingerprint();
+    }
+  }
 
   EnumTallies &tallies() { return T; }
   BehaviorSet &result() { return Result; }
   BehaviorSet take() { return std::move(Result); }
+
+private:
+  /// Everything the transition relation depends on: the program text, the
+  /// thread, the value domain, and the universe. StepBudget is excluded —
+  /// the remaining budget is part of each suffix key — and MaxBehaviors /
+  /// NumThreads are excluded because attempt streams are pre-cap and
+  /// scheduling-independent.
+  memo::Fp128 machineFingerprint() const {
+    memo::Fp128 F = memo::fpSeed(/*Tag=*/0x7365716d /* "seqm" */);
+    F = memo::fpCombine(F, memo::fingerprintProgram(M.program()));
+    memo::fpMix(F, M.tid());
+    const SeqConfig &Cfg = M.config();
+    std::vector<int64_t> Vals = Cfg.Domain.values();
+    memo::fpMix(F, Vals.size());
+    for (int64_t V : Vals)
+      memo::fpMix(F, static_cast<uint64_t>(V));
+    memo::fpMix(F, Cfg.Universe.raw());
+    return F;
+  }
+
+  /// SEQ states are canonical by construction (dense memory vector, bitset
+  /// P/F, structural σ), so hashing the components is a canonical-state
+  /// fingerprint directly.
+  memo::Fp128 stateKey(const SeqState &S, unsigned StepsLeft) const {
+    memo::Fp128 K = MachineFp;
+    memo::fpMix(K, S.Prog.hash());
+    memo::fpMix(K, S.Perm.raw());
+    memo::fpMix(K, S.Written.raw());
+    memo::fpMix(K, S.Mem.size());
+    for (const Value &V : S.Mem)
+      memo::fpMix(K, V.hash());
+    memo::fpMix(K, StepsLeft);
+    return K;
+  }
+
+  /// Appends one emission attempt (real or replayed) to every active
+  /// recording frame. \p StepsLeftNow is the budget at the node that
+  /// produced the attempt (for replayed attempts, at the *hit* node — the
+  /// depth refinement below it is folded in separately by replay()).
+  void noteVisit(const SeqBehavior &B, bool AtBudget, unsigned StepsLeftNow) {
+    for (RecFrame &RF : RecStack) {
+      if (RF.Overflow)
+        continue;
+      if (RF.Rec.Attempts.size() >= MaxAttemptsPerFrame || AppendBudget == 0) {
+        RF.Overflow = true;
+        RF.Rec.Attempts.clear();
+        RF.Rec.Attempts.shrink_to_fit();
+        continue;
+      }
+      --AppendBudget;
+      SeqSuffixAttempt A;
+      A.Suffix.assign(B.Trace.begin() + RF.BaseLen, B.Trace.end());
+      A.Kind = B.Kind;
+      A.RetVal = B.RetVal;
+      A.F = B.F;
+      A.Mem = B.Mem;
+      A.AtBudget = AtBudget;
+      RF.Rec.RelMaxDepth =
+          std::max(RF.Rec.RelMaxDepth, RF.StepsAtNode - StepsLeftNow);
+      RF.Rec.Attempts.push_back(std::move(A));
+    }
+  }
+
+  /// Replays a cached subtree at the current trace position: one guard
+  /// checkpoint for the hit node (the replayed nodes poll nothing — a
+  /// replay is finite, so guarded runs stay bounded), then the attempt
+  /// stream through emit(), reproducing the unmemoized emissions exactly.
+  void replay(const SeqSuffixRec &Rec, unsigned StepsLeft) {
+    if (Guard) {
+      TruncationCause C = Guard->checkpoint();
+      if (C != TruncationCause::None) {
+        noteTruncation(Result.Cause, C);
+        return;
+      }
+    }
+    ++T.MemoHits;
+    T.Pruned += Rec.SubtreeStates;
+    T.MaxDepth = std::max(
+        T.MaxDepth, M.config().StepBudget - StepsLeft + Rec.RelMaxDepth);
+    for (RecFrame &RF : RecStack)
+      if (!RF.Overflow)
+        RF.Rec.RelMaxDepth =
+            std::max(RF.Rec.RelMaxDepth,
+                     (RF.StepsAtNode - StepsLeft) + Rec.RelMaxDepth);
+    for (const SeqSuffixAttempt &A : Rec.Attempts) {
+      SeqBehavior B;
+      B.Trace = Trace;
+      B.Trace.insert(B.Trace.end(), A.Suffix.begin(), A.Suffix.end());
+      B.Kind = A.Kind;
+      B.RetVal = A.RetVal;
+      B.F = A.F;
+      B.Mem = A.Mem;
+      noteVisit(B, A.AtBudget, StepsLeft);
+      emit(std::move(B));
+      if (A.AtBudget) {
+        ++T.TruncStep;
+        noteTruncation(Result.Cause, TruncationCause::StepBudget);
+      }
+    }
+  }
+
+  /// Visits a node through the memo layer: answers from the suffix cache
+  /// when possible, otherwise opens a recording frame around the real
+  /// visit. \returns whether the node's successors should be explored;
+  /// exactly then a frame stays open and exitNode() must run once the
+  /// subtree completes.
+  bool enterNode(const SeqState &S, unsigned StepsLeft) {
+    if (!Memo)
+      return visitNode(S, StepsLeft);
+    memo::Fp128 Key = stateKey(S, StepsLeft);
+    if (std::shared_ptr<const SeqSuffixRec> Rec = Memo->lookupAs<SeqSuffixRec>(
+            memo::MemoContext::Table::SeqSuffix, Key)) {
+      replay(*Rec, StepsLeft);
+      return false;
+    }
+    ++T.MemoMisses;
+    RecStack.push_back(
+        RecFrame{Key, Trace.size(), StepsLeft, T.Expanded + T.Pruned, {}, false});
+    bool Expand = visitNode(S, StepsLeft);
+    if (!Expand)
+      exitNode();
+    return Expand;
+  }
+
+  /// Closes the innermost recording frame, publishing its summary unless
+  /// it overflowed or a guard stopped the run mid-subtree (the stream
+  /// would be incomplete, and guard causes are timing-dependent anyway).
+  void exitNode() {
+    if (!Memo)
+      return;
+    RecFrame RF = std::move(RecStack.back());
+    RecStack.pop_back();
+    RF.Rec.SubtreeStates = (T.Expanded + T.Pruned) - RF.StartVirtual;
+    if (RF.Overflow || (Guard && Guard->stopped()))
+      return;
+    Memo->insertAs<SeqSuffixRec>(
+        memo::MemoContext::Table::SeqSuffix, RF.Key,
+        std::make_shared<const SeqSuffixRec>(std::move(RF.Rec)));
+  }
+
+public:
 
   void emit(SeqBehavior B) {
     // Dedup *before* the cap check: a behavior already in the set is a
@@ -162,6 +362,7 @@ public:
       SeqBehavior B;
       B.Trace = Trace;
       B.Kind = SeqBehavior::End::Bottom;
+      noteVisit(B, /*AtBudget=*/false, StepsLeft);
       emit(std::move(B));
       return false;
     }
@@ -172,6 +373,7 @@ public:
       B.RetVal = S.Prog.retVal();
       B.F = S.Written;
       B.Mem = S.Mem;
+      noteVisit(B, /*AtBudget=*/false, StepsLeft);
       emit(std::move(B));
       return false;
     }
@@ -179,8 +381,10 @@ public:
     B.Trace = Trace;
     B.Kind = SeqBehavior::End::Partial;
     B.F = S.Written;
+    bool AtBudget = StepsLeft == 0;
+    noteVisit(B, AtBudget, StepsLeft);
     emit(std::move(B));
-    if (StepsLeft == 0) {
+    if (AtBudget) {
       ++T.TruncStep;
       noteTruncation(Result.Cause, TruncationCause::StepBudget);
       return false;
@@ -201,7 +405,7 @@ public:
   void explore(const SeqState &Start, std::vector<SeqEvent> StartTrace,
                unsigned StepsLeft) {
     Trace = std::move(StartTrace);
-    if (!visitNode(Start, StepsLeft))
+    if (!enterNode(Start, StepsLeft))
       return;
     std::vector<Frame> Stack;
     Stack.push_back(Frame{M.successors(Start), 0, 0, StepsLeft});
@@ -210,6 +414,7 @@ public:
       Trace.resize(Trace.size() - F.PrevPushed);
       F.PrevPushed = 0;
       if (F.Idx == F.Succs.size()) {
+        exitNode(); // each stack frame owns one recording frame
         Stack.pop_back();
         continue;
       }
@@ -218,7 +423,7 @@ public:
       for (SeqEvent &E : Tr.Labels)
         Trace.push_back(std::move(E));
       unsigned Left = F.StepsLeft - 1;
-      if (visitNode(Tr.Next, Left)) {
+      if (enterNode(Tr.Next, Left)) {
         // Compute successors before push_back: growing the stack
         // invalidates F and Tr.
         std::vector<SeqTransition> Succs = M.successors(Tr.Next);
@@ -246,6 +451,11 @@ void foldTallies(obs::Telemetry *Telem, const EnumTallies &T) {
   Tally.slot("seq.enum.dedup_hits") += T.DedupHits;
   Tally.slot("seq.enum.trunc_step_budget") += T.TruncStep;
   Tally.slot("seq.enum.trunc_behavior_cap") += T.TruncCap;
+  if (T.MemoHits || T.MemoMisses || T.Pruned) {
+    Tally.slot("memo.hits") += T.MemoHits;
+    Tally.slot("memo.misses") += T.MemoMisses;
+    Tally.slot("memo.pruned_states") += T.Pruned;
+  }
   Telem->Counters.maxGauge("seq.enum.max_depth", T.MaxDepth);
 }
 
@@ -356,6 +566,9 @@ BehaviorSet enumerateParallel(const SeqMachine &M, const SeqState &Init,
     Out.TruncStep += TT.TruncStep;
     Out.TruncCap += TT.TruncCap;
     Out.MaxDepth = std::max(Out.MaxDepth, TT.MaxDepth);
+    Out.MemoHits += TT.MemoHits;
+    Out.MemoMisses += TT.MemoMisses;
+    Out.Pruned += TT.Pruned;
   }
   return Root.take();
 }
@@ -379,6 +592,12 @@ BehaviorSet pseq::enumerateBehaviors(const SeqMachine &M,
   if (guard::ResourceGuard *G = M.config().Guard; G && G->stopped())
     noteTruncation(R.Cause, G->cause());
   foldTallies(M.config().Telem, T);
+  if (memo::MemoContext *MC = M.config().Memo;
+      MC && (T.MemoHits || T.MemoMisses || T.Pruned)) {
+    MC->noteHit(T.MemoHits);
+    MC->noteMiss(T.MemoMisses);
+    MC->notePruned(T.Pruned);
+  }
   return R;
 }
 

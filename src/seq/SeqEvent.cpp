@@ -303,3 +303,31 @@ bool pseq::advancedLabelMatch(const SeqEvent &Tgt, const SeqEvent &Src,
   }
   return false;
 }
+
+memo::Footprint pseq::footprint(const SeqEvent &E) {
+  memo::Footprint F;
+  switch (E.K) {
+  case SeqEvent::Kind::Choose:
+    return F; // pure nondeterminism: touches nothing
+  case SeqEvent::Kind::RlxRead:
+  case SeqEvent::Kind::RlxWrite:
+    F.Locs = LocSet::single(E.Loc);
+    return F;
+  case SeqEvent::Kind::AcqRead:
+  case SeqEvent::Kind::RelWrite:
+  case SeqEvent::Kind::AcqFence:
+  case SeqEvent::Kind::RelFence:
+    // Permission transfer reads/writes the whole released memory and moves
+    // arbitrary location sets between threads; no cheap disjointness
+    // argument exists, so acquire/release labels conflict with everything.
+    return memo::Footprint::global();
+  case SeqEvent::Kind::Syscall:
+    F.Output = true;
+    return F;
+  }
+  return memo::Footprint::global();
+}
+
+bool pseq::conflicts(const SeqEvent &A, const SeqEvent &B) {
+  return memo::conflicts(footprint(A), footprint(B));
+}

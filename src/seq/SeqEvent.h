@@ -24,6 +24,7 @@
 #define PSEQ_SEQ_SEQEVENT_H
 
 #include "lang/Value.h"
+#include "memo/Independence.h"
 #include "support/LocSet.h"
 
 #include <string>
@@ -119,6 +120,20 @@ struct SeqEvent {
 /// Trace refinement: same length, pointwise label refinement (Def 2.3(2)).
 bool traceRefines(const std::vector<SeqEvent> &Tgt,
                   const std::vector<SeqEvent> &Src);
+
+/// Conservative memo::Footprint of one label, for independence reasoning
+/// over SEQ traces (memo/Independence.h): choices touch nothing, relaxed
+/// accesses touch their location, acquire/release labels (and fences)
+/// transfer permissions over arbitrary location sets and are Global,
+/// syscalls append to the output order. Note that SEQ *behaviors* embed
+/// the trace itself, so reordering independent labels still changes the
+/// behavior — this predicate supports clients that reason about state
+/// convergence (and the PS^na explorer's footprints mirror its shape); it
+/// must never be used to drop trace interleavings from a behavior set.
+memo::Footprint footprint(const SeqEvent &E);
+
+/// True when two labels may not commute (conservative; see footprint()).
+bool conflicts(const SeqEvent &A, const SeqEvent &B);
 
 /// Per-label matching of the *advanced* refinement (Fig. 2): like
 /// refinesLabel, but tracking the commitment set \p R — reset at acquires

@@ -41,6 +41,10 @@ namespace guard {
 class ResourceGuard;
 } // namespace guard
 
+namespace memo {
+class MemoContext;
+} // namespace memo
+
 /// Shared bounding knobs of the SEQ-side checkers.
 struct SeqConfig {
   ValueDomain Domain = ValueDomain::ternary();
@@ -60,6 +64,11 @@ struct SeqConfig {
   /// Shared by every worker of the run; a trip surfaces as a Deadline /
   /// MemBudget / Cancelled truncation cause in the bounded verdict.
   guard::ResourceGuard *Guard = nullptr;
+  /// Optional memoization context (borrowed; see memo/MemoContext.h):
+  /// canonical-state suffix caching for the enumerator, shared across the
+  /// refinement checkers' initial-state sweep and across whole runs. Null
+  /// — the default — keeps the exact uncached paths.
+  memo::MemoContext *Memo = nullptr;
 };
 
 /// One SEQ transition: zero, one, or (for RMWs) two trace labels, plus the

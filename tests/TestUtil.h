@@ -10,14 +10,118 @@
 
 #include "lang/Parser.h"
 
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 namespace pseq {
 
 /// Parses a one-or-more-thread program, failing the test binary on error.
 inline std::unique_ptr<Program> prog(const std::string &Text) {
   return parseOrDie(Text);
+}
+
+// --- Golden-corpus helpers -------------------------------------------------
+//
+// A golden test renders its subject to text and compares it against
+// tests/golden/<name>.expected with matchesGolden(). Regenerate snapshots
+// by re-running the test binary with --update-golden (or the environment
+// variable PSEQ_UPDATE_GOLDEN=1); the updated files are written into the
+// source tree and reviewed like any other diff.
+
+/// True when this run should rewrite golden files instead of comparing.
+inline bool updatingGolden() {
+  const char *E = std::getenv("PSEQ_UPDATE_GOLDEN");
+  return E && *E && std::string(E) != "0";
+}
+
+/// Scans \p Argv for --update-golden (before InitGoogleTest consumes
+/// unknown flags) and turns it into the environment variable the compare
+/// helper reads. Call from a custom test main.
+inline void handleUpdateGoldenFlag(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::string(Argv[I]) == "--update-golden")
+      setenv("PSEQ_UPDATE_GOLDEN", "1", 1);
+}
+
+/// Line-by-line diff rendering for golden mismatches: every differing line
+/// is shown as `-expected` / `+actual`, with a cap so a wholesale change
+/// stays readable.
+inline std::string renderGoldenDiff(const std::string &Expected,
+                                    const std::string &Actual) {
+  auto split = [](const std::string &S) {
+    std::vector<std::string> Lines;
+    std::istringstream In(S);
+    std::string L;
+    while (std::getline(In, L))
+      Lines.push_back(L);
+    return Lines;
+  };
+  std::vector<std::string> E = split(Expected), A = split(Actual);
+  std::string Out;
+  unsigned Shown = 0;
+  size_t N = std::max(E.size(), A.size());
+  for (size_t I = 0; I != N && Shown < 40; ++I) {
+    const std::string *EL = I < E.size() ? &E[I] : nullptr;
+    const std::string *AL = I < A.size() ? &A[I] : nullptr;
+    if (EL && AL && *EL == *AL)
+      continue;
+    Out += "  line " + std::to_string(I + 1) + ":\n";
+    if (EL)
+      Out += "    -" + *EL + "\n";
+    if (AL)
+      Out += "    +" + *AL + "\n";
+    ++Shown;
+  }
+  if (Shown == 40)
+    Out += "  ... (diff capped at 40 lines)\n";
+  return Out;
+}
+
+/// Compares \p Actual against \p Dir/\p Name.expected. In update mode the
+/// file is (re)written and the comparison succeeds. On mismatch the
+/// failure message carries a readable diff plus the regeneration hint.
+inline ::testing::AssertionResult
+matchesGolden(const std::string &Dir, const std::string &Name,
+              const std::string &Actual) {
+  std::string Path = Dir + "/" + Name + ".expected";
+  if (updatingGolden()) {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return ::testing::AssertionFailure()
+             << "cannot write golden file " << Path;
+    bool Ok = std::fwrite(Actual.data(), 1, Actual.size(), F) ==
+              Actual.size();
+    Ok &= std::fclose(F) == 0;
+    if (!Ok)
+      return ::testing::AssertionFailure()
+             << "short write to golden file " << Path;
+    return ::testing::AssertionSuccess() << "updated " << Path;
+  }
+
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return ::testing::AssertionFailure()
+           << "missing golden file " << Path
+           << " (run with --update-golden to create it)";
+  std::string Expected;
+  char Buf[4096];
+  for (size_t R; (R = std::fread(Buf, 1, sizeof(Buf), F)) != 0;)
+    Expected.append(Buf, R);
+  std::fclose(F);
+
+  if (Expected == Actual)
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "golden mismatch for " << Name << " (" << Path << "):\n"
+         << renderGoldenDiff(Expected, Actual)
+         << "  (re-run with --update-golden or PSEQ_UPDATE_GOLDEN=1 to "
+            "regenerate)";
 }
 
 } // namespace pseq

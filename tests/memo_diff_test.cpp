@@ -1,0 +1,333 @@
+//===- tests/memo_diff_test.cpp - Memoization differential tests ----------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// The memoization layer (src/memo) is pure acceleration: canonical-state
+// suffix caching in the SEQ enumerator, sleep-set pruning and the
+// cross-run behavior cache in the PS^na explorer. This suite pins that
+// down differentially — for the whole litmus corpus and for a few hundred
+// seeded random programs, the behavior sets with memoization ON must be
+// byte-identical to the sets with it OFF, and identical across 1/2/8
+// worker threads; truncation causes must agree under deterministic
+// tripAfterPolls guards in both the tripping and non-tripping regime; and
+// repeat runs through a shared context must actually hit the caches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "adequacy/RandomProgram.h"
+#include "guard/Guard.h"
+#include "litmus/Corpus.h"
+#include "memo/MemoContext.h"
+#include "psna/Explorer.h"
+#include "seq/BehaviorEnum.h"
+#include "seq/SimpleRefinement.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace pseq;
+
+namespace {
+
+// --- Rendering helpers: a behavior set as one comparable string ----------
+
+std::string render(const PsBehaviorSet &B) {
+  std::string Out = std::string("cause=") + truncationCauseName(B.Cause);
+  for (const std::string &S : B.strs())
+    Out += "\n" + S;
+  return Out;
+}
+
+std::string render(const BehaviorSet &B) {
+  // BehaviorSet::All is canonically sorted by the enumerator, so the
+  // rendering is order-stable by construction.
+  std::string Out = std::string("cause=") + truncationCauseName(B.Cause);
+  for (const SeqBehavior &SB : B.All)
+    Out += "\n" + SB.str();
+  return Out;
+}
+
+PsConfig litmusConfig(const LitmusCase &LC) {
+  PsConfig Cfg;
+  Cfg.Domain = LC.Domain;
+  Cfg.PromiseBudget = LC.PromiseBudget;
+  Cfg.SplitBudget = LC.SplitBudget;
+  Cfg.NumThreads = 1;
+  return Cfg;
+}
+
+/// Enumerates the full Def 2.4 sweep of single-thread program \p P:
+/// behaviors of every initial state, rendered into one string.
+std::string seqSweep(const Program &P, SeqConfig Cfg) {
+  Cfg = resolveUniverse(Cfg, P, 0, P, 0);
+  SeqMachine M(P, 0, Cfg);
+  std::vector<SeqState> Inits = enumerateInitialStates(M);
+  std::vector<BehaviorSet> Sets = enumerateBehaviorsBatch(M, Inits);
+  std::string Out;
+  for (const BehaviorSet &B : Sets)
+    Out += render(B) + "\n--\n";
+  return Out;
+}
+
+// --- PS^na explorer: litmus corpus ---------------------------------------
+
+TEST(MemoDiff, PsnaLitmusMemoOnEqualsOff) {
+  for (const LitmusCase &LC : litmusCorpus()) {
+    std::unique_ptr<Program> P = prog(LC.Text);
+    PsConfig Off = litmusConfig(LC);
+    PsBehaviorSet BOff = explorePsna(*P, Off);
+
+    memo::MemoContext MC;
+    PsConfig On = litmusConfig(LC);
+    On.Memo = &MC;
+    PsBehaviorSet BOn = explorePsna(*P, On);
+
+    EXPECT_EQ(render(BOff), render(BOn)) << "case " << LC.Name;
+  }
+}
+
+TEST(MemoDiff, PsnaLitmusThreadSweepIdentical) {
+  for (const LitmusCase &LC : litmusCorpus()) {
+    std::unique_ptr<Program> P = prog(LC.Text);
+    for (bool UseMemo : {false, true}) {
+      std::string Baseline;
+      unsigned BaselineStates = 0;
+      for (unsigned N : {1u, 2u, 8u}) {
+        // A fresh context per worker count: the cross-run cache would
+        // otherwise answer for the later counts and the comparison would
+        // only exercise the cache, not the parallel explorer.
+        memo::MemoContext MC;
+        PsConfig Cfg = litmusConfig(LC);
+        Cfg.NumThreads = N;
+        Cfg.Memo = UseMemo ? &MC : nullptr;
+        PsBehaviorSet B = explorePsna(*P, Cfg);
+        if (N == 1) {
+          Baseline = render(B);
+          BaselineStates = B.StatesExplored;
+        } else {
+          EXPECT_EQ(Baseline, render(B))
+              << "case " << LC.Name << " threads=" << N
+              << " memo=" << UseMemo;
+          EXPECT_EQ(BaselineStates, B.StatesExplored)
+              << "case " << LC.Name << " threads=" << N
+              << " memo=" << UseMemo;
+        }
+      }
+    }
+  }
+}
+
+TEST(MemoDiff, PsnaCrossRunCacheHitsAndAgrees) {
+  memo::MemoContext MC;
+  std::vector<std::string> FirstPass;
+  for (const LitmusCase &LC : litmusCorpus()) {
+    std::unique_ptr<Program> P = prog(LC.Text);
+    PsConfig Cfg = litmusConfig(LC);
+    Cfg.Memo = &MC;
+    FirstPass.push_back(render(explorePsna(*P, Cfg)));
+  }
+  uint64_t MissesAfterFirst = MC.misses();
+  EXPECT_EQ(MissesAfterFirst, litmusCorpus().size());
+  EXPECT_EQ(MC.hits(), 0u);
+
+  size_t I = 0;
+  for (const LitmusCase &LC : litmusCorpus()) {
+    std::unique_ptr<Program> P = prog(LC.Text);
+    PsConfig Cfg = litmusConfig(LC);
+    Cfg.Memo = &MC;
+    EXPECT_EQ(FirstPass[I++], render(explorePsna(*P, Cfg)))
+        << "case " << LC.Name;
+  }
+  // Every second-pass exploration answered from the cache: repeat sweeps
+  // cost zero exploration (the >=2x states-explored reduction the perf
+  // gate checks end to end).
+  EXPECT_EQ(MC.hits(), litmusCorpus().size());
+  EXPECT_EQ(MC.misses(), MissesAfterFirst);
+}
+
+// --- PS^na explorer: guard interaction -----------------------------------
+
+TEST(MemoDiff, PsnaTripCauseAgreesAndIsNotCached) {
+  const LitmusCase &LC = litmusCaseByName("lb-rlx");
+  std::unique_ptr<Program> P = prog(LC.Text);
+
+  // Tripping regime: the same deterministic poll budget must produce the
+  // same truncation cause with memoization on and off.
+  for (uint64_t Polls : {0ull, 3ull}) {
+    guard::CancellationToken TokOff, TokOn;
+    guard::ResourceGuard GOff, GOn;
+    TokOff.tripAfterPolls(Polls);
+    TokOn.tripAfterPolls(Polls);
+    GOff.setToken(&TokOff);
+    GOn.setToken(&TokOn);
+
+    PsConfig Off = litmusConfig(LC);
+    Off.Guard = &GOff;
+    PsBehaviorSet BOff = explorePsna(*P, Off);
+
+    memo::MemoContext MC;
+    PsConfig On = litmusConfig(LC);
+    On.Guard = &GOn;
+    On.Memo = &MC;
+    PsBehaviorSet BOn = explorePsna(*P, On);
+
+    EXPECT_EQ(BOff.Cause, BOn.Cause) << "polls=" << Polls;
+    EXPECT_EQ(TruncationCause::Cancelled, BOn.Cause) << "polls=" << Polls;
+
+    // A guard-truncated result must never answer for a later run: the
+    // ungoverned re-run through the same context recomputes the full set.
+    PsConfig Clean = litmusConfig(LC);
+    Clean.Memo = &MC;
+    PsBehaviorSet BFull = explorePsna(*P, Clean);
+    EXPECT_EQ(TruncationCause::None, BFull.Cause);
+    PsConfig Bare = litmusConfig(LC);
+    EXPECT_EQ(render(explorePsna(*P, Bare)), render(BFull));
+  }
+
+  // Non-tripping regime: a generous poll budget never fires and the sets
+  // match the ungoverned run exactly.
+  guard::CancellationToken Tok;
+  guard::ResourceGuard G;
+  Tok.tripAfterPolls(1 << 20);
+  G.setToken(&Tok);
+  memo::MemoContext MC;
+  PsConfig Cfg = litmusConfig(LC);
+  Cfg.Guard = &G;
+  Cfg.Memo = &MC;
+  PsBehaviorSet B = explorePsna(*P, Cfg);
+  EXPECT_EQ(TruncationCause::None, B.Cause);
+  PsConfig Bare = litmusConfig(LC);
+  EXPECT_EQ(render(explorePsna(*P, Bare)), render(B));
+}
+
+// --- SEQ enumerator: random programs -------------------------------------
+
+TEST(MemoDiff, SeqRandomProgramsMemoOnEqualsOff) {
+  Rng R(20220607);
+  unsigned Cached = 0;
+  for (unsigned I = 0; I != 200; ++I) {
+    RandomPair Pair = randomRefinementPair(R);
+    std::unique_ptr<Program> P = prog(Pair.Src);
+
+    SeqConfig Off;
+    Off.NumThreads = 1;
+    std::string SOff = seqSweep(*P, Off);
+
+    memo::MemoContext MC;
+    SeqConfig On;
+    On.NumThreads = 1;
+    On.Memo = &MC;
+    std::string SOn = seqSweep(*P, On);
+    EXPECT_EQ(SOff, SOn) << "program " << I << ":\n" << Pair.Src;
+
+    // Second sweep through the same context: the initial-state sweep
+    // re-reaches converged states, so the suffix cache must answer.
+    uint64_t HitsBefore = MC.hits();
+    std::string SAgain = seqSweep(*P, On);
+    EXPECT_EQ(SOff, SAgain) << "program " << I;
+    if (MC.hits() > HitsBefore)
+      ++Cached;
+  }
+  // The suffix cache engages on the overwhelming majority of programs
+  // (every repeated sweep replays at least its root nodes from cache).
+  EXPECT_GE(Cached, 190u);
+}
+
+TEST(MemoDiff, SeqRandomProgramsThreadSweepIdentical) {
+  Rng R(987654321);
+  for (unsigned I = 0; I != 50; ++I) {
+    RandomPair Pair = randomRefinementPair(R);
+    std::unique_ptr<Program> P = prog(Pair.Src);
+    for (bool UseMemo : {false, true}) {
+      std::string Baseline;
+      for (unsigned N : {1u, 2u, 8u}) {
+        memo::MemoContext MC;
+        SeqConfig Cfg;
+        Cfg.NumThreads = N;
+        Cfg.Memo = UseMemo ? &MC : nullptr;
+        std::string S = seqSweep(*P, Cfg);
+        if (N == 1)
+          Baseline = S;
+        else
+          EXPECT_EQ(Baseline, S) << "program " << I << " threads=" << N
+                                 << " memo=" << UseMemo << ":\n"
+                                 << Pair.Src;
+      }
+    }
+  }
+}
+
+TEST(MemoDiff, SeqRefinementVerdictsAgree) {
+  // End-to-end through the checker (the enumerator's main client): the
+  // simple-refinement verdict, boundedness, and cause agree memo on/off
+  // for random (source, target) pairs.
+  Rng R(424242);
+  for (unsigned I = 0; I != 100; ++I) {
+    RandomPair Pair = randomRefinementPair(R);
+    std::unique_ptr<Program> Src = prog(Pair.Src);
+    std::unique_ptr<Program> Tgt = prog(Pair.Tgt);
+
+    SeqConfig Off;
+    Off.NumThreads = 1;
+    RefinementResult ROff = checkSimpleRefinement(*Src, *Tgt, Off);
+
+    memo::MemoContext MC;
+    SeqConfig On;
+    On.NumThreads = 1;
+    On.Memo = &MC;
+    RefinementResult ROn = checkSimpleRefinement(*Src, *Tgt, On);
+
+    EXPECT_EQ(ROff.Holds, ROn.Holds) << Pair.Mutation << "\n" << Pair.Src;
+    EXPECT_EQ(ROff.Bounded, ROn.Bounded) << Pair.Mutation;
+    EXPECT_EQ(ROff.Cause, ROn.Cause) << Pair.Mutation;
+    EXPECT_EQ(ROff.Counterexample, ROn.Counterexample) << Pair.Mutation;
+  }
+}
+
+TEST(MemoDiff, SeqTripCauseAgreesUnderPollGuard) {
+  // A looping program the step budget truncates, governed by deterministic
+  // poll-count cancellation. In the tripping regime both runs must report
+  // Cancelled; in the non-tripping regime both report the step-budget
+  // outcome byte-identically.
+  std::unique_ptr<Program> P =
+      prog("atomic x;\n"
+           "thread { a := 0; while (a == 0) { a := x@rlx; } return a; }");
+  for (uint64_t Polls : {0ull, 2ull, 1ull << 20}) {
+    guard::CancellationToken TokOff, TokOn;
+    guard::ResourceGuard GOff, GOn;
+    TokOff.tripAfterPolls(Polls);
+    TokOn.tripAfterPolls(Polls);
+    GOff.setToken(&TokOff);
+    GOn.setToken(&TokOn);
+
+    SeqConfig Off;
+    Off.NumThreads = 1;
+    Off.Guard = &GOff;
+    Off = resolveUniverse(Off, *P, 0, *P, 0);
+    SeqMachine MOff(*P, 0, Off);
+    std::vector<Value> Mem(P->numLocs(), Value::of(0));
+    BehaviorSet BOff =
+        enumerateBehaviors(MOff, MOff.initial(LocSet::empty(),
+                                              LocSet::empty(), Mem));
+
+    memo::MemoContext MC;
+    SeqConfig On = Off;
+    On.Guard = &GOn;
+    On.Memo = &MC;
+    SeqMachine MOn(*P, 0, On);
+    BehaviorSet BOn = enumerateBehaviors(
+        MOn, MOn.initial(LocSet::empty(), LocSet::empty(), Mem));
+
+    EXPECT_EQ(BOff.Cause, BOn.Cause) << "polls=" << Polls;
+    if (Polls >= (1ull << 20)) // generous budget: nothing tripped
+      EXPECT_EQ(render(BOff), render(BOn));
+  }
+}
+
+} // namespace

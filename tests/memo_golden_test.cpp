@@ -1,0 +1,96 @@
+//===- tests/memo_golden_test.cpp - Golden-corpus snapshots ---------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// Locks the PS^na outcome sets of six canonical litmus shapes — SB, LB,
+// MP, CoRR, 2+2W, and the RMW fairness chain — against checked-in
+// snapshots in tests/golden/. The sets are rendered identically with
+// memoization off and on (fresh context), so a snapshot mismatch in only
+// one mode pins a memoization bug, and a mismatch in both pins a model
+// change. Regenerate deliberately with
+//
+//   memo_golden_test --update-golden        (or PSEQ_UPDATE_GOLDEN=1)
+//
+// and review the .expected diff like any other semantic change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "litmus/Corpus.h"
+#include "memo/MemoContext.h"
+#include "psna/Explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+using namespace pseq;
+
+#ifndef PSEQ_GOLDEN_DIR
+#error "PSEQ_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+/// Renders one corpus case: a header echoing the exploration bounds, then
+/// the sorted outcome strings. StatesExplored is deliberately omitted —
+/// pruning changes it without changing the behaviors, and the golden files
+/// pin semantics, not exploration effort.
+std::string renderCase(const LitmusCase &LC, bool UseMemo) {
+  std::unique_ptr<Program> P = prog(LC.Text);
+  memo::MemoContext MC;
+  PsConfig Cfg;
+  Cfg.Domain = LC.Domain;
+  Cfg.PromiseBudget = LC.PromiseBudget;
+  Cfg.SplitBudget = LC.SplitBudget;
+  Cfg.NumThreads = 1;
+  Cfg.Memo = UseMemo ? &MC : nullptr;
+  PsBehaviorSet B = explorePsna(*P, Cfg);
+
+  std::string Out = "# " + LC.Name + " [" + LC.PaperRef + "] promises=" +
+                    std::to_string(LC.PromiseBudget) +
+                    " splits=" + std::to_string(LC.SplitBudget) + "\n";
+  Out += std::string("# cause=") + truncationCauseName(B.Cause) + "\n";
+  for (const std::string &S : B.strs())
+    Out += S + "\n";
+  return Out;
+}
+
+class MemoGolden : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(MemoGolden, SnapshotMatchesBothModes) {
+  const LitmusCase &LC = litmusCaseByName(GetParam());
+  std::string Off = renderCase(LC, /*UseMemo=*/false);
+  // Update mode writes the memo-off rendering; the memo-on rendering is
+  // then compared against the same file, so the two modes can never drift
+  // apart even while regenerating.
+  EXPECT_TRUE(matchesGolden(PSEQ_GOLDEN_DIR, LC.Name, Off));
+  {
+    // Never update twice; compare the memoized rendering for real.
+    ASSERT_EQ(Off, renderCase(LC, /*UseMemo=*/true))
+        << "memoized rendering diverged for " << LC.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, MemoGolden,
+                         ::testing::Values("sb-rlx", "lb-rlx", "mp-rel-acq",
+                                           "corr-rlx", "2+2w-rlx",
+                                           "coww-fadd"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           std::string Name = I.param;
+                           for (char &C : Name)
+                             if (!std::isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return Name;
+                         });
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  pseq::handleUpdateGoldenFlag(Argc, Argv);
+  ::testing::InitGoogleTest(&Argc, Argv);
+  return RUN_ALL_TESTS();
+}

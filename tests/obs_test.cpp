@@ -9,11 +9,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "lang/Parser.h"
+#include "memo/MemoContext.h"
 #include "obs/Counters.h"
 #include "obs/Report.h"
 #include "obs/Telemetry.h"
 #include "obs/Timer.h"
 #include "obs/TraceSink.h"
+#include "seq/BehaviorEnum.h"
+#include "seq/SimpleRefinement.h"
 #include "support/Truncation.h"
 
 #include <gtest/gtest.h>
@@ -377,6 +381,70 @@ TEST(Truncation, FirstCauseWins) {
   noteTruncation(C, TruncationCause::StepBudget);
   noteTruncation(C, TruncationCause::StateBudget);
   EXPECT_EQ(C, TruncationCause::StepBudget);
+}
+
+//===----------------------------------------------------------------------===//
+// Counters-exact emission under memoization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Enumerates \p P's thread 0 from the all-zero initial state and returns
+/// (set, emitted, dedup_hits) read back from a fresh telemetry registry.
+struct EmitCounts {
+  BehaviorSet B;
+  uint64_t Emitted = 0;
+  uint64_t DedupHits = 0;
+};
+
+EmitCounts enumerateCounted(const Program &P, memo::MemoContext *Memo) {
+  Telemetry Telem;
+  SeqConfig Cfg;
+  Cfg.NumThreads = 1;
+  Cfg.Telem = &Telem;
+  Cfg.Memo = Memo;
+  Cfg = resolveUniverse(Cfg, P, 0, P, 0);
+  SeqMachine M(P, 0, Cfg);
+  std::vector<Value> Mem(P.numLocs(), Value::of(0));
+  EmitCounts Out;
+  Out.B = enumerateBehaviors(
+      M, M.initial(LocSet::empty(), LocSet::empty(), Mem));
+  Out.Emitted = Telem.Counters.counter("seq.enum.behaviors_emitted");
+  Out.DedupHits = Telem.Counters.counter("seq.enum.dedup_hits");
+  return Out;
+}
+
+} // namespace
+
+TEST(EmitInvariant, CountersExactWhenMemoAnswers) {
+  // Non-atomic accesses are unlabeled, so revisiting a register-different
+  // state under the same trace re-derives identical partial behaviors —
+  // this program produces real dedup hits, the regression surface for the
+  // memoized emit path.
+  std::unique_ptr<Program> P =
+      parseOrDie("na y;\n"
+                 "thread { a := y@na; b := y@na; y@na := 1; return b; }");
+
+  EmitCounts Plain = enumerateCounted(*P, nullptr);
+  ASSERT_GT(Plain.DedupHits, 0u);
+  // The invariant itself: every unique behavior is counted exactly once.
+  EXPECT_EQ(Plain.Emitted, Plain.B.All.size());
+
+  // First memoized run records the suffix cache; the second answers from
+  // it, replaying the emission stream. Both must be counters-exact: the
+  // same Emitted (== set size) and the same DedupHits as the plain run.
+  memo::MemoContext MC;
+  EmitCounts Cold = enumerateCounted(*P, &MC);
+  EmitCounts Warm = enumerateCounted(*P, &MC);
+  EXPECT_GT(MC.hits(), 0u);
+
+  for (const EmitCounts *E : {&Cold, &Warm}) {
+    EXPECT_EQ(Plain.Emitted, E->Emitted);
+    EXPECT_EQ(Plain.DedupHits, E->DedupHits);
+    EXPECT_EQ(E->Emitted, E->B.All.size());
+    EXPECT_EQ(Plain.B.All.size(), E->B.All.size());
+    EXPECT_EQ(Plain.B.Cause, E->B.Cause);
+  }
 }
 
 } // namespace

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the memoization layer.
+
+Two modes:
+
+  check_bench_baseline.py --baseline BENCH_BASELINE.json --summary FILE
+      FILE holds the output of `litmus_explorer --sweep N` (only the final
+      "memo summary:" line is read; piping the whole stdout works). Fails
+      when states_explored grew more than --tolerance (default 10%) over
+      the baseline, when the cache hit-rate dropped, or when the run no
+      longer beats the recorded no-memo state count by at least 2x.
+
+  check_bench_baseline.py --bench-json FILE
+      FILE is a bench_* --json dump. Sanity-checks the "memo" block: it
+      must exist, report enabled=true, and count at least one explored
+      state, so a silently unwired memo context fails loudly.
+
+The inputs are deterministic (state counts and cache counters, never
+timings), so failures are reproducible locally with the same commands.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SUMMARY_RE = re.compile(
+    r"memo summary: sweeps=(\d+) states_explored=(\d+) "
+    r"memo_hits=(\d+) memo_misses=(\d+) pruned_states=(\d+)"
+)
+
+
+def fail(msg):
+    print(f"check_bench_baseline: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_summary(path):
+    text = open(path).read()
+    matches = SUMMARY_RE.findall(text)
+    if not matches:
+        fail(f"no 'memo summary:' line found in {path}")
+    sweeps, states, hits, misses, pruned = map(int, matches[-1])
+    return {
+        "sweeps": sweeps,
+        "states_explored": states,
+        "memo_hits": hits,
+        "memo_misses": misses,
+        "pruned_states": pruned,
+    }
+
+
+def hit_rate(hits, misses):
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def check_summary(args):
+    base = json.load(open(args.baseline))
+    cur = parse_summary(args.summary)
+
+    if cur["sweeps"] != base["sweeps"]:
+        fail(
+            f"sweep count mismatch: run used --sweep {cur['sweeps']}, "
+            f"baseline was recorded with --sweep {base['sweeps']}"
+        )
+
+    limit = base["states_explored"] * (1.0 + args.tolerance)
+    if cur["states_explored"] > limit:
+        fail(
+            f"states_explored grew: {cur['states_explored']} vs baseline "
+            f"{base['states_explored']} (limit {limit:.0f}, "
+            f"+{args.tolerance:.0%})"
+        )
+
+    base_rate = hit_rate(base["memo_hits"], base["memo_misses"])
+    cur_rate = hit_rate(cur["memo_hits"], cur["memo_misses"])
+    if cur_rate + 1e-9 < base_rate:
+        fail(
+            f"cache hit-rate dropped: {cur_rate:.3f} vs baseline "
+            f"{base_rate:.3f} (hits={cur['memo_hits']} "
+            f"misses={cur['memo_misses']})"
+        )
+
+    no_memo = base.get("no_memo_states_explored")
+    if no_memo and cur["states_explored"] * 2 > no_memo:
+        fail(
+            f"memoized run no longer halves the unmemoized exploration: "
+            f"{cur['states_explored']} * 2 > {no_memo}"
+        )
+
+    print(
+        f"check_bench_baseline: OK: states_explored="
+        f"{cur['states_explored']} (baseline {base['states_explored']}), "
+        f"hit-rate {cur_rate:.3f} (baseline {base_rate:.3f}), "
+        f"{no_memo / cur['states_explored']:.2f}x under the no-memo count"
+        if no_memo
+        else "check_bench_baseline: OK"
+    )
+
+
+def check_bench_json(args):
+    data = json.load(open(args.bench_json))
+    memo = data.get("memo")
+    if memo is None:
+        fail(f"no 'memo' block in {args.bench_json}")
+    if not memo.get("enabled"):
+        fail("memo block reports enabled=false (run without --no-memo)")
+    for key in ("states_explored", "memo_hits", "memo_misses",
+                "pruned_states"):
+        if key not in memo:
+            fail(f"memo block missing '{key}'")
+    if memo["states_explored"] <= 0:
+        fail("memo block counted zero explored states — telemetry unwired?")
+    print(
+        f"check_bench_baseline: OK: bench memo block "
+        f"states_explored={memo['states_explored']} "
+        f"hits={memo['memo_hits']} misses={memo['memo_misses']} "
+        f"pruned={memo['pruned_states']}"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", help="BENCH_BASELINE.json path")
+    ap.add_argument("--summary", help="file with litmus_explorer output")
+    ap.add_argument("--bench-json", help="bench_* --json dump to sanity-check")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative growth in states_explored (default 0.10)",
+    )
+    args = ap.parse_args()
+
+    if args.bench_json:
+        check_bench_json(args)
+    elif args.baseline and args.summary:
+        check_summary(args)
+    else:
+        ap.error("need either --baseline and --summary, or --bench-json")
+
+
+if __name__ == "__main__":
+    main()
