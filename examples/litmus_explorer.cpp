@@ -16,6 +16,10 @@
 //   --no-memo        disable memoization (sleep-set pruning and the
 //                    cross-run behavior cache); outcome sets are identical
 //                    either way
+//   --no-lint        disable the static race analyzer (and with it the
+//                    NAMsg-marker suppression on proved-race-free
+//                    programs); outcome sets are identical either way,
+//                    only the state counts change
 //   --sweep N        corpus mode only: explore the whole corpus N times
 //                    sharing one memo context, then print a deterministic
 //                    "memo summary" block (states explored, hits, misses,
@@ -55,10 +59,32 @@ using namespace pseq;
 
 namespace {
 
+/// Per-corpus lint tallies for the "lint summary" line (corpus mode).
+struct LintTally {
+  uint64_t RaceFree = 0, PotentiallyRacy = 0, AtomicsOnly = 0;
+  uint64_t RaceFreeStates = 0; ///< states explored on proved cases
+};
+
 void explore(const std::string &Title, const std::string &Text,
-             const PsConfig &Cfg, bool Quiet = false) {
+             const PsConfig &Cfg, bool Quiet = false,
+             LintTally *Tally = nullptr) {
   std::unique_ptr<Program> P = parseOrDie(Text);
   PsBehaviorSet B = explorePsna(*P, Cfg);
+  if (Tally && B.Lint) {
+    switch (*B.Lint) {
+    case analysis::RaceVerdict::RaceFree:
+      ++Tally->RaceFree;
+      break;
+    case analysis::RaceVerdict::PotentiallyRacy:
+      ++Tally->PotentiallyRacy;
+      break;
+    case analysis::RaceVerdict::AtomicsOnly:
+      ++Tally->AtomicsOnly;
+      break;
+    }
+    if (B.MarkersSkipped)
+      Tally->RaceFreeStates += B.StatesExplored;
+  }
   if (Quiet)
     return;
   std::string Trunc;
@@ -78,7 +104,7 @@ int usageError(const char *Prog, const std::string &What,
                Value ? Value : "", What.c_str());
   std::fprintf(stderr,
                "usage: %s [--threads N] [--deadline-ms N] [--mem-mb N] "
-               "[--no-memo] [--sweep N] "
+               "[--no-memo] [--no-lint] [--sweep N] "
                "[file [promise-budget [split-budget]]]\n"
                "       %s [--threads N] --witness <corpus-case> <behavior>\n",
                Prog, Prog);
@@ -93,6 +119,7 @@ int main(int Argc, char **Argv) {
   uint64_t DeadlineMs = 0, MemMb = 0;
   uint64_t Sweeps = 1;
   bool NoMemo = false;
+  bool NoLint = false;
   {
     std::vector<char *> Rest;
     for (int I = 0; I != Argc; ++I) {
@@ -133,6 +160,10 @@ int main(int Argc, char **Argv) {
         NoMemo = true;
         continue;
       }
+      if (A == "--no-lint") {
+        NoLint = true;
+        continue;
+      }
       Rest.push_back(Argv[I]);
     }
     Argc = static_cast<int>(Rest.size());
@@ -162,6 +193,7 @@ int main(int Argc, char **Argv) {
     Cfg.SplitBudget = LC.SplitBudget;
     Cfg.NumThreads = NumThreads;
     Cfg.Guard = GuardPtr;
+    Cfg.Lint = !NoLint;
     std::vector<PsMachineState> Path = findPsnaWitness(*P, Cfg, Argv[3]);
     if (Path.empty()) {
       std::printf("behavior %s not reachable for %s\n", Argv[3], Argv[2]);
@@ -185,6 +217,7 @@ int main(int Argc, char **Argv) {
     Cfg.NumThreads = NumThreads;
     Cfg.Guard = GuardPtr;
     Cfg.Memo = MemoPtr;
+    Cfg.Lint = !NoLint;
     if (Argc > 2 && !cli::parseUnsigned(Argv[2], Cfg.PromiseBudget))
       return usageError(Prog, "promise-budget", Argv[2]);
     if (Argc > 3 && !cli::parseUnsigned(Argv[3], Cfg.SplitBudget))
@@ -198,6 +231,7 @@ int main(int Argc, char **Argv) {
   // behavior cache, and the summary below is deterministic (state counts and
   // cache counters only — no timing), which is what the perf gate consumes.
   obs::Telemetry Telem;
+  LintTally Tally;
   std::printf("PS^na litmus outcomes (corpus of %zu tests)\n\n",
               litmusCorpus().size());
   for (uint64_t Sweep = 0; Sweep != Sweeps; ++Sweep) {
@@ -210,12 +244,25 @@ int main(int Argc, char **Argv) {
       Cfg.Guard = GuardPtr;
       Cfg.Memo = MemoPtr;
       Cfg.Telem = &Telem;
+      Cfg.Lint = !NoLint;
       bool Quiet = Sweep != 0; // outcome sets are identical across sweeps
-      explore(LC.Name + " [" + LC.PaperRef + "]", LC.Text, Cfg, Quiet);
+      explore(LC.Name + " [" + LC.PaperRef + "]", LC.Text, Cfg, Quiet,
+              Sweep == 0 ? &Tally : nullptr);
       if (!Quiet)
         std::printf("\n");
     }
   }
+  // Static-analyzer tallies from the first sweep (verdicts are identical
+  // across sweeps). race_free_states sums StatesExplored over the cases
+  // whose proved verdict suppressed NAMsg markers — the number the perf
+  // gate (tools/check_bench_baseline.py) bounds against BENCH_BASELINE.json.
+  if (!NoLint)
+    std::printf("lint summary: race_free=%llu potentially_racy=%llu "
+                "atomics_only=%llu race_free_states=%llu\n",
+                static_cast<unsigned long long>(Tally.RaceFree),
+                static_cast<unsigned long long>(Tally.PotentiallyRacy),
+                static_cast<unsigned long long>(Tally.AtomicsOnly),
+                static_cast<unsigned long long>(Tally.RaceFreeStates));
   std::printf("memo summary: sweeps=%llu states_explored=%llu "
               "memo_hits=%llu memo_misses=%llu pruned_states=%llu\n",
               static_cast<unsigned long long>(Sweeps),

@@ -37,8 +37,12 @@ constexpr int ExitBroken = 12; ///< generator produced an unparseable pair
 /// Runs the adequacy harness on one pair and maps the record onto the
 /// exit-code protocol. Single-threaded on purpose: fork-isolated children
 /// must not touch the thread pool, and the parent wants fork safety too.
+/// \p Telem is the parent's telemetry for pairs run in-process (null in
+/// isolated children): it carries the static-vs-dynamic race counters
+/// (analysis.agree / analysis.false_positive / analysis.soundness_violation)
+/// that the explorer emits while cross-validating the lint verdict.
 int checkPairInline(const RandomPair &Pair, const CampaignOptions &Opts,
-                    AdequacyRecord *RecOut) {
+                    AdequacyRecord *RecOut, obs::Telemetry *Telem) {
   ParseResult S = parseProgram(Pair.Src);
   ParseResult T = parseProgram(Pair.Tgt);
   if (!S.ok() || !T.ok())
@@ -54,9 +58,11 @@ int checkPairInline(const RandomPair &Pair, const CampaignOptions &Opts,
   SeqConfig SeqCfg;
   SeqCfg.NumThreads = 1;
   SeqCfg.Guard = Governed ? &Guard : nullptr;
+  SeqCfg.Telem = Telem;
   PsConfig PsCfg;
   PsCfg.NumThreads = 1;
   PsCfg.Guard = SeqCfg.Guard;
+  PsCfg.Telem = Telem;
 
   // A fresh per-pair context: the SEQ suffix cache is shared across the
   // simple/advanced checks and every context-library clone of this pair.
@@ -134,7 +140,7 @@ void shrinkFinding(const CampaignOptions &Opts, RandomPair &Pair) {
             PT.Prog->numThreads() != 1)
           return false;
         RandomPair Cand{S, T, Pair.Mutation};
-        return checkPairInline(Cand, Opts, nullptr) == ExitMismatch;
+        return checkPairInline(Cand, Opts, nullptr, nullptr) == ExitMismatch;
       },
       SOpts);
   Pair.Src = std::move(SR.Src);
@@ -204,7 +210,7 @@ CampaignStats pseq::runFuzzCampaign(const CampaignOptions &Opts) {
           [&]() -> int {
             if (Fault != FaultKind::None)
               injectFault(Fault, Opts.WallMs); // never returns
-            return checkPairInline(Pair, Opts, nullptr);
+            return checkPairInline(Pair, Opts, nullptr, nullptr);
           },
           Limits);
       switch (IR.Status) {
@@ -230,11 +236,11 @@ CampaignStats pseq::runFuzzCampaign(const CampaignOptions &Opts) {
         break;
       case guard::IsolateStatus::Unsupported:
         // fork() failed on this pair; run it inline instead.
-        Outcome = classifyExit(checkPairInline(Pair, Opts, nullptr));
+        Outcome = classifyExit(checkPairInline(Pair, Opts, nullptr, Telem));
         break;
       }
     } else {
-      Outcome = classifyExit(checkPairInline(Pair, Opts, nullptr));
+      Outcome = classifyExit(checkPairInline(Pair, Opts, nullptr, Telem));
     }
 
     if (std::strcmp(Outcome, "mismatch") == 0) {

@@ -83,6 +83,48 @@ RandomPair pseq::randomRefinementPair(Rng &R) {
   return Out;
 }
 
+std::string pseq::randomConcurrentProgram(Rng &R, unsigned NumThreads) {
+  std::string Out = "na d; atomic f;\n";
+  // Half the programs follow the release/acquire MP protocol: thread 0
+  // publishes d and raises the flag with a release write; the other
+  // threads either read d only under an acquire-observed flag or touch
+  // atomics alone (writing only values the guard cannot observe). These
+  // are exactly the programs the analyzer's discharge rule proves
+  // race-free. The other half mixes accesses freely and is mostly racy.
+  bool Guarded = R.below(2) == 0;
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    if (Guarded && T == 0) {
+      Out += "thread {\n  d@na := " + std::to_string(R.below(2)) +
+             ";\n  f@rel := 1;\n  return 0;\n}\n";
+      continue;
+    }
+    if (Guarded) {
+      switch (R.below(3)) {
+      case 0: // guarded reader
+        Out += "thread {\n  b := f@acq;\n  if (b == 1) {\n"
+               "    a := d@na;\n    return a;\n  }\n  return 2;\n}\n";
+        break;
+      case 1: // atomics-only observer
+        Out += "thread {\n  a := f@" +
+               std::string(R.below(2) ? "acq" : "rlx") +
+               ";\n  return a;\n}\n";
+        break;
+      default: // atomic writer of a value the guard skips (0 != 1)
+        Out += "thread {\n  f@rlx := 0;\n  a := f@rlx;\n  return a;\n}\n";
+        break;
+      }
+      continue;
+    }
+    // Unconstrained thread: 1..3 statements mixing na and atomic accesses.
+    std::string Body;
+    unsigned N = 1 + static_cast<unsigned>(R.below(3));
+    for (unsigned I = 0; I != N; ++I)
+      Body += "  " + randomStmt(R) + "\n";
+    Out += "thread {\n" + Body + "  return r0;\n}\n";
+  }
+  return Out;
+}
+
 std::string pseq::randomContextThread(Rng &R) {
   std::vector<std::string> Stmts;
   unsigned N = 1 + static_cast<unsigned>(R.below(3));

@@ -39,6 +39,16 @@ RandomPair randomRefinementPair(Rng &R);
 /// beyond the curated context library.
 std::string randomContextThread(Rng &R);
 
+/// Generates one whole random concurrent program with \p NumThreads
+/// threads over the fixed layout `na d; atomic f`. Half the programs
+/// follow a release/acquire message-passing protocol (one writer
+/// publishing `d` under `f@rel := 1`, guarded readers) so the static race
+/// analyzer can prove them race-free; the rest mix na and atomic accesses
+/// freely and are mostly racy. The soundness differential in
+/// tests/analysis_test.cpp cross-validates the analyzer's verdict against
+/// the PS^na explorer's dynamic race oracle on these programs.
+std::string randomConcurrentProgram(Rng &R, unsigned NumThreads);
+
 } // namespace pseq
 
 #endif // PSEQ_ADEQUACY_RANDOMPROGRAM_H

@@ -1,11 +1,11 @@
-//===- opt/AbstractValue.cpp - Abstract domains of §4 ---------------------===//
+//===- analysis/AbstractValue.cpp - Abstract domains of §4 ----------------===//
 //
 // Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
 // Compilers under Weak Memory Concurrency" (PLDI 2022).
 //
 //===----------------------------------------------------------------------===//
 
-#include "opt/AbstractValue.h"
+#include "analysis/AbstractValue.h"
 
 #include <cassert>
 

@@ -1,4 +1,4 @@
-//===- opt/AbstractValue.h - Abstract domains of §4 -------------*- C++ -*-===//
+//===- analysis/AbstractValue.h - Abstract domains of §4 --------*- C++ -*-===//
 //
 // Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
 // Compilers under Weak Memory Concurrency" (PLDI 2022).
@@ -19,8 +19,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef PSEQ_OPT_ABSTRACTVALUE_H
-#define PSEQ_OPT_ABSTRACTVALUE_H
+#ifndef PSEQ_ANALYSIS_ABSTRACTVALUE_H
+#define PSEQ_ANALYSIS_ABSTRACTVALUE_H
 
 #include "lang/Program.h"
 
@@ -96,4 +96,4 @@ bool exprMayFault(const Expr *E);
 
 } // namespace pseq
 
-#endif // PSEQ_OPT_ABSTRACTVALUE_H
+#endif // PSEQ_ANALYSIS_ABSTRACTVALUE_H

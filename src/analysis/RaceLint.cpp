@@ -1,0 +1,789 @@
+//===- analysis/RaceLint.cpp - Static race & access-mode analysis ---------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Structure of the analysis (see DESIGN.md "Static race analysis"):
+//
+//  1. Per thread, an abstract interpreter walks the Stmt tree with an
+//     environment of per-register value facts (constants, one-level
+//     register copies — reusing AbsVal) and a monotone set of must-facts
+//     "an acquire read of f observed c". It collects every reachable
+//     shared-memory access site together with its structural path, the
+//     facts holding at the site, and the statically-known written value.
+//
+//  2. Cross-thread conflicting pairs (same location, at least one write,
+//     at least one non-atomic-MODE access) are enumerated. A pair (W, R)
+//     is discharged when some must-fact (f, c) at R satisfies the
+//     message-passing pattern: c ≠ 0 (memory starts at 0), every site in
+//     the whole program that may write c to f is a release-mode write in
+//     W's thread, and no write to W's location may follow any of those
+//     flag writes in W's thread. The release/acquire edge then orders
+//     every W-thread write to the location before R — including against
+//     promise certification, because a release write can never fulfill a
+//     promise in this machine, so c cannot be delivered early.
+//
+//  3. Verdict: any undischarged pair → PotentiallyRacy with the first
+//     pair (in deterministic thread/site order) as witness; otherwise
+//     AtomicsOnly when no non-atomic-mode site exists and every accessed
+//     location is atomic-declared, else RaceFree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RaceLint.h"
+
+#include "analysis/AbstractValue.h"
+#include "lang/Printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace pseq;
+using namespace pseq::analysis;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Abstract environment
+//===----------------------------------------------------------------------===
+
+/// Where a register's current value came from, when it was a synchronizing
+/// read: the location and whether the read acquired.
+struct SyncSrc {
+  unsigned Loc = 0;
+  bool Acquire = false;
+
+  bool operator==(const SyncSrc &O) const {
+    return Loc == O.Loc && Acquire == O.Acquire;
+  }
+};
+
+struct RegState {
+  /// Known value: a constant or a (still-valid) copy of another register.
+  /// nullopt = ⊤.
+  std::optional<AbsVal> Val;
+  /// Set when the register holds the result of a Load/Cas/Fadd.
+  std::optional<SyncSrc> Sync;
+
+  bool operator==(const RegState &O) const {
+    return Val == O.Val && Sync == O.Sync;
+  }
+};
+
+struct Env {
+  /// false = no execution reaches this point (join identity).
+  bool Reachable = true;
+  std::vector<RegState> Regs;
+  /// Sorted, duplicate-free. Monotone along a path: once an acquire read
+  /// has observed (f, c), that observation is permanent.
+  std::vector<Fact> Facts;
+
+  bool operator==(const Env &O) const {
+    if (Reachable != O.Reachable)
+      return false;
+    if (!Reachable)
+      return true;
+    return Regs == O.Regs && Facts == O.Facts;
+  }
+};
+
+Env unreachableEnv() {
+  Env E;
+  E.Reachable = false;
+  return E;
+}
+
+void addFact(Env &E, unsigned Loc, int64_t Val) {
+  Fact F{Loc, Val};
+  auto It = std::lower_bound(E.Facts.begin(), E.Facts.end(), F);
+  if (It == E.Facts.end() || !(*It == F))
+    E.Facts.insert(It, F);
+}
+
+/// Least upper bound: values/facts surviving on both branches.
+Env joinEnv(const Env &A, const Env &B) {
+  if (!A.Reachable)
+    return B;
+  if (!B.Reachable)
+    return A;
+  Env Out;
+  Out.Regs.resize(std::max(A.Regs.size(), B.Regs.size()));
+  for (size_t I = 0; I < Out.Regs.size(); ++I) {
+    RegState RA = I < A.Regs.size() ? A.Regs[I] : RegState();
+    RegState RB = I < B.Regs.size() ? B.Regs[I] : RegState();
+    if (RA.Val && RB.Val && *RA.Val == *RB.Val)
+      Out.Regs[I].Val = RA.Val;
+    if (RA.Sync && RB.Sync && *RA.Sync == *RB.Sync)
+      Out.Regs[I].Sync = RA.Sync;
+  }
+  std::set_intersection(A.Facts.begin(), A.Facts.end(), B.Facts.begin(),
+                        B.Facts.end(), std::back_inserter(Out.Facts));
+  return Out;
+}
+
+/// Resolves a register to a known constant, chasing one copy level.
+std::optional<Value> regConst(const Env &E, unsigned R) {
+  if (R >= E.Regs.size() || !E.Regs[R].Val)
+    return std::nullopt;
+  const AbsVal &V = *E.Regs[R].Val;
+  if (V.isConst())
+    return V.constVal();
+  unsigned Src = V.regIdx();
+  if (Src < E.Regs.size() && E.Regs[Src].Val && E.Regs[Src].Val->isConst())
+    return E.Regs[Src].Val->constVal();
+  return std::nullopt;
+}
+
+/// Evaluates \p Ex when every register it reads is a known constant, by
+/// reusing the concrete Expr::eval — the abstract result matches the
+/// runtime semantics by construction. nullopt = unknown (or UB).
+std::optional<Value> absEval(const Expr *Ex, const Env &E) {
+  std::vector<bool> Used;
+  Ex->collectRegs(Used);
+  std::vector<Value> File(Used.size());
+  for (unsigned R = 0; R < Used.size(); ++R) {
+    if (!Used[R])
+      continue;
+    std::optional<Value> C = regConst(E, R);
+    if (!C)
+      return std::nullopt;
+    File[R] = *C;
+  }
+  EvalResult R = Ex->eval(File);
+  if (R.IsUB)
+    return std::nullopt;
+  return R.V;
+}
+
+/// Redefines register \p R: drops copies of it held by other registers,
+/// then installs the new state.
+void defineReg(Env &E, unsigned R, std::optional<AbsVal> V,
+               std::optional<SyncSrc> Sync) {
+  if (R >= E.Regs.size())
+    E.Regs.resize(R + 1);
+  for (RegState &RS : E.Regs)
+    if (RS.Val && !RS.Val->isConst() && RS.Val->regIdx() == R)
+      RS.Val.reset();
+  E.Regs[R].Val = V;
+  E.Regs[R].Sync = Sync;
+}
+
+/// Matches "reg ⊕ const" in either operand order.
+bool regConstShape(const Expr *Ex, unsigned &R, Value &C) {
+  const Expr *L = Ex->lhs(), *Rh = Ex->rhs();
+  if (L->kind() == Expr::Kind::Reg && Rh->kind() == Expr::Kind::Const) {
+    R = L->reg();
+    C = Rh->constVal();
+    return true;
+  }
+  if (L->kind() == Expr::Kind::Const && Rh->kind() == Expr::Kind::Reg) {
+    R = Rh->reg();
+    C = L->constVal();
+    return true;
+  }
+  return false;
+}
+
+void refineFalse(const Expr *Ex, Env &E);
+
+/// Narrows \p E under the assumption that \p Ex evaluated truthy. When the
+/// narrowed register holds an acquire-read result, the equality becomes a
+/// must-fact.
+void refineTrue(const Expr *Ex, Env &E) {
+  switch (Ex->kind()) {
+  case Expr::Kind::Unary:
+    if (Ex->unOp() == UnOp::Not)
+      refineFalse(Ex->lhs(), E);
+    return;
+  case Expr::Kind::Binary: {
+    if (Ex->binOp() == BinOp::And) {
+      refineTrue(Ex->lhs(), E);
+      refineTrue(Ex->rhs(), E);
+      return;
+    }
+    unsigned R;
+    Value C;
+    if (Ex->binOp() == BinOp::Eq && regConstShape(Ex, R, C) && C.isDefined()) {
+      if (R >= E.Regs.size())
+        E.Regs.resize(R + 1);
+      std::optional<SyncSrc> Sync = E.Regs[R].Sync;
+      E.Regs[R].Val = AbsVal::constant(C);
+      if (Sync && Sync->Acquire)
+        addFact(E, Sync->Loc, C.get());
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+/// Narrows \p E under the assumption that \p Ex evaluated falsy.
+void refineFalse(const Expr *Ex, Env &E) {
+  switch (Ex->kind()) {
+  case Expr::Kind::Reg: {
+    // !r ⇒ r = 0.
+    unsigned R = Ex->reg();
+    if (R >= E.Regs.size())
+      E.Regs.resize(R + 1);
+    std::optional<SyncSrc> Sync = E.Regs[R].Sync;
+    E.Regs[R].Val = AbsVal::constant(Value::of(0));
+    if (Sync && Sync->Acquire)
+      addFact(E, Sync->Loc, 0);
+    return;
+  }
+  case Expr::Kind::Unary:
+    if (Ex->unOp() == UnOp::Not)
+      refineTrue(Ex->lhs(), E);
+    return;
+  case Expr::Kind::Binary: {
+    if (Ex->binOp() == BinOp::Or) {
+      refineFalse(Ex->lhs(), E);
+      refineFalse(Ex->rhs(), E);
+      return;
+    }
+    unsigned R;
+    Value C;
+    if (Ex->binOp() == BinOp::Ne && regConstShape(Ex, R, C) && C.isDefined()) {
+      if (R >= E.Regs.size())
+        E.Regs.resize(R + 1);
+      std::optional<SyncSrc> Sync = E.Regs[R].Sync;
+      E.Regs[R].Val = AbsVal::constant(C);
+      if (Sync && Sync->Acquire)
+        addFact(E, Sync->Loc, C.get());
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Structural paths
+//===----------------------------------------------------------------------===
+
+constexpr unsigned PathTagShift = 28;
+constexpr uint32_t PathIdxMask = (1u << PathTagShift) - 1;
+constexpr uint32_t TagSeq = 1, TagIf = 2, TagWhile = 3;
+
+uint32_t pathElem(uint32_t Tag, uint32_t Idx) {
+  assert(Idx <= PathIdxMask && "statement tree too wide");
+  return (Tag << PathTagShift) | Idx;
+}
+
+//===----------------------------------------------------------------------===
+// The per-thread interpreter
+//===----------------------------------------------------------------------===
+
+class ThreadInterp {
+  const Program &P;
+  unsigned Tid;
+  std::vector<AccessSite> Sites;
+  std::vector<uint32_t> CurPath;
+  /// Depth of enclosing constructs whose execution is not guaranteed
+  /// (unresolved If branches, While bodies). 0 ⇒ the site is a must.
+  unsigned SoftDepth = 0;
+  /// Loop fixpoint probing runs with collection off; only the final pass
+  /// with the stable head environment records sites.
+  bool Collect = true;
+
+  void record(const Stmt *S, const Env &E, bool IsRead, bool IsWrite,
+              bool IsRmw, std::optional<Value> WVal) {
+    if (!Collect || !E.Reachable)
+      return;
+    AccessSite Site;
+    Site.S = S;
+    Site.Tid = Tid;
+    Site.Loc = S->loc();
+    Site.IsRead = IsRead;
+    Site.IsWrite = IsWrite;
+    Site.IsRmw = IsRmw;
+    Site.RM = S->readMode();
+    Site.WM = S->writeMode();
+    Site.Must = SoftDepth == 0;
+    Site.Path = CurPath;
+    Site.Facts = E.Facts;
+    Site.WVal = WVal;
+    Sites.push_back(std::move(Site));
+  }
+
+  Env analyzeWhile(const Stmt *S, Env In) {
+    // Find the loop-head fixpoint with collection off. The head only
+    // ascends (each step joins in the previous head), so the chain is
+    // bounded by the finite lattice height; the iteration cap is a
+    // safety net that widens straight to ⊤.
+    Env Head = std::move(In);
+    bool SavedCollect = Collect;
+    Collect = false;
+    for (unsigned Iter = 0;; ++Iter) {
+      if (Iter >= 100) {
+        for (RegState &RS : Head.Regs)
+          RS = RegState();
+        Head.Facts.clear();
+        break;
+      }
+      std::optional<Value> C = absEval(S->expr(), Head);
+      if (C && C->isDefined() && !C->truthy())
+        break; // body never entered from the stable head
+      Env BodyIn = Head;
+      refineTrue(S->expr(), BodyIn);
+      CurPath.push_back(pathElem(TagWhile, 0));
+      Env BodyOut = analyze(S->body(), std::move(BodyIn));
+      CurPath.pop_back();
+      Env NewHead = joinEnv(Head, BodyOut);
+      if (NewHead == Head)
+        break;
+      Head = std::move(NewHead);
+    }
+    Collect = SavedCollect;
+
+    // One collecting pass over the body with the stable head.
+    std::optional<Value> C = absEval(S->expr(), Head);
+    bool CondFalse = C && C->isDefined() && !C->truthy();
+    bool CondTrue = C && C->isDefined() && C->truthy();
+    if (!CondFalse) {
+      Env BodyIn = Head;
+      refineTrue(S->expr(), BodyIn);
+      ++SoftDepth;
+      CurPath.push_back(pathElem(TagWhile, 0));
+      analyze(S->body(), std::move(BodyIn));
+      CurPath.pop_back();
+      --SoftDepth;
+    }
+    if (CondTrue)
+      return unreachableEnv(); // while (1): no normal exit
+    Env Exit = std::move(Head);
+    refineFalse(S->expr(), Exit);
+    return Exit;
+  }
+
+public:
+  ThreadInterp(const Program &P, unsigned Tid) : P(P), Tid(Tid) {}
+
+  Env analyze(const Stmt *S, Env E) {
+    if (!E.Reachable)
+      return E;
+    switch (S->kind()) {
+    case Stmt::Kind::Skip:
+    case Stmt::Kind::Fence: // no happens-before edges in this machine
+    case Stmt::Kind::Print:
+      return E;
+    case Stmt::Kind::Assign: {
+      const Expr *Ex = S->expr();
+      if (Ex->kind() == Expr::Kind::Reg && Ex->reg() == S->reg())
+        return E; // r := r
+      std::optional<Value> C = absEval(Ex, E);
+      std::optional<AbsVal> V;
+      std::optional<SyncSrc> Sync;
+      if (C) {
+        V = AbsVal::constant(*C);
+      } else if (Ex->kind() == Expr::Kind::Reg) {
+        // Pure copy: the value (and its acquire provenance) moves over.
+        unsigned Src = Ex->reg();
+        if (Src < E.Regs.size()) {
+          V = E.Regs[Src].Val;
+          Sync = E.Regs[Src].Sync;
+        }
+        if (!V)
+          V = AbsVal::reg(Src);
+      }
+      defineReg(E, S->reg(), V, Sync);
+      return E;
+    }
+    case Stmt::Kind::Load:
+      record(S, E, /*IsRead=*/true, /*IsWrite=*/false, /*IsRmw=*/false,
+             std::nullopt);
+      defineReg(E, S->reg(), std::nullopt,
+                SyncSrc{S->loc(), S->readMode() == ReadMode::ACQ});
+      return E;
+    case Stmt::Kind::Store:
+      record(S, E, /*IsRead=*/false, /*IsWrite=*/true, /*IsRmw=*/false,
+             absEval(S->expr(), E));
+      return E;
+    case Stmt::Kind::Cas:
+      record(S, E, /*IsRead=*/true, /*IsWrite=*/true, /*IsRmw=*/true,
+             absEval(S->casNew(), E));
+      defineReg(E, S->reg(), std::nullopt,
+                SyncSrc{S->loc(), S->readMode() == ReadMode::ACQ});
+      return E;
+    case Stmt::Kind::Fadd:
+      record(S, E, /*IsRead=*/true, /*IsWrite=*/true, /*IsRmw=*/true,
+             std::nullopt);
+      defineReg(E, S->reg(), std::nullopt,
+                SyncSrc{S->loc(), S->readMode() == ReadMode::ACQ});
+      return E;
+    case Stmt::Kind::Choose:
+    case Stmt::Kind::Freeze:
+      defineReg(E, S->reg(), std::nullopt, std::nullopt);
+      return E;
+    case Stmt::Kind::Seq: {
+      const std::vector<const Stmt *> &Children = S->seq();
+      for (uint32_t I = 0; I < Children.size(); ++I) {
+        if (!E.Reachable)
+          break;
+        CurPath.push_back(pathElem(TagSeq, I));
+        E = analyze(Children[I], std::move(E));
+        CurPath.pop_back();
+      }
+      return E;
+    }
+    case Stmt::Kind::If: {
+      std::optional<Value> C = absEval(S->expr(), E);
+      if (C && C->isDefined()) {
+        // Resolved branch: the dead side is unreachable, its sites are
+        // not collected (flow-sensitive precision).
+        const Stmt *Live = C->truthy() ? S->thenStmt() : S->elseStmt();
+        CurPath.push_back(pathElem(TagIf, C->truthy() ? 0 : 1));
+        E = analyze(Live, std::move(E));
+        CurPath.pop_back();
+        return E;
+      }
+      Env ThenIn = E, ElseIn = std::move(E);
+      refineTrue(S->expr(), ThenIn);
+      refineFalse(S->expr(), ElseIn);
+      ++SoftDepth;
+      CurPath.push_back(pathElem(TagIf, 0));
+      Env ThenOut = analyze(S->thenStmt(), std::move(ThenIn));
+      CurPath.back() = pathElem(TagIf, 1);
+      Env ElseOut = analyze(S->elseStmt(), std::move(ElseIn));
+      CurPath.pop_back();
+      --SoftDepth;
+      return joinEnv(ThenOut, ElseOut);
+    }
+    case Stmt::Kind::While:
+      return analyzeWhile(S, std::move(E));
+    case Stmt::Kind::Return:
+    case Stmt::Kind::Abort:
+      return unreachableEnv();
+    }
+    return E;
+  }
+
+  ThreadFootprint run() {
+    Env Init;
+    // Registers start at 0 (lang/Value.h).
+    Init.Regs.resize(P.thread(Tid).Regs.size());
+    for (RegState &RS : Init.Regs)
+      RS.Val = AbsVal::constant(Value::of(0));
+    analyze(P.thread(Tid).Body, std::move(Init));
+
+    ThreadFootprint FP;
+    for (const AccessSite &S : Sites) {
+      if (S.IsRead) {
+        FP.MayRead.insert(S.Loc);
+        if (S.Must)
+          FP.MustRead.insert(S.Loc);
+        if (S.RM == ReadMode::NA)
+          FP.NaRead.insert(S.Loc);
+      }
+      if (S.IsWrite) {
+        FP.MayWrite.insert(S.Loc);
+        if (S.Must)
+          FP.MustWrite.insert(S.Loc);
+        if (S.WM == WriteMode::NA)
+          FP.NaWrite.insert(S.Loc);
+      }
+    }
+    FP.Sites = std::move(Sites);
+    return FP;
+  }
+};
+
+//===----------------------------------------------------------------------===
+// Happens-before discharge
+//===----------------------------------------------------------------------===
+
+bool siteIsNaMode(const AccessSite &S) {
+  return (S.IsRead && S.RM == ReadMode::NA) ||
+         (S.IsWrite && S.WM == WriteMode::NA);
+}
+
+/// Can the dynamic write of \p S produce value \p C? Conservative.
+bool mayWriteValue(const AccessSite &S, int64_t C) {
+  if (!S.WVal)
+    return true;
+  if (S.WVal->isUndef())
+    return true;
+  return S.WVal->get() == C;
+}
+
+/// Tries to prove that every write of W's thread to W.Loc happens-before
+/// R, via a must-fact (f, c) at R: the acquire read that established the
+/// fact must have observed a release write of W's thread, and no W.Loc
+/// write may follow that release write. The release mode is load-bearing
+/// twice: it carries the writer's full view to R, and — because release
+/// writes never fulfill promises in this machine — it also rules out a
+/// promise delivering c before the thread's earlier writes are visible.
+bool dischargePair(const AccessSite &W, const AccessSite &R,
+                   const std::vector<ThreadFootprint> &Threads) {
+  for (const Fact &F : R.Facts) {
+    if (F.Val == 0)
+      continue; // memory starts at 0: observing 0 proves nothing
+    // Every site anywhere that may write c to f must be a release-mode
+    // write of W's thread.
+    std::vector<const AccessSite *> FlagWrites;
+    bool Unusable = false;
+    for (const ThreadFootprint &TF : Threads) {
+      for (const AccessSite &S : TF.Sites) {
+        if (!S.IsWrite || S.Loc != F.Loc || !mayWriteValue(S, F.Val))
+          continue;
+        if (S.Tid != W.Tid || S.WM != WriteMode::REL) {
+          Unusable = true;
+          break;
+        }
+        FlagWrites.push_back(&S);
+      }
+      if (Unusable)
+        break;
+    }
+    if (Unusable)
+      continue;
+    if (FlagWrites.empty())
+      return true; // guard unsatisfiable ⇒ R never executes
+    bool Ordered = true;
+    for (const AccessSite &S : Threads[W.Tid].Sites) {
+      if (!S.IsWrite || S.Loc != W.Loc)
+        continue;
+      for (const AccessSite *FW : FlagWrites) {
+        if (mayFollowPath(S.Path, FW->Path)) {
+          Ordered = false;
+          break;
+        }
+      }
+      if (!Ordered)
+        break;
+    }
+    if (Ordered)
+      return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===
+// Rendering helpers
+//===----------------------------------------------------------------------===
+
+std::string stmtOneLine(const Stmt *S, const Program &P, unsigned Tid) {
+  std::string Text = printStmt(S, P, P.thread(Tid).Regs, 0);
+  while (!Text.empty() && (Text.back() == '\n' || Text.back() == ' '))
+    Text.pop_back();
+  return Text;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+void appendLocArray(std::ostringstream &OS, LocSet LS, const Program &P) {
+  OS << "[";
+  bool First = true;
+  for (unsigned Loc : LS.members()) {
+    OS << (First ? "" : ",") << "\"" << jsonEscape(P.locName(Loc)) << "\"";
+    First = false;
+  }
+  OS << "]";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Public API
+//===----------------------------------------------------------------------===
+
+const char *pseq::analysis::raceVerdictName(RaceVerdict V) {
+  switch (V) {
+  case RaceVerdict::RaceFree:
+    return "race-free";
+  case RaceVerdict::PotentiallyRacy:
+    return "potentially-racy";
+  case RaceVerdict::AtomicsOnly:
+    return "atomics-only";
+  }
+  return "?";
+}
+
+bool pseq::analysis::mayFollowPath(const std::vector<uint32_t> &A,
+                                   const std::vector<uint32_t> &B) {
+  size_t N = std::min(A.size(), B.size());
+  size_t I = 0;
+  for (; I < N; ++I) {
+    if (A[I] != B[I])
+      break;
+    if ((A[I] >> PathTagShift) == TagWhile)
+      return true; // a shared enclosing loop reorders freely
+  }
+  if (I == A.size() && I == B.size())
+    return false; // the same loop-free site cannot follow itself
+  if (I == A.size() || I == B.size())
+    return true; // one nests in the other: be conservative
+  uint32_t TagA = A[I] >> PathTagShift, TagB = B[I] >> PathTagShift;
+  if (TagA != TagB)
+    return true; // malformed paths: be conservative
+  if (TagA == TagSeq)
+    return (A[I] & PathIdxMask) > (B[I] & PathIdxMask);
+  if (TagA == TagIf)
+    return false; // exclusive branches of one If execution
+  return true;
+}
+
+RaceReport pseq::analysis::analyzeRaces(const Program &P,
+                                        obs::Telemetry *Telem) {
+  RaceReport Rep;
+  Rep.Threads.reserve(P.numThreads());
+  for (unsigned Tid = 0; Tid < P.numThreads(); ++Tid)
+    Rep.Threads.push_back(ThreadInterp(P, Tid).run());
+
+  // Enumerate cross-thread conflicting pairs. Pairs where both sides are
+  // atomic-mode are skipped: a race transition on an atomic access needs
+  // a valueless marker, markers exist only for locations some thread
+  // writes non-atomically, and that writer forms its own (enumerated)
+  // pair with each conflicting access.
+  for (unsigned TidA = 0; TidA < Rep.Threads.size(); ++TidA) {
+    for (unsigned TidB = TidA + 1; TidB < Rep.Threads.size(); ++TidB) {
+      for (const AccessSite &SA : Rep.Threads[TidA].Sites) {
+        for (const AccessSite &SB : Rep.Threads[TidB].Sites) {
+          if (SA.Loc != SB.Loc)
+            continue;
+          if (!SA.IsWrite && !SB.IsWrite)
+            continue;
+          if (!siteIsNaMode(SA) && !siteIsNaMode(SB))
+            continue;
+          ++Rep.PairsChecked;
+          bool Discharged =
+              (SA.IsWrite && dischargePair(SA, SB, Rep.Threads)) ||
+              (SB.IsWrite && dischargePair(SB, SA, Rep.Threads));
+          if (Discharged) {
+            ++Rep.PairsDischarged;
+            continue;
+          }
+          if (!Rep.Witness) {
+            RaceWitness Wit;
+            // Keep the write on the A side.
+            if (SA.IsWrite) {
+              Wit.TidA = TidA;
+              Wit.StmtA = SA.S;
+              Wit.TidB = TidB;
+              Wit.StmtB = SB.S;
+            } else {
+              Wit.TidA = TidB;
+              Wit.StmtA = SB.S;
+              Wit.TidB = TidA;
+              Wit.StmtB = SA.S;
+            }
+            Wit.Loc = SA.Loc;
+            Rep.Witness = Wit;
+          }
+        }
+      }
+    }
+  }
+
+  if (Rep.Witness) {
+    Rep.Verdict = RaceVerdict::PotentiallyRacy;
+  } else {
+    bool AnyNa = false, AllAtomicLocs = true;
+    for (const ThreadFootprint &TF : Rep.Threads) {
+      for (const AccessSite &S : TF.Sites) {
+        if (siteIsNaMode(S))
+          AnyNa = true;
+        if (!P.isAtomicLoc(S.Loc))
+          AllAtomicLocs = false;
+      }
+    }
+    Rep.Verdict = (!AnyNa && AllAtomicLocs) ? RaceVerdict::AtomicsOnly
+                                            : RaceVerdict::RaceFree;
+  }
+
+  if (Telem) {
+    Telem->Counters.add("analysis.runs", 1);
+    Telem->Counters.add(std::string("analysis.verdict.") +
+                            (Rep.Verdict == RaceVerdict::RaceFree
+                                 ? "race_free"
+                                 : Rep.Verdict == RaceVerdict::PotentiallyRacy
+                                       ? "potentially_racy"
+                                       : "atomics_only"),
+                        1);
+    Telem->Counters.add("analysis.pairs_checked", Rep.PairsChecked);
+    Telem->Counters.add("analysis.pairs_discharged", Rep.PairsDischarged);
+  }
+  return Rep;
+}
+
+std::string RaceWitness::str(const Program &P) const {
+  std::ostringstream OS;
+  OS << "thread " << TidA << " `" << stmtOneLine(StmtA, P, TidA)
+     << "` races with thread " << TidB << " `" << stmtOneLine(StmtB, P, TidB)
+     << "` on " << P.locName(Loc);
+  return OS.str();
+}
+
+std::string RaceReport::str(const Program &P) const {
+  std::ostringstream OS;
+  OS << "verdict: " << raceVerdictName(Verdict) << "\n";
+  OS << "pairs: " << PairsChecked << " checked, " << PairsDischarged
+     << " discharged\n";
+  const std::vector<std::string> &Names = P.locNames();
+  for (unsigned Tid = 0; Tid < Threads.size(); ++Tid) {
+    const ThreadFootprint &TF = Threads[Tid];
+    OS << "thread " << Tid << ": may-read " << TF.MayRead.str(&Names)
+       << " may-write " << TF.MayWrite.str(&Names) << " must-read "
+       << TF.MustRead.str(&Names) << " must-write " << TF.MustWrite.str(&Names)
+       << " na-read " << TF.NaRead.str(&Names) << " na-write "
+       << TF.NaWrite.str(&Names) << " (" << TF.Sites.size() << " sites)\n";
+  }
+  if (Witness)
+    OS << "witness: " << Witness->str(P) << "\n";
+  return OS.str();
+}
+
+std::string RaceReport::json(const Program &P) const {
+  std::ostringstream OS;
+  OS << "{\"verdict\":\"" << raceVerdictName(Verdict) << "\"";
+  OS << ",\"pairs_checked\":" << PairsChecked;
+  OS << ",\"pairs_discharged\":" << PairsDischarged;
+  OS << ",\"threads\":[";
+  for (unsigned Tid = 0; Tid < Threads.size(); ++Tid) {
+    const ThreadFootprint &TF = Threads[Tid];
+    OS << (Tid ? "," : "") << "{\"tid\":" << Tid << ",\"sites\":"
+       << TF.Sites.size();
+    OS << ",\"may_read\":";
+    appendLocArray(OS, TF.MayRead, P);
+    OS << ",\"may_write\":";
+    appendLocArray(OS, TF.MayWrite, P);
+    OS << ",\"must_read\":";
+    appendLocArray(OS, TF.MustRead, P);
+    OS << ",\"must_write\":";
+    appendLocArray(OS, TF.MustWrite, P);
+    OS << ",\"na_read\":";
+    appendLocArray(OS, TF.NaRead, P);
+    OS << ",\"na_write\":";
+    appendLocArray(OS, TF.NaWrite, P);
+    OS << "}";
+  }
+  OS << "]";
+  if (Witness) {
+    OS << ",\"witness\":{\"tid_a\":" << Witness->TidA << ",\"stmt_a\":\""
+       << jsonEscape(stmtOneLine(Witness->StmtA, P, Witness->TidA))
+       << "\",\"tid_b\":" << Witness->TidB << ",\"stmt_b\":\""
+       << jsonEscape(stmtOneLine(Witness->StmtB, P, Witness->TidB))
+       << "\",\"loc\":\"" << jsonEscape(P.locName(Witness->Loc)) << "\"}";
+  } else {
+    OS << ",\"witness\":null";
+  }
+  OS << "}";
+  return OS.str();
+}

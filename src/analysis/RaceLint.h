@@ -1,0 +1,140 @@
+//===- analysis/RaceLint.h - Static race & access-mode analysis -*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flow-sensitive static analyzer over the WHILE language. Per thread it
+/// computes may/must access footprints (location × mode × read/write) by
+/// abstract interpretation of the Stmt/Expr trees, approximates the
+/// happens-before relation from release/acquire message-passing edges, and
+/// derives one of three whole-program verdicts:
+///
+///  * RaceFree        — every cross-thread conflicting access pair on a
+///                      non-atomic-mode access is provably ordered by an
+///                      acquire-read-of-release-write edge (or one side is
+///                      statically unreachable);
+///  * PotentiallyRacy — some pair could not be discharged; the report
+///                      carries a concrete witness (two statements, the
+///                      location, both access modes);
+///  * AtomicsOnly     — the program performs no non-atomic-mode access at
+///                      all (race transitions are impossible by mode).
+///
+/// The verdicts feed three consumers: the PS^na explorer skips valueless
+/// NAMsg race-marker generation when the verdict is not PotentiallyRacy
+/// (see DESIGN.md "Static race analysis" for the soundness argument), the
+/// validator records the source verdict as the DRF justification for the
+/// sequential-reasoning fast path, and the adequacy/fuzz harnesses
+/// cross-validate the static verdict against the dynamic race oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_ANALYSIS_RACELINT_H
+#define PSEQ_ANALYSIS_RACELINT_H
+
+#include "lang/Program.h"
+#include "obs/Telemetry.h"
+#include "support/LocSet.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pseq::analysis {
+
+/// The whole-program race verdict.
+enum class RaceVerdict {
+  RaceFree,        ///< proved: no race transition can fire
+  PotentiallyRacy, ///< some conflicting pair could not be discharged
+  AtomicsOnly      ///< no non-atomic-mode access exists at all
+};
+
+const char *raceVerdictName(RaceVerdict V);
+
+/// A must-fact attached to a program point: on every path reaching the
+/// point, an acquire-mode read of location \c Loc observed value \c Val
+/// (and the observing register has not been clobbered since the test that
+/// established the fact).
+struct Fact {
+  unsigned Loc = 0;
+  int64_t Val = 0;
+
+  bool operator==(const Fact &O) const { return Loc == O.Loc && Val == O.Val; }
+  bool operator<(const Fact &O) const {
+    return Loc != O.Loc ? Loc < O.Loc : Val < O.Val;
+  }
+};
+
+/// One statically-reachable shared-memory access site.
+struct AccessSite {
+  const Stmt *S = nullptr;
+  unsigned Tid = 0;
+  unsigned Loc = 0;
+  bool IsRead = false;
+  bool IsWrite = false;
+  bool IsRmw = false;
+  ReadMode RM = ReadMode::NA;
+  WriteMode WM = WriteMode::NA;
+  /// True when the site executes on every terminating path of its thread
+  /// (not nested under an unresolved branch or a loop).
+  bool Must = false;
+  /// Structural position for the intra-thread may-follow order (see
+  /// mayFollowPath). One element per enclosing Seq/If/While edge.
+  std::vector<uint32_t> Path;
+  /// Must-facts holding when the site executes.
+  std::vector<Fact> Facts;
+  /// The written value when statically known (writes only); nullopt = ⊤.
+  std::optional<Value> WVal;
+};
+
+/// Per-thread access footprint.
+struct ThreadFootprint {
+  LocSet MayRead, MayWrite;   ///< any mode
+  LocSet MustRead, MustWrite; ///< on every terminating path
+  LocSet NaRead, NaWrite;     ///< non-atomic-MODE accesses
+  std::vector<AccessSite> Sites;
+};
+
+/// A concrete undischarged conflicting pair. \c A is always a write.
+struct RaceWitness {
+  unsigned TidA = 0, TidB = 0;
+  const Stmt *StmtA = nullptr, *StmtB = nullptr;
+  unsigned Loc = 0;
+
+  std::string str(const Program &P) const;
+};
+
+/// The full analysis result.
+struct RaceReport {
+  RaceVerdict Verdict = RaceVerdict::PotentiallyRacy;
+  std::optional<RaceWitness> Witness; ///< set iff PotentiallyRacy
+  std::vector<ThreadFootprint> Threads;
+  uint64_t PairsChecked = 0;
+  uint64_t PairsDischarged = 0;
+
+  /// True when the PS^na explorer may omit valueless NAMsg race markers:
+  /// either no race transition can fire (RaceFree) or no non-atomic-mode
+  /// access exists to observe one (AtomicsOnly).
+  bool skipNaMarkers() const { return Verdict != RaceVerdict::PotentiallyRacy; }
+
+  std::string str(const Program &P) const;
+  std::string json(const Program &P) const;
+};
+
+/// Intra-thread structural order used by the happens-before approximation:
+/// may an execution of the site at \p A occur strictly after an execution
+/// of the site at \p B? Conservative (returns true when unsure); exposed
+/// for unit tests.
+bool mayFollowPath(const std::vector<uint32_t> &A,
+                   const std::vector<uint32_t> &B);
+
+/// Runs the analyzer. Deterministic; O(sites²) in the worst case, which
+/// for this repo's programs is microseconds. Emits analysis.* counters
+/// through \p Telem when non-null.
+RaceReport analyzeRaces(const Program &P, obs::Telemetry *Telem = nullptr);
+
+} // namespace pseq::analysis
+
+#endif // PSEQ_ANALYSIS_RACELINT_H

@@ -7,7 +7,7 @@
 
 #include "opt/ConstPropPass.h"
 
-#include "opt/AbstractValue.h"
+#include "analysis/AbstractValue.h"
 
 #include <cassert>
 #include <unordered_map>

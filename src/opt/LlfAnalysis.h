@@ -18,7 +18,7 @@
 #ifndef PSEQ_OPT_LLFANALYSIS_H
 #define PSEQ_OPT_LLFANALYSIS_H
 
-#include "opt/AbstractValue.h"
+#include "analysis/AbstractValue.h"
 
 #include <unordered_map>
 

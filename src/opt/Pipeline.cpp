@@ -102,6 +102,7 @@ PipelineResult pseq::runPipeline(const Program &P,
       Report.ValidationCause = V.Cause;
       Report.ValidateMs = V.ElapsedMs;
       Report.ValidationStates = V.StatesExplored;
+      Report.Lint = V.Lint;
       if (Telem && Telem->tracing())
         Telem->trace("opt.pass", {{"pass", Name},
                                   {"rewrites", uint64_t(PR.Rewrites)},

@@ -82,6 +82,10 @@ struct PassReport {
   double OptMs = 0.0;           ///< wall time of the pass itself
   double ValidateMs = 0.0;      ///< wall time of its validation (0 if skipped)
   unsigned long long ValidationStates = 0; ///< checker states examined
+  /// Static race verdict of the pass's input program, recorded by the
+  /// validator (ValidationResult::Lint). Unset when validation was skipped
+  /// or linting is disabled.
+  std::optional<analysis::RaceVerdict> Lint;
 };
 
 /// Pipeline output: the final program plus per-pass reports.

@@ -19,7 +19,7 @@
 #ifndef PSEQ_OPT_SLFANALYSIS_H
 #define PSEQ_OPT_SLFANALYSIS_H
 
-#include "opt/AbstractValue.h"
+#include "analysis/AbstractValue.h"
 
 #include <unordered_map>
 

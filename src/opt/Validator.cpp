@@ -59,6 +59,14 @@ ValidationResult pseq::validateTransform(const Program &Src,
   ValidationResult Out;
   Out.MethodUsed = Method;
 
+  // Static race verdict for the source. A RaceFree verdict is the DRF-style
+  // justification for the per-thread sequential fast path below: when no
+  // na-race can fire, §6's adequacy needs only the SEQ refinements checked
+  // here. The verdict never changes the Ok/Bounded outcome — it is recorded
+  // evidence, cross-validated dynamically by the adequacy harness.
+  if (Cfg.Lint)
+    Out.Lint = analysis::analyzeRaces(Src, Telem).Verdict;
+
   const unsigned NumT = Src.numThreads();
   guard::ResourceGuard *Guard = Cfg.Guard;
   auto checkThread = [&](unsigned T, const SeqConfig &UseCfg,
@@ -183,6 +191,8 @@ ValidationResult pseq::validateTransform(const Program &Src,
                     {"bounded", Out.Bounded},
                     {"method", validationMethodName(Method)},
                     {"cause", truncationCauseName(Out.Cause)},
+                    {"lint", Out.Lint ? analysis::raceVerdictName(*Out.Lint)
+                                      : "off"},
                     {"states", Out.StatesExplored},
                     {"ms", Out.ElapsedMs}});
   }

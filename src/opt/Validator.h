@@ -18,8 +18,11 @@
 #ifndef PSEQ_OPT_VALIDATOR_H
 #define PSEQ_OPT_VALIDATOR_H
 
+#include "analysis/RaceLint.h"
 #include "seq/AdvancedRefinement.h"
 #include "seq/Simulation.h"
+
+#include <optional>
 
 namespace pseq {
 
@@ -57,6 +60,13 @@ struct ValidationResult {
   /// product nodes for the simulation).
   unsigned long long StatesExplored = 0;
   double ElapsedMs = 0.0; ///< wall time of the whole validation
+  /// Static race verdict for the source program (analysis/RaceLint.h).
+  /// RaceFree records that the program is provably race-free, which is
+  /// the DRF-style justification for validating per thread with the SEQ
+  /// procedures alone: §6's sequential-reasoning soundness needs no
+  /// stronger hypothesis when no na-race can fire. Unset when linting is
+  /// disabled via SeqConfig::Lint.
+  std::optional<analysis::RaceVerdict> Lint;
 };
 
 /// Checks σ_tgt ⊑w σ_src (or the chosen weaker/stronger notion) for every

@@ -221,6 +221,11 @@ struct PsExpansion {
   std::vector<uint32_t> SuccSleep;
   std::vector<uint32_t> PerThread;
   uint32_t PrunedSkips = 0;
+  /// Machine-counter deltas for this expansion (racy transitions enabled,
+  /// NAMsg markers emitted), merged by the explorers in pop order so the
+  /// totals are deterministic for every worker count.
+  uint64_t RaceSteps = 0;
+  uint64_t NaMarkers = 0;
 };
 
 /// Expands \p S under sleep mask \p Sleep — a pure function of its inputs,
@@ -234,6 +239,7 @@ void expandState(const Program &P, const PsMachine &M, const PruneInfo &PI,
                  const PsMachineState &S, uint32_t Sleep, PsExpansion &E) {
   unsigned NT = static_cast<unsigned>(S.Threads.size());
   E.PerThread.assign(NT, 0);
+  uint64_t RaceBase = M.raceSteps(), MarkerBase = M.naMarkers();
   std::vector<memo::Footprint> Fp;
   if (PI.On) {
     Fp.resize(NT);
@@ -263,6 +269,8 @@ void expandState(const Program &P, const PsMachine &M, const PruneInfo &PI,
         E.SuccSleep.push_back(ChildSleep);
     }
   }
+  E.RaceSteps = M.raceSteps() - RaceBase;
+  E.NaMarkers = M.naMarkers() - MarkerBase;
 }
 
 PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
@@ -289,6 +297,7 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
   // Per-thread successor counts (dynamic names, so outside the tally).
   std::vector<uint64_t> ThreadSteps(P.numThreads(), 0);
   uint64_t PrunedSkips = 0, Requeues = 0;
+  uint64_t RaceSteps = 0, NaMarkers = 0;
   size_t MaxFrontier = 1;
   ++Runs;
 
@@ -343,6 +352,8 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
     for (size_t Tid = 0; Tid != E.PerThread.size(); ++Tid)
       ThreadSteps[Tid] += E.PerThread[Tid];
     PrunedSkips += E.PrunedSkips;
+    RaceSteps += E.RaceSteps;
+    NaMarkers += E.NaMarkers;
     for (size_t X = 0; X != E.Succs.size(); ++X) {
       PsMachineState &Next = E.Succs[X];
       if (!PI.On) {
@@ -378,6 +389,12 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
   if (M.certBudgetHit())
     noteTruncation(Result.Cause, TruncationCause::CertBudget);
   Result.StatesExplored = static_cast<unsigned>(visitedCount());
+  Result.RaceSteps = RaceSteps;
+  Result.NaMarkers = NaMarkers;
+  if (Telem) {
+    Telem->Counters.add("psna.explore.race_steps", RaceSteps);
+    Telem->Counters.add("psna.na_markers", NaMarkers);
+  }
   if (PI.On) {
     Cfg.Memo->notePruned(PrunedSkips);
     if (Telem) {
@@ -469,6 +486,7 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
   uint64_t &Emitted = Tally.slot("psna.explore.behaviors");
   std::vector<uint64_t> ThreadSteps(P.numThreads(), 0);
   uint64_t PrunedSkips = 0, Requeues = 0;
+  uint64_t RaceSteps = 0, NaMarkers = 0;
   size_t MaxFrontier = 1;
   ++Runs;
 
@@ -544,6 +562,8 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
       for (size_t Tid = 0; Tid != E.PerThread.size(); ++Tid)
         ThreadSteps[Tid] += E.PerThread[Tid];
       PrunedSkips += E.PrunedSkips;
+      RaceSteps += E.RaceSteps;
+      NaMarkers += E.NaMarkers;
       for (size_t X = 0; X != E.Succs.size(); ++X) {
         PsMachineState &Next = E.Succs[X];
         if (!PI.On) {
@@ -578,6 +598,12 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
   if (G && G->stopped())
     noteTruncation(Result.Cause, G->cause());
   Result.StatesExplored = static_cast<unsigned>(visitedCount());
+  Result.RaceSteps = RaceSteps;
+  Result.NaMarkers = NaMarkers;
+  if (Telem) {
+    Telem->Counters.add("psna.explore.race_steps", RaceSteps);
+    Telem->Counters.add("psna.na_markers", NaMarkers);
+  }
   if (PI.On) {
     Cfg.Memo->notePruned(PrunedSkips);
     if (Telem) {
@@ -624,44 +650,92 @@ memo::Fp128 psExploreKey(const Program &P, const PsConfig &Cfg) {
   // Pruning changes StatesExplored (not the behaviors); keep prune-on and
   // prune-off results distinct so both remain exact for their mode.
   memo::fpMix(K, Cfg.Memo && Cfg.Memo->options().Prune ? 1 : 0);
+  // Ditto for lint-driven marker skipping: behaviors are identical, but
+  // StatesExplored and the race/marker tallies are not. The caller passes
+  // the *effective* config (SkipNaMarkers already resolved).
+  memo::fpMix(K, Cfg.SkipNaMarkers ? 1 : 0);
   return K;
+}
+
+/// Resolves the effective marker-skipping bit: runs the static analyzer
+/// (when enabled and not already forced) and reports its verdict.
+std::optional<analysis::RaceVerdict> resolveLint(const Program &P,
+                                                PsConfig &Cfg) {
+  if (!Cfg.Lint || Cfg.SkipNaMarkers)
+    return std::nullopt;
+  analysis::RaceReport Rep = analysis::analyzeRaces(P, Cfg.Telem);
+  Cfg.SkipNaMarkers = Rep.skipNaMarkers();
+  if (Cfg.Telem && Cfg.SkipNaMarkers)
+    Cfg.Telem->Counters.add("analysis.markers_skipped", 1);
+  return Rep.Verdict;
 }
 
 } // namespace
 
 PsBehaviorSet pseq::explorePsna(const Program &P, const PsConfig &Cfg) {
-  memo::MemoContext *MC = Cfg.Memo;
+  // Lint first: the verdict decides the effective SkipNaMarkers knob, and
+  // the cross-run cache key must be computed from the effective config.
+  PsConfig ECfg = Cfg;
+  std::optional<analysis::RaceVerdict> Verdict = resolveLint(P, ECfg);
+
+  auto stamp = [&](PsBehaviorSet &R) {
+    // Lint/MarkersSkipped describe this call's configuration, not the
+    // exploration; restamp them even on cached results.
+    R.Lint = Verdict;
+    R.MarkersSkipped = ECfg.SkipNaMarkers;
+    if (Cfg.Telem && Verdict) {
+      // Static-vs-dynamic agreement: a statically-safe program must never
+      // show a dynamic race observation (the soundness direction); a racy
+      // verdict without one is an (allowed) over-approximation.
+      bool StaticSafe = *Verdict != analysis::RaceVerdict::PotentiallyRacy;
+      if (StaticSafe && R.RaceSteps > 0)
+        Cfg.Telem->Counters.add("analysis.soundness_violation", 1);
+      else if (!StaticSafe && R.RaceSteps == 0)
+        Cfg.Telem->Counters.add("analysis.false_positive", 1);
+      else
+        Cfg.Telem->Counters.add("analysis.agree", 1);
+    }
+  };
+
+  memo::MemoContext *MC = ECfg.Memo;
   bool UseCache = MC && MC->options().Cache;
   memo::Fp128 Key;
   if (UseCache) {
-    Key = psExploreKey(P, Cfg);
+    Key = psExploreKey(P, ECfg);
     if (std::shared_ptr<const PsBehaviorSet> Hit = MC->lookupAs<PsBehaviorSet>(
             memo::MemoContext::Table::PsBehaviors, Key)) {
       MC->noteHit();
-      if (Cfg.Telem)
-        Cfg.Telem->Counters.add("memo.hits", 1);
-      return *Hit;
+      if (ECfg.Telem)
+        ECfg.Telem->Counters.add("memo.hits", 1);
+      PsBehaviorSet R = *Hit;
+      stamp(R);
+      return R;
     }
     MC->noteMiss();
-    if (Cfg.Telem)
-      Cfg.Telem->Counters.add("memo.misses", 1);
+    if (ECfg.Telem)
+      ECfg.Telem->Counters.add("memo.misses", 1);
   }
-  unsigned N = exec::resolveThreads(Cfg.NumThreads);
+  unsigned N = exec::resolveThreads(ECfg.NumThreads);
   PsBehaviorSet R = (N <= 1 || exec::ThreadPool::insideWorker())
-                        ? explorePsnaSequential(P, Cfg)
-                        : explorePsnaParallel(P, Cfg, N);
+                        ? explorePsnaSequential(P, ECfg)
+                        : explorePsnaParallel(P, ECfg, N);
   // Guard causes (deadline, memory, cancellation) are timing-dependent;
   // such results must never answer for a future run.
   if (UseCache && !isGuardCause(R.Cause))
     MC->insertAs<PsBehaviorSet>(memo::MemoContext::Table::PsBehaviors, Key,
                                 std::make_shared<const PsBehaviorSet>(R));
+  stamp(R);
   return R;
 }
 
 std::vector<PsMachineState> pseq::findPsnaWitness(const Program &P,
                                                   const PsConfig &Cfg,
                                                   const std::string &Want) {
-  PsMachine M(P, Cfg);
+  // Resolve marker skipping exactly like explorePsna so the witness search
+  // walks the same transition system as the reported behavior set.
+  PsConfig ECfg = Cfg;
+  resolveLint(P, ECfg);
+  PsMachine M(P, ECfg);
   // BFS with parent indices so the path can be reconstructed.
   std::vector<PsMachineState> States;
   std::vector<unsigned> Parent;

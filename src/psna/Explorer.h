@@ -17,9 +17,11 @@
 #ifndef PSEQ_PSNA_EXPLORER_H
 #define PSEQ_PSNA_EXPLORER_H
 
+#include "analysis/RaceLint.h"
 #include "psna/Machine.h"
 #include "support/Truncation.h"
 
+#include <optional>
 #include <string>
 
 namespace pseq {
@@ -56,6 +58,18 @@ struct PsBehaviorSet {
   /// short; None when the state space was exhausted.
   TruncationCause Cause = TruncationCause::None;
   unsigned StatesExplored = 0;
+  /// Dynamic race observations during exploration (racy-read/racy-write/
+  /// racy-update transitions enabled, counted once per expansion site) —
+  /// the oracle the static verdict is cross-validated against.
+  uint64_t RaceSteps = 0;
+  /// Valueless NAMsg marker promises emitted during exploration. Reported
+  /// as its own psna.na_markers counter, never folded into behavior or
+  /// state tallies.
+  uint64_t NaMarkers = 0;
+  /// The static analyzer's verdict, when linting ran for this exploration.
+  std::optional<analysis::RaceVerdict> Lint;
+  /// True when NAMsg markers were suppressed (statically proved safe).
+  bool MarkersSkipped = false;
 
   bool truncated() const { return Cause != TruncationCause::None; }
 

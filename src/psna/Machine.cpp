@@ -195,7 +195,8 @@ void PsMachine::stepFail(const PsMachineState &S, unsigned Tid,
 
 void PsMachine::stepRead(const PsMachineState &S, unsigned Tid,
                          const ProgState::Pending &Pend,
-                         std::vector<PsMachineState> &Out) const {
+                         std::vector<PsMachineState> &Out,
+                         bool ForCertification) const {
   const PsThread &T = S.Threads[Tid];
   unsigned X = Pend.Loc;
   bool Acq = Pend.RM == ReadMode::ACQ;
@@ -216,6 +217,8 @@ void PsMachine::stepRead(const PsMachineState &S, unsigned Tid,
 
   // (racy-read): read undef without moving the view.
   if (isRacy(S, Tid, X, Pend.RM != ReadMode::NA)) {
+    if (!ForCertification)
+      ++RaceStepCount;
     PsMachineState Next = S;
     Next.Threads[Tid].Prog.applyRead(Prog, Tid, Value::undef());
     Out.push_back(std::move(Next));
@@ -224,15 +227,19 @@ void PsMachine::stepRead(const PsMachineState &S, unsigned Tid,
 
 void PsMachine::stepWrite(const PsMachineState &S, unsigned Tid,
                           const ProgState::Pending &Pend,
-                          std::vector<PsMachineState> &Out) const {
+                          std::vector<PsMachineState> &Out,
+                          bool ForCertification) const {
   const PsThread &T = S.Threads[Tid];
   unsigned X = Pend.Loc;
   Value V = Pend.WVal;
   Rational Vx = T.V.get(X);
 
   // (racy-write): UB when racing.
-  if (isRacy(S, Tid, X, Pend.WM != WriteMode::NA))
+  if (isRacy(S, Tid, X, Pend.WM != WriteMode::NA)) {
+    if (!ForCertification)
+      ++RaceStepCount;
     stepFail(S, Tid, Out);
+  }
 
   auto emit = [&](Rational NewTo, std::vector<MsgId> Fulfilled,
                   std::optional<PsMessage> NewMsg) {
@@ -439,6 +446,8 @@ void PsMachine::stepRmw(const PsMachineState &S, unsigned Tid,
 
   // Racy update: read undef (no adjacency; no view gain from the read).
   if (isRacy(S, Tid, X, /*AtomicAccess=*/true)) {
+    if (!ForCertification)
+      ++RaceStepCount;
     PsMachineState Next = S;
     PsThread &NT = Next.Threads[Tid];
     bool DoesWrite = false;
@@ -485,10 +494,13 @@ void PsMachine::stepPromise(const PsMachineState &S, unsigned Tid,
           M.MView = std::nullopt;
           emit(M);
         }
-        PsMessage NaMarker;
-        NaMarker.Valueless = true;
-        NaMarker.MView = std::nullopt;
-        emit(NaMarker);
+        if (!Cfg.SkipNaMarkers) {
+          ++NaMarkerCount;
+          PsMessage NaMarker;
+          NaMarker.Valueless = true;
+          NaMarker.MView = std::nullopt;
+          emit(NaMarker);
+        }
       }
     }
   }
@@ -550,10 +562,10 @@ PsMachine::microSteps(const PsMachineState &S, unsigned Tid,
     break;
   }
   case ProgState::Pending::Kind::Read:
-    stepRead(S, Tid, Pend, Out);
+    stepRead(S, Tid, Pend, Out, ForCertification);
     break;
   case ProgState::Pending::Kind::Write:
-    stepWrite(S, Tid, Pend, Out);
+    stepWrite(S, Tid, Pend, Out, ForCertification);
     break;
   case ProgState::Pending::Kind::Rmw:
     stepRmw(S, Tid, Pend, Out, ForCertification);

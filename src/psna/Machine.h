@@ -60,6 +60,15 @@ struct PsConfig {
   /// order-isomorphic states). Off, exploration still terminates on
   /// loop-free programs but visits many more states (bench_psna_explore).
   bool Normalize = true;
+  /// Run the static race analyzer (analysis/RaceLint.h) before exploring
+  /// and skip valueless NAMsg race markers when the verdict proves no
+  /// race transition can fire. Behaviors are bit-identical either way
+  /// (DESIGN.md "Static race analysis"); only the state count shrinks.
+  /// --no-lint in the drivers.
+  bool Lint = true;
+  /// Derived knob (set by the explorer from the analyzer's verdict; tests
+  /// may force it): suppress valueless NAMsg marker promises.
+  bool SkipNaMarkers = false;
   /// Worker count for the explorer: 1 runs on the calling thread, 0 uses
   /// all hardware threads. The frontier is expanded level-synchronously
   /// and merged in pop order, so behaviors, StatesExplored, and the
@@ -127,8 +136,18 @@ public:
   /// then under-approximate the allowed behaviors).
   bool certBudgetHit() const { return CertBudgetHit; }
 
+  /// Dynamic race observations: micro-steps outside certification in which
+  /// isRacy() enabled a racy-read/racy-write/racy-update transition. The
+  /// adequacy/fuzz harnesses cross-validate the static verdict against
+  /// this oracle (a statically race-free program must keep it at 0).
+  uint64_t raceSteps() const { return RaceStepCount; }
+  /// Valueless NAMsg marker promises emitted (outside certification).
+  uint64_t naMarkers() const { return NaMarkerCount; }
+
 private:
   mutable bool CertBudgetHit = false;
+  mutable uint64_t RaceStepCount = 0;
+  mutable uint64_t NaMarkerCount = 0;
 
   /// Enumerates raw thread micro-steps (no certification). When
   /// \p ForCertification, promise steps are disabled.
@@ -138,10 +157,12 @@ private:
 
   void stepRead(const PsMachineState &S, unsigned Tid,
                 const ProgState::Pending &Pend,
-                std::vector<PsMachineState> &Out) const;
+                std::vector<PsMachineState> &Out,
+                bool ForCertification) const;
   void stepWrite(const PsMachineState &S, unsigned Tid,
                  const ProgState::Pending &Pend,
-                 std::vector<PsMachineState> &Out) const;
+                 std::vector<PsMachineState> &Out,
+                 bool ForCertification) const;
   void stepRmw(const PsMachineState &S, unsigned Tid,
                const ProgState::Pending &Pend,
                std::vector<PsMachineState> &Out,

@@ -56,6 +56,11 @@ struct SeqConfig {
   /// see DESIGN.md "Parallel execution"), 0 uses all hardware threads.
   /// Defaults to the PSEQ_THREADS environment variable (unset = 1).
   unsigned NumThreads = exec::defaultNumThreads();
+  /// Run the static race analyzer over the source program during
+  /// translation validation and record its verdict in the result
+  /// (opt/Validator.h). The SEQ engines themselves ignore this flag;
+  /// --no-lint in the drivers clears it.
+  bool Lint = true;
   /// Optional telemetry (borrowed; see obs/Telemetry.h). Null — the
   /// default — keeps every engine on its uninstrumented fast path.
   obs::Telemetry *Telem = nullptr;

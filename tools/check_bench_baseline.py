@@ -29,6 +29,11 @@ SUMMARY_RE = re.compile(
     r"memo_hits=(\d+) memo_misses=(\d+) pruned_states=(\d+)"
 )
 
+LINT_RE = re.compile(
+    r"lint summary: race_free=(\d+) potentially_racy=(\d+) "
+    r"atomics_only=(\d+) race_free_states=(\d+)"
+)
+
 
 def fail(msg):
     print(f"check_bench_baseline: FAIL: {msg}", file=sys.stderr)
@@ -41,13 +46,19 @@ def parse_summary(path):
     if not matches:
         fail(f"no 'memo summary:' line found in {path}")
     sweeps, states, hits, misses, pruned = map(int, matches[-1])
-    return {
+    out = {
         "sweeps": sweeps,
         "states_explored": states,
         "memo_hits": hits,
         "memo_misses": misses,
         "pruned_states": pruned,
     }
+    lint = LINT_RE.findall(text)
+    if lint:
+        race_free, racy, atomics, rf_states = map(int, lint[-1])
+        out["lint_proved_cases"] = race_free + atomics
+        out["lint_race_free_states"] = rf_states
+    return out
 
 
 def hit_rate(hits, misses):
@@ -88,6 +99,27 @@ def check_summary(args):
             f"memoized run no longer halves the unmemoized exploration: "
             f"{cur['states_explored']} * 2 > {no_memo}"
         )
+
+    # Lint gate: the analyzer must keep proving at least as many corpus
+    # cases safe as the baseline records, and exploring the proved
+    # race-free corpus must not cost more states than the baseline allows
+    # (the NAMsg-marker suppression is what keeps this number down).
+    if "lint_proved_cases" in base:
+        if "lint_proved_cases" not in cur:
+            fail("baseline has lint fields but no 'lint summary:' line "
+                 f"found in {args.summary} (run without --no-lint)")
+        if cur["lint_proved_cases"] < base["lint_proved_cases"]:
+            fail(
+                f"lint proved fewer cases safe: {cur['lint_proved_cases']} "
+                f"vs baseline {base['lint_proved_cases']}"
+            )
+        rf_limit = base["lint_race_free_states"] * (1.0 + args.tolerance)
+        if cur["lint_race_free_states"] > rf_limit:
+            fail(
+                f"states explored on the proved race-free corpus grew: "
+                f"{cur['lint_race_free_states']} vs baseline "
+                f"{base['lint_race_free_states']} (limit {rf_limit:.0f})"
+            )
 
     print(
         f"check_bench_baseline: OK: states_explored="
