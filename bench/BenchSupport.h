@@ -9,7 +9,9 @@
 /// Shared entry point for the bench_* binaries. Every harness accepts
 ///
 ///   bench_xxx [--json <path>] [--threads N] [--deadline-ms N] [--mem-mb N]
-///             [--no-memo] [google-benchmark flags...]
+///             [--no-memo] [--trace <path>] [--trace-out <path>]
+///             [--heartbeat <path>] [--heartbeat-ms N]
+///             [google-benchmark flags...]
 ///
 /// --threads N sets the engines' worker count (0 = all hardware threads;
 /// default from PSEQ_THREADS, else 1); benchmarks read it via numThreads()
@@ -21,14 +23,25 @@
 /// flags are parsed strictly — a malformed value is a usage error, never a
 /// silent 0.
 ///
-/// Without --json the run is byte-for-byte the plain google-benchmark
-/// harness: telemetry() returns null, so every engine stays on its
-/// uninstrumented fast path. With --json, telemetry is enabled and one JSON
-/// object is written to <path>:
+/// The flight-recorder flags:
+///  * --trace <path>      — JSONL event trace (same stream PSEQ_TRACE
+///                          selects; the flag wins over the env var).
+///  * --trace-out <path>  — Chrome trace-event / Perfetto JSON built from
+///                          the engines' causal spans, written at exit.
+///  * --heartbeat <path>  — progress JSONL sampled by a background thread
+///                          every --heartbeat-ms (default 500) from the
+///                          pool/guard/memo/span gauges.
+///
+/// Without any of --json/--trace/--trace-out/--heartbeat the run is
+/// byte-for-byte the plain google-benchmark harness: telemetry() returns
+/// null, so every engine stays on its uninstrumented fast path. With any of
+/// them, telemetry is enabled; with --json one JSON object is written to
+/// <path>:
 ///
 ///   {"benchmarks": [{"name":..., "real_time":..., "cpu_time":...,
 ///                    "time_unit":..., "iterations":..., "counters":{...}},
 ///                   ...],
+///    "memo": {...},
 ///    "telemetry": <obs::renderReportJson>}
 ///
 //===----------------------------------------------------------------------===//
@@ -39,10 +52,14 @@
 #include "exec/ThreadPool.h"
 #include "guard/Guard.h"
 #include "memo/MemoContext.h"
+#include "obs/Heartbeat.h"
 #include "obs/Report.h"
+#include "obs/Span.h"
 #include "obs/Telemetry.h"
+#include "obs/TraceExport.h"
 #include "obs/TraceSink.h"
 #include "support/CliArgs.h"
+#include "support/Truncation.h"
 
 #include <benchmark/benchmark.h>
 
@@ -185,61 +202,75 @@ inline bool writeJson(const std::string &Path, const std::vector<Row> &Rows,
 /// writes run timings plus the telemetry report as a single JSON object to
 /// the path.
 inline int benchMain(int Argc, char **Argv) {
-  std::string JsonPath;
-  uint64_t DeadlineMs = 0, MemMb = 0;
+  std::string JsonPath, TracePath, TraceOutPath, HeartbeatPath;
+  uint64_t DeadlineMs = 0, MemMb = 0, HeartbeatMs = 500;
   bool NoMemo = false;
   std::vector<char *> Args;
 
-  // Strict numeric flags: a malformed value must fail loudly, never parse
-  // as 0 (which would silently mean "all hardware threads" / "no budget").
-  auto usageError = [&](const std::string &Flag,
-                        const char *Value) -> int {
-    std::fprintf(stderr, "error: invalid value '%s' for %s (expected an "
-                         "unsigned integer)\n",
-                 Value ? Value : "", Flag.c_str());
+  // Strict flags: a malformed or missing value must fail loudly, never
+  // parse as 0 (which would silently mean "all hardware threads" / "no
+  // budget") or as an empty path.
+  auto usageError = [&](const char *Flag, const char *Value) -> int {
+    std::fprintf(stderr, "error: invalid value '%s' for %s\n",
+                 Value ? Value : "", Flag);
     std::fprintf(stderr,
                  "usage: %s [--json <path>] [--threads N] [--deadline-ms N] "
-                 "[--mem-mb N] [--no-memo] [google-benchmark flags...]\n",
+                 "[--mem-mb N] [--no-memo] [--trace <path>] "
+                 "[--trace-out <path>] [--heartbeat <path>] "
+                 "[--heartbeat-ms N] [google-benchmark flags...]\n",
                  Argc ? Argv[0] : "bench");
     return 1;
   };
-  // Matches `--flag N` and `--flag=N`; null when the flag is absent.
-  auto flagValue = [&](const std::string &A, const std::string &Flag, int &I,
-                       const char *&Value) {
-    if (A == Flag && I + 1 < Argc) {
-      Value = Argv[++I];
-      return true;
-    }
-    if (A.rfind(Flag + "=", 0) == 0) {
-      Value = Argv[I] + Flag.size() + 1;
-      return true;
-    }
-    return false;
-  };
-
   for (int I = 0; I != Argc; ++I) {
-    std::string A = Argv[I];
     const char *Value = nullptr;
-    if (flagValue(A, "--json", I, Value)) {
+    if (cli::flagValue(Argc, Argv, I, "--json", Value)) {
+      if (!Value || !*Value)
+        return usageError("--json", Value);
       JsonPath = Value;
       continue;
     }
-    if (flagValue(A, "--threads", I, Value)) {
-      if (!cli::parseUnsigned(Value, detail::numThreadsSlot()))
+    // --trace-out before --trace: flagValue matches whole flag names only,
+    // but keeping the longer spelling first reads unambiguously.
+    if (cli::flagValue(Argc, Argv, I, "--trace-out", Value)) {
+      if (!Value || !*Value)
+        return usageError("--trace-out", Value);
+      TraceOutPath = Value;
+      continue;
+    }
+    if (cli::flagValue(Argc, Argv, I, "--trace", Value)) {
+      if (!Value || !*Value)
+        return usageError("--trace", Value);
+      TracePath = Value;
+      continue;
+    }
+    if (cli::flagValue(Argc, Argv, I, "--heartbeat-ms", Value)) {
+      if (!Value || !cli::parseUnsigned(Value, HeartbeatMs) ||
+          HeartbeatMs == 0)
+        return usageError("--heartbeat-ms", Value);
+      continue;
+    }
+    if (cli::flagValue(Argc, Argv, I, "--heartbeat", Value)) {
+      if (!Value || !*Value)
+        return usageError("--heartbeat", Value);
+      HeartbeatPath = Value;
+      continue;
+    }
+    if (cli::flagValue(Argc, Argv, I, "--threads", Value)) {
+      if (!Value || !cli::parseUnsigned(Value, detail::numThreadsSlot()))
         return usageError("--threads", Value);
       continue;
     }
-    if (flagValue(A, "--deadline-ms", I, Value)) {
-      if (!cli::parseUnsigned(Value, DeadlineMs) || DeadlineMs == 0)
+    if (cli::flagValue(Argc, Argv, I, "--deadline-ms", Value)) {
+      if (!Value || !cli::parseUnsigned(Value, DeadlineMs) || DeadlineMs == 0)
         return usageError("--deadline-ms", Value);
       continue;
     }
-    if (flagValue(A, "--mem-mb", I, Value)) {
-      if (!cli::parseUnsigned(Value, MemMb) || MemMb == 0)
+    if (cli::flagValue(Argc, Argv, I, "--mem-mb", Value)) {
+      if (!Value || !cli::parseUnsigned(Value, MemMb) || MemMb == 0)
         return usageError("--mem-mb", Value);
       continue;
     }
-    if (A == "--no-memo") {
+    if (std::string(Argv[I]) == "--no-memo") {
       NoMemo = true;
       continue;
     }
@@ -260,12 +291,53 @@ inline int benchMain(int Argc, char **Argv) {
     detail::guardSlot() = &Guard;
   }
 
+  const bool WantTelemetry = !JsonPath.empty() || !TracePath.empty() ||
+                             !TraceOutPath.empty() || !HeartbeatPath.empty();
   obs::Telemetry Telem;
-  std::unique_ptr<obs::TraceSink> EnvSink;
-  if (!JsonPath.empty()) {
-    EnvSink = obs::traceSinkFromEnv();
-    Telem.Sink = EnvSink.get();
+  obs::SpanRecorder Spans;
+  std::unique_ptr<obs::TraceSink> Sink;
+  obs::Heartbeat Beat;
+  if (WantTelemetry) {
+    Sink = obs::traceSinkFromFlagOrEnv(TracePath);
+    Telem.Sink = Sink.get();
+    if (!TraceOutPath.empty())
+      Telem.Spans = &Spans;
     detail::telemetrySlot() = &Telem;
+  }
+  if (!HeartbeatPath.empty()) {
+    // Probes read only lock-free state (atomics and stats snapshots); the
+    // obs::Stats maps are off-limits while engines run.
+    exec::ThreadPool &Pool = exec::ThreadPool::global();
+    Beat.addProbe("pool.bodies_run", [&Pool] {
+      return static_cast<double>(Pool.stats().BodiesRun);
+    });
+    Beat.addProbe("pool.steals", [&Pool] {
+      return static_cast<double>(Pool.stats().Steals);
+    });
+    Beat.addProbe("pool.pending", [&Pool] {
+      return static_cast<double>(Pool.stats().PendingBodies);
+    });
+    Beat.addProbe("pool.idle_wait_ns", [&Pool] {
+      return static_cast<double>(Pool.stats().IdleWaitNs);
+    });
+    Beat.addProbe("guard.mem_peak_bytes", [&Guard] {
+      return static_cast<double>(Guard.memPeakBytes());
+    });
+    Beat.addProbe("guard.checkpoint_polls", [&Guard] {
+      return static_cast<double>(Guard.checkpointPolls());
+    });
+    Beat.addProbe("memo.hits", [&Memo] {
+      return static_cast<double>(Memo.hits());
+    });
+    Beat.addProbe("memo.misses", [&Memo] {
+      return static_cast<double>(Memo.misses());
+    });
+    Beat.addProbe("spans.recorded", [&Spans] {
+      return static_cast<double>(Spans.totalSpans());
+    });
+    if (!Beat.start(HeartbeatPath, HeartbeatMs))
+      std::fprintf(stderr, "warning: cannot write heartbeat to %s\n",
+                   HeartbeatPath.c_str());
   }
 
   benchmark::Initialize(&NewArgc, Args.data());
@@ -274,7 +346,48 @@ inline int benchMain(int Argc, char **Argv) {
   detail::RecordingReporter Reporter;
   benchmark::RunSpecifiedBenchmarks(&Reporter);
   benchmark::Shutdown();
+  Beat.stop();
 
+  if (WantTelemetry) {
+    // Fold the run-wide profiling state into gauges so it lands in the
+    // report. Gauges are thread-count dependent (unlike the engines'
+    // counters/size-histograms) and excluded from determinism checks.
+    exec::ThreadPool::Stats PS = exec::ThreadPool::global().stats();
+    Telem.Counters.maxGauge("pool.batches", static_cast<double>(PS.Batches));
+    Telem.Counters.maxGauge("pool.bodies_run",
+                            static_cast<double>(PS.BodiesRun));
+    Telem.Counters.maxGauge("pool.steals", static_cast<double>(PS.Steals));
+    Telem.Counters.maxGauge("pool.idle_wait_ns",
+                            static_cast<double>(PS.IdleWaitNs));
+    Telem.Counters.maxGauge("pool.threads_spawned",
+                            static_cast<double>(PS.ThreadsSpawned));
+    Telem.Counters.maxGauge("guard.mem_peak_bytes",
+                            static_cast<double>(Guard.memPeakBytes()));
+    Telem.Counters.maxGauge("guard.checkpoint_polls",
+                            static_cast<double>(Guard.checkpointPolls()));
+    if (!NoMemo) {
+      memo::MemoContext::ShardStats SeqSS =
+          Memo.shardStats(memo::MemoContext::Table::SeqSuffix);
+      memo::MemoContext::ShardStats PsSS =
+          Memo.shardStats(memo::MemoContext::Table::PsBehaviors);
+      Telem.Counters.maxGauge("memo.seq_suffix.entries",
+                              static_cast<double>(SeqSS.Entries));
+      Telem.Counters.maxGauge("memo.seq_suffix.max_shard",
+                              static_cast<double>(SeqSS.MaxShard));
+      Telem.Counters.maxGauge("memo.ps_behaviors.entries",
+                              static_cast<double>(PsSS.Entries));
+      Telem.Counters.maxGauge("memo.ps_behaviors.max_shard",
+                              static_cast<double>(PsSS.MaxShard));
+    }
+    Telem.finalSnapshot(Guard.stopped() ? truncationCauseName(Guard.cause())
+                                        : "complete");
+  }
+
+  if (!TraceOutPath.empty() &&
+      !obs::writeChromeTrace(Spans, TraceOutPath, Argc ? Argv[0] : "bench")) {
+    std::fprintf(stderr, "error: cannot write %s\n", TraceOutPath.c_str());
+    return 1;
+  }
   if (!JsonPath.empty() &&
       !detail::writeJson(JsonPath, Reporter.Rows, Telem,
                          NoMemo ? nullptr : &Memo)) {

@@ -10,19 +10,24 @@
 //   fuzz_campaign [--seed N] [--count N] [--deadline-ms N] [--mem-mb N]
 //                 [--wall-ms N] [--total-ms N] [--no-isolate] [--no-shrink]
 //                 [--no-memo] [--fault crash|oom|hang] [--inject-at N]
-//                 [--verbose]
+//                 [--trace PATH] [--trace-out PATH] [--verbose]
 //
 // Numeric arguments are parsed strictly (garbage = usage error). --fault
 // injects one artificial child failure (self-test of the isolation and
-// classification machinery); it requires isolation. PSEQ_TRACE=<path>
-// writes a JSONL event per pair. Exit status: 0 when the campaign is
-// clean, 1 on mismatches or unclassified crashes (real findings).
+// classification machinery); it requires isolation. --trace (or
+// PSEQ_TRACE=<path>; the flag wins) writes a JSONL event per pair, flushed
+// after every crashed/limited child so the record survives a dying parent;
+// --trace-out writes a Chrome trace-event / Perfetto JSON with one span
+// per pair. Exit status: 0 when the campaign is clean, 1 on mismatches or
+// unclassified crashes (real findings).
 //
 //===----------------------------------------------------------------------===//
 
 #include "adequacy/FuzzCampaign.h"
 #include "guard/Isolate.h"
+#include "obs/Span.h"
 #include "obs/Telemetry.h"
+#include "obs/TraceExport.h"
 #include "obs/TraceSink.h"
 #include "support/CliArgs.h"
 
@@ -42,7 +47,8 @@ int usage(const char *Prog, const char *What, const char *Value) {
                "usage: %s [--seed N] [--count N] [--deadline-ms N] "
                "[--mem-mb N] [--wall-ms N] [--total-ms N] [--no-isolate] "
                "[--no-shrink] [--no-memo] [--fault crash|oom|hang] "
-               "[--inject-at N] [--verbose]\n",
+               "[--inject-at N] [--trace PATH] [--trace-out PATH] "
+               "[--verbose]\n",
                Prog);
   return 2;
 }
@@ -52,21 +58,14 @@ int usage(const char *Prog, const char *What, const char *Value) {
 int main(int Argc, char **Argv) {
   const char *Prog = Argc ? Argv[0] : "fuzz_campaign";
   CampaignOptions Opts;
+  std::string TracePath, TraceOutPath;
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     const char *Value = nullptr;
     auto flagValue = [&](const char *Flag) {
-      std::string F = Flag;
-      if (A == F && I + 1 < Argc) {
-        Value = Argv[++I];
-        return true;
-      }
-      if (A.rfind(F + "=", 0) == 0) {
-        Value = Argv[I] + F.size() + 1;
-        return true;
-      }
-      return false;
+      return cli::flagValue(Argc, Argv, I, Flag, Value) &&
+             Value != nullptr;
     };
     if (flagValue("--seed")) {
       if (!cli::parseUnsigned(Value, Opts.Seed))
@@ -89,6 +88,14 @@ int main(int Argc, char **Argv) {
     } else if (flagValue("--inject-at")) {
       if (!cli::parseUnsigned(Value, Opts.InjectAt))
         return usage(Prog, "--inject-at", Value);
+    } else if (flagValue("--trace-out")) {
+      if (!*Value)
+        return usage(Prog, "--trace-out", Value);
+      TraceOutPath = Value;
+    } else if (flagValue("--trace")) {
+      if (!*Value)
+        return usage(Prog, "--trace", Value);
+      TracePath = Value;
     } else if (flagValue("--fault")) {
       if (std::strcmp(Value, "crash") == 0)
         Opts.Fault = FaultKind::Crash;
@@ -117,8 +124,11 @@ int main(int Argc, char **Argv) {
   }
 
   obs::Telemetry Telem;
-  std::unique_ptr<obs::TraceSink> Sink = obs::traceSinkFromEnv();
+  obs::SpanRecorder Spans;
+  std::unique_ptr<obs::TraceSink> Sink = obs::traceSinkFromFlagOrEnv(TracePath);
   Telem.Sink = Sink.get();
+  if (!TraceOutPath.empty())
+    Telem.Spans = &Spans;
   Opts.Telem = &Telem;
 
   std::printf("fuzz campaign: seed=%llu count=%u isolation=%s\n",
@@ -137,5 +147,11 @@ int main(int Argc, char **Argv) {
   std::printf("  isolated %u\n", S.Isolated);
   for (const std::string &F : S.Findings)
     std::printf("\nFINDING %s\n", F.c_str());
+  Telem.finalSnapshot(S.clean() ? "complete" : "findings");
+  if (!TraceOutPath.empty() &&
+      !obs::writeChromeTrace(Spans, TraceOutPath, "fuzz_campaign")) {
+    std::fprintf(stderr, "error: cannot write %s\n", TraceOutPath.c_str());
+    return 2;
+  }
   return S.clean() ? 0 : 1;
 }

@@ -25,6 +25,10 @@
 //                    "memo summary" block (states explored, hits, misses,
 //                    pruned). The perf-regression gate diffs this block
 //                    against BENCH_BASELINE.json.
+//   --trace PATH     JSONL event trace (the stream PSEQ_TRACE selects; the
+//                    flag wins over the env var)
+//   --trace-out PATH Chrome trace-event / Perfetto JSON built from the
+//                    explorer's causal spans, written at exit
 //
 // Numeric arguments are parsed strictly: garbage is a usage error, not a
 // silent 0. Once a --deadline-ms / --mem-mb budget trips, remaining
@@ -42,7 +46,10 @@
 #include "guard/Guard.h"
 #include "litmus/Corpus.h"
 #include "memo/MemoContext.h"
+#include "obs/Span.h"
 #include "obs/Telemetry.h"
+#include "obs/TraceExport.h"
+#include "obs/TraceSink.h"
 #include "psna/Explorer.h"
 #include "support/CliArgs.h"
 
@@ -104,8 +111,8 @@ int usageError(const char *Prog, const std::string &What,
                Value ? Value : "", What.c_str());
   std::fprintf(stderr,
                "usage: %s [--threads N] [--deadline-ms N] [--mem-mb N] "
-               "[--no-memo] [--no-lint] [--sweep N] "
-               "[file [promise-budget [split-budget]]]\n"
+               "[--no-memo] [--no-lint] [--sweep N] [--trace PATH] "
+               "[--trace-out PATH] [file [promise-budget [split-budget]]]\n"
                "       %s [--threads N] --witness <corpus-case> <behavior>\n",
                Prog, Prog);
   return 2;
@@ -120,40 +127,43 @@ int main(int Argc, char **Argv) {
   uint64_t Sweeps = 1;
   bool NoMemo = false;
   bool NoLint = false;
+  std::string TracePath, TraceOutPath;
   {
     std::vector<char *> Rest;
     for (int I = 0; I != Argc; ++I) {
       std::string A = Argv[I];
       const char *Value = nullptr;
-      auto flagValue = [&](const std::string &Flag) {
-        if (A == Flag && I + 1 < Argc) {
-          Value = Argv[++I];
-          return true;
-        }
-        if (A.rfind(Flag + "=", 0) == 0) {
-          Value = Argv[I] + Flag.size() + 1;
-          return true;
-        }
-        return false;
-      };
-      if (flagValue("--threads")) {
-        if (!cli::parseUnsigned(Value, NumThreads))
+      if (cli::flagValue(Argc, Argv, I, "--threads", Value)) {
+        if (!Value || !cli::parseUnsigned(Value, NumThreads))
           return usageError(Prog, "--threads", Value);
         continue;
       }
-      if (flagValue("--deadline-ms")) {
-        if (!cli::parseUnsigned(Value, DeadlineMs) || DeadlineMs == 0)
+      if (cli::flagValue(Argc, Argv, I, "--deadline-ms", Value)) {
+        if (!Value || !cli::parseUnsigned(Value, DeadlineMs) ||
+            DeadlineMs == 0)
           return usageError(Prog, "--deadline-ms", Value);
         continue;
       }
-      if (flagValue("--mem-mb")) {
-        if (!cli::parseUnsigned(Value, MemMb) || MemMb == 0)
+      if (cli::flagValue(Argc, Argv, I, "--mem-mb", Value)) {
+        if (!Value || !cli::parseUnsigned(Value, MemMb) || MemMb == 0)
           return usageError(Prog, "--mem-mb", Value);
         continue;
       }
-      if (flagValue("--sweep")) {
-        if (!cli::parseUnsigned(Value, Sweeps) || Sweeps == 0)
+      if (cli::flagValue(Argc, Argv, I, "--sweep", Value)) {
+        if (!Value || !cli::parseUnsigned(Value, Sweeps) || Sweeps == 0)
           return usageError(Prog, "--sweep", Value);
+        continue;
+      }
+      if (cli::flagValue(Argc, Argv, I, "--trace-out", Value)) {
+        if (!Value || !*Value)
+          return usageError(Prog, "--trace-out", Value);
+        TraceOutPath = Value;
+        continue;
+      }
+      if (cli::flagValue(Argc, Argv, I, "--trace", Value)) {
+        if (!Value || !*Value)
+          return usageError(Prog, "--trace", Value);
+        TracePath = Value;
         continue;
       }
       if (A == "--no-memo") {
@@ -184,6 +194,29 @@ int main(int Argc, char **Argv) {
   memo::MemoContext Memo;
   memo::MemoContext *MemoPtr = NoMemo ? nullptr : &Memo;
 
+  // Flight recorder: the JSONL sink (flag or PSEQ_TRACE) and the span
+  // recorder feed one Telemetry shared by every exploration in the run.
+  obs::Telemetry Telem;
+  obs::SpanRecorder Spans;
+  std::unique_ptr<obs::TraceSink> Sink = obs::traceSinkFromFlagOrEnv(TracePath);
+  Telem.Sink = Sink.get();
+  if (!TraceOutPath.empty())
+    Telem.Spans = &Spans;
+  const bool WantTelem = Sink != nullptr || !TraceOutPath.empty();
+  // Emits the final snapshot (truncation cause included) and the Perfetto
+  // export; every exit path below funnels through here.
+  auto finish = [&](int Code) {
+    Telem.finalSnapshot(GuardPtr && GuardPtr->stopped()
+                            ? truncationCauseName(GuardPtr->cause())
+                            : "complete");
+    if (!TraceOutPath.empty() &&
+        !obs::writeChromeTrace(Spans, TraceOutPath, "litmus_explorer")) {
+      std::fprintf(stderr, "error: cannot write %s\n", TraceOutPath.c_str());
+      return 1;
+    }
+    return Code;
+  };
+
   if (Argc == 4 && std::string(Argv[1]) == "--witness") {
     const LitmusCase &LC = litmusCaseByName(Argv[2]);
     std::unique_ptr<Program> P = parseOrDie(LC.Text);
@@ -194,16 +227,17 @@ int main(int Argc, char **Argv) {
     Cfg.NumThreads = NumThreads;
     Cfg.Guard = GuardPtr;
     Cfg.Lint = !NoLint;
+    Cfg.Telem = WantTelem ? &Telem : nullptr;
     std::vector<PsMachineState> Path = findPsnaWitness(*P, Cfg, Argv[3]);
     if (Path.empty()) {
       std::printf("behavior %s not reachable for %s\n", Argv[3], Argv[2]);
-      return 1;
+      return finish(1);
     }
     std::printf("witness for %s exhibiting %s (%zu machine steps):\n",
                 Argv[2], Argv[3], Path.size() - 1);
     for (size_t I = 0; I != Path.size(); ++I)
       std::printf("%3zu: %s\n", I, Path[I].str().c_str());
-    return 0;
+    return finish(0);
   }
   if (Argc > 1) {
     std::ifstream In(Argv[1]);
@@ -218,19 +252,19 @@ int main(int Argc, char **Argv) {
     Cfg.Guard = GuardPtr;
     Cfg.Memo = MemoPtr;
     Cfg.Lint = !NoLint;
+    Cfg.Telem = WantTelem ? &Telem : nullptr;
     if (Argc > 2 && !cli::parseUnsigned(Argv[2], Cfg.PromiseBudget))
       return usageError(Prog, "promise-budget", Argv[2]);
     if (Argc > 3 && !cli::parseUnsigned(Argv[3], Cfg.SplitBudget))
       return usageError(Prog, "split-budget", Argv[3]);
     explore(Argv[1], Buf.str(), Cfg);
-    return 0;
+    return finish(0);
   }
 
   // Corpus mode. With --sweep N the corpus is explored N times sharing one
   // memo context and one telemetry registry; repeat sweeps hit the cross-run
   // behavior cache, and the summary below is deterministic (state counts and
   // cache counters only — no timing), which is what the perf gate consumes.
-  obs::Telemetry Telem;
   LintTally Tally;
   std::printf("PS^na litmus outcomes (corpus of %zu tests)\n\n",
               litmusCorpus().size());
@@ -271,5 +305,5 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(MemoPtr ? Memo.hits() : 0),
               static_cast<unsigned long long>(MemoPtr ? Memo.misses() : 0),
               static_cast<unsigned long long>(MemoPtr ? Memo.pruned() : 0));
-  return 0;
+  return finish(0);
 }

@@ -7,17 +7,26 @@
 // prints per-program verdicts: race-free (proved), potentially-racy (with a
 // concrete witness pair), or atomics-only.
 //
-//   race_lint [--json] [file | corpus-case-name]
+//   race_lint [--json] [--trace PATH] [--trace-out PATH]
+//             [file | corpus-case-name]
 //
 // With no positional argument the whole litmus corpus is analyzed, one
 // verdict line per case. --json emits a machine-readable report (verdict,
 // witness, per-thread footprints) instead of the human-readable text.
+// --trace writes the analyzer's JSONL event trace (the stream PSEQ_TRACE
+// selects; the flag wins over the env var); --trace-out writes a Chrome
+// trace-event / Perfetto JSON with one span per analyzed program.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/RaceLint.h"
 #include "lang/Parser.h"
 #include "litmus/Corpus.h"
+#include "obs/Span.h"
+#include "obs/Telemetry.h"
+#include "obs/TraceExport.h"
+#include "obs/TraceSink.h"
+#include "support/CliArgs.h"
 
 #include <cstdio>
 #include <cstring>
@@ -29,9 +38,13 @@ using namespace pseq;
 
 namespace {
 
-int report(const std::string &Title, const std::string &Text, bool Json) {
+int report(const std::string &Title, const std::string &Text, bool Json,
+           obs::Telemetry *Telem) {
   std::unique_ptr<Program> P = parseOrDie(Text);
-  analysis::RaceReport Rep = analysis::analyzeRaces(*P);
+  analysis::RaceReport Rep = [&] {
+    obs::ScopedSpan Span(Telem ? Telem->Spans : nullptr, "race_lint.analyze");
+    return analysis::analyzeRaces(*P, Telem);
+  }();
   if (Json) {
     std::printf("%s\n", Rep.json(*P).c_str());
   } else {
@@ -45,13 +58,28 @@ int report(const std::string &Title, const std::string &Text, bool Json) {
 int main(int Argc, char **Argv) {
   bool Json = false;
   const char *Pos = nullptr;
+  std::string TracePath, TraceOutPath;
   for (int I = 1; I < Argc; ++I) {
+    const char *Value = nullptr;
     if (std::strcmp(Argv[I], "--json") == 0) {
       Json = true;
     } else if (std::strcmp(Argv[I], "--help") == 0) {
-      std::printf("usage: %s [--json] [file | corpus-case-name]\n",
+      std::printf("usage: %s [--json] [--trace PATH] [--trace-out PATH] "
+                  "[file | corpus-case-name]\n",
                   Argc ? Argv[0] : "race_lint");
       return 0;
+    } else if (cli::flagValue(Argc, Argv, I, "--trace-out", Value)) {
+      if (!Value || !*Value) {
+        std::fprintf(stderr, "error: --trace-out needs a path\n");
+        return 2;
+      }
+      TraceOutPath = Value;
+    } else if (cli::flagValue(Argc, Argv, I, "--trace", Value)) {
+      if (!Value || !*Value) {
+        std::fprintf(stderr, "error: --trace needs a path\n");
+        return 2;
+      }
+      TracePath = Value;
     } else if (!Pos) {
       Pos = Argv[I];
     } else {
@@ -59,6 +87,24 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
+
+  obs::Telemetry Telem;
+  obs::SpanRecorder Spans;
+  std::unique_ptr<obs::TraceSink> Sink = obs::traceSinkFromFlagOrEnv(TracePath);
+  Telem.Sink = Sink.get();
+  if (!TraceOutPath.empty())
+    Telem.Spans = &Spans;
+  obs::Telemetry *TelemPtr =
+      Sink != nullptr || !TraceOutPath.empty() ? &Telem : nullptr;
+  auto finish = [&](int Code) {
+    Telem.finalSnapshot("complete");
+    if (!TraceOutPath.empty() &&
+        !obs::writeChromeTrace(Spans, TraceOutPath, "race_lint")) {
+      std::fprintf(stderr, "error: cannot write %s\n", TraceOutPath.c_str());
+      return 2;
+    }
+    return Code;
+  };
 
   if (!Pos) {
     // Corpus mode: one verdict line per litmus case (plus witness when racy).
@@ -68,7 +114,11 @@ int main(int Argc, char **Argv) {
     bool First = true;
     for (const LitmusCase &LC : litmusCorpus()) {
       std::unique_ptr<Program> P = parseOrDie(LC.Text);
-      analysis::RaceReport Rep = analysis::analyzeRaces(*P);
+      analysis::RaceReport Rep = [&] {
+        obs::ScopedSpan Span(TelemPtr ? TelemPtr->Spans : nullptr,
+                             "race_lint.analyze");
+        return analysis::analyzeRaces(*P, TelemPtr);
+      }();
       if (Json) {
         std::printf("%s{\"case\": \"%s\", \"report\": %s}", First ? "" : ",\n",
                     LC.Name.c_str(), Rep.json(*P).c_str());
@@ -86,7 +136,7 @@ int main(int Argc, char **Argv) {
     else
       std::printf("\n%zu cases, %d potentially racy\n", litmusCorpus().size(),
                   Racy);
-    return 0;
+    return finish(0);
   }
 
   // A file, or a named corpus case.
@@ -94,11 +144,12 @@ int main(int Argc, char **Argv) {
   if (In) {
     std::stringstream Buf;
     Buf << In.rdbuf();
-    return report(Pos, Buf.str(), Json);
+    return finish(report(Pos, Buf.str(), Json, TelemPtr));
   }
   for (const LitmusCase &LC : litmusCorpus())
     if (LC.Name == Pos)
-      return report(LC.Name + " [" + LC.PaperRef + "]", LC.Text, Json);
+      return finish(
+          report(LC.Name + " [" + LC.PaperRef + "]", LC.Text, Json, TelemPtr));
   std::fprintf(stderr, "error: cannot open '%s' (not a file or corpus case)\n",
                Pos);
   return 2;

@@ -14,14 +14,20 @@
 //     cause (step budget, behavior cap, state budget, cert budget).
 //
 //   stats_report [--json <path>]
+//   stats_report --diff <old.json> <new.json>
 //
 // With --json the same report is additionally written as one JSON object.
 // Setting PSEQ_TRACE=<path> streams per-event JSONL to <path> as well.
+//
+// --diff compares two report JSON files (either stats_report --json output
+// or a bench_* --json file — the report under its "telemetry" member is
+// used) and prints counter deltas and histogram percentile shifts.
 //
 //===----------------------------------------------------------------------===//
 
 #include "lang/Parser.h"
 #include "litmus/Corpus.h"
+#include "obs/JsonValue.h"
 #include "obs/Report.h"
 #include "obs/Telemetry.h"
 #include "obs/TraceSink.h"
@@ -29,8 +35,13 @@
 #include "psna/Explorer.h"
 #include "seq/BehaviorEnum.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 
 using namespace pseq;
@@ -49,17 +60,123 @@ double rate(uint64_t Hits, uint64_t Total) {
                : 0.0;
 }
 
+/// Loads a report JSON file for --diff. Accepts a bare report object or a
+/// bench_* --json file, whose report sits under the "telemetry" member.
+bool loadReport(const char *Path, obs::JsonValue &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path);
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Err;
+  if (!obs::JsonValue::parse(Buf.str(), Out, &Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", Path, Err.c_str());
+    return false;
+  }
+  if (const obs::JsonValue *Telemetry = Out.field("telemetry")) {
+    // Copy out before overwriting: *Telemetry lives inside Out.
+    obs::JsonValue Report = *Telemetry;
+    Out = std::move(Report);
+  }
+  if (!Out.isObject()) {
+    std::fprintf(stderr, "error: %s is not a report object\n", Path);
+    return false;
+  }
+  return true;
+}
+
+/// Numeric members of a report section ("counters" / "gauges") as a map.
+std::map<std::string, double> sectionValues(const obs::JsonValue &Report,
+                                            const char *Section) {
+  std::map<std::string, double> Out;
+  if (const obs::JsonValue *S = Report.field(Section); S && S->isObject())
+    for (const auto &[Key, V] : S->object())
+      if (V.isNumber())
+        Out[Key] = V.asNumber();
+  return Out;
+}
+
+void printDeltaRows(const std::map<std::string, double> &Old,
+                    const std::map<std::string, double> &New) {
+  std::set<std::string> Keys;
+  for (const auto &[K, V] : Old)
+    Keys.insert(K);
+  for (const auto &[K, V] : New)
+    Keys.insert(K);
+  for (const std::string &K : Keys) {
+    auto OIt = Old.find(K), NIt = New.find(K);
+    double O = OIt == Old.end() ? 0 : OIt->second;
+    double N = NIt == New.end() ? 0 : NIt->second;
+    if (O == N)
+      continue;
+    double Pct = O != 0 ? 100.0 * (N - O) / O : 0.0;
+    std::printf("  %-36s %14.0f %14.0f %+10.0f", K.c_str(), O, N, N - O);
+    if (O != 0)
+      std::printf(" (%+.1f%%)", Pct);
+    std::printf("\n");
+  }
+}
+
+int diffReports(const char *OldPath, const char *NewPath) {
+  obs::JsonValue OldR, NewR;
+  if (!loadReport(OldPath, OldR) || !loadReport(NewPath, NewR))
+    return 2;
+
+  std::printf("report diff: %s -> %s\n\n", OldPath, NewPath);
+  std::printf("counters%42s %14s %10s\n", "old", "new", "delta");
+  printDeltaRows(sectionValues(OldR, "counters"),
+                 sectionValues(NewR, "counters"));
+  std::printf("\ngauges%44s %14s %10s\n", "old", "new", "delta");
+  printDeltaRows(sectionValues(OldR, "gauges"), sectionValues(NewR, "gauges"));
+
+  // Histogram percentile shifts: one row per percentile that moved.
+  std::printf("\nhistograms%40s %14s %10s\n", "old", "new", "delta");
+  const obs::JsonValue *OldH = OldR.field("histograms");
+  const obs::JsonValue *NewH = NewR.field("histograms");
+  std::set<std::string> Keys;
+  if (OldH && OldH->isObject())
+    for (const auto &[K, V] : OldH->object())
+      Keys.insert(K);
+  if (NewH && NewH->isObject())
+    for (const auto &[K, V] : NewH->object())
+      Keys.insert(K);
+  for (const std::string &K : Keys) {
+    const obs::JsonValue *O = OldH ? OldH->field(K) : nullptr;
+    const obs::JsonValue *N = NewH ? NewH->field(K) : nullptr;
+    for (const char *P : {"count", "p50", "p90", "p99", "max"}) {
+      const obs::JsonValue *OV = O ? O->field(P) : nullptr;
+      const obs::JsonValue *NV = N ? N->field(P) : nullptr;
+      double OD = OV && OV->isNumber() ? OV->asNumber() : 0;
+      double ND = NV && NV->isNumber() ? NV->asNumber() : 0;
+      if (OD == ND)
+        continue;
+      std::string Row = K + "." + P;
+      std::printf("  %-36s %14.1f %14.1f %+10.1f", Row.c_str(), OD, ND,
+                  ND - OD);
+      if (OD != 0)
+        std::printf(" (%+.1f%%)", 100.0 * (ND - OD) / OD);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::string JsonPath;
+  if (Argc == 4 && std::strcmp(Argv[1], "--diff") == 0)
+    return diffReports(Argv[2], Argv[3]);
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
       JsonPath = Argv[++I];
     } else if (std::strncmp(Argv[I], "--json=", 7) == 0) {
       JsonPath = Argv[I] + 7;
     } else {
-      std::fprintf(stderr, "usage: stats_report [--json <path>]\n");
+      std::fprintf(stderr, "usage: stats_report [--json <path>]\n"
+                           "       stats_report --diff <old.json> <new.json>\n");
       return 1;
     }
   }

@@ -192,6 +192,7 @@ CampaignStats pseq::runFuzzCampaign(const CampaignOptions &Opts) {
     };
 
     const char *Outcome = "agree";
+    obs::ScopedSpan PairSpan(Telem ? Telem->Spans : nullptr, "fuzz.pair");
     std::chrono::steady_clock::time_point PairStart =
         std::chrono::steady_clock::now();
     if (UseIsolation) {
@@ -257,12 +258,22 @@ CampaignStats pseq::runFuzzCampaign(const CampaignOptions &Opts) {
     if (Telem) {
       Telem->Counters.add("fuzz.pairs");
       Telem->Counters.add(std::string("fuzz.") + Outcome);
+      Telem->Counters.recordHist("fuzz.pair.us",
+                                 static_cast<uint64_t>(PairMs * 1000.0));
       if (Telem->tracing())
         Telem->trace("fuzz.pair", {{"index", uint64_t(I)},
                                    {"mutation", Pair.Mutation},
                                    {"outcome", Outcome},
                                    {"isolated", UseIsolation},
                                    {"ms", PairMs}});
+      // A crashed/limited child is exactly the run a post-mortem needs the
+      // trace for: snapshot the counters and force the sink to disk before
+      // the campaign moves on (the JSONL survives even if the parent dies
+      // on a later pair).
+      if (std::strcmp(Outcome, "crash") == 0 ||
+          std::strcmp(Outcome, "oom") == 0 ||
+          std::strcmp(Outcome, "deadline") == 0)
+        Telem->finalSnapshot(Outcome);
     }
     if (Opts.Verbose)
       std::fprintf(stderr, "[fuzz] pair %u: %s (%.1f ms)\n", I, Outcome,

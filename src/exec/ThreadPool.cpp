@@ -7,6 +7,7 @@
 
 #include "exec/ThreadPool.h"
 
+#include <chrono>
 #include <cstdlib>
 
 using namespace pseq;
@@ -63,6 +64,21 @@ unsigned ThreadPool::spawned() {
   return static_cast<unsigned>(Threads.size());
 }
 
+ThreadPool::Stats ThreadPool::stats() {
+  Stats S;
+  S.Batches = StatBatches.load(std::memory_order_relaxed);
+  S.InlineRuns = StatInline.load(std::memory_order_relaxed);
+  S.BodiesRun = StatBodies.load(std::memory_order_relaxed);
+  S.BodiesDrained = StatDrained.load(std::memory_order_relaxed);
+  S.Steals = StatSteals.load(std::memory_order_relaxed);
+  S.IdleWaitNs = StatIdleNs.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> L(Mu);
+  S.ThreadsSpawned = static_cast<unsigned>(Threads.size());
+  unsigned Claimed = NextIdx.load(std::memory_order_relaxed);
+  S.PendingBodies = Claimed < BatchSize ? BatchSize - Claimed : 0;
+  return S;
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> L(Mu);
@@ -87,21 +103,32 @@ void ThreadPool::run(unsigned NumWorkers,
     // Inline, and deliberately NOT flagged as a pool worker: a
     // single-element fan-out must leave inner engines free to use the
     // pool themselves.
-    if (!cancelRequested(Cancel))
+    StatInline.fetch_add(1, std::memory_order_relaxed);
+    if (!cancelRequested(Cancel)) {
       BatchBody(0);
+      StatBodies.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      StatDrained.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   if (InPoolWorker) {
     // Nested fan-out from inside a batch: run sequentially inline. The
     // partitioning (who computes what) is unchanged, so deterministic
     // merges downstream see identical per-index results.
+    StatInline.fetch_add(1, std::memory_order_relaxed);
     for (unsigned I = 0; I != NumWorkers; ++I)
-      if (!cancelRequested(Cancel))
+      if (!cancelRequested(Cancel)) {
         BatchBody(I);
+        StatBodies.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        StatDrained.fetch_add(1, std::memory_order_relaxed);
+      }
     return;
   }
 
   std::unique_lock<std::mutex> L(Mu);
+  StatBatches.fetch_add(1, std::memory_order_relaxed);
   ensureThreads(NumWorkers);
   Body = &BatchBody;
   BatchCancel = Cancel;
@@ -118,8 +145,12 @@ void ThreadPool::run(unsigned NumWorkers,
   InPoolWorker = true;
   for (unsigned I;
        (I = NextIdx.fetch_add(1, std::memory_order_relaxed)) < NumWorkers;) {
-    if (!cancelRequested(Cancel))
+    if (!cancelRequested(Cancel)) {
       BatchBody(I);
+      StatBodies.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      StatDrained.fetch_add(1, std::memory_order_relaxed);
+    }
     Completed.fetch_add(1, std::memory_order_release);
   }
   InPoolWorker = false;
@@ -138,7 +169,14 @@ void ThreadPool::workerLoop() {
   uint64_t SeenGen = 0;
   std::unique_lock<std::mutex> L(Mu);
   while (true) {
+    auto IdleStart = std::chrono::steady_clock::now();
     WorkCv.wait(L, [&] { return ShuttingDown || Generation != SeenGen; });
+    StatIdleNs.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - IdleStart)
+                .count()),
+        std::memory_order_relaxed);
     if (ShuttingDown)
       return;
     SeenGen = Generation;
@@ -153,8 +191,13 @@ void ThreadPool::workerLoop() {
     InPoolWorker = true;
     for (unsigned I;
          (I = NextIdx.fetch_add(1, std::memory_order_relaxed)) < N;) {
-      if (!cancelRequested(Cancel))
+      StatSteals.fetch_add(1, std::memory_order_relaxed);
+      if (!cancelRequested(Cancel)) {
         (*B)(I);
+        StatBodies.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        StatDrained.fetch_add(1, std::memory_order_relaxed);
+      }
       Completed.fetch_add(1, std::memory_order_release);
     }
     InPoolWorker = false;

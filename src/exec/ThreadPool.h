@@ -80,6 +80,24 @@ public:
   /// Threads spawned so far (test introspection).
   unsigned spawned();
 
+  /// Live profiling counters, maintained with relaxed atomics at batch and
+  /// body granularity (bodies are whole per-worker work slices, so the
+  /// accounting is far off any hot loop). Sampled mid-run by heartbeat
+  /// probes and read at exit for the pool gauges; exec stays independent
+  /// of obs — the obs side polls this, never the other way around.
+  struct Stats {
+    uint64_t Batches;       ///< multi-worker batches dispatched
+    uint64_t InlineRuns;    ///< run() calls degraded to inline execution
+    uint64_t BodiesRun;     ///< bodies actually executed
+    uint64_t BodiesDrained; ///< bodies claimed-but-skipped by cancellation
+    uint64_t Steals;        ///< bodies claimed by pool workers (not the
+                            ///< dispatching caller) — work that migrated
+    uint64_t IdleWaitNs;    ///< total time workers spent parked for work
+    unsigned ThreadsSpawned;
+    unsigned PendingBodies; ///< unclaimed bodies in the in-flight batch
+  };
+  Stats stats();
+
   ~ThreadPool();
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
@@ -104,6 +122,14 @@ private:
   std::atomic<unsigned> Completed{0};
   unsigned InLoop = 0; ///< workers still claiming from this batch
   bool ShuttingDown = false;
+
+  // Profiling tallies (see Stats). All relaxed; never load-bearing.
+  std::atomic<uint64_t> StatBatches{0};
+  std::atomic<uint64_t> StatInline{0};
+  std::atomic<uint64_t> StatBodies{0};
+  std::atomic<uint64_t> StatDrained{0};
+  std::atomic<uint64_t> StatSteals{0};
+  std::atomic<uint64_t> StatIdleNs{0};
 };
 
 /// Convenience fan-out: runs Fn(Item, Worker) for every Item in [0, Items)

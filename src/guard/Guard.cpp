@@ -19,6 +19,7 @@ TruncationCause ResourceGuard::trip(TruncationCause C) {
 }
 
 TruncationCause ResourceGuard::checkpoint() {
+  Polls.fetch_add(1, std::memory_order_relaxed);
   TruncationCause C = cause();
   if (C != TruncationCause::None)
     return C;

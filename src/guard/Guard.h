@@ -103,10 +103,18 @@ public:
   TruncationCause checkpoint();
 
   /// Accounts ~\p Bytes of retained growth; trips MemBudget at the limit.
+  /// Accounting (and the high-water mark) runs even without a limit set,
+  /// so profiling sees retained-memory growth on unbounded runs too.
   void charge(uint64_t Bytes) {
-    if (MemLimit == 0 || stopped())
+    if (stopped())
       return;
-    if (MemUsed.fetch_add(Bytes, std::memory_order_relaxed) + Bytes > MemLimit)
+    uint64_t Now = MemUsed.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+    uint64_t Peak = MemPeak.load(std::memory_order_relaxed);
+    while (Peak < Now &&
+           !MemPeak.compare_exchange_weak(Peak, Now,
+                                          std::memory_order_relaxed))
+      ;
+    if (MemLimit != 0 && Now > MemLimit)
       trip(TruncationCause::MemBudget);
   }
 
@@ -127,6 +135,18 @@ public:
     return MemUsed.load(std::memory_order_relaxed);
   }
 
+  /// High-water mark of memUsedBytes() since construction / last reset().
+  uint64_t memPeakBytes() const {
+    return MemPeak.load(std::memory_order_relaxed);
+  }
+
+  /// checkpoint() calls observed — the guard's poll overhead gauge. Varies
+  /// with thread count (workers race to the stop flag), so profiling
+  /// surfaces it as a gauge, never a determinism-checked counter.
+  uint64_t checkpointPolls() const {
+    return Polls.load(std::memory_order_relaxed);
+  }
+
   /// Clears the trip state and memory accounting between campaign programs.
   /// Deadline and token configuration are kept; re-arm them explicitly.
   void reset() {
@@ -134,6 +154,8 @@ public:
                     std::memory_order_relaxed);
     Stop.store(false, std::memory_order_relaxed);
     MemUsed.store(0, std::memory_order_relaxed);
+    MemPeak.store(0, std::memory_order_relaxed);
+    Polls.store(0, std::memory_order_relaxed);
     ClockStride.store(0, std::memory_order_relaxed);
   }
 
@@ -146,6 +168,8 @@ private:
   std::chrono::steady_clock::time_point DeadlineAt{};
   uint64_t MemLimit = 0;
   std::atomic<uint64_t> MemUsed{0};
+  std::atomic<uint64_t> MemPeak{0};
+  std::atomic<uint64_t> Polls{0};
   std::atomic<uint8_t> CauseSlot{static_cast<uint8_t>(TruncationCause::None)};
   std::atomic<bool> Stop{false};
   std::atomic<uint32_t> ClockStride{0};

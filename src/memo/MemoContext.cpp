@@ -7,6 +7,8 @@
 
 #include "memo/MemoContext.h"
 
+#include <algorithm>
+
 using namespace pseq;
 using namespace pseq::memo;
 
@@ -47,4 +49,19 @@ MemoContext::insert(Table T, const Fp128 &Key,
 
 uint64_t MemoContext::entryCount(Table T) const {
   return Sizes[static_cast<unsigned>(T)].load(std::memory_order_relaxed);
+}
+
+MemoContext::ShardStats MemoContext::shardStats(Table T) const {
+  ShardStats Out;
+  Out.NumShards = ShardsPerTable;
+  unsigned TableBase = static_cast<unsigned>(T) * ShardsPerTable;
+  for (unsigned I = 0; I != ShardsPerTable; ++I) {
+    const Shard &S = Shards[TableBase + I];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    uint64_t N = S.Map.size();
+    Out.Entries += N;
+    Out.MaxShard = std::max(Out.MaxShard, N);
+    Out.NonEmptyShards += N != 0;
+  }
+  return Out;
 }

@@ -90,6 +90,19 @@ public:
 
   uint64_t entryCount(Table T) const;
 
+  /// Shard-level occupancy for the profiling gauges: total entries, the
+  /// largest shard, and how many of the table's shards are non-empty (a
+  /// skewed fingerprint distribution shows up as MaxShard far above
+  /// Entries / ShardsPerTable). Takes each shard lock briefly; intended
+  /// for heartbeat probes and end-of-run snapshots, not hot paths.
+  struct ShardStats {
+    uint64_t Entries = 0;
+    uint64_t MaxShard = 0;
+    unsigned NonEmptyShards = 0;
+    unsigned NumShards = 0;
+  };
+  ShardStats shardStats(Table T) const;
+
   // Stats — bumped by the engines, read by bench/test reporting.
   void noteHit(uint64_t N = 1) { Hits.fetch_add(N, std::memory_order_relaxed); }
   void noteMiss(uint64_t N = 1) {

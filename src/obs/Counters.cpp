@@ -26,6 +26,10 @@ void Stats::maxGauge(const std::string &Name, double Value) {
     It->second = std::max(It->second, Value);
 }
 
+void Stats::recordHist(const std::string &Name, uint64_t Value) {
+  HistMap[Name].record(Value);
+}
+
 uint64_t Stats::counter(const std::string &Name) const {
   auto It = CounterMap.find(Name);
   return It == CounterMap.end() ? 0 : It->second;
@@ -36,16 +40,24 @@ double Stats::gauge(const std::string &Name) const {
   return It == GaugeMap.end() ? 0 : It->second;
 }
 
+const Histogram *Stats::findHist(const std::string &Name) const {
+  auto It = HistMap.find(Name);
+  return It == HistMap.end() ? nullptr : &It->second;
+}
+
 void Stats::merge(const Stats &O) {
   for (const auto &[Name, Value] : O.CounterMap)
     CounterMap[Name] += Value;
   for (const auto &[Name, Value] : O.GaugeMap)
     maxGauge(Name, Value);
+  for (const auto &[Name, Hist] : O.HistMap)
+    HistMap[Name].merge(Hist);
 }
 
 void Stats::clear() {
   CounterMap.clear();
   GaugeMap.clear();
+  HistMap.clear();
 }
 
 uint64_t &ScopedTally::slot(const char *Name) {

@@ -21,38 +21,53 @@
 #ifndef PSEQ_OBS_COUNTERS_H
 #define PSEQ_OBS_COUNTERS_H
 
+#include "obs/Histogram.h"
+
 #include <cstdint>
 #include <map>
 #include <string>
 
 namespace pseq::obs {
 
-/// Registry of named monotonic counters (uint64, add-only) and gauges
-/// (double, set/max). Deterministic iteration order (sorted keys).
+/// Registry of named monotonic counters (uint64, add-only), gauges
+/// (double, set/max), and log2 histograms (obs/Histogram.h). Deterministic
+/// iteration order (sorted keys).
 class Stats {
   std::map<std::string, uint64_t> CounterMap;
   std::map<std::string, double> GaugeMap;
+  std::map<std::string, Histogram> HistMap;
 
 public:
   void add(const std::string &Name, uint64_t Delta = 1);
   void setGauge(const std::string &Name, double Value);
   /// Keeps the max of the existing and new value (for depths, frontiers).
   void maxGauge(const std::string &Name, double Value);
+  /// Adds one sample to the named histogram (created on first use).
+  void recordHist(const std::string &Name, uint64_t Value);
 
   /// \returns the counter's value, 0 when never touched.
   uint64_t counter(const std::string &Name) const;
   /// \returns the gauge's value, 0 when never touched.
   double gauge(const std::string &Name) const;
+  /// \returns the named histogram, or null when never recorded into.
+  const Histogram *findHist(const std::string &Name) const;
 
-  /// Folds \p O into this registry: counters add, gauges take the max.
+  /// Folds \p O into this registry: counters add, gauges take the max,
+  /// histogram buckets add (commutative, so worker-arena fold order never
+  /// shows in the result).
   void merge(const Stats &O);
 
   const std::map<std::string, uint64_t> &counters() const {
     return CounterMap;
   }
   const std::map<std::string, double> &gauges() const { return GaugeMap; }
+  const std::map<std::string, Histogram> &histograms() const {
+    return HistMap;
+  }
 
-  bool empty() const { return CounterMap.empty() && GaugeMap.empty(); }
+  bool empty() const {
+    return CounterMap.empty() && GaugeMap.empty() && HistMap.empty();
+  }
   void clear();
 };
 

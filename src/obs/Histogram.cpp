@@ -1,0 +1,93 @@
+//===- obs/Histogram.cpp - Fixed-bucket log2 histograms -------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+using namespace pseq::obs;
+
+unsigned Histogram::bucketFor(uint64_t Value) {
+  if (Value == 0)
+    return 0;
+  // bit_width: bucket b holds [2^(b-1), 2^b).
+  unsigned Width = 0;
+  while (Value) {
+    Value >>= 1;
+    ++Width;
+  }
+  return Width;
+}
+
+uint64_t Histogram::bucketLo(unsigned B) {
+  return B == 0 ? 0 : uint64_t(1) << (B - 1);
+}
+
+uint64_t Histogram::bucketHi(unsigned B) {
+  if (B == 0)
+    return 0;
+  if (B == 64)
+    return UINT64_MAX;
+  return (uint64_t(1) << B) - 1;
+}
+
+void Histogram::record(uint64_t Value) {
+  ++Buckets[bucketFor(Value)];
+  ++Count;
+  Sum += Value;
+  Min = std::min(Min, Value);
+  Max = std::max(Max, Value);
+}
+
+void Histogram::merge(const Histogram &O) {
+  for (unsigned B = 0; B != NumBuckets; ++B)
+    Buckets[B] += O.Buckets[B];
+  Count += O.Count;
+  Sum += O.Sum;
+  Min = std::min(Min, O.Min);
+  Max = std::max(Max, O.Max);
+}
+
+double Histogram::percentile(double P) const {
+  if (Count == 0)
+    return 0;
+  P = std::clamp(P, 0.0, 100.0);
+  // 1-based rank of the percentile sample, then a walk to its bucket.
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(P / 100.0 * Count));
+  Rank = std::clamp<uint64_t>(Rank, 1, Count);
+  uint64_t Cum = 0;
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    if (Buckets[B] == 0)
+      continue;
+    if (Cum + Buckets[B] >= Rank) {
+      double Lo = static_cast<double>(bucketLo(B));
+      double Hi = static_cast<double>(bucketHi(B));
+      // Interpolate by rank position inside the bucket; integer inputs
+      // only, so the result is a deterministic function of the buckets.
+      double Frac =
+          static_cast<double>(Rank - Cum) / static_cast<double>(Buckets[B]);
+      return Lo + (Hi - Lo) * Frac;
+    }
+    Cum += Buckets[B];
+  }
+  return static_cast<double>(max());
+}
+
+bool Histogram::operator==(const Histogram &O) const {
+  return Count == O.Count && Sum == O.Sum && Min == O.Min && Max == O.Max &&
+         std::memcmp(Buckets, O.Buckets, sizeof(Buckets)) == 0;
+}
+
+bool pseq::obs::isTimingHistKey(const std::string &Key) {
+  auto EndsWith = [&](const char *Suffix) {
+    size_t N = std::strlen(Suffix);
+    return Key.size() >= N && Key.compare(Key.size() - N, N, Suffix) == 0;
+  };
+  return EndsWith(".ns") || EndsWith(".us") || EndsWith(".ms");
+}

@@ -1,0 +1,89 @@
+//===- obs/Histogram.h - Fixed-bucket log2 histograms -----------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-bucket log2 histograms for the flight-recorder layer: latency and
+/// size distributions (task run-times, PS^na step latencies, memo probe
+/// times, behavior-set sizes) that a summary counter cannot capture.
+///
+/// The bucket layout is value-independent — bucket 0 holds the value 0,
+/// bucket b >= 1 holds [2^(b-1), 2^b) — so merging two histograms is a
+/// plain bucket-count addition: commutative and associative, which makes
+/// the fold over per-worker arenas bit-identical no matter the thread
+/// count or merge order. Percentiles are derived from the bucket counts
+/// alone (rank walk + linear interpolation inside the bucket), so they are
+/// equally deterministic.
+///
+/// Key convention (enforced by the determinism tests): histograms whose
+/// samples are wall-clock readings carry a time-unit suffix (".ns", ".us",
+/// ".ms") and are exempt from cross-thread-count bit-identity; all other
+/// histograms record deterministic quantities (sizes, counts) and must
+/// merge bit-identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OBS_HISTOGRAM_H
+#define PSEQ_OBS_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace pseq::obs {
+
+/// A log2-bucketed histogram over uint64 samples. Cheap to record into
+/// (one clz + one increment), trivially mergeable, and percentile-queryable
+/// without retaining samples.
+class Histogram {
+public:
+  /// Bucket 0 = {0}; bucket b in [1,64] = [2^(b-1), 2^b).
+  static constexpr unsigned NumBuckets = 65;
+
+  void record(uint64_t Value);
+
+  /// Adds \p O's buckets into this one (counts add, min/min, max/max).
+  void merge(const Histogram &O);
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  /// Exact extrema of the recorded samples (0 when empty).
+  uint64_t min() const { return Count ? Min : 0; }
+  uint64_t max() const { return Max; }
+
+  /// Estimated value at percentile \p P in [0,100]: rank walk over the
+  /// buckets with linear interpolation inside the winning bucket. Derived
+  /// from bucket counts only, so deterministic given equal buckets.
+  /// \returns 0 for an empty histogram.
+  double percentile(double P) const;
+
+  uint64_t bucket(unsigned B) const { return Buckets[B]; }
+
+  /// Maps a sample to its bucket index.
+  static unsigned bucketFor(uint64_t Value);
+  /// Inclusive lower bound of bucket \p B.
+  static uint64_t bucketLo(unsigned B);
+  /// Inclusive upper bound of bucket \p B.
+  static uint64_t bucketHi(unsigned B);
+
+  bool operator==(const Histogram &O) const;
+  bool operator!=(const Histogram &O) const { return !(*this == O); }
+
+private:
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = UINT64_MAX;
+  uint64_t Max = 0;
+};
+
+/// True for histogram keys that record wall-clock samples (time-unit
+/// suffix): these are exempt from the cross-thread-count bit-identity
+/// guarantee the deterministic histograms carry.
+bool isTimingHistKey(const std::string &Key);
+
+} // namespace pseq::obs
+
+#endif // PSEQ_OBS_HISTOGRAM_H

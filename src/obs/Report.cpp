@@ -44,6 +44,23 @@ std::string pseq::obs::renderReportTable(const Telemetry &T) {
       Out += Line;
     }
   }
+  if (!T.Counters.histograms().empty()) {
+    Out += "histograms\n";
+    char Line[200];
+    std::snprintf(Line, sizeof(Line), "  %-28s %10s %10s %10s %10s %10s\n",
+                  "", "count", "p50", "p90", "p99", "max");
+    Out += Line;
+    for (const auto &[Name, H] : T.Counters.histograms()) {
+      std::snprintf(Line, sizeof(Line),
+                    "  %-28s %10llu %10s %10s %10s %10llu\n", Name.c_str(),
+                    static_cast<unsigned long long>(H.count()),
+                    fixed(H.percentile(50), 1).c_str(),
+                    fixed(H.percentile(90), 1).c_str(),
+                    fixed(H.percentile(99), 1).c_str(),
+                    static_cast<unsigned long long>(H.max()));
+      Out += Line;
+    }
+  }
   if (!T.Timers.empty()) {
     Out += "timers\n";
     for (const TimerTree::Row &R : T.Timers.rows()) {
@@ -61,6 +78,28 @@ std::string pseq::obs::renderReportTable(const Telemetry &T) {
     Out += "(no telemetry recorded)\n";
   Out += "================================================================="
          "=====\n";
+  return Out;
+}
+
+std::string pseq::obs::renderHistogramJson(const Histogram &H) {
+  std::string Out = "{\"count\":" + std::to_string(H.count());
+  Out += ",\"sum\":" + std::to_string(H.sum());
+  Out += ",\"min\":" + std::to_string(H.min());
+  Out += ",\"max\":" + std::to_string(H.max());
+  Out += ",\"p50\":" + jsonNumber(H.percentile(50));
+  Out += ",\"p90\":" + jsonNumber(H.percentile(90));
+  Out += ",\"p99\":" + jsonNumber(H.percentile(99));
+  Out += ",\"buckets\":[";
+  bool First = true;
+  for (unsigned B = 0; B != Histogram::NumBuckets; ++B) {
+    if (H.bucket(B) == 0)
+      continue;
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '[' + std::to_string(B) + ',' + std::to_string(H.bucket(B)) + ']';
+  }
+  Out += "]}";
   return Out;
 }
 
@@ -86,6 +125,17 @@ std::string pseq::obs::renderReportJson(const Telemetry &T) {
     Out += jsonEscape(Name);
     Out += "\":";
     Out += jsonNumber(Value);
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : T.Counters.histograms()) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += jsonEscape(Name);
+    Out += "\":";
+    Out += renderHistogramJson(H);
   }
   Out += "},\"timers\":[";
   First = true;

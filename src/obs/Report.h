@@ -13,7 +13,12 @@
 ///
 /// JSON shape:
 ///   {"counters":{"k":v,...},"gauges":{"k":v,...},
+///    "histograms":{"k":{"count":n,"sum":s,"min":m,"max":M,
+///                       "p50":v,"p90":v,"p99":v,"buckets":[[b,c],...]},...},
 ///    "timers":[{"path":"a/b","ms":t,"count":n},...]}
+/// Histogram buckets are sparse [bucket index, count] pairs; percentiles
+/// are derived from the buckets, so two runs with equal buckets render
+/// byte-identical histogram objects.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,8 +31,12 @@
 
 namespace pseq::obs {
 
-/// Human-readable summary: counters, gauges, and the indented timer tree.
+/// Human-readable summary: counters, gauges, histogram percentile rows
+/// (p50/p90/p99/max and count), and the indented timer tree.
 std::string renderReportTable(const Telemetry &T);
+
+/// One histogram as a JSON object (the "histograms" member value above).
+std::string renderHistogramJson(const Histogram &H);
 
 /// One JSON object (no trailing newline); see the schema above.
 std::string renderReportJson(const Telemetry &T);

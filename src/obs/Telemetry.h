@@ -18,6 +18,7 @@
 #define PSEQ_OBS_TELEMETRY_H
 
 #include "obs/Counters.h"
+#include "obs/Span.h"
 #include "obs/Timer.h"
 #include "obs/TraceSink.h"
 
@@ -32,6 +33,10 @@ struct Telemetry {
   /// Borrowed, not owned; null means "no tracing". Prefer tracing() +
   /// trace() over touching this directly.
   TraceSink *Sink = nullptr;
+  /// Borrowed, not owned; null means "no span recording". Engines hand
+  /// the same recorder to every worker arena (lanes are per-thread, so
+  /// sharing is free); sites open spans with obs::ScopedSpan.
+  SpanRecorder *Spans = nullptr;
 
   /// Folds a worker arena's counter registry into this one (counters add,
   /// gauges max). The parallel engines give every pool worker a private
@@ -51,6 +56,15 @@ struct Telemetry {
     if (tracing())
       Sink->event(Kind, Fields);
   }
+
+  /// Flight-recorder shutdown: emits one "run.final" event carrying \p
+  /// Reason plus every counter and gauge, then flushes the sink. Engines
+  /// call this when a guard truncation cuts a run short, and the
+  /// fork-isolation harness calls it before a worker may die — either way
+  /// the JSONL tail ends on a complete, self-describing line. Safe to call
+  /// with tracing off (it degrades to a flush-only no-op) and from the
+  /// orchestrator thread only.
+  void finalSnapshot(std::string_view Reason);
 
 private:
   std::mutex MergeMu;

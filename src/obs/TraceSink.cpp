@@ -130,3 +130,22 @@ std::unique_ptr<TraceSink> pseq::obs::traceSinkFromEnv() {
   }
   return Sink;
 }
+
+std::unique_ptr<TraceSink>
+pseq::obs::traceSinkFromFlagOrEnv(const std::string &FlagPath) {
+  if (FlagPath.empty())
+    return traceSinkFromEnv();
+  const char *Env = std::getenv("PSEQ_TRACE");
+  if (Env && *Env && FlagPath != Env)
+    std::fprintf(stderr,
+                 "pseq: warning: both --trace=%s and PSEQ_TRACE=%s are set; "
+                 "the flag wins\n",
+                 FlagPath.c_str(), Env);
+  auto Sink = std::make_unique<JsonlTraceSink>(FlagPath);
+  if (!Sink->ok()) {
+    std::fprintf(stderr, "pseq: warning: --trace %s not writable\n",
+                 FlagPath.c_str());
+    return nullptr;
+  }
+  return Sink;
+}

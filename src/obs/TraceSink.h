@@ -92,6 +92,10 @@ public:
   virtual bool enabled() const = 0;
   virtual void event(std::string_view Kind,
                      const std::vector<TraceField> &Fields) = 0;
+  /// Pushes buffered events to stable storage. Called on guard truncation
+  /// and before fork-isolated workers may die, so a crashed or cut-short
+  /// run never leaves a torn JSONL tail. Default: nothing to flush.
+  virtual void flush() {}
 };
 
 /// Swallows everything (the default).
@@ -116,7 +120,7 @@ public:
   bool enabled() const override { return Out.is_open(); }
   void event(std::string_view Kind,
              const std::vector<TraceField> &Fields) override;
-  void flush() { Out.flush(); }
+  void flush() override { Out.flush(); }
 
 private:
   std::ofstream Out;
@@ -127,6 +131,13 @@ private:
 /// The `PSEQ_TRACE` contract: returns a JSONL sink writing to the path the
 /// variable names, or nullptr when it is unset/empty (tracing off).
 std::unique_ptr<TraceSink> traceSinkFromEnv();
+
+/// Resolves the `--trace <path>` flag against `PSEQ_TRACE`: the flag wins,
+/// and when both are set to different paths a warning is printed to stderr
+/// so the shadowed env var is never silently ignored. An empty \p FlagPath
+/// falls back to the env contract. Returns nullptr when tracing is off or
+/// the chosen path is not writable (with a warning).
+std::unique_ptr<TraceSink> traceSinkFromFlagOrEnv(const std::string &FlagPath);
 
 } // namespace pseq::obs
 

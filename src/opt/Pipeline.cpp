@@ -62,6 +62,8 @@ PipelineResult pseq::runPipeline(const Program &P,
   ValidateCfg.Memo = Opts.Memo ? Opts.Memo : Opts.Cfg.Memo;
   obs::TimerTree *Timers = Telem ? &Telem->Timers : nullptr;
   obs::ScopedTimer PipeTimer(Timers, "pipeline");
+  obs::SpanRecorder *Spans = Telem ? Telem->Spans : nullptr;
+  obs::ScopedSpan PipeSpan(Spans, "opt.pipeline");
 
   std::vector<std::pair<const char *, PassFn>> Passes;
   if (Opts.EnableConstProp)
@@ -76,16 +78,21 @@ PipelineResult pseq::runPipeline(const Program &P,
     Report.Name = Name;
     // Phase nesting: pipeline / <pass> / {opt, validate}.
     obs::ScopedTimer PassTimer(Timers, Name);
+    obs::ScopedSpan PassSpan(Spans, Name);
     PassResult PR = [&] {
       obs::ScopedTimer OptTimer(Timers, "opt");
+      obs::ScopedSpan OptSpan(Spans, "opt.rewrite");
       PassResult R = Pass(*Out.Prog);
       Report.OptMs = OptTimer.stop();
       return R;
     }();
     Report.Rewrites = PR.Rewrites;
-    if (Telem && PR.Rewrites)
-      Telem->Counters.add(std::string("opt.pass.") + Name + ".rewrites",
-                          PR.Rewrites);
+    if (Telem) {
+      Telem->Counters.recordHist("opt.pass.rewrites", PR.Rewrites);
+      if (PR.Rewrites)
+        Telem->Counters.add(std::string("opt.pass.") + Name + ".rewrites",
+                            PR.Rewrites);
+    }
 
     if (PR.Rewrites == 0) {
       // Nothing changed: skip validation, keep the (equivalent) output.
@@ -95,8 +102,11 @@ PipelineResult pseq::runPipeline(const Program &P,
     }
 
     if (Opts.Validate) {
-      ValidationResult V =
-          validateTransform(*Out.Prog, *PR.Prog, ValidateCfg, Opts.Method);
+      ValidationResult V = [&] {
+        obs::ScopedSpan ValidateSpan(Spans, "opt.validate");
+        return validateTransform(*Out.Prog, *PR.Prog, ValidateCfg,
+                                 Opts.Method);
+      }();
       Report.Validated = V.Ok;
       Report.ValidationBounded = V.Bounded;
       Report.ValidationCause = V.Cause;
@@ -115,6 +125,7 @@ PipelineResult pseq::runPipeline(const Program &P,
         Out.AllValidated = false;
         if (Opts.ShrinkFailures) {
           obs::ScopedTimer ShrinkTimer(Timers, "shrink");
+          obs::ScopedSpan ShrinkSpan(Spans, "opt.shrink");
           shrinkRejectedPair(*Out.Prog, *PR.Prog, ValidateCfg, Opts.Method,
                              Guard, Report);
         }

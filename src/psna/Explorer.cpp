@@ -16,6 +16,7 @@
 #include "support/Hashing.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <unordered_set>
@@ -273,6 +274,16 @@ void expandState(const Program &P, const PsMachine &M, const PruneInfo &PI,
   E.NaMarkers = M.naMarkers() - MarkerBase;
 }
 
+/// Clock for the timing histograms (`.us`-suffixed keys, which the
+/// determinism checks skip). Steady so span/step latencies never jump
+/// under wall-clock adjustment.
+uint64_t nowMonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
   PsMachine M(P, Cfg);
   PsBehaviorSet Result;
@@ -289,6 +300,7 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
 
   obs::Telemetry *Telem = Cfg.Telem;
   obs::ScopedTimer Timer(Telem ? &Telem->Timers : nullptr, "psna.explore");
+  obs::ScopedSpan Span(Telem ? Telem->Spans : nullptr, "psna.explore");
   obs::ScopedTally Tally(Telem ? &Telem->Counters : nullptr);
   uint64_t &Runs = Tally.slot("psna.explore.runs");
   uint64_t &Expanded = Tally.slot("psna.explore.states_expanded");
@@ -331,6 +343,11 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
       }
     }
     MaxFrontier = std::max(MaxFrontier, Work.size());
+    if (Telem)
+      // Frontier sizes are a pure function of the BFS — the same sample
+      // sequence appears at the parallel merge loop's pops, keeping the
+      // histogram bit-identical for every worker count.
+      Telem->Counters.recordHist("psna.explore.frontier", Work.size());
     WorkItem Item = std::move(Work.front());
     Work.pop_front();
     ++Expanded;
@@ -348,7 +365,11 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
       continue;
     }
     PsExpansion E;
+    uint64_t StepT0 = Telem ? nowMonotonicNs() : 0;
     expandState(P, M, PI, Item.S, Item.Sleep, E);
+    if (Telem)
+      Telem->Counters.recordHist("psna.step.us",
+                                 (nowMonotonicNs() - StepT0) / 1000);
     for (size_t Tid = 0; Tid != E.PerThread.size(); ++Tid)
       ThreadSteps[Tid] += E.PerThread[Tid];
     PrunedSkips += E.PrunedSkips;
@@ -406,6 +427,8 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
   if (Telem) {
     Telem->Counters.maxGauge("psna.explore.max_frontier",
                              static_cast<double>(MaxFrontier));
+    Telem->Counters.recordHist("psna.explore.behavior_set",
+                               Result.All.size());
     for (size_t Tid = 0; Tid != ThreadSteps.size(); ++Tid)
       Telem->Counters.add("psna.explore.thread" + std::to_string(Tid) +
                               ".steps",
@@ -417,6 +440,8 @@ PsBehaviorSet explorePsnaSequential(const Program &P, const PsConfig &Cfg) {
                     {"dedup_hits", DedupHits},
                     {"cause", truncationCauseName(Result.Cause)},
                     {"ms", Timer.stop()}});
+    if (isGuardCause(Result.Cause))
+      Telem->finalSnapshot(truncationCauseName(Result.Cause));
   }
   return Result;
 }
@@ -432,6 +457,9 @@ struct PsArenas {
       PsConfig WCfg = Cfg;
       if (WCfg.Telem) {
         Telems.push_back(std::make_unique<obs::Telemetry>());
+        // Workers share the orchestrator's span recorder (it is per-thread
+        // internally); counters/histograms stay private and merge below.
+        Telems.back()->Spans = Cfg.Telem->Spans;
         WCfg.Telem = Telems.back().get();
       }
       Machines.push_back(std::make_unique<PsMachine>(P, WCfg));
@@ -479,6 +507,7 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
 
   obs::Telemetry *Telem = Cfg.Telem;
   obs::ScopedTimer Timer(Telem ? &Telem->Timers : nullptr, "psna.explore");
+  obs::ScopedSpan Span(Telem ? Telem->Spans : nullptr, "psna.explore");
   obs::ScopedTally Tally(Telem ? &Telem->Counters : nullptr);
   uint64_t &Runs = Tally.slot("psna.explore.runs");
   uint64_t &Expanded = Tally.slot("psna.explore.states_expanded");
@@ -506,10 +535,12 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
   };
 
   guard::ResourceGuard *G = Cfg.Guard;
+  obs::SpanRecorder *SpanRec = Telem ? Telem->Spans : nullptr;
   bool Truncated = false;
   while (!Work.empty() && !Truncated) {
     size_t K = Work.size();
     std::vector<PsExpansion> Level(K);
+    obs::ScopedSpan LevelSpan(SpanRec, "psna.level");
     exec::parallelFor(
         N, K,
         [&](size_t I, unsigned W) {
@@ -522,8 +553,15 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
           // the sequential loop would; all VisitedSet decisions stay in
           // the single-threaded merge below, so results are bit-identical
           // for every worker count, pruning on or off.
+          obs::Telemetry *WT =
+              Arenas.Telems.empty() ? nullptr : Arenas.Telems[W].get();
+          obs::ScopedSpan ExpandSpan(WT ? WT->Spans : nullptr, "psna.expand");
+          uint64_t StepT0 = WT ? nowMonotonicNs() : 0;
           expandState(P, *Arenas.Machines[W], PI, Item.S, Item.Sleep,
                       Level[I]);
+          if (WT)
+            WT->Counters.recordHist("psna.step.us",
+                                    (nowMonotonicNs() - StepT0) / 1000);
         },
         G ? &G->stopFlag() : nullptr);
 
@@ -542,6 +580,8 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
         break;
       }
       MaxFrontier = std::max(MaxFrontier, Work.size());
+      if (Telem)
+        Telem->Counters.recordHist("psna.explore.frontier", Work.size());
       WorkItem Item = std::move(Work.front());
       Work.pop_front();
       ++Expanded;
@@ -615,6 +655,8 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
   if (Telem) {
     Telem->Counters.maxGauge("psna.explore.max_frontier",
                              static_cast<double>(MaxFrontier));
+    Telem->Counters.recordHist("psna.explore.behavior_set",
+                               Result.All.size());
     for (size_t Tid = 0; Tid != ThreadSteps.size(); ++Tid)
       Telem->Counters.add("psna.explore.thread" + std::to_string(Tid) +
                               ".steps",
@@ -626,6 +668,8 @@ PsBehaviorSet explorePsnaParallel(const Program &P, const PsConfig &Cfg,
                     {"dedup_hits", DedupHits},
                     {"cause", truncationCauseName(Result.Cause)},
                     {"ms", Timer.stop()}});
+    if (isGuardCause(Result.Cause))
+      Telem->finalSnapshot(truncationCauseName(Result.Cause));
   }
   return Result;
 }
@@ -702,8 +746,13 @@ PsBehaviorSet pseq::explorePsna(const Program &P, const PsConfig &Cfg) {
   memo::Fp128 Key;
   if (UseCache) {
     Key = psExploreKey(P, ECfg);
-    if (std::shared_ptr<const PsBehaviorSet> Hit = MC->lookupAs<PsBehaviorSet>(
-            memo::MemoContext::Table::PsBehaviors, Key)) {
+    uint64_t ProbeT0 = ECfg.Telem ? nowMonotonicNs() : 0;
+    std::shared_ptr<const PsBehaviorSet> Hit = MC->lookupAs<PsBehaviorSet>(
+        memo::MemoContext::Table::PsBehaviors, Key);
+    if (ECfg.Telem)
+      ECfg.Telem->Counters.recordHist("memo.probe.us",
+                                      (nowMonotonicNs() - ProbeT0) / 1000);
+    if (Hit) {
       MC->noteHit();
       if (ECfg.Telem)
         ECfg.Telem->Counters.add("memo.hits", 1);

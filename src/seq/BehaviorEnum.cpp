@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <unordered_set>
@@ -57,6 +58,15 @@ struct BehaviorHash {
     return static_cast<size_t>(B.hash());
   }
 };
+
+/// Clock for the timing histograms (`.us`-suffixed keys, which the
+/// determinism checks skip).
+uint64_t nowMonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Run-local tallies: plain fields so the hot path costs one increment each
 /// whether or not telemetry is attached; folded into the registry once per
@@ -471,6 +481,9 @@ struct WorkerArenas {
       SeqConfig WCfg = M.config();
       if (WCfg.Telem) {
         Telems.push_back(std::make_unique<obs::Telemetry>());
+        // Workers share the orchestrator's span recorder (per-thread lanes
+        // internally); counters/histograms stay private and merge below.
+        Telems.back()->Spans = WCfg.Telem->Spans;
         WCfg.Telem = Telems.back().get();
       }
       Machines.push_back(
@@ -540,14 +553,21 @@ BehaviorSet enumerateParallel(const SeqMachine &M, const SeqState &Init,
   exec::ThreadPool::global().run(
       N,
       [&](unsigned W) {
+        obs::Telemetry *WT =
+            Arenas.Telems.empty() ? nullptr : Arenas.Telems[W].get();
         while (std::optional<size_t> Idx = Deques.next(W)) {
           if (Cfg.Guard && Cfg.Guard->stopped())
             continue; // drain remaining tasks; verdict comes from the guard
           EnumTask &Tk = Tasks[*Idx];
+          obs::ScopedSpan TaskSpan(WT ? WT->Spans : nullptr, "seq.task");
+          uint64_t TaskT0 = WT ? nowMonotonicNs() : 0;
           DfsEnumerator E(*Arenas.Machines[W], &UniqueCount);
           E.explore(Tk.State, std::move(Tk.Trace), Tk.StepsLeft);
           TaskSets[*Idx] = E.take();
           TaskTallies[*Idx] = E.tallies();
+          if (WT)
+            WT->Counters.recordHist("seq.task.us",
+                                    (nowMonotonicNs() - TaskT0) / 1000);
         }
       },
       Cfg.Guard ? &Cfg.Guard->stopFlag() : nullptr);
@@ -578,6 +598,8 @@ BehaviorSet enumerateParallel(const SeqMachine &M, const SeqState &Init,
 BehaviorSet pseq::enumerateBehaviors(const SeqMachine &M,
                                      const SeqState &Init) {
   unsigned N = exec::resolveThreads(M.config().NumThreads);
+  obs::Telemetry *Telem = M.config().Telem;
+  obs::ScopedSpan Span(Telem ? Telem->Spans : nullptr, "seq.enum");
   EnumTallies T;
   BehaviorSet R = (N <= 1 || exec::ThreadPool::insideWorker())
                       ? enumerateSequential(M, Init, T)
@@ -591,7 +613,12 @@ BehaviorSet pseq::enumerateBehaviors(const SeqMachine &M,
   // pool tasks whose results never reached the merge).
   if (guard::ResourceGuard *G = M.config().Guard; G && G->stopped())
     noteTruncation(R.Cause, G->cause());
-  foldTallies(M.config().Telem, T);
+  foldTallies(Telem, T);
+  if (Telem) {
+    Telem->Counters.recordHist("seq.enum.behavior_set", R.All.size());
+    if (isGuardCause(R.Cause))
+      Telem->finalSnapshot(truncationCauseName(R.Cause));
+  }
   if (memo::MemoContext *MC = M.config().Memo;
       MC && (T.MemoHits || T.MemoMisses || T.Pruned)) {
     MC->noteHit(T.MemoHits);

@@ -49,6 +49,32 @@ inline bool parseUnsigned(const char *Text, unsigned &Out) {
   return true;
 }
 
+/// Matches Argv[I] against a value-carrying flag, accepting both
+/// `--flag VALUE` (consumes the next argument, advancing \p I) and
+/// `--flag=VALUE`. \returns true when the flag matched; \p Value is then
+/// the flag's value, or null for a trailing `--flag` with no argument
+/// left — callers must treat null as a usage error, never a default.
+/// Every binary shares this matcher so the flag surface stays uniform.
+inline bool flagValue(int Argc, char **Argv, int &I, const char *Flag,
+                      const char *&Value) {
+  const char *A = Argv[I];
+  size_t N = 0;
+  while (Flag[N] != '\0') {
+    if (A[N] != Flag[N])
+      return false;
+    ++N;
+  }
+  if (A[N] == '\0') {
+    Value = I + 1 < Argc ? Argv[++I] : nullptr;
+    return true;
+  }
+  if (A[N] == '=') {
+    Value = A + N + 1;
+    return true;
+  }
+  return false;
+}
+
 } // namespace cli
 } // namespace pseq
 

@@ -1,0 +1,156 @@
+//===- tests/telemetry_dict_test.cpp - DESIGN.md dictionary coverage ------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// The telemetry dictionary in DESIGN.md is the contract for every dotted
+// key the instrumentation can emit. This test drives the engines with a
+// live telemetry registry and span recorder, collects every key that
+// actually fired (counters, gauges, histograms, span names), and fails if
+// any is missing from the dictionary table — so a new instrumentation site
+// cannot land undocumented. Digit runs are normalized to `N`
+// (psna.explore.thread3.steps matches psna.explore.threadN.steps).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "litmus/Corpus.h"
+#include "memo/MemoContext.h"
+#include "obs/Telemetry.h"
+#include "opt/Pipeline.h"
+#include "psna/Explorer.h"
+#include "seq/BehaviorEnum.h"
+
+#include "gtest/gtest.h"
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+using namespace pseq;
+
+namespace {
+
+#ifndef PSEQ_DESIGN_MD
+#error "PSEQ_DESIGN_MD must point at DESIGN.md"
+#endif
+
+/// Replaces every maximal digit run with 'N': thread3 -> threadN.
+std::string normalizeDigits(const std::string &Key) {
+  std::string Out;
+  bool InRun = false;
+  for (char C : Key) {
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      if (!InRun)
+        Out += 'N';
+      InRun = true;
+    } else {
+      Out += C;
+      InRun = false;
+    }
+  }
+  return Out;
+}
+
+/// First-column backticked keys of the dictionary table rows
+/// (`| `key` | ...`) in DESIGN.md's "Telemetry dictionary" section.
+std::set<std::string> dictionaryKeys() {
+  std::ifstream In(PSEQ_DESIGN_MD);
+  EXPECT_TRUE(In.good()) << "cannot open " << PSEQ_DESIGN_MD;
+  std::set<std::string> Keys;
+  std::string Line;
+  bool InSection = false;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("### Telemetry dictionary", 0) == 0) {
+      InSection = true;
+      continue;
+    }
+    if (InSection && (Line.rfind("## ", 0) == 0 || Line.rfind("### ", 0) == 0))
+      break;
+    if (!InSection || Line.rfind("| `", 0) != 0)
+      continue;
+    size_t End = Line.find('`', 3);
+    if (End != std::string::npos)
+      Keys.insert(Line.substr(3, End - 3));
+  }
+  return Keys;
+}
+
+/// Drives every instrumented engine once and returns the normalized keys
+/// that fired.
+std::set<std::string> runtimeKeys() {
+  obs::Telemetry Telem;
+  obs::SpanRecorder Spans;
+  Telem.Spans = &Spans;
+  memo::MemoContext Memo;
+
+  // Optimizer pipeline (opt.*, seq.check.*, seq.enum/machine counters).
+  for (const RefinementCase &RC : refinementCorpus()) {
+    std::unique_ptr<Program> P = parseOrDie(RC.Src);
+    PipelineOptions Opts;
+    Opts.Cfg.Domain = RC.Domain;
+    Opts.Cfg.StepBudget = RC.StepBudget;
+    Opts.Telem = &Telem;
+    runPipeline(*P, Opts);
+  }
+
+  // PS^na explorer with memoization (psna.*, analysis.*, memo.*), both
+  // serial and pooled so every span name fires.
+  for (unsigned NumThreads : {1u, 2u}) {
+    for (const LitmusCase &LC : litmusCorpus()) {
+      std::unique_ptr<Program> P = parseOrDie(LC.Text);
+      PsConfig Cfg;
+      Cfg.Domain = LC.Domain;
+      Cfg.PromiseBudget = LC.PromiseBudget;
+      Cfg.SplitBudget = LC.SplitBudget;
+      Cfg.NumThreads = NumThreads;
+      Cfg.Telem = &Telem;
+      Cfg.Memo = &Memo;
+      explorePsna(*P, Cfg);
+    }
+  }
+
+  std::set<std::string> Keys;
+  for (const auto &[Name, V] : Telem.Counters.counters())
+    Keys.insert(normalizeDigits(Name));
+  for (const auto &[Name, V] : Telem.Counters.gauges())
+    Keys.insert(normalizeDigits(Name));
+  for (const auto &[Name, H] : Telem.Counters.histograms())
+    Keys.insert(normalizeDigits(Name));
+  for (unsigned L = 0; L < Spans.lanes(); ++L)
+    for (const obs::SpanRecord &S : Spans.lane(L))
+      Keys.insert(normalizeDigits(S.Name));
+  return Keys;
+}
+
+TEST(TelemetryDictTest, DictionaryParses) {
+  std::set<std::string> Dict = dictionaryKeys();
+  // A representative of every kind must be present — guards against the
+  // section being renamed or the table reformatted.
+  EXPECT_GT(Dict.size(), 50u);
+  EXPECT_TRUE(Dict.count("seq.enum.runs"));
+  EXPECT_TRUE(Dict.count("psna.explore.threadN.steps"));
+  EXPECT_TRUE(Dict.count("psna.explore.frontier"));
+  EXPECT_TRUE(Dict.count("pool.steals"));
+  EXPECT_TRUE(Dict.count("race_lint.analyze"));
+}
+
+TEST(TelemetryDictTest, EveryRuntimeKeyIsDocumented) {
+  std::set<std::string> Dict = dictionaryKeys();
+  ASSERT_FALSE(Dict.empty());
+  std::set<std::string> Fired = runtimeKeys();
+  ASSERT_GT(Fired.size(), 20u) << "instrumentation did not fire";
+
+  std::ostringstream Missing;
+  for (const std::string &Key : Fired)
+    if (!Dict.count(Key))
+      Missing << "  " << Key << "\n";
+  EXPECT_TRUE(Missing.str().empty())
+      << "keys missing from the DESIGN.md telemetry dictionary "
+         "(add a table row per key):\n"
+      << Missing.str();
+}
+
+} // namespace
