@@ -65,6 +65,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -209,10 +210,11 @@ inline int benchMain(int Argc, char **Argv) {
 
   // Strict flags: a malformed or missing value must fail loudly, never
   // parse as 0 (which would silently mean "all hardware threads" / "no
-  // budget") or as an empty path.
-  auto usageError = [&](const char *Flag, const char *Value) -> int {
-    std::fprintf(stderr, "error: invalid value '%s' for %s\n",
-                 Value ? Value : "", Flag);
+  // budget") or as an empty path. Numeric flags go through
+  // parseUnsignedInRange, so the diagnostic names the flag, the offending
+  // token, and the first bad column.
+  auto usage = [&](const std::string &Err) -> int {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
     std::fprintf(stderr,
                  "usage: %s [--json <path>] [--threads N] [--deadline-ms N] "
                  "[--mem-mb N] [--no-memo] [--trace <path>] "
@@ -221,8 +223,13 @@ inline int benchMain(int Argc, char **Argv) {
                  Argc ? Argv[0] : "bench");
     return 1;
   };
+  auto usageError = [&](const char *Flag, const char *Value) -> int {
+    return usage(std::string("invalid value '") + (Value ? Value : "") +
+                 "' for " + Flag);
+  };
   for (int I = 0; I != Argc; ++I) {
     const char *Value = nullptr;
+    std::string Err;
     if (cli::flagValue(Argc, Argv, I, "--json", Value)) {
       if (!Value || !*Value)
         return usageError("--json", Value);
@@ -244,9 +251,11 @@ inline int benchMain(int Argc, char **Argv) {
       continue;
     }
     if (cli::flagValue(Argc, Argv, I, "--heartbeat-ms", Value)) {
-      if (!Value || !cli::parseUnsigned(Value, HeartbeatMs) ||
-          HeartbeatMs == 0)
-        return usageError("--heartbeat-ms", Value);
+      // A zero period would spin the sampler thread; an hour-plus one
+      // means the heartbeat never fires before any sane deadline.
+      if (!cli::parseUnsignedInRange("--heartbeat-ms", Value, uint64_t(1),
+                                     uint64_t(3600000), HeartbeatMs, Err))
+        return usage(Err);
       continue;
     }
     if (cli::flagValue(Argc, Argv, I, "--heartbeat", Value)) {
@@ -256,18 +265,25 @@ inline int benchMain(int Argc, char **Argv) {
       continue;
     }
     if (cli::flagValue(Argc, Argv, I, "--threads", Value)) {
-      if (!Value || !cli::parseUnsigned(Value, detail::numThreadsSlot()))
-        return usageError("--threads", Value);
+      // 0 = all hardware threads; anything past the pool's hard cap is
+      // rejected up front instead of being clamped mid-run.
+      if (!cli::parseUnsignedInRange("--threads", Value, 0u,
+                                     exec::maxThreads(),
+                                     detail::numThreadsSlot(), Err))
+        return usage(Err);
       continue;
     }
     if (cli::flagValue(Argc, Argv, I, "--deadline-ms", Value)) {
-      if (!Value || !cli::parseUnsigned(Value, DeadlineMs) || DeadlineMs == 0)
-        return usageError("--deadline-ms", Value);
+      if (!cli::parseUnsignedInRange(
+              "--deadline-ms", Value, uint64_t(1),
+              std::numeric_limits<uint64_t>::max(), DeadlineMs, Err))
+        return usage(Err);
       continue;
     }
     if (cli::flagValue(Argc, Argv, I, "--mem-mb", Value)) {
-      if (!Value || !cli::parseUnsigned(Value, MemMb) || MemMb == 0)
-        return usageError("--mem-mb", Value);
+      if (!cli::parseUnsignedInRange("--mem-mb", Value, uint64_t(1),
+                                     uint64_t(1) << 24, MemMb, Err))
+        return usage(Err);
       continue;
     }
     if (std::string(Argv[I]) == "--no-memo") {

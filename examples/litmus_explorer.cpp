@@ -59,6 +59,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -104,11 +105,8 @@ void explore(const std::string &Title, const std::string &Text,
     std::printf("    %s\n", S.c_str());
 }
 
-int usageError(const char *Prog, const std::string &What,
-               const char *Value) {
-  std::fprintf(stderr, "error: invalid value '%s' for %s (expected an "
-                       "unsigned integer)\n",
-               Value ? Value : "", What.c_str());
+int usage(const char *Prog, const std::string &Err) {
+  std::fprintf(stderr, "error: %s\n", Err.c_str());
   std::fprintf(stderr,
                "usage: %s [--threads N] [--deadline-ms N] [--mem-mb N] "
                "[--no-memo] [--no-lint] [--sweep N] [--trace PATH] "
@@ -116,6 +114,12 @@ int usageError(const char *Prog, const std::string &What,
                "       %s [--threads N] --witness <corpus-case> <behavior>\n",
                Prog, Prog);
   return 2;
+}
+
+int usageError(const char *Prog, const std::string &What,
+               const char *Value) {
+  return usage(Prog, "invalid value '" + std::string(Value ? Value : "") +
+                         "' for " + What);
 }
 
 } // namespace
@@ -133,25 +137,31 @@ int main(int Argc, char **Argv) {
     for (int I = 0; I != Argc; ++I) {
       std::string A = Argv[I];
       const char *Value = nullptr;
+      std::string Err;
       if (cli::flagValue(Argc, Argv, I, "--threads", Value)) {
-        if (!Value || !cli::parseUnsigned(Value, NumThreads))
-          return usageError(Prog, "--threads", Value);
+        // 0 = all hardware threads; the pool's hard cap bounds the rest.
+        if (!cli::parseUnsignedInRange("--threads", Value, 0u,
+                                       exec::maxThreads(), NumThreads, Err))
+          return usage(Prog, Err);
         continue;
       }
       if (cli::flagValue(Argc, Argv, I, "--deadline-ms", Value)) {
-        if (!Value || !cli::parseUnsigned(Value, DeadlineMs) ||
-            DeadlineMs == 0)
-          return usageError(Prog, "--deadline-ms", Value);
+        if (!cli::parseUnsignedInRange(
+                "--deadline-ms", Value, uint64_t(1),
+                std::numeric_limits<uint64_t>::max(), DeadlineMs, Err))
+          return usage(Prog, Err);
         continue;
       }
       if (cli::flagValue(Argc, Argv, I, "--mem-mb", Value)) {
-        if (!Value || !cli::parseUnsigned(Value, MemMb) || MemMb == 0)
-          return usageError(Prog, "--mem-mb", Value);
+        if (!cli::parseUnsignedInRange("--mem-mb", Value, uint64_t(1),
+                                       uint64_t(1) << 24, MemMb, Err))
+          return usage(Prog, Err);
         continue;
       }
       if (cli::flagValue(Argc, Argv, I, "--sweep", Value)) {
-        if (!Value || !cli::parseUnsigned(Value, Sweeps) || Sweeps == 0)
-          return usageError(Prog, "--sweep", Value);
+        if (!cli::parseUnsignedInRange("--sweep", Value, uint64_t(1),
+                                       uint64_t(1000000), Sweeps, Err))
+          return usage(Prog, Err);
         continue;
       }
       if (cli::flagValue(Argc, Argv, I, "--trace-out", Value)) {

@@ -38,6 +38,8 @@ unsigned exec::resolveThreads(unsigned NumThreads) {
   return NumThreads > MaxThreads ? MaxThreads : NumThreads;
 }
 
+unsigned exec::maxThreads() { return MaxThreads; }
+
 unsigned exec::defaultNumThreads() {
   static unsigned Cached = [] {
     const char *Env = std::getenv("PSEQ_THREADS");

@@ -45,6 +45,11 @@ unsigned hardwareThreads();
 /// else is taken literally (clamped to a sane ceiling).
 unsigned resolveThreads(unsigned NumThreads);
 
+/// The ceiling resolveThreads() clamps to. CLI front ends reject
+/// --threads values above it up front (with a diagnostic) instead of
+/// relying on the silent clamp.
+unsigned maxThreads();
+
 /// The default for SeqConfig/PsConfig NumThreads: the PSEQ_THREADS
 /// environment variable when set ("0" = hardware concurrency), else 1.
 /// Reading the environment once lets CI run the whole suite multi-threaded

@@ -1,0 +1,194 @@
+//===- lang/TemplateBuilder.cpp - Transformation templates ----------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/TemplateBuilder.h"
+
+#include <cassert>
+
+using namespace pseq;
+
+AtomSpec AtomSpec::skip() { return AtomSpec(); }
+
+AtomSpec AtomSpec::load(unsigned Loc, ReadMode M, unsigned Reg) {
+  AtomSpec A;
+  A.K = Kind::Load;
+  A.Loc = Loc;
+  A.RM = M;
+  A.Reg = Reg;
+  return A;
+}
+
+AtomSpec AtomSpec::store(unsigned Loc, WriteMode M, int64_t Val) {
+  AtomSpec A;
+  A.K = Kind::Store;
+  A.Loc = Loc;
+  A.WM = M;
+  A.Val = Val;
+  return A;
+}
+
+AtomSpec AtomSpec::rmw(unsigned Loc, ReadMode RM, WriteMode WM, unsigned Reg) {
+  assert(RM != ReadMode::NA && WM != WriteMode::NA &&
+         "RMWs are atomic-mode only");
+  AtomSpec A;
+  A.K = Kind::Rmw;
+  A.Loc = Loc;
+  A.RM = RM;
+  A.WM = WM;
+  A.Reg = Reg;
+  A.Val = 1;
+  return A;
+}
+
+AtomSpec AtomSpec::fence(FenceMode M) {
+  AtomSpec A;
+  A.K = Kind::Fence;
+  A.FM = M;
+  return A;
+}
+
+AtomSpec AtomSpec::move(unsigned DstReg, unsigned SrcReg) {
+  AtomSpec A;
+  A.K = Kind::Move;
+  A.Reg = DstReg;
+  A.Val = SrcReg;
+  return A;
+}
+
+AtomSpec AtomSpec::imm(unsigned Reg, int64_t Val) {
+  AtomSpec A;
+  A.K = Kind::Imm;
+  A.Reg = Reg;
+  A.Val = Val;
+  return A;
+}
+
+std::string AtomSpec::str() const {
+  auto regName = [](unsigned Slot) {
+    return "r" + std::to_string(Slot + 1);
+  };
+  const char *LocName = Loc == 0 ? "x" : "y";
+  switch (K) {
+  case Kind::Skip:
+    return "skip";
+  case Kind::Load:
+    return regName(Reg) + ":=" + LocName + "@" + modeName(RM);
+  case Kind::Store:
+    return std::string(LocName) + "@" + modeName(WM) +
+           ":=" + std::to_string(Val);
+  case Kind::Rmw:
+    return regName(Reg) + ":=fadd(" + LocName + ")@" + modeName(RM) + "," +
+           modeName(WM);
+  case Kind::Fence:
+    return std::string("fence@") + modeName(FM);
+  case Kind::Move:
+    return regName(Reg) + ":=" + regName(static_cast<unsigned>(Val));
+  case Kind::Imm:
+    return regName(Reg) + ":=" + std::to_string(Val);
+  }
+  return "?";
+}
+
+TemplateLayout pseq::templateLayout(const std::vector<AtomSpec> &Src,
+                                    const std::vector<AtomSpec> &Tgt) {
+  TemplateLayout L;
+  auto anyNa = [&](unsigned Loc) {
+    for (const AtomSpec &A : Src)
+      if (A.naAccessOf(Loc))
+        return true;
+    for (const AtomSpec &A : Tgt)
+      if (A.naAccessOf(Loc))
+        return true;
+    return false;
+  };
+  L.XAtomic = !anyNa(0);
+  L.YAtomic = !anyNa(1);
+  return L;
+}
+
+bool pseq::templateMixesModes(const std::vector<AtomSpec> &Src,
+                              const std::vector<AtomSpec> &Tgt) {
+  for (unsigned L = 0; L != 2; ++L) {
+    bool Na = false, Atomic = false;
+    auto scan = [&](const std::vector<AtomSpec> &Atoms) {
+      for (const AtomSpec &A : Atoms) {
+        if (!A.accessesLoc(L))
+          continue;
+        if (A.naAccessOf(L))
+          Na = true;
+        else
+          Atomic = true;
+      }
+    };
+    scan(Src);
+    scan(Tgt);
+    if (Na && Atomic)
+      return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Program>
+pseq::buildTemplateProgram(const std::vector<AtomSpec> &Atoms,
+                           const TemplateLayout &L) {
+  std::unique_ptr<Program> P = std::make_unique<Program>();
+  unsigned Locs[2] = {P->declareLoc("x", L.XAtomic),
+                      P->declareLoc("y", L.YAtomic)};
+  unsigned Tid = P->addThread();
+  SymbolTable &Regs = P->thread(Tid).Regs;
+  // r3 is the scratch destination of introduced loads/RMWs; it is interned
+  // in every template program so source and target share register tables.
+  unsigned Slot[3] = {Regs.intern("r1"), Regs.intern("r2"),
+                      Regs.intern("r3")};
+
+  std::vector<const Stmt *> Body;
+  Body.push_back(P->stmtAssign(Slot[0], P->exprConst(0)));
+  Body.push_back(P->stmtAssign(Slot[1], P->exprConst(0)));
+  for (const AtomSpec &A : Atoms) {
+    assert(A.Loc < 2 && A.Reg < 3 && "template shape out of range");
+    switch (A.K) {
+    case AtomSpec::Kind::Skip:
+      Body.push_back(P->stmtSkip());
+      break;
+    case AtomSpec::Kind::Load:
+      Body.push_back(P->stmtLoad(Slot[A.Reg], Locs[A.Loc], A.RM));
+      break;
+    case AtomSpec::Kind::Store:
+      Body.push_back(P->stmtStore(Locs[A.Loc], P->exprConst(A.Val), A.WM));
+      break;
+    case AtomSpec::Kind::Rmw:
+      Body.push_back(
+          P->stmtFadd(Slot[A.Reg], Locs[A.Loc], P->exprConst(1), A.RM, A.WM));
+      break;
+    case AtomSpec::Kind::Fence:
+      Body.push_back(P->stmtFence(A.FM));
+      break;
+    case AtomSpec::Kind::Move:
+      Body.push_back(P->stmtAssign(
+          Slot[A.Reg], P->exprReg(Slot[static_cast<unsigned>(A.Val)])));
+      break;
+    case AtomSpec::Kind::Imm:
+      Body.push_back(P->stmtAssign(Slot[A.Reg], P->exprConst(A.Val)));
+      break;
+    }
+  }
+  Body.push_back(P->stmtReturn(
+      P->exprBin(BinOp::Add, P->exprReg(Slot[0]),
+                 P->exprBin(BinOp::Mul, P->exprConst(2), P->exprReg(Slot[1])))));
+  P->setThreadBody(Tid, P->stmtSeq(std::move(Body)));
+  return P;
+}
+
+std::string pseq::renderAtoms(const std::vector<AtomSpec> &Atoms) {
+  std::string Out;
+  for (const AtomSpec &A : Atoms) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += A.str();
+  }
+  return Out;
+}

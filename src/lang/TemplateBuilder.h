@@ -1,0 +1,119 @@
+//===- lang/TemplateBuilder.h - Transformation templates --------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instantiation helpers for two-instruction transformation templates: an
+/// AtomSpec names one instruction shape (an access of a template location
+/// with an explicit mode, a fence, or a register-only stand-in used by
+/// elimination targets), and buildTemplateProgram() lowers a sequence of
+/// atoms into a runnable single-thread program
+///
+///   thread { r1 := 0; r2 := 0; <atoms...>; return r1 + 2 * r2; }
+///
+/// over the fixed two-location layout `x, y`. The return expression
+/// injectively encodes both observation registers so the refinement
+/// checkers can see any value a template leaks. The atlas (src/atlas)
+/// enumerates templates out of these atoms and decides each one against
+/// the SEQ and PS^na checkers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_LANG_TEMPLATEBUILDER_H
+#define PSEQ_LANG_TEMPLATEBUILDER_H
+
+#include "lang/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pseq {
+
+/// One instruction slot of a transformation template.
+struct AtomSpec {
+  enum class Kind : uint8_t {
+    Skip,  ///< `skip` (an eliminated instruction's residue)
+    Load,  ///< `rN := loc@RM`
+    Store, ///< `loc@WM := Val`
+    Rmw,   ///< `rN := fadd(loc, 1) @ RM WM`
+    Fence, ///< `fence @ FM`
+    Move,  ///< `rN := rM` (forwarding residue; no memory access)
+    Imm,   ///< `rN := Val` (store-forwarding residue; no memory access)
+  };
+
+  Kind K = Kind::Skip;
+  unsigned Loc = 0; ///< template location index: 0 = "x", 1 = "y"
+  ReadMode RM = ReadMode::NA;
+  WriteMode WM = WriteMode::NA;
+  FenceMode FM = FenceMode::SC;
+  unsigned Reg = 0; ///< destination register slot: 0="r1", 1="r2", 2="r3"
+  int64_t Val = 0;  ///< Store/Imm constant; Move source register slot
+
+  static AtomSpec skip();
+  static AtomSpec load(unsigned Loc, ReadMode M, unsigned Reg);
+  static AtomSpec store(unsigned Loc, WriteMode M, int64_t Val);
+  static AtomSpec rmw(unsigned Loc, ReadMode RM, WriteMode WM, unsigned Reg);
+  static AtomSpec fence(FenceMode M);
+  static AtomSpec move(unsigned DstReg, unsigned SrcReg);
+  static AtomSpec imm(unsigned Reg, int64_t Val);
+
+  bool isAccess() const {
+    return K == Kind::Load || K == Kind::Store || K == Kind::Rmw;
+  }
+  bool accessesLoc(unsigned L) const { return isAccess() && Loc == L; }
+  /// A non-atomic-MODE access (the modes that demand an enumerated
+  /// universe location in the SEQ machine).
+  bool naAccessOf(unsigned L) const {
+    if (!accessesLoc(L))
+      return false;
+    if (K == Kind::Load)
+      return RM == ReadMode::NA;
+    if (K == Kind::Store)
+      return WM == WriteMode::NA;
+    return false; // RMWs are atomic-mode by construction
+  }
+
+  /// Compact rendering: "r1:=x@acq", "x@rel:=1", "r1:=fadd(x)@acq,rel",
+  /// "fence@sc", "r2:=r1", "r1:=1", "skip". Used for atlas ids and the
+  /// golden table.
+  std::string str() const;
+};
+
+/// Atomicity assignment for the two template locations: a location is
+/// declared non-atomic iff some atom on either side of the template
+/// accesses it with a non-atomic mode (so every na access targets an
+/// enumerated universe location); otherwise — including unaccessed
+/// locations — it is declared atomic, keeping the SEQ universe minimal.
+/// Source and target must share one layout (refinement requires it).
+struct TemplateLayout {
+  bool XAtomic = true;
+  bool YAtomic = true;
+};
+
+TemplateLayout templateLayout(const std::vector<AtomSpec> &Src,
+                              const std::vector<AtomSpec> &Tgt);
+
+/// True when some location is accessed with both a non-atomic and an
+/// atomic mode across the two sides. Such a template is ill-formed under
+/// the language's no-mixing rule (§2: an access mode must match its
+/// location's declared atomicity) and cannot be instantiated; the atlas
+/// excludes these combinations from its enumeration.
+bool templateMixesModes(const std::vector<AtomSpec> &Src,
+                        const std::vector<AtomSpec> &Tgt);
+
+/// Lowers \p Atoms into the single-thread observation harness described in
+/// the file comment, over the layout \p L.
+std::unique_ptr<Program> buildTemplateProgram(const std::vector<AtomSpec> &Atoms,
+                                              const TemplateLayout &L);
+
+/// Joins atom renderings with "; " — the template's source/target column
+/// in the atlas table.
+std::string renderAtoms(const std::vector<AtomSpec> &Atoms);
+
+} // namespace pseq
+
+#endif // PSEQ_LANG_TEMPLATEBUILDER_H

@@ -21,10 +21,17 @@
 /// matter which thread or run gets there first.
 ///
 /// Tables:
-///  * SeqSuffix   — SEQ DFS suffix summaries, keyed by
-///                  (machine config fp, canonical state fp, steps left).
-///  * PsBehaviors — whole-exploration PS^na behavior sets, keyed by
-///                  (program fp, exploration config fp).
+///  * SeqSuffix     — SEQ DFS suffix summaries, keyed by
+///                    (machine config fp, canonical state fp, steps left).
+///  * PsBehaviors   — whole-exploration PS^na behavior sets, keyed by
+///                    (program fp, exploration config fp).
+///  * AtlasVerdicts — transformation-atlas template verdicts, keyed by
+///                    (source fp, target fp, decision config fp).
+///
+/// Every key-building function mixes in its config's `ConfigSalt`, which
+/// consumers (the optimizer pipeline, the atlas) derive from the active
+/// pass configuration — so a shared context can never serve a cache entry
+/// recorded under a different pipeline setup.
 ///
 /// Stats are plain atomics mirrored into obs counters by the engines
 /// (`memo.hits`, `memo.misses`, `memo.pruned_states`); bench binaries
@@ -58,7 +65,8 @@ public:
     size_t MaxEntriesPerTable = 1u << 22;
   };
 
-  enum class Table : unsigned { SeqSuffix = 0, PsBehaviors = 1 };
+  enum class Table : unsigned { SeqSuffix = 0, PsBehaviors = 1,
+                                AtlasVerdicts = 2 };
 
   MemoContext() : MemoContext(Options()) {}
   explicit MemoContext(const Options &Opts);
@@ -116,7 +124,7 @@ public:
   uint64_t pruned() const { return Pruned.load(std::memory_order_relaxed); }
 
 private:
-  static constexpr unsigned NumTables = 2;
+  static constexpr unsigned NumTables = 3;
   static constexpr unsigned ShardsPerTable = 16;
 
   struct Shard {

@@ -88,10 +88,16 @@ public:
       return After;
     }
     case Stmt::Kind::Fence: {
-      if (S->fenceMode() != FenceMode::ACQ)
-        applyRelease(After);
+      // Combined fences lower to `fence@rel; fence@acq` in program order
+      // (Program.cpp), so the backward walk must undo the acquire part
+      // first: ◦ →(acq) • →(rel) ⊤. Release-first would leave a ◦ token
+      // at • — eliminable — across an acqrel/sc fence, but the fence's
+      // release half publishes the pending store to any acquirer, so the
+      // elimination is unsound (the atlas fence ladder pins this down).
       if (S->fenceMode() != FenceMode::REL)
         applyAcquire(After);
+      if (S->fenceMode() != FenceMode::ACQ)
+        applyRelease(After);
       return After;
     }
     case Stmt::Kind::Seq: {

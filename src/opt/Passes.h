@@ -20,8 +20,12 @@
 
 #include "lang/Program.h"
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace pseq {
 
@@ -29,6 +33,11 @@ namespace pseq {
 struct PassResult {
   std::unique_ptr<Program> Prog;
   unsigned Rewrites = 0; ///< number of statements changed
+  /// Pass-specific tallies ("locations", "rejected_shared", ...). The
+  /// pipeline publishes each nonzero entry as the telemetry counter
+  /// `opt.<pass>.<key>` and copies the list into the pass report, so a
+  /// pass can explain a zero-rewrite run (e.g. every candidate rejected).
+  std::vector<std::pair<std::string, uint64_t>> Stats;
 };
 
 /// SLF (Fig. 3): `x@na := v; α; b := x@na  ⇝  ...; b := v` when α contains

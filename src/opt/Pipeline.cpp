@@ -11,7 +11,12 @@
 #include "guard/Shrink.h"
 #include "lang/Parser.h"
 #include "lang/Printer.h"
+#include "memo/Fingerprint.h"
 #include "obs/Telemetry.h"
+#include "opt/PromotePass.h"
+#include "opt/WeakenPass.h"
+
+#include <functional>
 
 using namespace pseq;
 
@@ -19,12 +24,25 @@ namespace {
 
 using PassFn = PassResult (*)(const Program &);
 
+/// One pipeline stage. WholeProgram selects the PS^na outcome-inclusion
+/// validator (promotion and weakening change per-thread label traces, so
+/// the SEQ procedures reject them by construction).
+struct PassDesc {
+  const char *Name;
+  PassFn Fn;
+  bool WholeProgram;
+};
+
+/// Still-rejected predicate over printed program pairs.
+using RevalidateFn =
+    std::function<bool(const Program &, const Program &)>;
+
 /// Delta-debugs a rejected (input, output) pair down to a minimal pair the
 /// validator still rejects. Candidates that fail to parse, change the
 /// memory layout, or change the thread structure are rejected by the
 /// predicate, so the shrinker never feeds the validator an ill-formed pair.
 void shrinkRejectedPair(const Program &Src, const Program &Tgt,
-                        const SeqConfig &Cfg, ValidationMethod Method,
+                        const RevalidateFn &StillRejects,
                         guard::ResourceGuard *Guard, PassReport &Report) {
   guard::ShrinkPredicate StillFails = [&](const std::string &S,
                                           const std::string &T) {
@@ -35,7 +53,7 @@ void shrinkRejectedPair(const Program &Src, const Program &Tgt,
     if (!sameLayout(*PS.Prog, *PT.Prog) ||
         PS.Prog->numThreads() != PT.Prog->numThreads())
       return false;
-    return !validateTransform(*PS.Prog, *PT.Prog, Cfg, Method).Ok;
+    return StillRejects(*PS.Prog, *PT.Prog);
   };
   guard::ShrinkOptions SOpts;
   SOpts.Guard = Guard;
@@ -44,6 +62,24 @@ void shrinkRejectedPair(const Program &Src, const Program &Tgt,
                         SOpts);
   Report.ShrunkSrc = std::move(SR.Src);
   Report.ShrunkTgt = std::move(SR.Tgt);
+}
+
+/// Hash of the active pass configuration, mixed into both validation
+/// configs' ConfigSalt: a MemoContext shared across pipeline setups (or
+/// with direct checker runs) then partitions its caches per setup, so a
+/// sweep that turns a pass on can never be answered from entries recorded
+/// with it off.
+uint64_t passConfigSalt(const PipelineOptions &Opts) {
+  memo::Fp128 F = memo::fpSeed(0x70736571'70697065ULL); // "pseq pipe"
+  memo::fpMix(F, Opts.Cfg.ConfigSalt);
+  memo::fpMix(F, Opts.PsCfg.ConfigSalt);
+  uint64_t Flags = (Opts.Validate ? 1u : 0u) |
+                   (Opts.EnableConstProp ? 2u : 0u) |
+                   (Opts.EnablePromote ? 4u : 0u) |
+                   (Opts.EnableWeaken ? 8u : 0u);
+  memo::fpMix(F, Flags);
+  memo::fpMix(F, static_cast<uint64_t>(Opts.Method));
+  return F.Lo;
 }
 
 } // namespace
@@ -55,43 +91,65 @@ PipelineResult pseq::runPipeline(const Program &P,
 
   obs::Telemetry *Telem = Opts.Telem ? Opts.Telem : Opts.Cfg.Telem;
   guard::ResourceGuard *Guard = Opts.Guard ? Opts.Guard : Opts.Cfg.Guard;
+  memo::MemoContext *Memo = Opts.Memo ? Opts.Memo : Opts.Cfg.Memo;
+  const uint64_t Salt = passConfigSalt(Opts);
   SeqConfig ValidateCfg = Opts.Cfg;
   ValidateCfg.Telem = Telem;
   ValidateCfg.NumThreads = Opts.NumThreads;
   ValidateCfg.Guard = Guard;
-  ValidateCfg.Memo = Opts.Memo ? Opts.Memo : Opts.Cfg.Memo;
+  ValidateCfg.Memo = Memo;
+  ValidateCfg.ConfigSalt = Salt;
+  PsConfig PsValidateCfg = Opts.PsCfg;
+  PsValidateCfg.Telem = Telem;
+  PsValidateCfg.NumThreads = Opts.NumThreads;
+  PsValidateCfg.Guard = Guard;
+  PsValidateCfg.Memo = Memo;
+  PsValidateCfg.ConfigSalt = Salt;
   obs::TimerTree *Timers = Telem ? &Telem->Timers : nullptr;
   obs::ScopedTimer PipeTimer(Timers, "pipeline");
   obs::SpanRecorder *Spans = Telem ? Telem->Spans : nullptr;
   obs::ScopedSpan PipeSpan(Spans, "opt.pipeline");
 
-  std::vector<std::pair<const char *, PassFn>> Passes;
+  std::vector<PassDesc> Passes;
   if (Opts.EnableConstProp)
-    Passes.push_back({"constprop", runConstPropPass});
-  Passes.insert(Passes.end(), {{"slf", runSlfPass},
-                               {"llf", runLlfPass},
-                               {"dse", runDsePass},
-                               {"licm", runLicmPass}});
+    Passes.push_back({"constprop", runConstPropPass, false});
+  Passes.insert(Passes.end(), {{"slf", runSlfPass, false},
+                               {"llf", runLlfPass, false},
+                               {"dse", runDsePass, false},
+                               {"licm", runLicmPass, false}});
+  if (Opts.EnablePromote)
+    Passes.push_back({"promote", runPromotePass, true});
+  if (Opts.EnableWeaken)
+    Passes.push_back({"weaken", runWeakenPass, true});
 
-  for (const auto &[Name, Pass] : Passes) {
+  for (const PassDesc &Desc : Passes) {
+    const char *Name = Desc.Name;
     PassReport Report;
     Report.Name = Name;
+    Report.Method =
+        Desc.WholeProgram ? ValidationMethod::Psna : Opts.Method;
     // Phase nesting: pipeline / <pass> / {opt, validate}.
     obs::ScopedTimer PassTimer(Timers, Name);
     obs::ScopedSpan PassSpan(Spans, Name);
     PassResult PR = [&] {
       obs::ScopedTimer OptTimer(Timers, "opt");
       obs::ScopedSpan OptSpan(Spans, "opt.rewrite");
-      PassResult R = Pass(*Out.Prog);
+      PassResult R = Desc.Fn(*Out.Prog);
       Report.OptMs = OptTimer.stop();
       return R;
     }();
     Report.Rewrites = PR.Rewrites;
+    Report.Stats = PR.Stats;
     if (Telem) {
       Telem->Counters.recordHist("opt.pass.rewrites", PR.Rewrites);
       if (PR.Rewrites)
         Telem->Counters.add(std::string("opt.pass.") + Name + ".rewrites",
                             PR.Rewrites);
+      // Pass-specific tallies fire even on zero-rewrite runs (a promotion
+      // pass that rejected every candidate still explains itself).
+      for (const auto &[Key, V] : PR.Stats)
+        if (V)
+          Telem->Counters.add(std::string("opt.") + Name + "." + Key, V);
     }
 
     if (PR.Rewrites == 0) {
@@ -104,8 +162,10 @@ PipelineResult pseq::runPipeline(const Program &P,
     if (Opts.Validate) {
       ValidationResult V = [&] {
         obs::ScopedSpan ValidateSpan(Spans, "opt.validate");
-        return validateTransform(*Out.Prog, *PR.Prog, ValidateCfg,
-                                 Opts.Method);
+        return Desc.WholeProgram
+                   ? validatePsTransform(*Out.Prog, *PR.Prog, PsValidateCfg)
+                   : validateTransform(*Out.Prog, *PR.Prog, ValidateCfg,
+                                       Opts.Method);
       }();
       Report.Validated = V.Ok;
       Report.ValidationBounded = V.Bounded;
@@ -126,8 +186,15 @@ PipelineResult pseq::runPipeline(const Program &P,
         if (Opts.ShrinkFailures) {
           obs::ScopedTimer ShrinkTimer(Timers, "shrink");
           obs::ScopedSpan ShrinkSpan(Spans, "opt.shrink");
-          shrinkRejectedPair(*Out.Prog, *PR.Prog, ValidateCfg, Opts.Method,
-                             Guard, Report);
+          RevalidateFn StillRejects = [&](const Program &S,
+                                          const Program &T) {
+            return Desc.WholeProgram
+                       ? !validatePsTransform(S, T, PsValidateCfg).Ok
+                       : !validateTransform(S, T, ValidateCfg, Opts.Method)
+                              .Ok;
+          };
+          shrinkRejectedPair(*Out.Prog, *PR.Prog, StillRejects, Guard,
+                             Report);
         }
         Out.Reports.push_back(std::move(Report));
         continue; // discard this pass's output

@@ -8,7 +8,11 @@
 /// \file
 /// The §4 optimizer: SLF → LLF → DSE → LICM, each pass optionally
 /// validated against the SEQ refinement checker (translation validation in
-/// place of the paper's Coq certificate). The pipeline is the library's
+/// place of the paper's Coq certificate), optionally followed by the two
+/// extension passes — register promotion and fence/mode weakening — whose
+/// rewrites are invisible to closed-program outcomes but not to per-thread
+/// SEQ traces, and which are therefore validated with the whole-program
+/// PS^na check (validatePsTransform). The pipeline is the library's
 /// top-level entry point for consumers.
 ///
 //===----------------------------------------------------------------------===//
@@ -42,6 +46,19 @@ struct PipelineOptions {
   /// Run the extension constant-propagation pass before the paper's four
   /// (it feeds SLF constant stores and folds decided branches).
   bool EnableConstProp = false;
+  /// Run the register-promotion pass (opt/PromotePass.h) after the
+  /// paper's four. Validated whole-program in PS^na via PsCfg.
+  bool EnablePromote = false;
+  /// Run the fence/mode-weakening pass (opt/WeakenPass.h) last. Validated
+  /// whole-program in PS^na via PsCfg.
+  bool EnableWeaken = false;
+  /// PS^na explorer bounds for the whole-program validation of the two
+  /// extension passes. NumThreads/Telem/Guard/Memo below are forwarded
+  /// into it the same way they are forwarded into Cfg, and both configs'
+  /// ConfigSalt fields are re-derived from the active pass configuration
+  /// (see runPipeline), so a shared MemoContext never replays a verdict
+  /// recorded under a different pipeline setup.
+  PsConfig PsCfg;
   /// Worker count forwarded to the validator through Cfg (overriding
   /// Cfg.NumThreads, like Telem below): 1 validates on the calling thread,
   /// 0 uses all hardware threads. Verdicts are identical either way.
@@ -71,6 +88,14 @@ struct PipelineOptions {
 struct PassReport {
   std::string Name;
   unsigned Rewrites = 0;
+  /// Pass-specific tallies (PassResult::Stats), also published as
+  /// `opt.<pass>.<key>` counters when telemetry is attached.
+  std::vector<std::pair<std::string, uint64_t>> Stats;
+  /// Which decision procedure validated this pass (meaningful when
+  /// Validated or Error is set): the SEQ method from
+  /// PipelineOptions::Method for the thread-local passes, Psna for the
+  /// whole-program extension passes.
+  ValidationMethod Method = ValidationMethod::Advanced;
   bool Validated = false;       ///< checker ran and accepted
   bool ValidationBounded = false;
   TruncationCause ValidationCause = TruncationCause::None;

@@ -1,0 +1,226 @@
+//===- opt/PromotePass.cpp - Register promotion (extension) ---------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/PromotePass.h"
+
+#include "analysis/RaceLint.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace pseq;
+
+namespace {
+
+/// Syntactic per-location use flags for one thread. The lint footprints
+/// prove ownership, but the purity scan is syntactic on purpose: a
+/// statically-unreachable RMW would be missing from the lint's site list,
+/// and promotion must refuse any location whose owner body mentions it
+/// with an atomic mode (the rewrite below has no register form for RMWs).
+struct LocUse {
+  bool Accessed = false;
+  bool Rmw = false;
+  bool AtomicMode = false;
+};
+
+void scanStmt(const Stmt *S, std::vector<LocUse> &Use) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Load: {
+    LocUse &U = Use[S->loc()];
+    U.Accessed = true;
+    U.AtomicMode |= S->readMode() != ReadMode::NA;
+    break;
+  }
+  case Stmt::Kind::Store: {
+    LocUse &U = Use[S->loc()];
+    U.Accessed = true;
+    U.AtomicMode |= S->writeMode() != WriteMode::NA;
+    break;
+  }
+  case Stmt::Kind::Cas:
+  case Stmt::Kind::Fadd: {
+    LocUse &U = Use[S->loc()];
+    U.Accessed = true;
+    U.Rmw = true;
+    break;
+  }
+  case Stmt::Kind::Seq:
+    for (const Stmt *Kid : S->seq())
+      scanStmt(Kid, Use);
+    break;
+  case Stmt::Kind::If:
+    scanStmt(S->thenStmt(), Use);
+    scanStmt(S->elseStmt(), Use);
+    break;
+  case Stmt::Kind::While:
+    scanStmt(S->body(), Use);
+    break;
+  default:
+    break; // expressions are pure; every other statement is memory-silent
+  }
+}
+
+enum class LocClass {
+  NotCandidate, ///< atomic-declared or never accessed
+  Promote,
+  RejectedRacy,   ///< named by the undischarged race witness
+  RejectedShared, ///< in several threads' may-footprints
+  RejectedAtomic, ///< owner mentions it with an atomic mode or an RMW
+};
+
+/// Classifies location \p L; \p Owner receives the owning thread for
+/// Promote. The witness check runs first so a racy location reports as
+/// racy, not merely shared.
+LocClass classifyLoc(const Program &P, const analysis::RaceReport &Rep,
+                     const std::vector<std::vector<LocUse>> &Use, unsigned L,
+                     unsigned &Owner) {
+  if (P.isAtomicLoc(L))
+    return LocClass::NotCandidate;
+  bool Touched = false;
+  for (unsigned T = 0, E = P.numThreads(); T != E; ++T)
+    Touched |= Use[T][L].Accessed;
+  if (!Touched)
+    return LocClass::NotCandidate;
+  if (Rep.Verdict == analysis::RaceVerdict::PotentiallyRacy && Rep.Witness &&
+      Rep.Witness->Loc == L)
+    return LocClass::RejectedRacy;
+  unsigned Owners = 0;
+  for (unsigned T = 0, E = P.numThreads(); T != E; ++T) {
+    const analysis::ThreadFootprint &F = Rep.Threads[T];
+    if (F.MayRead.contains(L) || F.MayWrite.contains(L) ||
+        Use[T][L].Accessed) {
+      ++Owners;
+      Owner = T;
+    }
+  }
+  if (Owners != 1)
+    return LocClass::RejectedShared;
+  if (Use[Owner][L].Rmw || Use[Owner][L].AtomicMode)
+    return LocClass::RejectedAtomic;
+  return LocClass::Promote;
+}
+
+std::vector<std::vector<LocUse>> scanProgram(const Program &P) {
+  std::vector<std::vector<LocUse>> Use(
+      P.numThreads(), std::vector<LocUse>(P.numLocs()));
+  for (unsigned T = 0, E = P.numThreads(); T != E; ++T)
+    scanStmt(P.thread(T).Body, Use[T]);
+  return Use;
+}
+
+} // namespace
+
+LocSet pseq::promotableLocs(const Program &P,
+                            const analysis::RaceReport &Rep) {
+  std::vector<std::vector<LocUse>> Use = scanProgram(P);
+  LocSet Out;
+  for (unsigned L = 0, E = P.numLocs(); L != E; ++L) {
+    unsigned Owner = 0;
+    if (classifyLoc(P, Rep, Use, L, Owner) == LocClass::Promote)
+      Out.insert(L);
+  }
+  return Out;
+}
+
+PassResult pseq::runPromotePass(const Program &P) {
+  analysis::RaceReport Rep = analysis::analyzeRaces(P);
+  std::vector<std::vector<LocUse>> Use = scanProgram(P);
+
+  // Location → owning thread, for the promoted set only.
+  std::map<unsigned, unsigned> OwnerOf;
+  uint64_t RejShared = 0, RejRacy = 0, RejAtomic = 0;
+  for (unsigned L = 0, E = P.numLocs(); L != E; ++L) {
+    unsigned Owner = 0;
+    switch (classifyLoc(P, Rep, Use, L, Owner)) {
+    case LocClass::NotCandidate:
+      break;
+    case LocClass::Promote:
+      OwnerOf[L] = Owner;
+      break;
+    case LocClass::RejectedRacy:
+      ++RejRacy;
+      break;
+    case LocClass::RejectedShared:
+      ++RejShared;
+      break;
+    case LocClass::RejectedAtomic:
+      ++RejAtomic;
+      break;
+    }
+  }
+
+  PassResult Result;
+  Result.Prog = std::make_unique<Program>();
+  Program &Dst = *Result.Prog;
+  // The layout is preserved verbatim (sameLayout is a validator
+  // precondition); a promoted location simply becomes unreferenced.
+  for (unsigned L = 0, E = P.numLocs(); L != E; ++L)
+    Dst.declareLoc(P.locName(L), P.isAtomicLoc(L));
+
+  for (unsigned T = 0, E = P.numThreads(); T != E; ++T) {
+    unsigned Tid = Dst.addThread();
+    SymbolTable &Regs = (Dst.thread(Tid).Regs = P.thread(T).Regs);
+
+    // Fresh registers for this thread's promoted locations, named after
+    // the location with a collision-proofed prefix.
+    std::map<unsigned, unsigned> RegOf;
+    for (const auto &[L, Owner] : OwnerOf) {
+      if (Owner != T)
+        continue;
+      std::string Name = "p_" + P.locName(L);
+      while (Regs.lookup(Name))
+        Name += "_";
+      RegOf[L] = Regs.intern(Name);
+    }
+
+    const Stmt *Body = cloneWithHook(
+        P.thread(T).Body, Dst,
+        [&](const Stmt *S, Program &D) -> const Stmt * {
+          if (S->kind() == Stmt::Kind::Load) {
+            auto It = RegOf.find(S->loc());
+            if (It == RegOf.end())
+              return nullptr;
+            ++Result.Rewrites;
+            return D.stmtAssign(S->reg(), D.exprReg(It->second));
+          }
+          if (S->kind() == Stmt::Kind::Store) {
+            auto It = RegOf.find(S->loc());
+            if (It == RegOf.end())
+              return nullptr;
+            ++Result.Rewrites;
+            return D.stmtAssign(It->second, D.cloneExpr(S->expr()));
+          }
+          return nullptr;
+        });
+
+    if (!RegOf.empty()) {
+      // Prologue: seed each promotion register with the location's initial
+      // memory value (0 in PS^na), before any promoted access runs.
+      std::vector<const Stmt *> Pro;
+      for (const auto &[L, Reg] : RegOf) {
+        (void)L;
+        Pro.push_back(Dst.stmtAssign(Reg, Dst.exprConst(0)));
+      }
+      Pro.push_back(Body);
+      Body = Dst.stmtSeq(std::move(Pro));
+    }
+    Dst.setThreadBody(Tid, Body);
+  }
+
+  if (!OwnerOf.empty())
+    Result.Stats.push_back({"locations", OwnerOf.size()});
+  if (RejShared)
+    Result.Stats.push_back({"rejected_shared", RejShared});
+  if (RejRacy)
+    Result.Stats.push_back({"rejected_racy", RejRacy});
+  if (RejAtomic)
+    Result.Stats.push_back({"rejected_atomic", RejAtomic});
+  return Result;
+}

@@ -1,0 +1,53 @@
+//===- opt/PromotePass.h - Register promotion (extension) -------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register promotion: a non-atomic location that provably belongs to one
+/// thread is demoted to a fresh register of that thread — every
+/// `r := x@na` becomes a register move, every `x@na := e` a register
+/// assignment, and a prologue initializes the register to the location's
+/// initial value (0). The ownership proof comes from analysis/RaceLint.h:
+/// the may-footprints place the location in exactly one thread, and the
+/// whole-program verdict (or at least the race witness) clears it of any
+/// undischarged race. Locations touched by an atomic-mode access or an RMW
+/// are never promoted.
+///
+/// The rewrite is invisible to closed-program outcomes (PsBehavior carries
+/// returns and prints, not final memory) but not to the per-thread SEQ
+/// traces (the thread's memory footprint changes), and it is deliberately
+/// NOT contextual — a context could re-share the location. The pipeline
+/// therefore validates it with the whole-program PS^na check
+/// (validatePsTransform), never with the SEQ procedures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OPT_PROMOTEPASS_H
+#define PSEQ_OPT_PROMOTEPASS_H
+
+#include "opt/Passes.h"
+#include "support/LocSet.h"
+
+namespace pseq {
+
+namespace analysis {
+struct RaceReport;
+}
+
+/// The locations runPromotePass would promote, given the lint report for
+/// \p P. Exposed for the boundary tests (a PotentiallyRacy witness
+/// location must never appear here).
+LocSet promotableLocs(const Program &P, const analysis::RaceReport &Rep);
+
+/// Runs register promotion on \p P. Stats: "locations" (promoted),
+/// "rejected_shared" (non-atomic location in several threads'
+/// footprints), "rejected_racy" (location named by the race witness),
+/// "rejected_atomic" (owner accesses it with an atomic mode or RMW).
+PassResult runPromotePass(const Program &P);
+
+} // namespace pseq
+
+#endif // PSEQ_OPT_PROMOTEPASS_H

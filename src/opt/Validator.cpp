@@ -10,6 +10,7 @@
 #include "exec/ThreadPool.h"
 #include "guard/Guard.h"
 #include "obs/Telemetry.h"
+#include "psna/Refinement.h"
 #include "seq/SimpleRefinement.h"
 
 #include <algorithm>
@@ -48,6 +49,8 @@ ValidationResult pseq::validateTransform(const Program &Src,
   assert(sameLayout(Src, Tgt) && "passes must preserve the memory layout");
   assert(Src.numThreads() == Tgt.numThreads() &&
          "passes must preserve the thread structure");
+  assert(Method != ValidationMethod::Psna &&
+         "whole-program method: use validatePsTransform");
 
   obs::Telemetry *Telem = Cfg.Telem;
   obs::ScopedTimer Timer(Telem ? &Telem->Timers : nullptr, "validate");
@@ -103,6 +106,8 @@ ValidationResult pseq::validateTransform(const Program &Src,
       Rec.States = R.ProductNodes;
       break;
     }
+    case ValidationMethod::Psna:
+      break; // asserted away above; unreachable
     }
   };
 
@@ -190,6 +195,66 @@ ValidationResult pseq::validateTransform(const Program &Src,
                    {{"ok", Out.Ok},
                     {"bounded", Out.Bounded},
                     {"method", validationMethodName(Method)},
+                    {"cause", truncationCauseName(Out.Cause)},
+                    {"lint", Out.Lint ? analysis::raceVerdictName(*Out.Lint)
+                                      : "off"},
+                    {"states", Out.StatesExplored},
+                    {"ms", Out.ElapsedMs}});
+  }
+  return Out;
+}
+
+ValidationResult pseq::validatePsTransform(const Program &Src,
+                                           const Program &Tgt, PsConfig Cfg) {
+  assert(sameLayout(Src, Tgt) && "passes must preserve the memory layout");
+  assert(Src.numThreads() == Tgt.numThreads() &&
+         "passes must preserve the thread structure");
+
+  obs::Telemetry *Telem = Cfg.Telem;
+  obs::ScopedTimer Timer(Telem ? &Telem->Timers : nullptr, "validate");
+  std::chrono::steady_clock::time_point Start =
+      std::chrono::steady_clock::now();
+
+  ValidationResult Out;
+  Out.MethodUsed = ValidationMethod::Psna;
+  // The source verdict is recorded for the same reason as in the SEQ path:
+  // the promotion/weakening passes justify their rewrites from it, so the
+  // report should show the evidence they acted on.
+  if (Cfg.Lint)
+    Out.Lint = analysis::analyzeRaces(Src, Telem).Verdict;
+
+  PsRefinementResult R = checkPsRefinement(Src, Tgt, Cfg);
+  Out.Ok = R.Holds;
+  Out.Bounded = R.Bounded;
+  Out.Cause = R.Cause;
+  Out.Counterexample = R.Counterexample;
+  Out.StatesExplored =
+      static_cast<unsigned long long>(R.SrcStates) + R.TgtStates;
+  if (Out.Bounded) {
+    if (!Out.Counterexample.empty())
+      Out.Counterexample += " ";
+    Out.Counterexample += std::string("[bounded: ") +
+                          truncationCauseName(Out.Cause) + " truncation]";
+  }
+  Timer.stop();
+  Out.ElapsedMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+
+  if (Telem) {
+    obs::ScopedTally Tally(&Telem->Counters);
+    ++Tally.slot("opt.validate.calls");
+    if (!Out.Ok)
+      ++Tally.slot("opt.validate.rejects");
+    if (Out.Bounded)
+      ++Tally.slot("opt.validate.bounded");
+    Telem->Counters.add(std::string("opt.validate.method.") +
+                        validationMethodName(ValidationMethod::Psna));
+    if (Telem->tracing())
+      Telem->trace("opt.validate",
+                   {{"ok", Out.Ok},
+                    {"bounded", Out.Bounded},
+                    {"method", validationMethodName(ValidationMethod::Psna)},
                     {"cause", truncationCauseName(Out.Cause)},
                     {"lint", Out.Lint ? analysis::raceVerdictName(*Out.Lint)
                                       : "off"},

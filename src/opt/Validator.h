@@ -19,6 +19,7 @@
 #define PSEQ_OPT_VALIDATOR_H
 
 #include "analysis/RaceLint.h"
+#include "psna/Machine.h"
 #include "seq/AdvancedRefinement.h"
 #include "seq/Simulation.h"
 
@@ -31,6 +32,14 @@ enum class ValidationMethod {
   Simple,     ///< trace-based ⊑ (Def 2.4)
   Advanced,   ///< trace-based ⊑w (Def 3.3) — the default
   Simulation, ///< Fig. 6 coinductive simulation — exact on loops
+  /// Whole-program Def 5.3 outcome inclusion in PS^na, for the passes the
+  /// per-thread SEQ procedures cannot certify: register promotion changes
+  /// the silent/observable split of a thread (stores vanish from memory)
+  /// and fence weakening changes the label sequence, so ⊑/⊑w reject them
+  /// by construction even when every closed-program outcome is preserved.
+  /// Only validatePsTransform uses this method; validateTransform asserts
+  /// it away.
+  Psna,
 };
 
 /// Lower-case label for reports and trace events.
@@ -42,6 +51,8 @@ constexpr const char *validationMethodName(ValidationMethod M) {
     return "advanced";
   case ValidationMethod::Simulation:
     return "simulation";
+  case ValidationMethod::Psna:
+    return "psna";
   }
   return "unknown";
 }
@@ -75,9 +86,20 @@ ValidationResult validateTransform(const Program &Src, const Program &Tgt,
                                    SeqConfig Cfg = SeqConfig(),
                                    bool UseAdvanced = true);
 
-/// Method-selecting overload.
+/// Method-selecting overload. \p Method must be one of the per-thread SEQ
+/// procedures (Simple/Advanced/Simulation).
 ValidationResult validateTransform(const Program &Src, const Program &Tgt,
                                    SeqConfig Cfg, ValidationMethod Method);
+
+/// Whole-program translation validation in PS^na (Def 5.3 outcome
+/// inclusion): used for register promotion and fence weakening, whose
+/// rewrites are invisible to closed-program outcomes but not to the
+/// per-thread SEQ label traces. Not contextual — a promoted location could
+/// be re-shared by a context — so the verdict certifies exactly the closed
+/// program passed in, which is what the pipeline transforms. Programs must
+/// share layouts and thread counts.
+ValidationResult validatePsTransform(const Program &Src, const Program &Tgt,
+                                     PsConfig Cfg = PsConfig());
 
 } // namespace pseq
 

@@ -1,0 +1,216 @@
+//===- opt/WeakenPass.cpp - Fence & mode weakening (extension) ------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/WeakenPass.h"
+
+#include "analysis/RaceLint.h"
+
+#include <functional>
+#include <vector>
+
+using namespace pseq;
+
+namespace {
+
+/// Fence halves. Combined fences (ACQREL, SC) lower to `fence@rel;
+/// fence@acq` (lang/Program.cpp), so within this fragment they are
+/// equivalent and mutually subsuming.
+bool acqPart(FenceMode F) { return F != FenceMode::REL; }
+bool relPart(FenceMode F) { return F != FenceMode::ACQ; }
+
+/// Does fence \p A provide every half of fence \p B?
+bool subsumes(FenceMode A, FenceMode B) {
+  return (acqPart(A) || !acqPart(B)) && (relPart(A) || !relPart(B));
+}
+
+/// Per-thread syntactic access summary for the rule gates.
+struct ThreadScan {
+  bool AnyAtomicMode = false;
+  std::vector<bool> TouchesLoc; // any mode
+};
+
+void scanStmt(const Stmt *S, ThreadScan &Scan) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Load:
+    Scan.TouchesLoc[S->loc()] = true;
+    Scan.AnyAtomicMode |= S->readMode() != ReadMode::NA;
+    break;
+  case Stmt::Kind::Store:
+    Scan.TouchesLoc[S->loc()] = true;
+    Scan.AnyAtomicMode |= S->writeMode() != WriteMode::NA;
+    break;
+  case Stmt::Kind::Cas:
+  case Stmt::Kind::Fadd:
+    Scan.TouchesLoc[S->loc()] = true;
+    Scan.AnyAtomicMode = true;
+    break;
+  case Stmt::Kind::Seq:
+    for (const Stmt *Kid : S->seq())
+      scanStmt(Kid, Scan);
+    break;
+  case Stmt::Kind::If:
+    scanStmt(S->thenStmt(), Scan);
+    scanStmt(S->elseStmt(), Scan);
+    break;
+  case Stmt::Kind::While:
+    scanStmt(S->body(), Scan);
+    break;
+  default:
+    break;
+  }
+}
+
+} // namespace
+
+PassResult pseq::runWeakenPass(const Program &P) {
+  analysis::RaceReport Rep = analysis::analyzeRaces(P);
+  const bool NoUndischargedRace =
+      Rep.Verdict != analysis::RaceVerdict::PotentiallyRacy;
+
+  std::vector<ThreadScan> Scans(P.numThreads());
+  for (unsigned T = 0, E = P.numThreads(); T != E; ++T) {
+    Scans[T].TouchesLoc.assign(P.numLocs(), false);
+    scanStmt(P.thread(T).Body, Scans[T]);
+  }
+
+  // R3 candidates: atomic locations in exactly one thread's reach (both
+  // the lint footprint and the syntactic scan agree on single ownership).
+  std::vector<bool> LocalAtomic(P.numLocs(), false);
+  for (unsigned L = 0, E = P.numLocs(); L != E; ++L) {
+    if (!P.isAtomicLoc(L))
+      continue;
+    unsigned Owners = 0;
+    for (unsigned T = 0, TE = P.numThreads(); T != TE; ++T) {
+      const analysis::ThreadFootprint &F = Rep.Threads[T];
+      if (F.MayRead.contains(L) || F.MayWrite.contains(L) ||
+          Scans[T].TouchesLoc[L])
+        ++Owners;
+    }
+    LocalAtomic[L] = Owners == 1;
+  }
+
+  PassResult Result;
+  Result.Prog = std::make_unique<Program>();
+  Program &Dst = *Result.Prog;
+  for (unsigned L = 0, E = P.numLocs(); L != E; ++L)
+    Dst.declareLoc(P.locName(L), P.isAtomicLoc(L));
+
+  uint64_t FencePairs = 0, LocalFences = 0, WeakenedModes = 0;
+  for (unsigned T = 0, E = P.numThreads(); T != E; ++T) {
+    unsigned Tid = Dst.addThread();
+    Dst.thread(Tid).Regs = P.thread(T).Regs;
+    // R2 gate for this thread.
+    const bool DropAllFences = !Scans[T].AnyAtomicMode && NoUndischargedRace;
+
+    std::function<const Stmt *(const Stmt *, Program &)> Hook =
+        [&](const Stmt *S, Program &D) -> const Stmt * {
+      switch (S->kind()) {
+      case Stmt::Kind::Fence:
+        if (DropAllFences) {
+          ++Result.Rewrites;
+          ++LocalFences;
+          return D.stmtSkip();
+        }
+        return nullptr;
+      case Stmt::Kind::Load:
+        if (LocalAtomic[S->loc()] && S->readMode() == ReadMode::ACQ) {
+          ++Result.Rewrites;
+          ++WeakenedModes;
+          return D.stmtLoad(S->reg(), S->loc(), ReadMode::RLX);
+        }
+        return nullptr;
+      case Stmt::Kind::Store:
+        if (LocalAtomic[S->loc()] && S->writeMode() == WriteMode::REL) {
+          ++Result.Rewrites;
+          ++WeakenedModes;
+          return D.stmtStore(S->loc(), D.cloneExpr(S->expr()),
+                             WriteMode::RLX);
+        }
+        return nullptr;
+      case Stmt::Kind::Fadd: {
+        if (!LocalAtomic[S->loc()])
+          return nullptr;
+        ReadMode RM = S->readMode() == ReadMode::ACQ ? ReadMode::RLX
+                                                     : S->readMode();
+        WriteMode WM = S->writeMode() == WriteMode::REL ? WriteMode::RLX
+                                                        : S->writeMode();
+        if (RM == S->readMode() && WM == S->writeMode())
+          return nullptr;
+        ++Result.Rewrites;
+        ++WeakenedModes;
+        return D.stmtFadd(S->reg(), S->loc(), D.cloneExpr(S->expr()), RM, WM);
+      }
+      case Stmt::Kind::Cas: {
+        if (!LocalAtomic[S->loc()])
+          return nullptr;
+        ReadMode RM = S->readMode() == ReadMode::ACQ ? ReadMode::RLX
+                                                     : S->readMode();
+        WriteMode WM = S->writeMode() == WriteMode::REL ? WriteMode::RLX
+                                                        : S->writeMode();
+        if (RM == S->readMode() && WM == S->writeMode())
+          return nullptr;
+        ++Result.Rewrites;
+        ++WeakenedModes;
+        return D.stmtCas(S->reg(), S->loc(), D.cloneExpr(S->casExpected()),
+                         D.cloneExpr(S->casNew()), RM, WM);
+      }
+      case Stmt::Kind::Seq: {
+        // R1: clone the children (through this very hook), then absorb a
+        // fence whose halves the previous still-standing fence already
+        // provides. Skips — original or minted by R2/R1 — are transparent
+        // for adjacency, matching the atlas fence-pair entries.
+        std::vector<const Stmt *> Kids;
+        Kids.reserve(S->seq().size());
+        for (const Stmt *Kid : S->seq())
+          Kids.push_back(cloneWithHook(Kid, D, Hook));
+        int LastFence = -1; // index into Kids of the governing fence
+        for (size_t I = 0; I != Kids.size(); ++I) {
+          if (Kids[I]->kind() == Stmt::Kind::Skip)
+            continue;
+          if (Kids[I]->kind() != Stmt::Kind::Fence) {
+            LastFence = -1;
+            continue;
+          }
+          if (LastFence < 0) {
+            LastFence = static_cast<int>(I);
+            continue;
+          }
+          FenceMode Prev = Kids[LastFence]->fenceMode();
+          FenceMode Cur = Kids[I]->fenceMode();
+          if (subsumes(Prev, Cur)) {
+            Kids[I] = D.stmtSkip();
+            ++Result.Rewrites;
+            ++FencePairs;
+          } else if (subsumes(Cur, Prev)) {
+            Kids[LastFence] = D.stmtSkip();
+            LastFence = static_cast<int>(I);
+            ++Result.Rewrites;
+            ++FencePairs;
+          } else {
+            LastFence = static_cast<int>(I);
+          }
+        }
+        return D.stmtSeq(std::move(Kids));
+      }
+      default:
+        return nullptr;
+      }
+    };
+
+    Dst.setThreadBody(Tid, cloneWithHook(P.thread(T).Body, Dst, Hook));
+  }
+
+  if (FencePairs)
+    Result.Stats.push_back({"fence_pairs", FencePairs});
+  if (LocalFences)
+    Result.Stats.push_back({"thread_local_fences", LocalFences});
+  if (WeakenedModes)
+    Result.Stats.push_back({"weakened_modes", WeakenedModes});
+  return Result;
+}

@@ -1,0 +1,51 @@
+//===- opt/WeakenPass.h - Fence & mode weakening (extension) ----*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Redundant-fence elimination and access-mode weakening, justified
+/// entry-by-entry from the transformation atlas (src/atlas) and certified
+/// per run by the whole-program PS^na validator (fence removal changes the
+/// per-thread label sequence, so the SEQ procedures reject it by
+/// construction — these are exactly the atlas's `SeqIncomplete` rows).
+///
+/// Three rule families:
+///
+///  * R1 — adjacent fence absorption: of two fences separated only by
+///    skips, drop the one whose acquire/release halves the other already
+///    provides (`fence@sc; fence@acq` → `fence@sc; skip`). Justified by
+///    the atlas `eliminate` fence-pair entries, which are PS^na-safe under
+///    every library context.
+///  * R2 — fences in atomic-free threads: a thread performing no
+///    atomic-mode access gains no synchronization from fences (fence
+///    edges need surrounding atomics), so when the lint verdict shows no
+///    undischarged race, all its fences drop. Justified by the atlas
+///    `eliminate` fence-after-na-load entries.
+///  * R3 — thread-local atomics: an atomic location in exactly one
+///    thread's footprint has no cross-thread reader to synchronize with,
+///    so acq reads / rel writes / RMW halves on it weaken to rlx. The
+///    atlas `weaken` category documents which mode weakenings are
+///    context-safe; this rule goes further (context-observable entries
+///    become safe once the location is private), which is why the
+///    pipeline certifies every run with validatePsTransform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_OPT_WEAKENPASS_H
+#define PSEQ_OPT_WEAKENPASS_H
+
+#include "opt/Passes.h"
+
+namespace pseq {
+
+/// Runs fence and access-mode weakening on \p P. Stats: "fence_pairs"
+/// (R1 drops), "thread_local_fences" (R2 drops), "weakened_modes" (R3
+/// mode changes).
+PassResult runWeakenPass(const Program &P);
+
+} // namespace pseq
+
+#endif // PSEQ_OPT_WEAKENPASS_H

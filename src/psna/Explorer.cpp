@@ -698,6 +698,10 @@ memo::Fp128 psExploreKey(const Program &P, const PsConfig &Cfg) {
   // StatesExplored and the race/marker tallies are not. The caller passes
   // the *effective* config (SkipNaMarkers already resolved).
   memo::fpMix(K, Cfg.SkipNaMarkers ? 1 : 0);
+  // Caller-provided partition (active pipeline / atlas configuration):
+  // shared contexts must never serve a behavior set cached under a
+  // different setup.
+  memo::fpMix(K, Cfg.ConfigSalt);
   return K;
 }
 

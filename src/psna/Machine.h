@@ -86,6 +86,11 @@ struct PsConfig {
   /// cache keyed by (program, config) fingerprints. Null — the default —
   /// keeps the exact unpruned paths.
   memo::MemoContext *Memo = nullptr;
+  /// Cache-partitioning salt mixed into the behavior-cache key (see
+  /// SeqConfig::ConfigSalt): callers sharing one MemoContext across
+  /// different pipeline/atlas configurations set it to a hash of the
+  /// active setup so stale cross-configuration hits are impossible.
+  uint64_t ConfigSalt = 0;
 };
 
 /// A whole-machine state ⟨T, M⟩ plus the system-call output so far.

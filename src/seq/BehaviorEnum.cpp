@@ -197,6 +197,10 @@ private:
     for (int64_t V : Vals)
       memo::fpMix(F, static_cast<uint64_t>(V));
     memo::fpMix(F, Cfg.Universe.raw());
+    // Partition the cache by the caller's run configuration (e.g. the
+    // pipeline's active pass set) so a shared context never replays a
+    // suffix recorded under a different setup.
+    memo::fpMix(F, Cfg.ConfigSalt);
     return F;
   }
 

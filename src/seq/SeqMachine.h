@@ -74,6 +74,13 @@ struct SeqConfig {
   /// refinement checkers' initial-state sweep and across whole runs. Null
   /// — the default — keeps the exact uncached paths.
   memo::MemoContext *Memo = nullptr;
+  /// Cache-partitioning salt mixed into every memo fingerprint built from
+  /// this config. Consumers that share one MemoContext across different
+  /// run setups (the optimizer pipeline encodes its active pass
+  /// configuration here, the atlas its decision config) set it to a hash
+  /// of that setup so entries recorded under one configuration can never
+  /// be served to another. 0 — the default — is a valid shared partition.
+  uint64_t ConfigSalt = 0;
 };
 
 /// One SEQ transition: zero, one, or (for RMWs) two trace labels, plus the

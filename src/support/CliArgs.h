@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
+#include <string>
 
 namespace pseq {
 namespace cli {
@@ -44,6 +45,52 @@ inline bool parseUnsigned(const char *Text, uint64_t &Out) {
 inline bool parseUnsigned(const char *Text, unsigned &Out) {
   uint64_t V = 0;
   if (!parseUnsigned(Text, V) || V > std::numeric_limits<unsigned>::max())
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+/// Parses \p Text as a base-10 unsigned integer in [\p Min, \p Max]. On
+/// failure \p Err holds a column-precise diagnostic of the shape
+///
+///   --threads garbage:1: expected a base-10 unsigned integer
+///   --heartbeat-ms 0:1: value 0 out of range [1, 600000]
+///
+/// (flag, offending token, 1-based column of the first bad character,
+/// message), so a bad value is rejected loudly instead of being silently
+/// clamped or defaulted downstream. A null \p Text reports a missing
+/// value for the flag.
+inline bool parseUnsignedInRange(const char *Flag, const char *Text,
+                                 uint64_t Min, uint64_t Max, uint64_t &Out,
+                                 std::string &Err) {
+  auto at = [&](size_t Col, const std::string &Msg) {
+    Err = std::string(Flag) + " " + (Text ? Text : "") + ":" +
+          std::to_string(Col) + ": " + Msg;
+    return false;
+  };
+  if (!Text)
+    return at(1, "missing value");
+  if (*Text == '\0')
+    return at(1, "empty value");
+  for (size_t I = 0; Text[I] != '\0'; ++I)
+    if (Text[I] < '0' || Text[I] > '9')
+      return at(I + 1, "expected a base-10 unsigned integer");
+  uint64_t V = 0;
+  if (!parseUnsigned(Text, V))
+    return at(1, "value does not fit in 64 bits");
+  if (V < Min || V > Max)
+    return at(1, "value " + std::string(Text) + " out of range [" +
+                     std::to_string(Min) + ", " + std::to_string(Max) + "]");
+  Out = V;
+  return true;
+}
+
+/// Same, bounded to `unsigned` (the Min/Max bounds must themselves fit).
+inline bool parseUnsignedInRange(const char *Flag, const char *Text,
+                                 unsigned Min, unsigned Max, unsigned &Out,
+                                 std::string &Err) {
+  uint64_t V = 0;
+  if (!parseUnsignedInRange(Flag, Text, uint64_t(Min), uint64_t(Max), V, Err))
     return false;
   Out = static_cast<unsigned>(V);
   return true;

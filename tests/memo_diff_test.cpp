@@ -331,3 +331,65 @@ TEST(MemoDiff, SeqTripCauseAgreesUnderPollGuard) {
 }
 
 } // namespace
+
+// --- ConfigSalt: distinct configurations never exchange cache entries ----
+
+// The pipeline derives a salt from its active pass configuration and sets
+// it into every engine config it hands the validators (Pipeline.cpp's
+// passConfigSalt). The explorer-side contract that makes this work: two
+// explorations that differ ONLY in ConfigSalt must not answer each other
+// from a shared context. Before the salt was mixed into the cache keys,
+// the second run below hit the first run's entry.
+TEST(MemoDiff, PsnaConfigSaltPartitionsTheCache) {
+  const LitmusCase &LC = litmusCaseByName("lb-rlx");
+  std::unique_ptr<Program> P = prog(LC.Text);
+  memo::MemoContext MC;
+
+  PsConfig Cfg = litmusConfig(LC);
+  Cfg.Memo = &MC;
+  Cfg.ConfigSalt = 0;
+  std::string Unsalted = render(explorePsna(*P, Cfg));
+  EXPECT_EQ(MC.hits(), 0u);
+  uint64_t Misses = MC.misses();
+  EXPECT_GE(Misses, 1u);
+
+  // Same program, same budgets, different salt: a fresh miss, never a hit.
+  Cfg.ConfigSalt = 1;
+  std::string Salted = render(explorePsna(*P, Cfg));
+  EXPECT_EQ(MC.hits(), 0u) << "salted run answered from the unsalted entry";
+  EXPECT_GT(MC.misses(), Misses);
+  // The verdict itself is salt-independent, of course.
+  EXPECT_EQ(Unsalted, Salted);
+
+  // Repeating either salt now hits its own partition.
+  explorePsna(*P, Cfg);
+  EXPECT_GE(MC.hits(), 1u);
+}
+
+// Hits cannot distinguish partitions here: one sweep legitimately hits
+// its own fresh entries when initial states share suffixes. Misses can:
+// a salted re-sweep of identical work must redo ALL the first sweep's
+// misses (fresh partition), and a same-salt re-sweep must add none.
+TEST(MemoDiff, SeqConfigSaltPartitionsTheCache) {
+  auto P = prog("na x;\nthread { x@na := 1; a := x@na; return a; }");
+  memo::MemoContext MC;
+  SeqConfig Cfg;
+  Cfg.Memo = &MC;
+
+  Cfg.ConfigSalt = 0;
+  std::string First = seqSweep(*P, Cfg);
+  uint64_t M1 = MC.misses();
+  EXPECT_GE(M1, 1u);
+
+  Cfg.ConfigSalt = 0x70736571u;
+  std::string Second = seqSweep(*P, Cfg);
+  EXPECT_EQ(MC.misses(), 2 * M1)
+      << "salted enumeration answered from the unsalted suffix cache";
+  EXPECT_EQ(First, Second);
+
+  // Same salt again: fully served from its own partition.
+  uint64_t Hits = MC.hits();
+  seqSweep(*P, Cfg);
+  EXPECT_EQ(MC.misses(), 2 * M1);
+  EXPECT_GT(MC.hits(), Hits);
+}

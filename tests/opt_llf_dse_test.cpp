@@ -182,3 +182,59 @@ TEST(DseTest, BackwardTokensExposed) {
   EXPECT_TRUE(SawBullet);
   EXPECT_EQ(runDsePass(*P).Rewrites, 1u);
 }
+
+//===----------------------------------------------------------------------===
+// Fence-mode ladders (atlas-derived): combined fences are both halves.
+//===----------------------------------------------------------------------===
+
+TEST(LlfTest, FenceLadderBlocksEveryAcquireContainingMode) {
+  // Fig 8a's fence transfer keeps the known-value sets only across a lone
+  // release fence; acq, acqrel and sc may all complete a release-acquire
+  // pair and refresh the location, so the ladder must clear them.
+  {
+    auto P = prog("na x;\n"
+                  "thread { a := x@na; fence @ rel; b := x@na; return b; }");
+    PassResult R = runLlfPass(*P);
+    EXPECT_EQ(R.Rewrites, 1u);
+    ValidationResult V = validateTransform(*P, *R.Prog);
+    EXPECT_TRUE(V.Ok) << V.Counterexample;
+  }
+  for (const char *Fence : {"fence @ acq;", "fence @ acqrel;", "fence @ sc;"}) {
+    auto P = prog(std::string("na x;\nthread { a := x@na; ") + Fence +
+                  " b := x@na; return b; }");
+    EXPECT_EQ(runLlfPass(*P).Rewrites, 0u) << "fence = " << Fence;
+  }
+}
+
+TEST(DseTest, FenceLadderBlocksCombinedModes) {
+  // Backward Fig 8b walk: a lone acq fence leaves the store eliminable
+  // (like the acquire read in BackwardTokensExposed), a lone rel fence is
+  // Example 3.5's • case, but acqrel/sc are a whole release-acquire pair:
+  // ◦ → (acq) • → (rel) ⊤. The ladder used to undo the halves in program
+  // order, leaving • across a combined fence — this pins the fix.
+  for (const char *Fence : {"fence @ acq;", "fence @ rel;"}) {
+    auto P = prog(std::string("na x;\nthread { x@na := 1; ") + Fence +
+                  " x@na := 2; return 0; }");
+    PassResult R = runDsePass(*P);
+    EXPECT_EQ(R.Rewrites, 1u) << "fence = " << Fence;
+    ValidationResult V = validateTransform(*P, *R.Prog, SeqConfig(),
+                                           /*UseAdvanced=*/true);
+    EXPECT_TRUE(V.Ok) << "fence = " << Fence << ": " << V.Counterexample;
+  }
+  for (const char *Fence : {"fence @ acqrel;", "fence @ sc;"}) {
+    auto P = prog(std::string("na x;\nthread { x@na := 1; ") + Fence +
+                  " x@na := 2; return 0; }");
+    EXPECT_EQ(runDsePass(*P).Rewrites, 0u) << "fence = " << Fence;
+
+    // The pre-fix rewrite is genuinely invalid: the fence's release half
+    // publishes the pending store to any acquirer, so deleting it loses
+    // an observable value.
+    auto Bad = prog(std::string("na x;\nthread { skip; ") + Fence +
+                    " x@na := 2; return 0; }");
+    ValidationResult V = validateTransform(*P, *Bad, SeqConfig(),
+                                           /*UseAdvanced=*/true);
+    EXPECT_FALSE(V.Ok) << "fence = " << Fence
+                       << ": DSE across a combined fence must be rejected "
+                          "(atlas fence ladder)";
+  }
+}

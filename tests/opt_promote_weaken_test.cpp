@@ -1,0 +1,330 @@
+//===- tests/opt_promote_weaken_test.cpp - Extension passes ---------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// The two whole-program extension passes: register promotion (RaceLint-
+// justified ownership) and fence/mode weakening (atlas-justified rules),
+// each certified per run by the PS^na translation validator (Def 5.3
+// outcome inclusion), plus the pipeline sweeps — litmus corpus and seeded
+// random programs — that must validate bit-identically across worker
+// counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pipeline.h"
+#include "opt/PromotePass.h"
+#include "opt/WeakenPass.h"
+
+#include "adequacy/RandomProgram.h"
+#include "analysis/RaceLint.h"
+#include "lang/Printer.h"
+#include "litmus/Corpus.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pseq;
+
+namespace {
+
+uint64_t stat(const PassResult &R, const std::string &Key) {
+  for (const auto &[K, V] : R.Stats)
+    if (K == Key)
+      return V;
+  return 0;
+}
+
+/// Whole-program certification with the test-friendly binary domain.
+ValidationResult psCertify(const Program &Src, const Program &Tgt) {
+  PsConfig Cfg;
+  Cfg.Domain = ValueDomain::binary();
+  return validatePsTransform(Src, Tgt, Cfg);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Register promotion
+//===----------------------------------------------------------------------===
+
+TEST(PromoteTest, PromotesAThreadLocalLocation) {
+  auto P = prog("na x;\n"
+                "thread { x@na := 1; a := x@na; x@na := 0; return a; }");
+  PassResult R = runPromotePass(*P);
+  EXPECT_EQ(stat(R, "locations"), 1u);
+  EXPECT_EQ(R.Rewrites, 3u);
+  std::string Printed = printProgram(*R.Prog);
+  EXPECT_EQ(Printed.find("x@na"), std::string::npos) << Printed;
+  ValidationResult V = psCertify(*P, *R.Prog);
+  EXPECT_TRUE(V.Ok) << V.Counterexample;
+}
+
+TEST(PromoteTest, PromotesPerThreadPrivateLocations) {
+  // Two threads, each owning a distinct non-atomic location: both are
+  // promoted, and the whole-program check still certifies the pair.
+  auto P = prog("na x, y;\n"
+                "thread { x@na := 1; a := x@na; return a; }\n"
+                "thread { y@na := 1; b := y@na; return b; }");
+  PassResult R = runPromotePass(*P);
+  EXPECT_EQ(stat(R, "locations"), 2u);
+  ValidationResult V = psCertify(*P, *R.Prog);
+  EXPECT_TRUE(V.Ok) << V.Counterexample;
+}
+
+TEST(PromoteTest, SharedLocationIsNotPromoted) {
+  // Read-read sharing is race-free but still shared: ownership fails.
+  auto P = prog("na x;\n"
+                "thread { a := x@na; return a; }\n"
+                "thread { b := x@na; return b; }");
+  analysis::RaceReport Rep = analysis::analyzeRaces(*P);
+  EXPECT_NE(Rep.Verdict, analysis::RaceVerdict::PotentiallyRacy);
+  LocSet Promotable = promotableLocs(*P, Rep);
+  EXPECT_TRUE(Promotable.isEmpty());
+  PassResult R = runPromotePass(*P);
+  EXPECT_EQ(R.Rewrites, 0u);
+  EXPECT_EQ(stat(R, "rejected_shared"), 1u);
+}
+
+// Satellite boundary: a location with a static race witness must never be
+// promoted, whatever the footprints look like. Example 5.1's `x` is the
+// canonical witness (one thread reads it unguarded, the other writes it
+// behind a relaxed flag).
+TEST(PromoteTest, RacyWitnessLocationIsNeverPromoted) {
+  const LitmusCase &C = litmusCaseByName("ex5.1-promise-racy-read");
+  auto P = prog(C.Text);
+  analysis::RaceReport Rep = analysis::analyzeRaces(*P);
+  ASSERT_EQ(Rep.Verdict, analysis::RaceVerdict::PotentiallyRacy);
+  ASSERT_TRUE(Rep.Witness.has_value());
+  LocSet Promotable = promotableLocs(*P, Rep);
+  EXPECT_FALSE(Promotable.contains(Rep.Witness->Loc));
+  PassResult R = runPromotePass(*P);
+  EXPECT_GE(stat(R, "rejected_racy") + stat(R, "rejected_shared"), 1u);
+  std::string Printed = printProgram(*R.Prog);
+  EXPECT_NE(Printed.find("x@na"), std::string::npos)
+      << "racy x must stay in memory:\n"
+      << Printed;
+}
+
+// The promise-ablation twin decides the same way: classification is a
+// function of the program text, not of the PS^na budgets that differ
+// between the two corpus entries.
+TEST(PromoteTest, Ex51AblationClassifiesIdentically) {
+  auto P = prog(litmusCaseByName("ex5.1-no-promises").Text);
+  analysis::RaceReport Rep = analysis::analyzeRaces(*P);
+  LocSet Promotable = promotableLocs(*P, Rep);
+  EXPECT_TRUE(Promotable.isEmpty());
+  EXPECT_EQ(runPromotePass(*P).Rewrites, 0u);
+}
+
+TEST(PromoteTest, AtomicLocationsAreUntouched) {
+  auto P = prog("atomic y;\n"
+                "thread { y@rlx := 1; a := y@rlx; return a; }");
+  PassResult R = runPromotePass(*P);
+  EXPECT_EQ(R.Rewrites, 0u);
+  EXPECT_EQ(stat(R, "locations"), 0u);
+}
+
+TEST(PromoteTest, FreshRegisterAvoidsCollisions) {
+  // The obvious name p_x is taken; the pass must pick a fresh one and
+  // still certify.
+  auto P = prog("na x;\n"
+                "thread { p_x := 7; x@na := 1; a := x@na; return a + p_x; }");
+  PassResult R = runPromotePass(*P);
+  EXPECT_EQ(stat(R, "locations"), 1u);
+  ValidationResult V = psCertify(*P, *R.Prog);
+  EXPECT_TRUE(V.Ok) << V.Counterexample;
+  std::string Printed = printProgram(*R.Prog);
+  EXPECT_NE(Printed.find("p_x_"), std::string::npos) << Printed;
+}
+
+//===----------------------------------------------------------------------===
+// Fence / mode weakening
+//===----------------------------------------------------------------------===
+
+TEST(WeakenTest, AbsorbsAdjacentSubsumingFences) {
+  auto P = prog("atomic y;\n"
+                "thread { y@rlx := 1; fence @ sc; fence @ acq; a := y@rlx; "
+                "return a; }");
+  PassResult R = runWeakenPass(*P);
+  EXPECT_EQ(stat(R, "fence_pairs"), 1u);
+  std::string Printed = printProgram(*R.Prog);
+  EXPECT_NE(Printed.find("fence @ sc"), std::string::npos) << Printed;
+  EXPECT_EQ(Printed.find("fence @ acq"), std::string::npos) << Printed;
+  ValidationResult V = psCertify(*P, *R.Prog);
+  EXPECT_TRUE(V.Ok) << V.Counterexample;
+}
+
+TEST(WeakenTest, KeepsNonSubsumingFencePairs) {
+  auto P = prog("atomic y;\n"
+                "thread { fence @ acq; fence @ rel; a := y@rlx; return a; }");
+  PassResult R = runWeakenPass(*P);
+  EXPECT_EQ(stat(R, "fence_pairs"), 0u);
+}
+
+TEST(WeakenTest, DropsFencesInAtomicFreeThreads) {
+  auto P = prog("na x;\n"
+                "thread { x@na := 1; fence @ sc; a := x@na; return a; }");
+  PassResult R = runWeakenPass(*P);
+  EXPECT_EQ(stat(R, "thread_local_fences"), 1u);
+  std::string Printed = printProgram(*R.Prog);
+  EXPECT_EQ(Printed.find("fence"), std::string::npos) << Printed;
+  ValidationResult V = psCertify(*P, *R.Prog);
+  EXPECT_TRUE(V.Ok) << V.Counterexample;
+}
+
+TEST(WeakenTest, KeepsFencesNextToAtomics) {
+  // Message passing: the release fence orders the data store before the
+  // flag store; weakening it would be caught by the validator, so the
+  // pass must not even try.
+  auto P = prog("na d; atomic f;\n"
+                "thread { d@na := 1; fence @ rel; f@rlx := 1; return 0; }\n"
+                "thread { a := f@rlx; fence @ acq; if (a == 1) { b := d@na; } "
+                "return a; }");
+  PassResult R = runWeakenPass(*P);
+  EXPECT_EQ(R.Rewrites, 0u);
+  EXPECT_EQ(stat(R, "thread_local_fences"), 0u);
+}
+
+TEST(WeakenTest, WeakensModesOnThreadLocalAtomics) {
+  auto P = prog("atomic y;\n"
+                "thread { y@rel := 1; a := y@acq; b := fadd(y, 1) @ acq rel; "
+                "return a + b; }");
+  PassResult R = runWeakenPass(*P);
+  EXPECT_EQ(stat(R, "weakened_modes"), 3u) << printProgram(*R.Prog);
+  std::string Printed = printProgram(*R.Prog);
+  EXPECT_EQ(Printed.find("acq"), std::string::npos) << Printed;
+  EXPECT_EQ(Printed.find("rel"), std::string::npos) << Printed;
+  ValidationResult V = psCertify(*P, *R.Prog);
+  EXPECT_TRUE(V.Ok) << V.Counterexample;
+}
+
+TEST(WeakenTest, KeepsModesOnSharedAtomics) {
+  auto P = prog("na d; atomic f;\n"
+                "thread { d@na := 1; f@rel := 1; return 0; }\n"
+                "thread { a := f@acq; if (a == 1) { b := d@na; } return a; }");
+  PassResult R = runWeakenPass(*P);
+  EXPECT_EQ(stat(R, "weakened_modes"), 0u);
+  EXPECT_EQ(R.Rewrites, 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Pipeline integration: whole-program validation, sweeps, determinism
+//===----------------------------------------------------------------------===
+
+namespace {
+
+PipelineOptions extensionPipeline(unsigned NumThreads) {
+  PipelineOptions Opts;
+  Opts.EnablePromote = true;
+  Opts.EnableWeaken = true;
+  Opts.Cfg.Domain = ValueDomain::binary();
+  Opts.PsCfg.Domain = ValueDomain::binary();
+  Opts.PsCfg.MaxStates = 50000;
+  Opts.PsCfg.CertNodeBudget = 2000;
+  Opts.NumThreads = NumThreads;
+  return Opts;
+}
+
+/// Serializes the observable pipeline outcome: the printed final program
+/// plus every report line's verdict-relevant fields (times excluded).
+std::string outcomeKey(const PipelineResult &R) {
+  std::string Out = printProgram(*R.Prog);
+  Out += "| total=" + std::to_string(R.TotalRewrites);
+  for (const PassReport &PR : R.Reports) {
+    Out += "\n" + PR.Name + " rewrites=" + std::to_string(PR.Rewrites) +
+           " method=" + validationMethodName(PR.Method) +
+           " validated=" + (PR.Validated ? "1" : "0") +
+           " bounded=" + (PR.ValidationBounded ? "1" : "0") +
+           " err=" + PR.Error;
+    for (const auto &[K, V] : PR.Stats)
+      Out += " " + K + "=" + std::to_string(V);
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(ExtensionPipelineTest, ReportsCarryMethodAndStats) {
+  auto P = prog("na x;\n"
+                "thread { x@na := 1; fence @ sc; a := x@na; return a; }");
+  PipelineResult R = runPipeline(*P, extensionPipeline(1));
+  EXPECT_TRUE(R.AllValidated);
+  bool SawPromote = false, SawWeaken = false;
+  for (const PassReport &PR : R.Reports) {
+    if (PR.Name == "promote") {
+      SawPromote = true;
+      EXPECT_EQ(PR.Method, ValidationMethod::Psna);
+      EXPECT_TRUE(PR.Validated) << PR.Error;
+      EXPECT_GE(PR.Rewrites, 1u);
+    }
+    if (PR.Name == "weaken") {
+      SawWeaken = true;
+      EXPECT_EQ(PR.Method, ValidationMethod::Psna);
+      EXPECT_TRUE(PR.Validated) << PR.Error;
+    }
+  }
+  EXPECT_TRUE(SawPromote);
+  EXPECT_TRUE(SawWeaken);
+  // End to end the program needs neither memory nor fences.
+  std::string Printed = printProgram(*R.Prog);
+  EXPECT_EQ(Printed.find("x@na"), std::string::npos) << Printed;
+  EXPECT_EQ(Printed.find("fence"), std::string::npos) << Printed;
+}
+
+TEST(ExtensionPipelineTest, LitmusCorpusSweepValidates) {
+  for (const LitmusCase &C : litmusCorpus()) {
+    auto P = prog(C.Text);
+    PipelineResult R = runPipeline(*P, extensionPipeline(1));
+    EXPECT_TRUE(R.AllValidated) << C.Name;
+    for (const PassReport &PR : R.Reports)
+      EXPECT_TRUE(PR.Error.empty()) << C.Name << "/" << PR.Name << ": "
+                                    << PR.Error;
+  }
+}
+
+TEST(ExtensionPipelineTest, RefinementCorpusSourcesValidate) {
+  for (const RefinementCase &C : refinementCorpus()) {
+    if (C.HasLoops)
+      continue; // loop certification is exercised by the LICM suite
+    auto P = prog(C.Src);
+    PipelineResult R = runPipeline(*P, extensionPipeline(1));
+    EXPECT_TRUE(R.AllValidated) << C.Name;
+  }
+}
+
+// The fuzz sweep: seeded random concurrent programs through the full
+// extension pipeline. Every pass on every program must validate, and the
+// whole outcome — final program, rewrite counts, per-pass stats and
+// verdicts — must be bit-identical across validator worker counts.
+TEST(ExtensionPipelineTest, RandomSweepIsValidatedAndWorkerInvariant) {
+  struct Tier {
+    unsigned Threads;
+    unsigned Count;
+  };
+  const Tier Tiers[] = {{1, 120}, {2, 80}, {3, 16}};
+  Rng R(20260809);
+  unsigned Ran = 0, Rewritten = 0;
+  for (const Tier &T : Tiers) {
+    for (unsigned I = 0; I != T.Count; ++I) {
+      std::string Text = randomConcurrentProgram(R, T.Threads);
+      auto P = prog(Text);
+      PipelineResult R1 = runPipeline(*P, extensionPipeline(1));
+      ASSERT_TRUE(R1.AllValidated) << Text;
+      std::string Key = outcomeKey(R1);
+      for (unsigned W : {2u, 8u}) {
+        PipelineResult RW = runPipeline(*P, extensionPipeline(W));
+        ASSERT_TRUE(RW.AllValidated) << Text << " (workers=" << W << ")";
+        ASSERT_EQ(outcomeKey(RW), Key)
+            << Text << " diverges at workers=" << W;
+      }
+      Rewritten += R1.TotalRewrites != 0 ? 1 : 0;
+      ++Ran;
+    }
+  }
+  EXPECT_EQ(Ran, 216u);
+  // The sweep must actually exercise the passes, not vacuously validate
+  // identity runs.
+  EXPECT_GE(Rewritten, 20u) << "random corpus too tame";
+}

@@ -212,3 +212,36 @@ TEST(SlfTest, RmwModesActLikeTheirParts) {
   SlfAnalysisResult A2 = analyzeSlf(*P2, 0);
   EXPECT_EQ(A2.AtLoad.at(naLoad(*P2, 0)).str(), "bullet(1)");
 }
+
+TEST(SlfTest, FenceLadderTreatsCombinedModesAsBothHalves) {
+  // The Fig 3 fence transfer is a mode *ladder* (`!= ACQ` applies the
+  // release half, `!= REL` the acquire half), so acqrel and sc must act
+  // as a whole release-acquire pair: ◦ → • → ⊤, no forwarding. A lone
+  // acq fence completes no pair (◦ survives); a lone rel fence demotes
+  // to • (still forwardable, like Example 3.5's release write).
+  for (const char *Fence : {"fence @ acq;", "fence @ rel;"}) {
+    auto P = prog(std::string("na x;\nthread { x@na := 1; ") + Fence +
+                  " b := x@na; return b; }");
+    PassResult R = runSlfPass(*P);
+    EXPECT_EQ(R.Rewrites, 1u) << "fence = " << Fence;
+    ValidationResult V = validateTransform(*P, *R.Prog, SeqConfig(),
+                                           /*UseAdvanced=*/true);
+    EXPECT_TRUE(V.Ok) << "fence = " << Fence << ": " << V.Counterexample;
+  }
+  for (const char *Fence : {"fence @ acqrel;", "fence @ sc;"}) {
+    auto P = prog(std::string("na x;\nthread { x@na := 1; ") + Fence +
+                  " b := x@na; return b; }");
+    EXPECT_EQ(runSlfPass(*P).Rewrites, 0u) << "fence = " << Fence;
+
+    // The rewrite the ladder forbids really is invalid: forwarding across
+    // the fence's built-in release-acquire pair loses the value the
+    // acquire half may observe.
+    auto Bad = prog(std::string("na x;\nthread { x@na := 1; ") + Fence +
+                    " b := 1; return b; }");
+    ValidationResult V = validateTransform(*P, *Bad, SeqConfig(),
+                                           /*UseAdvanced=*/true);
+    EXPECT_FALSE(V.Ok) << "fence = " << Fence
+                       << ": forwarding across a combined fence must be "
+                          "rejected (atlas fence ladder)";
+  }
+}

@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/CliArgs.h"
 #include "support/LocSet.h"
 #include "support/Rational.h"
 #include "support/Rng.h"
@@ -13,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 using namespace pseq;
@@ -246,4 +248,109 @@ TEST(RngTest, BelowRejectsBiasedTopSlice) {
     }
   }
   EXPECT_TRUE(SawRejection) << "no seed in [0,64) hit the rejection slice";
+}
+
+//===----------------------------------------------------------------------===
+// cli:: strict argument parsing (support/CliArgs.h)
+//===----------------------------------------------------------------------===
+
+TEST(CliArgsTest, ParseUnsignedAcceptsPlainDigits) {
+  uint64_t V = 0;
+  EXPECT_TRUE(cli::parseUnsigned("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(cli::parseUnsigned("18446744073709551615", V));
+  EXPECT_EQ(V, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(CliArgsTest, ParseUnsignedRejectsNonCanonicalForms) {
+  uint64_t V = 0;
+  for (const char *Bad : {"", " 7", "+7", "-7", "7x", "0x10",
+                          "18446744073709551616", (const char *)nullptr})
+    EXPECT_FALSE(cli::parseUnsigned(Bad, V)) << (Bad ? Bad : "<null>");
+  unsigned U = 0;
+  EXPECT_FALSE(cli::parseUnsigned("4294967296", U)) << "must not wrap";
+  EXPECT_TRUE(cli::parseUnsigned("4294967295", U));
+  EXPECT_EQ(U, 4294967295u);
+}
+
+TEST(CliArgsTest, InRangeAcceptsAndReturnsValue) {
+  uint64_t V = 0;
+  std::string Err;
+  EXPECT_TRUE(cli::parseUnsignedInRange("--heartbeat-ms", "500", 1, 3600000,
+                                        V, Err));
+  EXPECT_EQ(V, 500u);
+  EXPECT_TRUE(Err.empty());
+  unsigned U = 0;
+  EXPECT_TRUE(cli::parseUnsignedInRange("--threads", "8", 0u, 256u, U, Err));
+  EXPECT_EQ(U, 8u);
+}
+
+TEST(CliArgsTest, InRangeDiagnosesMissingAndEmptyValues) {
+  uint64_t V = 0;
+  std::string Err;
+  EXPECT_FALSE(
+      cli::parseUnsignedInRange("--heartbeat-ms", nullptr, 1, 100, V, Err));
+  EXPECT_EQ(Err, "--heartbeat-ms :1: missing value");
+  EXPECT_FALSE(cli::parseUnsignedInRange("--heartbeat-ms", "", 1, 100, V,
+                                         Err));
+  EXPECT_EQ(Err, "--heartbeat-ms :1: empty value");
+}
+
+TEST(CliArgsTest, InRangeNamesTheFirstBadColumn) {
+  uint64_t V = 0;
+  std::string Err;
+  EXPECT_FALSE(
+      cli::parseUnsignedInRange("--threads", "12x4", 0, 256, V, Err));
+  EXPECT_EQ(Err, "--threads 12x4:3: expected a base-10 unsigned integer");
+  EXPECT_FALSE(
+      cli::parseUnsignedInRange("--threads", "-1", 0, 256, V, Err));
+  EXPECT_EQ(Err, "--threads -1:1: expected a base-10 unsigned integer");
+}
+
+TEST(CliArgsTest, InRangeRejectsOutOfRangeLoudly) {
+  uint64_t V = 0;
+  std::string Err;
+  EXPECT_FALSE(
+      cli::parseUnsignedInRange("--heartbeat-ms", "0", 1, 3600000, V, Err));
+  EXPECT_EQ(Err, "--heartbeat-ms 0:1: value 0 out of range [1, 3600000]");
+  unsigned U = 0;
+  EXPECT_FALSE(
+      cli::parseUnsignedInRange("--threads", "257", 0u, 256u, U, Err));
+  EXPECT_EQ(Err, "--threads 257:1: value 257 out of range [0, 256]");
+  // A value past 64 bits is still an error, with its own message.
+  EXPECT_FALSE(cli::parseUnsignedInRange("--mem-mb", "18446744073709551616",
+                                         1, 100, V, Err));
+  EXPECT_NE(Err.find("does not fit in 64 bits"), std::string::npos) << Err;
+}
+
+TEST(CliArgsTest, FlagValueMatchesBothSpellings) {
+  const char *Value = nullptr;
+  char A0[] = "bin", A1[] = "--threads", A2[] = "4", A3[] = "--threads=9",
+       A4[] = "--threads";
+  {
+    char *Argv[] = {A0, A1, A2};
+    int I = 1;
+    EXPECT_TRUE(cli::flagValue(3, Argv, I, "--threads", Value));
+    EXPECT_STREQ(Value, "4");
+    EXPECT_EQ(I, 2) << "separate value must be consumed";
+  }
+  {
+    char *Argv[] = {A0, A3};
+    int I = 1;
+    EXPECT_TRUE(cli::flagValue(2, Argv, I, "--threads", Value));
+    EXPECT_STREQ(Value, "9");
+  }
+  {
+    // Trailing flag with no argument left: matched, but the value is null
+    // and must be treated as a usage error by callers.
+    char *Argv[] = {A0, A4};
+    int I = 1;
+    EXPECT_TRUE(cli::flagValue(2, Argv, I, "--threads", Value));
+    EXPECT_EQ(Value, nullptr);
+    std::string Err;
+    uint64_t V = 0;
+    EXPECT_FALSE(cli::parseUnsignedInRange("--threads", Value, 0, 256, V,
+                                           Err));
+    EXPECT_EQ(Err, "--threads :1: missing value");
+  }
 }

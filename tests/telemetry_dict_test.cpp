@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "atlas/Atlas.h"
 #include "lang/Parser.h"
 #include "litmus/Corpus.h"
 #include "memo/MemoContext.h"
@@ -96,6 +97,42 @@ std::set<std::string> runtimeKeys() {
     runPipeline(*P, Opts);
   }
 
+  // Extension passes under whole-program PS^na validation (opt.promote.*,
+  // opt.weaken.*, opt.validate.method.psna, the promote/weaken spans). One
+  // crafted program exercises every tally: a promotable thread-local na
+  // location, a read-shared one, a thread-local atomic with strong modes,
+  // an absorbable sc;acq fence pair, and a fence in an atomic-free thread.
+  {
+    std::unique_ptr<Program> P = parseOrDie(
+        "na x;\nna s;\natomic y;\n"
+        "thread { x@na := 1; a := x@na; fence @ sc; fence @ acq; "
+        "b := y@acq; y@rel := b; return a; }\n"
+        "thread { fence @ rel; c := s@na; return c; }\n"
+        "thread { d := s@na; return d; }");
+    PipelineOptions Opts;
+    Opts.Cfg.Domain = ValueDomain::binary();
+    Opts.PsCfg.Domain = ValueDomain::binary();
+    Opts.EnablePromote = true;
+    Opts.EnableWeaken = true;
+    Opts.Telem = &Telem;
+    runPipeline(*P, Opts);
+    // The racy-rejection tally needs a PotentiallyRacy witness location.
+    std::unique_ptr<Program> Racy =
+        parseOrDie(litmusCaseByName("ex5.1-promise-racy-read").Text);
+    runPipeline(*Racy, Opts);
+  }
+
+  // The atlas fold (atlas.* tallies, atlas.build span). Tiny budgets: the
+  // verdicts are all bounded garbage, but every key still fires, and the
+  // sweep stays fast.
+  {
+    atlas::AtlasOptions AO;
+    AO.Seq.StepBudget = 2;
+    AO.Ps.MaxStates = 20;
+    AO.Telem = &Telem;
+    atlas::buildAtlas(AO);
+  }
+
   // PS^na explorer with memoization (psna.*, analysis.*, memo.*), both
   // serial and pooled so every span name fires.
   for (unsigned NumThreads : {1u, 2u}) {
@@ -135,6 +172,11 @@ TEST(TelemetryDictTest, DictionaryParses) {
   EXPECT_TRUE(Dict.count("psna.explore.frontier"));
   EXPECT_TRUE(Dict.count("pool.steals"));
   EXPECT_TRUE(Dict.count("race_lint.analyze"));
+  EXPECT_TRUE(Dict.count("opt.promote.locations"));
+  EXPECT_TRUE(Dict.count("opt.weaken.fence_pairs"));
+  EXPECT_TRUE(Dict.count("opt.validate.method.psna"));
+  EXPECT_TRUE(Dict.count("atlas.mismatch"));
+  EXPECT_TRUE(Dict.count("atlas.build"));
 }
 
 TEST(TelemetryDictTest, EveryRuntimeKeyIsDocumented) {

@@ -15,6 +15,16 @@ Two modes:
       must exist, report enabled=true, and count at least one explored
       state, so a silently unwired memo context fails loudly.
 
+  check_bench_baseline.py --baseline BENCH_BASELINE.json --atlas-summary FILE
+      FILE holds the output of `atlas_report` (only the final
+      "atlas summary:" line is read). Fails when the validator
+      negative-test corpus (unsound + seq_incomplete entries) shrinks
+      below the recorded atlas_unsound_entries — the corpus may only
+      grow — when the template count shrinks, or when the ⊑w-vs-PS^na
+      mismatch count differs from the pinned atlas_mismatch_entries
+      (that set documents the explorer's unmodeled-reservation gap and
+      must change only with an explicit baseline update).
+
 The inputs are deterministic (state counts and cache counters, never
 timings), so failures are reproducible locally with the same commands.
 """
@@ -32,6 +42,11 @@ SUMMARY_RE = re.compile(
 LINT_RE = re.compile(
     r"lint summary: race_free=(\d+) potentially_racy=(\d+) "
     r"atomics_only=(\d+) race_free_states=(\d+)"
+)
+
+ATLAS_RE = re.compile(
+    r"atlas summary: entries=(\d+) sound=(\d+) unsound=(\d+) "
+    r"seq_incomplete=(\d+) mismatch=(\d+) bounded=(\d+)"
 )
 
 
@@ -131,6 +146,57 @@ def check_summary(args):
     )
 
 
+def check_atlas_summary(args):
+    base = json.load(open(args.baseline))
+    text = open(args.atlas_summary).read()
+    matches = ATLAS_RE.findall(text)
+    if not matches:
+        fail(f"no 'atlas summary:' line found in {args.atlas_summary}")
+    entries, sound, unsound, seq_inc, mismatch, bounded = map(
+        int, matches[-1]
+    )
+
+    if "atlas_unsound_entries" not in base:
+        fail(f"{args.baseline} has no atlas_unsound_entries field")
+
+    if entries < base.get("atlas_entries", 0):
+        fail(
+            f"atlas shrank: {entries} templates vs baseline "
+            f"{base['atlas_entries']} — the template grid may only grow"
+        )
+
+    negative = unsound + seq_inc
+    if negative < base["atlas_unsound_entries"]:
+        fail(
+            f"validator negative-test corpus shrank: {negative} "
+            f"(unsound={unsound} + seq_incomplete={seq_inc}) vs baseline "
+            f"{base['atlas_unsound_entries']} — entries the SEQ checkers "
+            f"reject may only be added, never lost"
+        )
+
+    pinned = base.get("atlas_mismatch_entries", 0)
+    if mismatch != pinned:
+        fail(
+            f"⊑w-vs-PS^na mismatch count changed: {mismatch} vs pinned "
+            f"{pinned} — a new checker soundness bug, a fixed one, or a "
+            f"change to the explorer's reservation modeling; inspect "
+            f"tests/golden/atlas.md and update the baseline deliberately"
+        )
+
+    if bounded:
+        fail(
+            f"{bounded} atlas entries were budget-truncated — verdicts "
+            f"are not trustworthy; raise the budgets"
+        )
+
+    print(
+        f"check_bench_baseline: OK: atlas entries={entries} "
+        f"sound={sound} negative={negative} "
+        f"(baseline floor {base['atlas_unsound_entries']}), "
+        f"mismatch={mismatch} (pinned)"
+    )
+
+
 def check_bench_json(args):
     data = json.load(open(args.bench_json))
     memo = data.get("memo")
@@ -158,6 +224,9 @@ def main():
     ap.add_argument("--summary", help="file with litmus_explorer output")
     ap.add_argument("--bench-json", help="bench_* --json dump to sanity-check")
     ap.add_argument(
+        "--atlas-summary", help="file with atlas_report output to gate"
+    )
+    ap.add_argument(
         "--tolerance",
         type=float,
         default=0.10,
@@ -167,10 +236,15 @@ def main():
 
     if args.bench_json:
         check_bench_json(args)
+    elif args.baseline and args.atlas_summary:
+        check_atlas_summary(args)
     elif args.baseline and args.summary:
         check_summary(args)
     else:
-        ap.error("need either --baseline and --summary, or --bench-json")
+        ap.error(
+            "need --baseline with --summary or --atlas-summary, "
+            "or --bench-json"
+        )
 
 
 if __name__ == "__main__":
