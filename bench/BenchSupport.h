@@ -51,6 +51,7 @@
 
 #include "exec/ThreadPool.h"
 #include "guard/Guard.h"
+#include "guard/Signals.h"
 #include "memo/MemoContext.h"
 #include "obs/Heartbeat.h"
 #include "obs/Report.h"
@@ -58,6 +59,7 @@
 #include "obs/Telemetry.h"
 #include "obs/TraceExport.h"
 #include "obs/TraceSink.h"
+#include "support/AtomicFile.h"
 #include "support/CliArgs.h"
 #include "support/Truncation.h"
 
@@ -187,12 +189,9 @@ inline bool writeJson(const std::string &Path, const std::vector<Row> &Rows,
 
   Out += ",\"telemetry\":" + obs::renderReportJson(Telem) + "}\n";
 
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F)
-    return false;
-  bool Ok = std::fwrite(Out.data(), 1, Out.size(), F) == Out.size();
-  Ok &= std::fclose(F) == 0;
-  return Ok;
+  // Atomic (temp + rename): the perf gate parses this file; a bench run
+  // killed mid-write must not leave a truncated JSON behind.
+  return support::writeFileAtomic(Path, Out);
 }
 
 } // namespace detail
@@ -298,7 +297,14 @@ inline int benchMain(int Argc, char **Argv) {
   if (!NoMemo)
     detail::memoSlot() = &Memo;
 
+  // SIGINT/SIGTERM turn into a graceful stop: the handler trips the
+  // process-wide token, so a governed run drains into bounded `cancelled`
+  // verdicts, and the harness still writes every report it was asked for
+  // before exiting with the distinct graceful code.
+  guard::installShutdownHandlers();
+
   guard::ResourceGuard Guard;
+  Guard.setToken(&guard::shutdownToken());
   if (DeadlineMs || MemMb) {
     if (DeadlineMs)
       Guard.setDeadlineInMs(DeadlineMs);
@@ -396,7 +402,8 @@ inline int benchMain(int Argc, char **Argv) {
                               static_cast<double>(PsSS.MaxShard));
     }
     Telem.finalSnapshot(Guard.stopped() ? truncationCauseName(Guard.cause())
-                                        : "complete");
+                        : guard::shutdownRequested() ? "shutdown-signal"
+                                                     : "complete");
   }
 
   if (!TraceOutPath.empty() &&
@@ -413,7 +420,9 @@ inline int benchMain(int Argc, char **Argv) {
   detail::telemetrySlot() = nullptr;
   detail::guardSlot() = nullptr;
   detail::memoSlot() = nullptr;
-  return 0;
+  // Reports are on disk by now; the graceful code tells callers the run
+  // was cut short by a signal, not that it completed or crashed.
+  return guard::shutdownRequested() ? guard::GracefulSignalExit : 0;
 }
 
 } // namespace benchsupport

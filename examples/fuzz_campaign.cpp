@@ -25,6 +25,7 @@
 
 #include "adequacy/FuzzCampaign.h"
 #include "guard/Isolate.h"
+#include "guard/Signals.h"
 #include "obs/Span.h"
 #include "obs/Telemetry.h"
 #include "obs/TraceExport.h"
@@ -123,6 +124,11 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Ctrl-C / SIGTERM stops the campaign between pairs: already-classified
+  // pairs keep their buckets, telemetry and the trace export still flush,
+  // and the process exits with the distinct graceful code.
+  guard::installShutdownHandlers();
+
   obs::Telemetry Telem;
   obs::SpanRecorder Spans;
   std::unique_ptr<obs::TraceSink> Sink = obs::traceSinkFromFlagOrEnv(TracePath);
@@ -136,8 +142,9 @@ int main(int Argc, char **Argv) {
               Opts.Isolate && guard::isolationSupported() ? "fork" : "off");
   CampaignStats S = runFuzzCampaign(Opts);
 
-  std::printf("pairs    %u%s\n", S.Pairs,
-              S.TimedOut ? "  (campaign wall budget hit)" : "");
+  std::printf("pairs    %u%s%s\n", S.Pairs,
+              S.TimedOut ? "  (campaign wall budget hit)" : "",
+              S.Interrupted ? "  (interrupted by signal)" : "");
   std::printf("  agree    %u\n", S.Agree);
   std::printf("  mismatch %u\n", S.Mismatch);
   std::printf("  bounded  %u\n", S.Bounded);
@@ -147,11 +154,17 @@ int main(int Argc, char **Argv) {
   std::printf("  isolated %u\n", S.Isolated);
   for (const std::string &F : S.Findings)
     std::printf("\nFINDING %s\n", F.c_str());
-  Telem.finalSnapshot(S.clean() ? "complete" : "findings");
+  Telem.finalSnapshot(S.Interrupted ? "shutdown-signal"
+                      : S.clean()   ? "complete"
+                                    : "findings");
   if (!TraceOutPath.empty() &&
       !obs::writeChromeTrace(Spans, TraceOutPath, "fuzz_campaign")) {
     std::fprintf(stderr, "error: cannot write %s\n", TraceOutPath.c_str());
     return 2;
   }
-  return S.clean() ? 0 : 1;
+  // Findings outrank the interrupt: a mismatch seen before Ctrl-C must
+  // still fail the run.
+  if (!S.clean())
+    return 1;
+  return S.Interrupted ? guard::GracefulSignalExit : 0;
 }

@@ -12,6 +12,7 @@
 #include "guard/Guard.h"
 #include "guard/Isolate.h"
 #include "guard/Shrink.h"
+#include "guard/Signals.h"
 #include "lang/Parser.h"
 #include "memo/MemoContext.h"
 #include "obs/Telemetry.h"
@@ -163,6 +164,10 @@ CampaignStats pseq::runFuzzCampaign(const CampaignOptions &Opts) {
   const bool UseIsolation = Opts.Isolate && guard::isolationSupported();
 
   for (unsigned I = 0; I != Opts.Count; ++I) {
+    if (guard::shutdownRequested()) {
+      Stats.Interrupted = true;
+      break;
+    }
     if (Opts.TotalMs && elapsedMs() >= static_cast<double>(Opts.TotalMs)) {
       Stats.TimedOut = true;
       break;

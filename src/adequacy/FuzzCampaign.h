@@ -84,6 +84,10 @@ struct CampaignStats {
   unsigned Crash = 0;    ///< child died of a signal / uncaught exception
   unsigned Isolated = 0; ///< pairs that ran fork-isolated
   bool TimedOut = false; ///< TotalMs ended the campaign early
+  /// SIGINT/SIGTERM (guard/Signals) ended the campaign early. Pairs
+  /// already classified keep their buckets; the driver flushes telemetry
+  /// and exits with guard::GracefulSignalExit.
+  bool Interrupted = false;
   /// One entry per mismatch: the mutation description plus the (shrunk
   /// when enabled) failing pair.
   std::vector<std::string> Findings;

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 namespace pseq {
 namespace guard {
@@ -58,12 +59,19 @@ enum class IsolateStatus : uint8_t {
 
 const char *isolateStatusName(IsolateStatus S);
 
-/// Outcome of one isolated run.
+/// Outcome of one isolated run. Beyond the classification, the parent
+/// captures the child's rusage at reap time, so even a SIGKILLed or
+/// OOM-crashed worker reports how much it actually consumed — the server's
+/// `/stats` and campaign telemetry surface these without any cooperation
+/// from the (possibly hostile) child.
 struct IsolateResult {
   IsolateStatus Status = IsolateStatus::Unsupported;
   int ExitCode = -1;      ///< child exit code when Ok/Fail/Oom
   int Signal = 0;         ///< terminating signal when Crash/Deadline
   double ElapsedMs = 0.0; ///< parent-measured wall time
+  uint64_t PeakRssKb = 0; ///< child peak resident set (ru_maxrss), KiB
+  double UserMs = 0.0;    ///< child user CPU time (ru_utime)
+  double SysMs = 0.0;     ///< child system CPU time (ru_stime)
 };
 
 /// True when this host can fork-isolate (POSIX).
@@ -77,6 +85,16 @@ bool isolationSupported();
 /// retain the calling thread.
 IsolateResult runIsolated(const std::function<int()> &Body,
                           const IsolateLimits &Limits);
+
+/// Like `runIsolated`, but the child's body receives the write end of a
+/// pipe and whatever it writes there is drained into \p Output by the
+/// parent while it waits — the only way to get a result payload out of a
+/// child that may die at any instant. Output holds whatever prefix the
+/// child managed to write before dying (complete iff Status is Ok/Fail);
+/// the drain is bounded at ~16 MiB, past which the child sees EPIPE.
+IsolateResult runIsolatedCapture(const std::function<int(int OutFd)> &Body,
+                                 const IsolateLimits &Limits,
+                                 std::string &Output);
 
 } // namespace guard
 } // namespace pseq

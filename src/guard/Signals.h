@@ -1,0 +1,61 @@
+//===- guard/Signals.h - Graceful SIGINT/SIGTERM shutdown -------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One shared shutdown protocol for the long-running binaries (the
+/// validation server, fuzz campaigns, bench harnesses): SIGINT/SIGTERM set
+/// a process-wide flag — and trip the process-wide CancellationToken, so
+/// any engine governed by a guard that attached it stops with an honest
+/// `cancelled` truncation cause — instead of killing the process mid-write.
+/// The binary's main loop polls `shutdownRequested()`, flushes its
+/// telemetry/heartbeat/snapshot sinks, and exits with `GracefulSignalExit`
+/// so callers can tell an orderly interrupt from a crash (signal death)
+/// and from a normal completion (exit 0).
+///
+/// The handler itself only stores relaxed atomics (async-signal-safe). A
+/// second delivery of the same signal re-raises with the default
+/// disposition, so a wedged process can still be killed with a double
+/// Ctrl-C.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_GUARD_SIGNALS_H
+#define PSEQ_GUARD_SIGNALS_H
+
+#include "guard/Guard.h"
+
+namespace pseq::guard {
+
+/// Exit code for "terminated by SIGINT/SIGTERM after a clean flush".
+/// Distinct from normal completion (0), findings/usage errors (1, 2), and
+/// signal death (the shell reports 128+sig for those).
+inline constexpr int GracefulSignalExit = 75;
+
+/// Installs the SIGINT/SIGTERM handlers. Idempotent; returns false when
+/// the host has no sigaction (the flag then simply never fires).
+bool installShutdownHandlers();
+
+/// True once a shutdown signal was delivered.
+bool shutdownRequested();
+
+/// The signal that requested shutdown (SIGINT/SIGTERM), or 0.
+int shutdownSignal();
+
+/// The process-wide token the handlers cancel. Long runs attach it to
+/// their ResourceGuard (`guard.setToken(&shutdownToken())`) so in-flight
+/// engine work drains into bounded `cancelled` verdicts on Ctrl-C instead
+/// of running to completion while the user waits.
+CancellationToken &shutdownToken();
+
+/// Test hook: clears the flag and replaces the token's state so one
+/// process can exercise several shutdown cycles. Not used by production
+/// binaries (a real shutdown request is final).
+void resetShutdownStateForTests();
+
+} // namespace pseq::guard
+
+#endif // PSEQ_GUARD_SIGNALS_H

@@ -51,6 +51,37 @@ uint64_t MemoContext::entryCount(Table T) const {
   return Sizes[static_cast<unsigned>(T)].load(std::memory_order_relaxed);
 }
 
+std::vector<MemoContext::StringEntry>
+MemoContext::exportStrings(Table T) const {
+  std::vector<StringEntry> Out;
+  unsigned TableBase = static_cast<unsigned>(T) * ShardsPerTable;
+  for (unsigned I = 0; I != ShardsPerTable; ++I) {
+    const Shard &S = Shards[TableBase + I];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &KV : S.Map) {
+      const auto *Str = static_cast<const std::string *>(KV.second.get());
+      Out.push_back({KV.first, *Str});
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const StringEntry &A, const StringEntry &B) {
+              return A.Key.Hi != B.Key.Hi ? A.Key.Hi < B.Key.Hi
+                                          : A.Key.Lo < B.Key.Lo;
+            });
+  return Out;
+}
+
+uint64_t MemoContext::importStrings(Table T,
+                                    const std::vector<StringEntry> &Entries) {
+  uint64_t Inserted = 0;
+  for (const StringEntry &E : Entries) {
+    auto Value = std::make_shared<const std::string>(E.Value);
+    if (insert(T, E.Key, Value) == Value)
+      ++Inserted;
+  }
+  return Inserted;
+}
+
 MemoContext::ShardStats MemoContext::shardStats(Table T) const {
   ShardStats Out;
   Out.NumShards = ShardsPerTable;

@@ -27,6 +27,11 @@
 ///                    (program fp, exploration config fp).
 ///  * AtlasVerdicts — transformation-atlas template verdicts, keyed by
 ///                    (source fp, target fp, decision config fp).
+///  * ServeVerdicts — validation-server verdict strings, keyed by
+///                    (program fp(s), pass config salt). The one table
+///                    whose values are plain `std::string` by convention,
+///                    which is what makes it snapshottable to disk
+///                    (memo/Snapshot.h) and warm across server restarts.
 ///
 /// Every key-building function mixes in its config's `ConfigSalt`, which
 /// consumers (the optimizer pipeline, the atlas) derive from the active
@@ -48,7 +53,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace pseq {
 namespace memo {
@@ -66,7 +73,7 @@ public:
   };
 
   enum class Table : unsigned { SeqSuffix = 0, PsBehaviors = 1,
-                                AtlasVerdicts = 2 };
+                                AtlasVerdicts = 2, ServeVerdicts = 3 };
 
   MemoContext() : MemoContext(Options()) {}
   explicit MemoContext(const Options &Opts);
@@ -111,6 +118,24 @@ public:
   };
   ShardStats shardStats(Table T) const;
 
+  /// One exported entry of a string-valued table.
+  struct StringEntry {
+    Fp128 Key;
+    std::string Value;
+  };
+
+  /// Dumps every entry of \p T, which must hold `std::string` values by
+  /// convention (today: ServeVerdicts only — the other tables store
+  /// engine-internal types that are not serializable). Entries come out
+  /// sorted by key so a snapshot of the same cache content is
+  /// byte-identical regardless of insert order.
+  std::vector<StringEntry> exportStrings(Table T) const;
+
+  /// Replays exported entries back into \p T via the normal first-writer-
+  /// wins insert path (a live entry beats a snapshot entry). \returns the
+  /// number of entries actually inserted.
+  uint64_t importStrings(Table T, const std::vector<StringEntry> &Entries);
+
   // Stats — bumped by the engines, read by bench/test reporting.
   void noteHit(uint64_t N = 1) { Hits.fetch_add(N, std::memory_order_relaxed); }
   void noteMiss(uint64_t N = 1) {
@@ -124,7 +149,7 @@ public:
   uint64_t pruned() const { return Pruned.load(std::memory_order_relaxed); }
 
 private:
-  static constexpr unsigned NumTables = 3;
+  static constexpr unsigned NumTables = 4;
   static constexpr unsigned ShardsPerTable = 16;
 
   struct Shard {

@@ -1,0 +1,177 @@
+//===- memo/Snapshot.cpp - Durable memo-table snapshots -------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memo/Snapshot.h"
+
+#include "support/AtomicFile.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace pseq;
+using namespace pseq::memo;
+
+namespace {
+
+constexpr char Magic[8] = {'P', 'S', 'E', 'Q', 'S', 'N', 'A', 'P'};
+
+/// Single-entry cap: a verdict string is a short JSON blob; anything
+/// bigger than this is a corrupted length field, not data.
+constexpr uint64_t MaxValueBytes = 1u << 24;
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+/// Bounds-checked little-endian readers over the raw byte string.
+struct Reader {
+  const std::string &Bytes;
+  size_t Pos = 0;
+
+  bool remaining(size_t N) const { return Bytes.size() - Pos >= N; }
+
+  bool readU32(uint32_t &V) {
+    if (!remaining(4))
+      return false;
+    V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<unsigned char>(Bytes[Pos++]))
+           << (8 * I);
+    return true;
+  }
+
+  bool readU64(uint64_t &V) {
+    if (!remaining(8))
+      return false;
+    V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<unsigned char>(Bytes[Pos++]))
+           << (8 * I);
+    return true;
+  }
+};
+
+/// The checksum is a fingerprint chain over everything between the magic
+/// and the checksum field itself (version, count, all entries).
+uint64_t checksumOf(const std::string &Bytes, size_t Begin, size_t End) {
+  Fp128 F = fpSeed(0x70736571'736e6170ULL); // "pseq snap"
+  fpMixBytes(F, Bytes.data() + Begin, End - Begin);
+  return F.Lo ^ F.Hi;
+}
+
+} // namespace
+
+std::string
+pseq::memo::encodeSnapshot(const std::vector<MemoContext::StringEntry> &Entries) {
+  std::string Out;
+  Out.append(Magic, sizeof(Magic));
+  putU32(Out, SnapshotVersion);
+  putU64(Out, Entries.size());
+  for (const MemoContext::StringEntry &E : Entries) {
+    putU64(Out, E.Key.Lo);
+    putU64(Out, E.Key.Hi);
+    putU64(Out, E.Value.size());
+    Out.append(E.Value);
+  }
+  Out.append(8, '\0'); // checksum placeholder... replaced below
+  uint64_t Sum = checksumOf(Out, sizeof(Magic), Out.size() - 8);
+  Out.resize(Out.size() - 8);
+  putU64(Out, Sum);
+  return Out;
+}
+
+bool pseq::memo::decodeSnapshot(const std::string &Bytes,
+                                std::vector<MemoContext::StringEntry> &Entries,
+                                std::string &Err) {
+  Entries.clear();
+  Reader R{Bytes};
+  if (!R.remaining(sizeof(Magic)) ||
+      std::memcmp(Bytes.data(), Magic, sizeof(Magic)) != 0) {
+    Err = "snapshot: bad magic (not a pseq snapshot file)";
+    return false;
+  }
+  R.Pos = sizeof(Magic);
+  uint32_t Version = 0;
+  if (!R.readU32(Version)) {
+    Err = "snapshot: truncated before version field";
+    return false;
+  }
+  if (Version != SnapshotVersion) {
+    Err = "snapshot: version mismatch (file has " + std::to_string(Version) +
+          ", expected " + std::to_string(SnapshotVersion) + ")";
+    return false;
+  }
+  uint64_t Count = 0;
+  if (!R.readU64(Count)) {
+    Err = "snapshot: truncated before entry count";
+    return false;
+  }
+  Entries.reserve(static_cast<size_t>(
+      std::min<uint64_t>(Count, Bytes.size() / 24 + 1)));
+  for (uint64_t I = 0; I != Count; ++I) {
+    MemoContext::StringEntry E;
+    uint64_t Len = 0;
+    if (!R.readU64(E.Key.Lo) || !R.readU64(E.Key.Hi) || !R.readU64(Len)) {
+      Err = "snapshot: truncated in entry " + std::to_string(I) + " header";
+      Entries.clear();
+      return false;
+    }
+    if (Len > MaxValueBytes || !R.remaining(static_cast<size_t>(Len))) {
+      Err = "snapshot: entry " + std::to_string(I) +
+            " value length out of range";
+      Entries.clear();
+      return false;
+    }
+    E.Value.assign(Bytes, R.Pos, static_cast<size_t>(Len));
+    R.Pos += static_cast<size_t>(Len);
+    Entries.push_back(std::move(E));
+  }
+  uint64_t Sum = 0;
+  size_t PayloadEnd = R.Pos;
+  if (!R.readU64(Sum)) {
+    Err = "snapshot: truncated before checksum";
+    Entries.clear();
+    return false;
+  }
+  if (R.Pos != Bytes.size()) {
+    Err = "snapshot: trailing junk after checksum";
+    Entries.clear();
+    return false;
+  }
+  if (Sum != checksumOf(Bytes, sizeof(Magic), PayloadEnd)) {
+    Err = "snapshot: checksum mismatch (corrupted payload)";
+    Entries.clear();
+    return false;
+  }
+  return true;
+}
+
+bool pseq::memo::saveSnapshot(const MemoContext &Ctx, MemoContext::Table T,
+                              const std::string &Path, std::string &Err) {
+  std::string Bytes = encodeSnapshot(Ctx.exportStrings(T));
+  return support::writeFileAtomic(Path, Bytes, &Err);
+}
+
+bool pseq::memo::loadSnapshot(MemoContext &Ctx, MemoContext::Table T,
+                              const std::string &Path, uint64_t &Loaded,
+                              std::string &Err) {
+  Loaded = 0;
+  std::string Bytes;
+  if (!support::readFileAll(Path, Bytes, &Err))
+    return false;
+  std::vector<MemoContext::StringEntry> Entries;
+  if (!decodeSnapshot(Bytes, Entries, Err))
+    return false;
+  Loaded = Ctx.importStrings(T, Entries);
+  return true;
+}

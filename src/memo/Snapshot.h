@@ -1,0 +1,75 @@
+//===- memo/Snapshot.h - Durable memo-table snapshots -----------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization for string-valued memo tables, so a restarted
+/// validation server resumes with a warm verdict cache instead of
+/// re-exploring every program it has already judged. The format is
+/// deliberately dumb and fully checked:
+///
+///   "PSEQSNAP"                    8-byte magic
+///   version                       u32 LE (currently 1)
+///   count                         u64 LE
+///   count x { Lo u64 LE, Hi u64 LE, len u64 LE, len bytes }
+///   checksum                      u64 LE (fingerprint chain over payload)
+///
+/// Decoding rejects — with a clean error message, never a crash or a
+/// silently partial load — short files, bad magic, version mismatches,
+/// length overflows, trailing junk, and checksum mismatches. Torn files
+/// cannot occur on the write side because snapshots go to disk through
+/// `support::writeFileAtomic` (temp + rename), but a decode must still
+/// survive any bytes an adversarial or corrupted disk hands it.
+///
+/// Snapshot keys are content fingerprints salted with the pass config
+/// (see MemoContext's ConfigSalt contract), so loading a snapshot recorded
+/// under a different pipeline setup is safe: its keys simply never match.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_MEMO_SNAPSHOT_H
+#define PSEQ_MEMO_SNAPSHOT_H
+
+#include "memo/MemoContext.h"
+
+#include <string>
+#include <vector>
+
+namespace pseq {
+namespace memo {
+
+/// Current snapshot format version.
+inline constexpr uint32_t SnapshotVersion = 1;
+
+/// Serializes \p Entries into the snapshot byte format (deterministic:
+/// same entries in the same order produce identical bytes).
+std::string encodeSnapshot(const std::vector<MemoContext::StringEntry> &Entries);
+
+/// Parses snapshot bytes. On success fills \p Entries (in file order) and
+/// returns true; on any malformation returns false with a diagnostic in
+/// \p Err naming what was wrong (magic, version, truncation, checksum...).
+bool decodeSnapshot(const std::string &Bytes,
+                    std::vector<MemoContext::StringEntry> &Entries,
+                    std::string &Err);
+
+/// Exports \p T (a string-valued table) from \p Ctx and writes it
+/// atomically to \p Path. Returns false with \p Err set on I/O failure.
+bool saveSnapshot(const MemoContext &Ctx, MemoContext::Table T,
+                  const std::string &Path, std::string &Err);
+
+/// Reads \p Path, decodes it, and imports the entries into \p T of \p Ctx.
+/// On success stores the number of entries actually inserted (first-writer
+/// -wins: live entries are kept) into \p Loaded. A missing file is an
+/// error here — callers that treat "no snapshot yet" as a cold start
+/// should check existence (or just ignore the failure) themselves.
+bool loadSnapshot(MemoContext &Ctx, MemoContext::Table T,
+                  const std::string &Path, uint64_t &Loaded,
+                  std::string &Err);
+
+} // namespace memo
+} // namespace pseq
+
+#endif // PSEQ_MEMO_SNAPSHOT_H

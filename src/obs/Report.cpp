@@ -7,8 +7,9 @@
 
 #include "obs/Report.h"
 
+#include "support/AtomicFile.h"
+
 #include <cstdio>
-#include <fstream>
 
 using namespace pseq::obs;
 
@@ -156,9 +157,7 @@ std::string pseq::obs::renderReportJson(const Telemetry &T) {
 }
 
 bool pseq::obs::writeReportJson(const Telemetry &T, const std::string &Path) {
-  std::ofstream Out(Path);
-  if (!Out)
-    return false;
-  Out << renderReportJson(T) << '\n';
-  return Out.good();
+  // Atomic (temp + rename): a process killed mid-write leaves the previous
+  // complete report or none, never a truncated one that --diff half-parses.
+  return support::writeFileAtomic(Path, renderReportJson(T) + "\n");
 }

@@ -8,9 +8,9 @@
 #include "obs/TraceExport.h"
 
 #include "obs/TraceSink.h"
+#include "support/AtomicFile.h"
 
 #include <cstdio>
-#include <fstream>
 
 using namespace pseq::obs;
 
@@ -122,9 +122,8 @@ std::string pseq::obs::renderChromeTrace(const SpanRecorder &R,
 bool pseq::obs::writeChromeTrace(const SpanRecorder &R,
                                  const std::string &Path,
                                  const std::string &ProcessName) {
-  std::ofstream Out(Path);
-  if (!Out)
-    return false;
-  Out << renderChromeTrace(R, ProcessName) << '\n';
-  return Out.good();
+  // Atomic (temp + rename): Perfetto rejects truncated traces outright, so
+  // a kill mid-export must leave the previous file or none.
+  return support::writeFileAtomic(Path, renderChromeTrace(R, ProcessName) +
+                                            "\n");
 }

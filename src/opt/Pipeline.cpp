@@ -64,12 +64,13 @@ void shrinkRejectedPair(const Program &Src, const Program &Tgt,
   Report.ShrunkTgt = std::move(SR.Tgt);
 }
 
-/// Hash of the active pass configuration, mixed into both validation
-/// configs' ConfigSalt: a MemoContext shared across pipeline setups (or
-/// with direct checker runs) then partitions its caches per setup, so a
-/// sweep that turns a pass on can never be answered from entries recorded
-/// with it off.
-uint64_t passConfigSalt(const PipelineOptions &Opts) {
+} // namespace
+
+// Mixed into both validation configs' ConfigSalt by runPipeline: a
+// MemoContext shared across pipeline setups (or with direct checker runs)
+// then partitions its caches per setup, so a sweep that turns a pass on
+// can never be answered from entries recorded with it off.
+uint64_t pseq::pipelineConfigSalt(const PipelineOptions &Opts) {
   memo::Fp128 F = memo::fpSeed(0x70736571'70697065ULL); // "pseq pipe"
   memo::fpMix(F, Opts.Cfg.ConfigSalt);
   memo::fpMix(F, Opts.PsCfg.ConfigSalt);
@@ -82,8 +83,6 @@ uint64_t passConfigSalt(const PipelineOptions &Opts) {
   return F.Lo;
 }
 
-} // namespace
-
 PipelineResult pseq::runPipeline(const Program &P,
                                  const PipelineOptions &Opts) {
   PipelineResult Out;
@@ -92,7 +91,7 @@ PipelineResult pseq::runPipeline(const Program &P,
   obs::Telemetry *Telem = Opts.Telem ? Opts.Telem : Opts.Cfg.Telem;
   guard::ResourceGuard *Guard = Opts.Guard ? Opts.Guard : Opts.Cfg.Guard;
   memo::MemoContext *Memo = Opts.Memo ? Opts.Memo : Opts.Cfg.Memo;
-  const uint64_t Salt = passConfigSalt(Opts);
+  const uint64_t Salt = pipelineConfigSalt(Opts);
   SeqConfig ValidateCfg = Opts.Cfg;
   ValidateCfg.Telem = Telem;
   ValidateCfg.NumThreads = Opts.NumThreads;

@@ -128,6 +128,13 @@ struct PipelineResult {
 PipelineResult runPipeline(const Program &P,
                            const PipelineOptions &Opts = PipelineOptions());
 
+/// Hash of the active pass configuration — the salt runPipeline mixes into
+/// both validation configs' ConfigSalt so a shared MemoContext partitions
+/// its caches per pipeline setup. Exposed so external caches keyed on
+/// pipeline outcomes (the validation server's verdict cache) can partition
+/// by exactly the same notion of "same configuration" the memo layer uses.
+uint64_t pipelineConfigSalt(const PipelineOptions &Opts);
+
 } // namespace pseq
 
 #endif // PSEQ_OPT_PIPELINE_H

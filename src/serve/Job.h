@@ -1,0 +1,81 @@
+//===- serve/Job.h - One validation job, run to a verdict -------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes one JobRequest to exactly one JobResult, whatever happens.
+/// The invariant this module owes the server (and the chaos test asserts):
+/// `runJob` always returns — a verdict, a budget-bounded verdict, or a
+/// classified failure — and never throws, hangs, or crashes the caller.
+///
+/// The pipeline per job:
+///   1. cache probe (VerdictCache, deterministic outcomes only)
+///   2. lint memo probe (MemoContext::ServeVerdicts, keyed by source only)
+///   3. up to MaxAttempts isolated runs (guard/Isolate fork + rlimits +
+///      pipe capture), with capped exponential backoff between attempts;
+///      crashes retry, resource verdicts (deadline/oom) do not — they are
+///      deterministic enough that a retry would just burn the budget again
+///   4. classification of whatever came back, rusage included
+///
+/// Chaos mode deterministically SIGKILLs a subset of first attempts from
+/// inside the child (keyed by job fingerprint and seed), so the retry path
+/// is exercised on every chaos run and the job still converges to its real
+/// verdict on attempt two — making "exactly one verdict per job, crashes
+/// included" a testable property rather than a hope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_SERVE_JOB_H
+#define PSEQ_SERVE_JOB_H
+
+#include "serve/Protocol.h"
+#include "serve/VerdictCache.h"
+
+namespace pseq {
+namespace serve {
+
+/// Server-level execution policy applied to every job.
+struct JobPolicy {
+  unsigned DefaultStepBudget = 48;
+  uint64_t DefaultDeadlineMs = 5000;
+  uint64_t DefaultMemMb = 512;
+  unsigned MaxAttempts = 3;    ///< isolated tries per job (>= 1)
+  uint64_t BackoffBaseMs = 10; ///< sleep before retry k: base << k ...
+  uint64_t BackoffCapMs = 200; ///< ... capped here
+  bool Isolate = true;         ///< fork workers (false: in-process only)
+  bool Chaos = false;          ///< inject deterministic worker kills
+  uint64_t ChaosSeed = 1;
+};
+
+/// Borrowed caches (either may be null: that feature is then off).
+struct JobDeps {
+  memo::MemoContext *Memo = nullptr; ///< ServeVerdicts lint table
+  VerdictCache *Cache = nullptr;     ///< cross-request response cache
+};
+
+/// Per-job observations the server folds into its tallies (JobResult only
+/// carries the wire-visible fields).
+struct JobTrace {
+  bool ChaosInjected = false;
+  unsigned Retries = 0;
+  bool CacheStored = false;
+};
+
+/// Cache key for a job: source/target bytes, step budget, method, and the
+/// pipeline config salt for pipeline jobs — everything that can change a
+/// deterministic verdict, nothing that only changes timing.
+memo::Fp128 jobFingerprint(const JobRequest &Req, const JobPolicy &Policy);
+
+/// Runs \p Req under \p Policy. Total: always produces a JobResult with
+/// one of the taxonomy statuses (never Overloaded/Shutdown — those are
+/// admission/drain decisions made by the server before a job gets here).
+JobResult runJob(const JobRequest &Req, const JobPolicy &Policy,
+                 const JobDeps &Deps, JobTrace &Trace);
+
+} // namespace serve
+} // namespace pseq
+
+#endif // PSEQ_SERVE_JOB_H

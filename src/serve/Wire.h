@@ -1,0 +1,62 @@
+//===- serve/Wire.h - Length-prefixed Unix-socket framing -------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The validation server's transport: AF_UNIX stream sockets carrying
+/// frames of `u32 big-endian length + payload`. A frame is one JSON
+/// message (serve/Protocol.h); the length prefix makes message boundaries
+/// explicit so a reader never has to scan payload bytes, and the 16 MiB
+/// cap turns a corrupted or hostile length field into a clean protocol
+/// error instead of an unbounded allocation.
+///
+/// All functions are EINTR-safe (the server installs non-SA_RESTART
+/// shutdown handlers, so every blocking call here can be interrupted) and
+/// report errors through an optional out-string, never exceptions — the
+/// server must survive any peer behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_SERVE_WIRE_H
+#define PSEQ_SERVE_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pseq {
+namespace serve {
+
+/// Maximum frame payload size. Programs, configs, and verdicts are all
+/// far smaller; anything bigger is a framing bug or an attack.
+inline constexpr uint32_t MaxFrameBytes = 16u << 20;
+
+/// True when this host has AF_UNIX sockets (POSIX).
+bool wireSupported();
+
+/// Creates, binds, and listens on a Unix socket at \p Path, unlinking any
+/// stale socket file first. \returns the listening fd, or -1 with \p Err.
+int listenUnix(const std::string &Path, std::string *Err = nullptr);
+
+/// Connects to the Unix socket at \p Path. \returns the fd, or -1.
+int connectUnix(const std::string &Path, std::string *Err = nullptr);
+
+/// Writes one frame. \returns false on any error (peer gone, oversize
+/// payload); the connection is then unusable.
+bool sendFrame(int Fd, std::string_view Payload, std::string *Err = nullptr);
+
+/// Reads one frame into \p Payload. \returns false on EOF (orderly close
+/// with empty \p Err when \p Err was cleared), on a malformed length, or
+/// on a read error.
+bool recvFrame(int Fd, std::string &Payload, std::string *Err = nullptr);
+
+/// close(2) wrapper so callers outside this file don't need <unistd.h>.
+void closeFd(int Fd);
+
+} // namespace serve
+} // namespace pseq
+
+#endif // PSEQ_SERVE_WIRE_H

@@ -1,0 +1,91 @@
+//===- support/AtomicFile.cpp - Crash-safe whole-file writes --------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PSEQ_HAVE_POSIX_RENAME 1
+#include <unistd.h>
+#endif
+
+using namespace pseq;
+
+namespace {
+
+void setErr(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+bool pseq::support::writeFileAtomic(const std::string &Path,
+                                    std::string_view Contents,
+                                    std::string *Err) {
+#ifdef PSEQ_HAVE_POSIX_RENAME
+  const std::string Tmp = Path + ".tmp." + std::to_string(getpid());
+#else
+  const std::string Tmp = Path;
+#endif
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    setErr(Err, "cannot open " + Tmp);
+    return false;
+  }
+  bool Ok = Contents.empty() ||
+            std::fwrite(Contents.data(), 1, Contents.size(), F) ==
+                Contents.size();
+  if (Ok)
+    Ok = std::fflush(F) == 0;
+#ifdef PSEQ_HAVE_POSIX_RENAME
+  // fsync before the rename: the rename must never become durable while
+  // the data is not, or a crash could leave a complete-looking empty file.
+  if (Ok)
+    Ok = fsync(fileno(F)) == 0;
+#endif
+  Ok = (std::fclose(F) == 0) && Ok;
+  if (!Ok) {
+    setErr(Err, "cannot write " + Tmp);
+#ifdef PSEQ_HAVE_POSIX_RENAME
+    std::remove(Tmp.c_str());
+#endif
+    return false;
+  }
+#ifdef PSEQ_HAVE_POSIX_RENAME
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    setErr(Err, "cannot rename " + Tmp + " to " + Path);
+    std::remove(Tmp.c_str());
+    return false;
+  }
+#endif
+  return true;
+}
+
+bool pseq::support::readFileAll(const std::string &Path, std::string &Out,
+                                std::string *Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    setErr(Err, "cannot open " + Path);
+    return false;
+  }
+  Out.clear();
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = !std::ferror(F);
+  std::fclose(F);
+  if (!Ok) {
+    setErr(Err, "cannot read " + Path);
+    return false;
+  }
+  return true;
+}

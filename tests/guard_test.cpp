@@ -25,6 +25,7 @@
 #include "guard/Guard.h"
 #include "guard/Isolate.h"
 #include "guard/Shrink.h"
+#include "guard/Signals.h"
 #include "lang/Parser.h"
 #include "lang/Printer.h"
 #include "opt/Pipeline.h"
@@ -799,4 +800,127 @@ TEST(FuzzCampaignTest, GovernedPairsReportBoundedNotCrash) {
   EXPECT_EQ(S.Agree + S.Bounded, 3u)
       << "a governed pair either finishes or reports bounded";
   EXPECT_TRUE(S.clean());
+}
+
+//===----------------------------------------------------------------------===//
+// Isolation rusage capture & SIGKILL disambiguation
+//===----------------------------------------------------------------------===//
+
+TEST(IsolateTest, CapturesChildOutputAndRusage) {
+  if (!guard::isolationSupported())
+    GTEST_SKIP() << "no fork() on this host";
+  if (PSEQ_TEST_TSAN)
+    GTEST_SKIP() << "fork-based tests are skipped under TSan";
+
+  std::string Output;
+  guard::IsolateResult R = guard::runIsolatedCapture(
+      [](int OutFd) -> int {
+        const char Msg[] = "payload from the child";
+        size_t Len = sizeof(Msg) - 1;
+        size_t Off = 0;
+        while (Off < Len) {
+          ssize_t N = write(OutFd, Msg + Off, Len - Off);
+          if (N <= 0)
+            return 1;
+          Off += static_cast<size_t>(N);
+        }
+        // Touch some memory so the peak-RSS sample is visibly nonzero.
+        std::vector<char> Block(4u << 20, 1);
+        return Block[12345] == 1 ? 0 : 1;
+      },
+      {}, Output);
+  EXPECT_EQ(R.Status, guard::IsolateStatus::Ok);
+  EXPECT_EQ(Output, "payload from the child");
+  EXPECT_GT(R.PeakRssKb, 0u) << "wait4 rusage not recorded";
+  EXPECT_GE(R.UserMs, 0.0);
+  EXPECT_GE(R.SysMs, 0.0);
+}
+
+TEST(IsolateTest, CaptureSurvivesChildDeathMidWrite) {
+  if (!guard::isolationSupported())
+    GTEST_SKIP() << "no fork() on this host";
+  if (PSEQ_TEST_TSAN)
+    GTEST_SKIP() << "fork-based tests are skipped under TSan";
+
+  std::string Output;
+  guard::IsolateResult R = guard::runIsolatedCapture(
+      [](int OutFd) -> int {
+        (void)write(OutFd, "partial", 7);
+        std::abort();
+      },
+      {}, Output);
+  EXPECT_EQ(R.Status, guard::IsolateStatus::Crash);
+  EXPECT_EQ(R.Signal, SIGABRT);
+  EXPECT_EQ(Output, "partial") << "pre-crash bytes must still be drained";
+}
+
+TEST(IsolateTest, ExternalSigkillIsACrashNotADeadline) {
+  if (!guard::isolationSupported())
+    GTEST_SKIP() << "no fork() on this host";
+  if (PSEQ_TEST_TSAN)
+    GTEST_SKIP() << "fork-based tests are skipped under TSan";
+
+  // A SIGKILL with almost no CPU consumed cannot be the hard CPU rlimit
+  // (chaos injection and the OOM killer die exactly like this); rusage
+  // disambiguates it into Crash so the job layer retries.
+  guard::IsolateLimits Limits;
+  Limits.CpuSeconds = 30;
+  guard::IsolateResult R = guard::runIsolated(
+      []() -> int {
+        raise(SIGKILL);
+        return 0;
+      },
+      Limits);
+  EXPECT_EQ(R.Status, guard::IsolateStatus::Crash);
+  EXPECT_EQ(R.Signal, SIGKILL);
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful shutdown signals
+//===----------------------------------------------------------------------===//
+
+TEST(SignalsTest, SignalSetsFlagAndCancelsToken) {
+  ASSERT_TRUE(guard::installShutdownHandlers());
+  EXPECT_FALSE(guard::shutdownRequested());
+  EXPECT_FALSE(guard::shutdownToken().cancelled());
+
+  raise(SIGINT);
+  EXPECT_TRUE(guard::shutdownRequested());
+  EXPECT_EQ(guard::shutdownSignal(), SIGINT);
+  EXPECT_TRUE(guard::shutdownToken().cancelled())
+      << "a guard attached to the shared token must see the cancel";
+
+  guard::resetShutdownStateForTests();
+  EXPECT_FALSE(guard::shutdownRequested());
+  EXPECT_EQ(guard::shutdownSignal(), 0);
+  EXPECT_FALSE(guard::shutdownToken().cancelled());
+}
+
+TEST(SignalsTest, GuardAttachedToTokenReportsCancelled) {
+  ASSERT_TRUE(guard::installShutdownHandlers());
+  guard::ResourceGuard Guard;
+  Guard.setToken(&guard::shutdownToken());
+  EXPECT_EQ(Guard.checkpoint(), TruncationCause::None);
+
+  raise(SIGTERM);
+  EXPECT_EQ(Guard.checkpoint(), TruncationCause::Cancelled)
+      << "SIGTERM must surface as an honest cancelled truncation";
+
+  guard::resetShutdownStateForTests();
+}
+
+TEST(SignalsTest, CampaignStopsBetweenPairsOnShutdownSignal) {
+  ASSERT_TRUE(guard::installShutdownHandlers());
+  raise(SIGTERM);
+
+  CampaignOptions O;
+  O.Seed = 7;
+  O.Count = 50;
+  O.Isolate = false;
+  CampaignStats S = runFuzzCampaign(O);
+  EXPECT_TRUE(S.Interrupted);
+  EXPECT_EQ(S.Pairs, 0u) << "the flag was set before the first pair";
+  EXPECT_TRUE(S.clean());
+
+  guard::resetShutdownStateForTests();
 }

@@ -21,11 +21,13 @@
 #include "opt/Pipeline.h"
 #include "psna/Explorer.h"
 #include "seq/BehaviorEnum.h"
+#include "serve/Server.h"
 
 #include "gtest/gtest.h"
 
 #include <cctype>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -147,6 +149,22 @@ std::set<std::string> runtimeKeys() {
       Cfg.Memo = &Memo;
       explorePsna(*P, Cfg);
     }
+  }
+
+  // The validation server's stats vocabulary (serve.*). A bare Server's
+  // statsSnapshot names every counter and gauge the `stats` op can ever
+  // report — no socket traffic needed to cover the whole namespace.
+  {
+    serve::ServerOptions SO;
+    SO.SocketPath = "/tmp/pseq-telemetry-dict-unused.sock";
+    serve::Server Srv(SO);
+    std::map<std::string, uint64_t> Counters;
+    std::map<std::string, double> Gauges;
+    Srv.statsSnapshot(Counters, Gauges);
+    for (const auto &[Name, V] : Counters)
+      Telem.Counters.add(Name, V);
+    for (const auto &[Name, V] : Gauges)
+      Telem.Counters.maxGauge(Name, V);
   }
 
   std::set<std::string> Keys;

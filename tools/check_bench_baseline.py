@@ -15,6 +15,15 @@ Two modes:
       must exist, report enabled=true, and count at least one explored
       state, so a silently unwired memo context fails loudly.
 
+  check_bench_baseline.py --baseline BENCH_SERVER.json --server-json FILE
+      FILE is a `validate_client --bench-out` dump from a warm-cache batch
+      against validate_server. Fails on any coverage violation (missing or
+      duplicate replies tracked by the client, failed jobs), or when the
+      cross-request cache hit rate drops below the recorded floor.
+      jobs/sec is printed but never gated — wall-clock throughput on
+      shared CI runners is noise; the hit rate and coverage are the
+      deterministic signals.
+
   check_bench_baseline.py --baseline BENCH_BASELINE.json --atlas-summary FILE
       FILE holds the output of `atlas_report` (only the final
       "atlas summary:" line is read). Fails when the validator
@@ -218,6 +227,48 @@ def check_bench_json(args):
     )
 
 
+def check_server_json(args):
+    base = json.load(open(args.baseline))
+    cur = json.load(open(args.server_json))
+
+    for key in ("jobs", "jobs_per_sec", "cache_hit_rate", "failed",
+                "duplicate_replies"):
+        if key not in cur:
+            fail(f"server bench dump missing '{key}' (regenerate with "
+                 f"validate_client --bench-out)")
+
+    min_jobs = base.get("min_jobs", 1)
+    if cur["jobs"] < min_jobs:
+        fail(
+            f"batch answered only {cur['jobs']} jobs "
+            f"(baseline expects at least {min_jobs}) — replies were lost"
+        )
+    if cur["failed"]:
+        fail(
+            f"{cur['failed']} jobs ended in crash/oom/deadline — every "
+            f"corpus job must produce a verdict on a healthy server"
+        )
+    if cur["duplicate_replies"]:
+        fail(
+            f"{cur['duplicate_replies']} duplicate replies — the "
+            f"exactly-one-verdict-per-job contract is broken"
+        )
+
+    floor = base.get("cache_hit_rate_floor", 0.0)
+    if cur["cache_hit_rate"] + 1e-9 < floor:
+        fail(
+            f"warm-cache hit rate dropped: {cur['cache_hit_rate']:.3f} vs "
+            f"floor {floor:.3f} — the snapshot restore or the verdict "
+            f"cache regressed"
+        )
+
+    print(
+        f"check_bench_baseline: OK: server batch jobs={cur['jobs']} "
+        f"hit-rate {cur['cache_hit_rate']:.3f} (floor {floor:.3f}), "
+        f"{cur['jobs_per_sec']:.1f} jobs/sec (informational)"
+    )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", help="BENCH_BASELINE.json path")
@@ -225,6 +276,10 @@ def main():
     ap.add_argument("--bench-json", help="bench_* --json dump to sanity-check")
     ap.add_argument(
         "--atlas-summary", help="file with atlas_report output to gate"
+    )
+    ap.add_argument(
+        "--server-json",
+        help="validate_client --bench-out dump to gate against the baseline",
     )
     ap.add_argument(
         "--tolerance",
@@ -236,14 +291,16 @@ def main():
 
     if args.bench_json:
         check_bench_json(args)
+    elif args.baseline and args.server_json:
+        check_server_json(args)
     elif args.baseline and args.atlas_summary:
         check_atlas_summary(args)
     elif args.baseline and args.summary:
         check_summary(args)
     else:
         ap.error(
-            "need --baseline with --summary or --atlas-summary, "
-            "or --bench-json"
+            "need --baseline with --summary, --atlas-summary, or "
+            "--server-json, or --bench-json"
         )
 
 
