@@ -4,11 +4,21 @@
 // Compilers under Weak Memory Concurrency" (PLDI 2022).
 //
 // Explores litmus tests under PS^na and prints their outcome sets —
-// either the built-in corpus (no arguments) or a program from a file:
+// either a built-in corpus (no arguments) or a program from a file:
 //
 //   litmus_explorer [flags] [file [promise-budget [split-budget]]]
 //   litmus_explorer [flags] --witness <corpus-case> <behavior>
+//   litmus_explorer --list
 //
+//   --corpus NAME    corpus mode only: which corpus to explore — "classic"
+//                    (the paper examples + classic litmus shapes, default)
+//                    or "realworld" (the lock-free protocol corpus,
+//                    src/litmus/RealWorld.h). The realworld run checks
+//                    every case's annotations and ends with a
+//                    deterministic "realworld summary:" line consumed by
+//                    tools/check_bench_baseline.py --realworld-summary.
+//   --list           print every corpus with case counts and per-case
+//                    paper/source refs, then exit
 //   --threads N      parallelize exploration across N workers (0 = all
 //                    hardware threads); outcome sets are identical for any N
 //   --deadline-ms N  soft wall-clock budget for the whole run
@@ -45,6 +55,7 @@
 #include "exec/ThreadPool.h"
 #include "guard/Guard.h"
 #include "litmus/Corpus.h"
+#include "litmus/RealWorld.h"
 #include "memo/MemoContext.h"
 #include "obs/Span.h"
 #include "obs/Telemetry.h"
@@ -56,6 +67,7 @@
 #include "lang/Parser.h"
 #include "lang/Printer.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -109,11 +121,63 @@ int usage(const char *Prog, const std::string &Err) {
   std::fprintf(stderr, "error: %s\n", Err.c_str());
   std::fprintf(stderr,
                "usage: %s [--threads N] [--deadline-ms N] [--mem-mb N] "
-               "[--no-memo] [--no-lint] [--sweep N] [--trace PATH] "
+               "[--no-memo] [--no-lint] [--sweep N] [--corpus classic|"
+               "realworld] [--trace PATH] "
                "[--trace-out PATH] [file [promise-budget [split-budget]]]\n"
-               "       %s [--threads N] --witness <corpus-case> <behavior>\n",
-               Prog, Prog);
+               "       %s [--threads N] --witness <corpus-case> <behavior>\n"
+               "       %s --list\n",
+               Prog, Prog, Prog);
   return 2;
+}
+
+/// --list: every corpus with its case count and per-case refs.
+int listCorpora() {
+  std::printf("refinement corpus (%zu cases) — paper refinement pairs:\n",
+              refinementCorpus().size());
+  for (const RefinementCase &RC : refinementCorpus())
+    std::printf("  %-28s [%s]\n", RC.Name.c_str(), RC.PaperRef.c_str());
+  std::printf("\nextension corpus (%zu cases) — fences/RMW/choose "
+              "transpositions:\n",
+              extensionCorpus().size());
+  for (const RefinementCase &RC : extensionCorpus())
+    std::printf("  %-28s [%s]\n", RC.Name.c_str(), RC.PaperRef.c_str());
+  std::printf("\nclassic corpus (%zu cases) — litmus programs "
+              "(--corpus classic):\n",
+              litmusCorpus().size());
+  for (const LitmusCase &LC : litmusCorpus())
+    std::printf("  %-28s [%s]\n", LC.Name.c_str(), LC.PaperRef.c_str());
+  std::printf("\nrealworld corpus (%zu cases) — lock-free protocols "
+              "(--corpus realworld):\n",
+              realWorldCorpus().size());
+  for (const RealWorldCase &RC : realWorldCorpus())
+    std::printf("  %-28s %s[%s]\n", RC.Name.c_str(),
+                RC.IsMutant ? "(mutant) " : "", RC.SourceRef.c_str());
+  return 0;
+}
+
+/// Witness-mode lookup across the litmus + realworld corpora; prints the
+/// available names instead of aborting when the name is unknown.
+bool witnessConfig(const std::string &Name, PsConfig &Cfg,
+                   std::string &Text) {
+  if (const LitmusCase *LC = litmusCaseByNameMaybe(Name)) {
+    Cfg.Domain = LC->Domain;
+    Cfg.PromiseBudget = LC->PromiseBudget;
+    Cfg.SplitBudget = LC->SplitBudget;
+    Text = LC->Text;
+    return true;
+  }
+  if (const RealWorldCase *RC = realWorldCaseByNameMaybe(Name)) {
+    Cfg = realWorldPsConfig(*RC);
+    Text = RC->Text;
+    return true;
+  }
+  std::fprintf(stderr, "unknown corpus case '%s'; available cases:\n",
+               Name.c_str());
+  for (const LitmusCase &LC : litmusCorpus())
+    std::fprintf(stderr, "  %s\n", LC.Name.c_str());
+  for (const RealWorldCase &RC : realWorldCorpus())
+    std::fprintf(stderr, "  %s\n", RC.Name.c_str());
+  return false;
 }
 
 int usageError(const char *Prog, const std::string &What,
@@ -131,6 +195,7 @@ int main(int Argc, char **Argv) {
   uint64_t Sweeps = 1;
   bool NoMemo = false;
   bool NoLint = false;
+  std::string Corpus = "classic";
   std::string TracePath, TraceOutPath;
   {
     std::vector<char *> Rest;
@@ -176,6 +241,14 @@ int main(int Argc, char **Argv) {
         TracePath = Value;
         continue;
       }
+      if (cli::flagValue(Argc, Argv, I, "--corpus", Value)) {
+        Corpus = Value ? Value : "";
+        if (Corpus != "classic" && Corpus != "realworld")
+          return usageError(Prog, "--corpus (classic|realworld)", Value);
+        continue;
+      }
+      if (A == "--list")
+        return listCorpora();
       if (A == "--no-memo") {
         NoMemo = true;
         continue;
@@ -228,12 +301,11 @@ int main(int Argc, char **Argv) {
   };
 
   if (Argc == 4 && std::string(Argv[1]) == "--witness") {
-    const LitmusCase &LC = litmusCaseByName(Argv[2]);
-    std::unique_ptr<Program> P = parseOrDie(LC.Text);
     PsConfig Cfg;
-    Cfg.Domain = LC.Domain;
-    Cfg.PromiseBudget = LC.PromiseBudget;
-    Cfg.SplitBudget = LC.SplitBudget;
+    std::string Text;
+    if (!witnessConfig(Argv[2], Cfg, Text))
+      return finish(2);
+    std::unique_ptr<Program> P = parseOrDie(Text);
     Cfg.NumThreads = NumThreads;
     Cfg.Guard = GuardPtr;
     Cfg.Lint = !NoLint;
@@ -271,10 +343,98 @@ int main(int Argc, char **Argv) {
     return finish(0);
   }
 
-  // Corpus mode. With --sweep N the corpus is explored N times sharing one
-  // memo context and one telemetry registry; repeat sweeps hit the cross-run
-  // behavior cache, and the summary below is deterministic (state counts and
-  // cache counters only — no timing), which is what the perf gate consumes.
+  // RealWorld corpus mode: every exploration runs under the case's own
+  // budgets (a global --deadline-ms/--mem-mb guard wins when given) and is
+  // checked against its annotations on the spot. The summary line's count
+  // fields are deterministic; elapsed_ms/states_per_sec are wall-clock and
+  // the gate (check_bench_baseline.py --realworld-summary) treats them as
+  // informational apart from an absurdly low hang-detector floor.
+  if (Corpus == "realworld") {
+    uint64_t Cases = 0, Protocols = 0, Mutants = 0, BadExhibited = 0;
+    uint64_t Failures = 0, States = 0;
+    auto T0 = std::chrono::steady_clock::now();
+    std::printf("PS^na realworld outcomes (corpus of %zu cases)\n\n",
+                realWorldCorpus().size());
+    for (uint64_t Sweep = 0; Sweep != Sweeps; ++Sweep) {
+      for (const RealWorldCase &RC : realWorldCorpus()) {
+        guard::ResourceGuard CaseGuard;
+        RealWorldRunOptions Opts;
+        Opts.NumThreads = NumThreads;
+        Opts.Lint = !NoLint;
+        Opts.Telem = &Telem;
+        Opts.Memo = MemoPtr;
+        if (GuardPtr) {
+          Opts.Guard = GuardPtr;
+        } else {
+          applyRealWorldGuardBudgets(CaseGuard, RC);
+          Opts.Guard = &CaseGuard;
+        }
+        RealWorldRunResult R = runRealWorldCase(RC, Opts);
+        if (Sweep != 0)
+          continue; // outcome sets are identical across sweeps
+        ++Cases;
+        if (RC.IsMutant)
+          ++Mutants;
+        else
+          ++Protocols;
+        States += R.Behaviors.StatesExplored;
+        if (RC.IsMutant && !R.Behaviors.truncated() && R.MissingBad.empty())
+          ++BadExhibited;
+        if (!R.clean())
+          ++Failures;
+        std::string Trunc;
+        if (R.Behaviors.truncated())
+          Trunc = std::string("  [TRUNCATED: ") +
+                  truncationCauseName(R.Behaviors.Cause) + "]";
+        std::printf("%-28s %s(promises=%u splits=%u lint=%s)  %u states%s\n",
+                    RC.Name.c_str(), RC.IsMutant ? "(mutant) " : "",
+                    RC.Budgets.PromiseBudget, RC.Budgets.SplitBudget,
+                    R.Behaviors.Lint
+                        ? analysis::raceVerdictName(*R.Behaviors.Lint)
+                        : "off",
+                    R.Behaviors.StatesExplored, Trunc.c_str());
+        for (const std::string &S : R.Behaviors.strs())
+          std::printf("    %s\n", S.c_str());
+        for (const std::string &S : R.MissingIncludes)
+          std::printf("    ANNOTATION FAILURE: must-include %s missing\n",
+                      S.c_str());
+        for (const std::string &S : R.ForbiddenSeen)
+          std::printf("    ANNOTATION FAILURE: must-exclude %s exhibited\n",
+                      S.c_str());
+        for (const std::string &S : R.MissingBad)
+          std::printf("    ANNOTATION FAILURE: mutant bad behavior %s "
+                      "not exhibited\n",
+                      S.c_str());
+        if (!R.LintMatches)
+          std::printf("    ANNOTATION FAILURE: lint verdict != %s\n",
+                      analysis::raceVerdictName(RC.ExpectedLint));
+        std::printf("\n");
+      }
+    }
+    uint64_t Ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    std::printf("realworld summary: cases=%llu protocols=%llu mutants=%llu "
+                "bad_exhibited=%llu annotation_failures=%llu states=%llu "
+                "elapsed_ms=%llu states_per_sec=%llu\n",
+                static_cast<unsigned long long>(Cases),
+                static_cast<unsigned long long>(Protocols),
+                static_cast<unsigned long long>(Mutants),
+                static_cast<unsigned long long>(BadExhibited),
+                static_cast<unsigned long long>(Failures),
+                static_cast<unsigned long long>(States),
+                static_cast<unsigned long long>(Ms),
+                static_cast<unsigned long long>(States * 1000 /
+                                                (Ms ? Ms : 1)));
+    return finish(Failures ? 1 : 0);
+  }
+
+  // Classic corpus mode. With --sweep N the corpus is explored N times
+  // sharing one memo context and one telemetry registry; repeat sweeps hit
+  // the cross-run behavior cache, and the summary below is deterministic
+  // (state counts and cache counters only — no timing), which is what the
+  // perf gate consumes.
   LintTally Tally;
   std::printf("PS^na litmus outcomes (corpus of %zu tests)\n\n",
               litmusCorpus().size());

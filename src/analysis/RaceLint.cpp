@@ -16,14 +16,22 @@
 //
 //  2. Cross-thread conflicting pairs (same location, at least one write,
 //     at least one non-atomic-MODE access) are enumerated. A pair (W, R)
-//     is discharged when some must-fact (f, c) at R satisfies the
-//     message-passing pattern: c ≠ 0 (memory starts at 0), every site in
-//     the whole program that may write c to f is a release-mode write in
-//     W's thread, and no write to W's location may follow any of those
-//     flag writes in W's thread. The release/acquire edge then orders
-//     every W-thread write to the location before R — including against
-//     promise certification, because a release write can never fulfill a
-//     promise in this machine, so c cannot be delivered early.
+//     is discharged by either of two dual happens-before rules:
+//
+//       * writer-publishes (dischargePair): some must-fact (f, c) at R
+//         satisfies the message-passing pattern — c ≠ 0 (memory starts
+//         at 0), every site in the whole program that may write c to f
+//         is a release-mode write in W's thread, and W does not follow
+//         any of those flag writes in its thread. The release/acquire
+//         edge then orders W before R — including against promise
+//         certification, because a release write can never fulfill a
+//         promise in this machine, so c cannot be delivered early.
+//
+//       * reader-signals (dischargePairRev): the same pattern mirrored
+//         onto a must-fact at W with the flag released by R's thread —
+//         R completed before its thread released the flag W's thread
+//         acquired, so R happens-before W. This is RCU quiescence /
+//         buffer-slot reuse: reader finishes, signals, reclaimer waits.
 //
 //  3. Verdict: any undischarged pair → PotentiallyRacy with the first
 //     pair (in deterministic thread/site order) as witness; otherwise
@@ -511,51 +519,86 @@ bool mayWriteValue(const AccessSite &S, int64_t C) {
   return S.WVal->get() == C;
 }
 
-/// Tries to prove that every write of W's thread to W.Loc happens-before
-/// R, via a must-fact (f, c) at R: the acquire read that established the
-/// fact must have observed a release write of W's thread, and no W.Loc
-/// write may follow that release write. The release mode is load-bearing
+/// Collects every site in the program that may write value \p Val to
+/// location \p Loc, but only when all of them are release-mode writes of
+/// thread \p Tid — the precondition both discharge rules share. Returns
+/// false (and leaves \p FlagWrites unspecified) when some other site may
+/// produce the value, making the fact unusable for synchronization.
+bool collectFlagWrites(const std::vector<ThreadFootprint> &Threads,
+                       unsigned Loc, int64_t Val, unsigned Tid,
+                       std::vector<const AccessSite *> &FlagWrites) {
+  FlagWrites.clear();
+  for (const ThreadFootprint &TF : Threads) {
+    for (const AccessSite &S : TF.Sites) {
+      if (!S.IsWrite || S.Loc != Loc || !mayWriteValue(S, Val))
+        continue;
+      if (S.Tid != Tid || S.WM != WriteMode::REL)
+        return false;
+      FlagWrites.push_back(&S);
+    }
+  }
+  return true;
+}
+
+/// Tries to prove W happens-before R (the writer-publishes rule), via a
+/// must-fact (f, c) at R: the acquire read that established the fact must
+/// have observed a release write of W's thread, and W must not follow any
+/// of those flag writes in its thread — then the release/acquire edge
+/// carries W's message into R's view. The release mode is load-bearing
 /// twice: it carries the writer's full view to R, and — because release
 /// writes never fulfill promises in this machine — it also rules out a
 /// promise delivering c before the thread's earlier writes are visible.
+/// Per-pair precision: only W itself must precede the flag writes; later
+/// same-location writes of W's thread form their own (separately
+/// enumerated and separately discharged) pairs with R.
 bool dischargePair(const AccessSite &W, const AccessSite &R,
                    const std::vector<ThreadFootprint> &Threads) {
   for (const Fact &F : R.Facts) {
     if (F.Val == 0)
       continue; // memory starts at 0: observing 0 proves nothing
-    // Every site anywhere that may write c to f must be a release-mode
-    // write of W's thread.
     std::vector<const AccessSite *> FlagWrites;
-    bool Unusable = false;
-    for (const ThreadFootprint &TF : Threads) {
-      for (const AccessSite &S : TF.Sites) {
-        if (!S.IsWrite || S.Loc != F.Loc || !mayWriteValue(S, F.Val))
-          continue;
-        if (S.Tid != W.Tid || S.WM != WriteMode::REL) {
-          Unusable = true;
-          break;
-        }
-        FlagWrites.push_back(&S);
-      }
-      if (Unusable)
-        break;
-    }
-    if (Unusable)
+    if (!collectFlagWrites(Threads, F.Loc, F.Val, W.Tid, FlagWrites))
       continue;
     if (FlagWrites.empty())
       return true; // guard unsatisfiable ⇒ R never executes
     bool Ordered = true;
-    for (const AccessSite &S : Threads[W.Tid].Sites) {
-      if (!S.IsWrite || S.Loc != W.Loc)
-        continue;
-      for (const AccessSite *FW : FlagWrites) {
-        if (mayFollowPath(S.Path, FW->Path)) {
-          Ordered = false;
-          break;
-        }
-      }
-      if (!Ordered)
+    for (const AccessSite *FW : FlagWrites) {
+      if (mayFollowPath(W.Path, FW->Path)) {
+        Ordered = false;
         break;
+      }
+    }
+    if (Ordered)
+      return true;
+  }
+  return false;
+}
+
+/// The mirror rule (reader-signals): tries to prove R happens-before W,
+/// via a must-fact (f, c) at W — the *write* side. The acquire read that
+/// established W's fact must have observed a release write of R's thread,
+/// and R must not follow any of those flag writes in its thread: then R's
+/// access completed before the flag was released, the flag's message view
+/// carried it to W's thread, and W executes strictly after. This is the
+/// quiescence shape of RCU retire and ring-buffer slot reuse — the reader
+/// finishes its accesses, release-signals, and the reclaimer
+/// acquire-waits on the signal before overwriting.
+bool dischargePairRev(const AccessSite &W, const AccessSite &R,
+                      const std::vector<ThreadFootprint> &Threads) {
+  for (const Fact &F : W.Facts) {
+    if (F.Val == 0)
+      continue; // memory starts at 0: observing 0 proves nothing
+    std::vector<const AccessSite *> FlagWrites;
+    if (!collectFlagWrites(Threads, F.Loc, F.Val, R.Tid, FlagWrites))
+      continue;
+    if (FlagWrites.empty())
+      return true; // guard unsatisfiable ⇒ W never executes
+    bool Ordered = true;
+    for (const AccessSite *FW : FlagWrites) {
+      if (mayFollowPath(R.Path, FW->Path)) {
+        Ordered = false;
+        break;
+      }
     }
     if (Ordered)
       return true;
@@ -665,7 +708,9 @@ RaceReport pseq::analysis::analyzeRaces(const Program &P,
           ++Rep.PairsChecked;
           bool Discharged =
               (SA.IsWrite && dischargePair(SA, SB, Rep.Threads)) ||
-              (SB.IsWrite && dischargePair(SB, SA, Rep.Threads));
+              (SB.IsWrite && dischargePair(SB, SA, Rep.Threads)) ||
+              (SA.IsWrite && dischargePairRev(SA, SB, Rep.Threads)) ||
+              (SB.IsWrite && dischargePairRev(SB, SA, Rep.Threads));
           if (Discharged) {
             ++Rep.PairsDischarged;
             continue;

@@ -12,18 +12,34 @@
 
 using namespace pseq;
 
-const RefinementCase &pseq::refinementCaseByName(const std::string &Name) {
+const RefinementCase *
+pseq::refinementCaseByNameMaybe(const std::string &Name) {
   for (const RefinementCase &RC : refinementCorpus())
     if (RC.Name == Name)
-      return RC;
+      return &RC;
+  for (const RefinementCase &RC : extensionCorpus())
+    if (RC.Name == Name)
+      return &RC;
+  return nullptr;
+}
+
+const LitmusCase *pseq::litmusCaseByNameMaybe(const std::string &Name) {
+  for (const LitmusCase &LC : litmusCorpus())
+    if (LC.Name == Name)
+      return &LC;
+  return nullptr;
+}
+
+const RefinementCase &pseq::refinementCaseByName(const std::string &Name) {
+  if (const RefinementCase *RC = refinementCaseByNameMaybe(Name))
+    return *RC;
   std::fprintf(stderr, "unknown refinement case '%s'\n", Name.c_str());
   std::abort();
 }
 
 const LitmusCase &pseq::litmusCaseByName(const std::string &Name) {
-  for (const LitmusCase &LC : litmusCorpus())
-    if (LC.Name == Name)
-      return LC;
+  if (const LitmusCase *LC = litmusCaseByNameMaybe(Name))
+    return *LC;
   std::fprintf(stderr, "unknown litmus case '%s'\n", Name.c_str());
   std::abort();
 }

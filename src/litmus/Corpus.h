@@ -70,9 +70,16 @@ struct LitmusCase {
 /// classic MP/SB/LB/CoRR shapes.
 const std::vector<LitmusCase> &litmusCorpus();
 
-/// Lookup by name; aborts if missing (corpus names are API).
+/// Lookup by name; aborts if missing (corpus names are API). Interactive
+/// callers (CLI flags, server requests) should use the *Maybe variants
+/// below and report the miss themselves.
 const RefinementCase &refinementCaseByName(const std::string &Name);
 const LitmusCase &litmusCaseByName(const std::string &Name);
+
+/// Non-aborting lookups: nullptr when the name is unknown. These search
+/// the refinement + extension corpora / the litmus corpus respectively.
+const RefinementCase *refinementCaseByNameMaybe(const std::string &Name);
+const LitmusCase *litmusCaseByNameMaybe(const std::string &Name);
 
 } // namespace pseq
 

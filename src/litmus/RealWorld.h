@@ -1,0 +1,149 @@
+//===- litmus/RealWorld.h - Lock-free protocol corpus -----------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The real-world concurrency-pattern corpus (ROADMAP item 2): the core
+/// protocols of battle-tested lock-free idioms — Michael-Scott queues, RCU
+/// read/publish/retire, epoch-based-reclamation handshakes, seqlocks,
+/// ticket locks, futex-style condvars, SPSC ring buffers — ported into the
+/// WHILE language at bounded scale (2–3 threads, small value domains).
+///
+/// Each protocol is a RealWorldCase carrying must-include/must-exclude
+/// behavior annotations plus at least one intentionally-broken *mutant*
+/// variant (a relaxed mode where acquire/release is required, a dropped
+/// quiescence wait, a non-atomic claim) whose bad behavior PS^na must
+/// exhibit. Protocol exclusions are the protocol's correctness property
+/// (no torn read, no use-after-free, no lost update, no double dequeue);
+/// mutant BadBehaviors are the injected bug's observable signature.
+///
+/// Unlike LitmusCase there are no defaulted budgets: corpus-sized programs
+/// silently truncate under LitmusCase's StepBudget=24 default, so every
+/// case must set all RealWorldBudgets fields explicitly (zero = unset; the
+/// corpus self-test in tests/realworld_test.cpp rejects it at
+/// registration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_LITMUS_REALWORLD_H
+#define PSEQ_LITMUS_REALWORLD_H
+
+#include "analysis/RaceLint.h"
+#include "litmus/Corpus.h"
+#include "psna/Explorer.h"
+#include "support/ValueDomain.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pseq {
+
+/// Exploration/validation budgets a RealWorld case must set explicitly.
+/// Every field is load-bearing at this program scale; 0 means "forgot to
+/// set it" (checked by the corpus self-test), except for PromiseBudget and
+/// SplitBudget where 0 is a meaningful value and ExplicitlySet vouches for
+/// the whole struct having been filled in deliberately.
+struct RealWorldBudgets {
+  /// Outstanding promises per thread (PsConfig::PromiseBudget). 0 is a
+  /// deliberate choice for protocols whose exclusions are promise-robust
+  /// but whose state spaces explode under certification.
+  unsigned PromiseBudget = 0;
+  /// Extra messages per non-atomic write (PsConfig::SplitBudget).
+  unsigned SplitBudget = 0;
+  /// SEQ per-thread step budget for translation validation (SeqConfig).
+  unsigned StepBudget = 0;
+  /// PS^na explorer state cap (PsConfig::MaxStates).
+  unsigned MaxStates = 0;
+  /// Promise-certification node cap (PsConfig::CertNodeBudget).
+  unsigned CertNodeBudget = 0;
+  /// Soft wall-clock bound for one exploration of the case, in ms.
+  uint64_t DeadlineMs = 0;
+  /// Approximate memory budget for one exploration, in MiB.
+  uint64_t MemMb = 0;
+  /// Must be set to true by the case constructor — distinguishes "budgets
+  /// deliberately chosen" from a default-constructed struct.
+  bool ExplicitlySet = false;
+};
+
+/// One real-world protocol (or a broken mutant of one).
+struct RealWorldCase {
+  std::string Name;      ///< stable identifier, e.g. "rw-ms-queue"
+  std::string SourceRef; ///< provenance, e.g. "RMC case study: ms_queue"
+  /// Protocol family key; mutants share it with their protocol.
+  std::string Protocol;
+  std::string Text; ///< WHILE program
+  /// Behaviors PS^na must exhibit / must forbid (PsBehavior::str format).
+  std::vector<std::string> MustInclude;
+  std::vector<std::string> MustExclude;
+  /// Mutants only: the subset of MustInclude that is the injected bug's
+  /// signature — the bad behavior the model must exhibit. Empty for
+  /// protocols.
+  std::vector<std::string> BadBehaviors;
+  bool IsMutant = false;
+  std::string MutantOf; ///< protocol case name (mutants only)
+  /// Expected static race verdict (analysis/RaceLint.h).
+  analysis::RaceVerdict ExpectedLint = analysis::RaceVerdict::PotentiallyRacy;
+  ValueDomain Domain = ValueDomain::binary();
+  RealWorldBudgets Budgets;
+};
+
+/// The corpus: every protocol followed by its mutants, in registration
+/// order (stable; names are API).
+const std::vector<RealWorldCase> &realWorldCorpus();
+
+/// Lookup by name; aborts if missing (corpus names are API).
+const RealWorldCase &realWorldCaseByName(const std::string &Name);
+/// Non-aborting lookup; nullptr if missing.
+const RealWorldCase *realWorldCaseByNameMaybe(const std::string &Name);
+
+/// PsConfig with the case's domain and budgets filled in. Guard/Memo/
+/// Telem/NumThreads stay default — wire them at the call site (the guard
+/// carries the DeadlineMs/MemMb budgets; see applyRealWorldGuardBudgets).
+PsConfig realWorldPsConfig(const RealWorldCase &RC);
+
+/// Arms \p G with the case's DeadlineMs/MemMb budgets (skipping zeroes).
+void applyRealWorldGuardBudgets(guard::ResourceGuard &G,
+                                const RealWorldCase &RC);
+
+/// Result of driving one case through exploration + annotation checks.
+struct RealWorldRunResult {
+  PsBehaviorSet Behaviors;
+  /// Annotation verdicts (all vacuously true on a truncated run — a
+  /// bounded exploration proves neither inclusion nor exclusion, so the
+  /// caller must treat Behaviors.truncated() as "no verdict").
+  std::vector<std::string> MissingIncludes; ///< MustInclude not exhibited
+  std::vector<std::string> ForbiddenSeen;   ///< MustExclude exhibited
+  std::vector<std::string> MissingBad;      ///< BadBehaviors not exhibited
+  bool LintMatches = false; ///< explorer's verdict == ExpectedLint
+
+  bool clean() const {
+    return MissingIncludes.empty() && ForbiddenSeen.empty() &&
+           MissingBad.empty() && LintMatches && !Behaviors.truncated();
+  }
+};
+
+/// Options for runRealWorldCase. All borrowed pointers are optional.
+struct RealWorldRunOptions {
+  unsigned NumThreads = 1;
+  /// Run the static race analyzer and check ExpectedLint. When false the
+  /// lint claim is vacuous (LintMatches reports true): the caller asked
+  /// for no static verdict, so none is wrong.
+  bool Lint = true;
+  obs::Telemetry *Telem = nullptr;
+  guard::ResourceGuard *Guard = nullptr;
+  memo::MemoContext *Memo = nullptr;
+};
+
+/// Explores \p RC under its own budgets and checks every annotation.
+/// Emits realworld.* telemetry counters (see DESIGN.md) when Telem is
+/// non-null. Deterministic for any NumThreads.
+RealWorldRunResult runRealWorldCase(const RealWorldCase &RC,
+                                    const RealWorldRunOptions &Opts = {});
+
+} // namespace pseq
+
+#endif // PSEQ_LITMUS_REALWORLD_H

@@ -313,6 +313,66 @@ TEST(RaceLint, ZeroGuardValueIsNotUsedForDischarge) {
   EXPECT_EQ(analysis::analyzeRaces(*P).Verdict, RaceVerdict::PotentiallyRacy);
 }
 
+TEST(RaceLint, ReaderSignalsDischargesPostQuiescenceWrite) {
+  // The dual discharge direction (the RCU-quiescence / slot-reuse shape):
+  // the reader finishes its na read and release-signals; the writer
+  // acquire-waits on the signal before mutating, so the read
+  // happens-before the write through the reader's own flag.
+  std::unique_ptr<Program> P = prog(
+      "na x; atomic q;\n"
+      "thread { a := x@na; q@rel := 1; return a; }\n"
+      "thread { b := q@acq; while (b != 1) { b := q@acq; } x@na := 1; "
+      "return 0; }");
+  EXPECT_EQ(analysis::analyzeRaces(*P).Verdict, RaceVerdict::RaceFree);
+
+  // Signalling before the read proves nothing: the writer may observe the
+  // flag while the read is still in flight.
+  std::unique_ptr<Program> Q = prog(
+      "na x; atomic q;\n"
+      "thread { q@rel := 1; a := x@na; return a; }\n"
+      "thread { b := q@acq; while (b != 1) { b := q@acq; } x@na := 1; "
+      "return 0; }");
+  EXPECT_EQ(analysis::analyzeRaces(*Q).Verdict, RaceVerdict::PotentiallyRacy);
+}
+
+TEST(RaceLint, ReaderSignalsRequiresUniqueSignalWriter) {
+  // A third thread also produces the signal value with relaxed mode: the
+  // writer's acquire observation no longer implies the reader passed its
+  // release, so the quiescence proof must fail.
+  std::unique_ptr<Program> P = prog(
+      "na x; atomic q;\n"
+      "thread { a := x@na; q@rel := 1; return a; }\n"
+      "thread { b := q@acq; while (b != 1) { b := q@acq; } x@na := 1; "
+      "return 0; }\n"
+      "thread { q@rlx := 1; return 0; }");
+  EXPECT_EQ(analysis::analyzeRaces(*P).Verdict, RaceVerdict::PotentiallyRacy);
+}
+
+TEST(RaceLint, WriterPublishDischargeIsPerPair) {
+  // The SPSC slot-reuse shape: the producer's first store is ordered by
+  // its own flag (per-pair — the *later* second store must not poison the
+  // first pair's proof), and the second store is ordered by the
+  // consumer's read-back signal. Both discharge directions combine to a
+  // race-freedom proof.
+  std::unique_ptr<Program> P = prog(
+      "na s; atomic w, r;\n"
+      "thread { s@na := 1; w@rel := 1;\n"
+      "  a := r@acq; while (a != 1) { a := r@acq; }\n"
+      "  s@na := 2; return 0; }\n"
+      "thread { b := w@acq; while (b != 1) { b := w@acq; }\n"
+      "  x := s@na; r@rel := 1; return x; }");
+  EXPECT_EQ(analysis::analyzeRaces(*P).Verdict, RaceVerdict::RaceFree);
+
+  // Without the read-back handshake the second store races with the
+  // consumer's read: per-pair precision must not turn into unsoundness.
+  std::unique_ptr<Program> Q = prog(
+      "na s; atomic w, r;\n"
+      "thread { s@na := 1; w@rel := 1; s@na := 2; return 0; }\n"
+      "thread { b := w@acq; while (b != 1) { b := w@acq; }\n"
+      "  x := s@na; r@rel := 1; return x; }");
+  EXPECT_EQ(analysis::analyzeRaces(*Q).Verdict, RaceVerdict::PotentiallyRacy);
+}
+
 TEST(RaceLint, StaticallyDeadNaAccessIsIgnored)
 {
   // The racy na write sits in a branch constant propagation proves dead.

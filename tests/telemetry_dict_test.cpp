@@ -16,6 +16,7 @@
 #include "atlas/Atlas.h"
 #include "lang/Parser.h"
 #include "litmus/Corpus.h"
+#include "litmus/RealWorld.h"
 #include "memo/MemoContext.h"
 #include "obs/Telemetry.h"
 #include "opt/Pipeline.h"
@@ -149,6 +150,21 @@ std::set<std::string> runtimeKeys() {
       Cfg.Memo = &Memo;
       explorePsna(*P, Cfg);
     }
+  }
+
+  // The real-world protocol corpus (realworld.*). One protocol plus its
+  // mutant fire cases_run/mutants_run/bad_exhibited/states; a
+  // state-starved rerun fires realworld.truncated. annotation_failures
+  // only fires on a corpus bug, so its table row stays and this driver
+  // never exercises it.
+  {
+    RealWorldRunOptions RO;
+    RO.Telem = &Telem;
+    runRealWorldCase(realWorldCaseByName("rw-rcu"), RO);
+    runRealWorldCase(realWorldCaseByName("rw-rcu-early-retire"), RO);
+    RealWorldCase Starved = realWorldCaseByName("rw-rcu");
+    Starved.Budgets.MaxStates = 4;
+    runRealWorldCase(Starved, RO);
   }
 
   // The validation server's stats vocabulary (serve.*). A bare Server's

@@ -24,6 +24,18 @@ Two modes:
       shared CI runners is noise; the hit rate and coverage are the
       deterministic signals.
 
+  check_bench_baseline.py --baseline BENCH_BASELINE.json --realworld-summary FILE
+      FILE holds the output of `litmus_explorer --corpus realworld` (only
+      the final "realworld summary:" line is read). Fails when the corpus
+      shrinks below the recorded realworld_cases / realworld_protocols
+      floors (the corpus may only grow), when any protocol loses its
+      mutant (mutants < protocols), when a mutant's injected bug is no
+      longer exhibited (bad_exhibited != mutants), on any annotation
+      failure, when total states grow past --tolerance over
+      realworld_states, or when throughput falls below the absurdly-low
+      realworld_states_per_sec_floor (a machine-independent smoke floor,
+      not a perf target).
+
   check_bench_baseline.py --baseline BENCH_BASELINE.json --atlas-summary FILE
       FILE holds the output of `atlas_report` (only the final
       "atlas summary:" line is read). Fails when the validator
@@ -51,6 +63,12 @@ SUMMARY_RE = re.compile(
 LINT_RE = re.compile(
     r"lint summary: race_free=(\d+) potentially_racy=(\d+) "
     r"atomics_only=(\d+) race_free_states=(\d+)"
+)
+
+REALWORLD_RE = re.compile(
+    r"realworld summary: cases=(\d+) protocols=(\d+) mutants=(\d+) "
+    r"bad_exhibited=(\d+) annotation_failures=(\d+) states=(\d+) "
+    r"elapsed_ms=(\d+) states_per_sec=(\d+)"
 )
 
 ATLAS_RE = re.compile(
@@ -152,6 +170,67 @@ def check_summary(args):
         f"{no_memo / cur['states_explored']:.2f}x under the no-memo count"
         if no_memo
         else "check_bench_baseline: OK"
+    )
+
+
+def check_realworld_summary(args):
+    base = json.load(open(args.baseline))
+    text = open(args.realworld_summary).read()
+    matches = REALWORLD_RE.findall(text)
+    if not matches:
+        fail(f"no 'realworld summary:' line found in {args.realworld_summary}")
+    cases, protocols, mutants, bad, ann_failures, states, _elapsed, sps = map(
+        int, matches[-1]
+    )
+
+    if "realworld_cases" not in base:
+        fail(f"{args.baseline} has no realworld_cases field")
+
+    if cases < base["realworld_cases"]:
+        fail(
+            f"realworld corpus shrank: {cases} cases vs baseline "
+            f"{base['realworld_cases']} — the corpus may only grow"
+        )
+    if protocols < base.get("realworld_protocols", 0):
+        fail(
+            f"realworld protocols shrank: {protocols} vs baseline "
+            f"{base['realworld_protocols']}"
+        )
+    if mutants < protocols:
+        fail(
+            f"only {mutants} mutants for {protocols} protocols — every "
+            f"protocol must keep at least one broken mutant"
+        )
+    if bad != mutants:
+        fail(
+            f"bad_exhibited={bad} but mutants={mutants} — some mutant's "
+            f"injected bug is no longer exhibited by PS^na; the mutant "
+            f"distinguishes nothing"
+        )
+    if ann_failures:
+        fail(f"{ann_failures} annotation failures — see the per-case lines")
+
+    limit = base["realworld_states"] * (1.0 + args.tolerance)
+    if states > limit:
+        fail(
+            f"realworld states grew: {states} vs baseline "
+            f"{base['realworld_states']} (limit {limit:.0f}, "
+            f"+{args.tolerance:.0%})"
+        )
+
+    floor = base.get("realworld_states_per_sec_floor", 0)
+    if sps < floor:
+        fail(
+            f"realworld throughput collapsed: {sps} states/sec vs the "
+            f"absurdly-low floor {floor} — something is catastrophically "
+            f"slower (timings are otherwise never gated)"
+        )
+
+    print(
+        f"check_bench_baseline: OK: realworld cases={cases} "
+        f"protocols={protocols} mutants={mutants} bad_exhibited={bad} "
+        f"states={states} (baseline {base['realworld_states']}), "
+        f"{sps} states/sec (floor {floor})"
     )
 
 
@@ -278,6 +357,10 @@ def main():
         "--atlas-summary", help="file with atlas_report output to gate"
     )
     ap.add_argument(
+        "--realworld-summary",
+        help="file with `litmus_explorer --corpus realworld` output to gate",
+    )
+    ap.add_argument(
         "--server-json",
         help="validate_client --bench-out dump to gate against the baseline",
     )
@@ -293,14 +376,16 @@ def main():
         check_bench_json(args)
     elif args.baseline and args.server_json:
         check_server_json(args)
+    elif args.baseline and args.realworld_summary:
+        check_realworld_summary(args)
     elif args.baseline and args.atlas_summary:
         check_atlas_summary(args)
     elif args.baseline and args.summary:
         check_summary(args)
     else:
         ap.error(
-            "need --baseline with --summary, --atlas-summary, or "
-            "--server-json, or --bench-json"
+            "need --baseline with --summary, --realworld-summary, "
+            "--atlas-summary, or --server-json, or --bench-json"
         )
 
 
