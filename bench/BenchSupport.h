@@ -55,6 +55,7 @@
 #include "memo/MemoContext.h"
 #include "obs/Heartbeat.h"
 #include "obs/Report.h"
+#include "opt/Validator.h"
 #include "obs/Span.h"
 #include "obs/Telemetry.h"
 #include "obs/TraceExport.h"
@@ -91,6 +92,10 @@ inline memo::MemoContext *&memoSlot() {
   static memo::MemoContext *Slot = nullptr;
   return Slot;
 }
+inline ValidationMethod &methodSlot() {
+  static ValidationMethod Slot = ValidationMethod::Advanced;
+  return Slot;
+}
 } // namespace detail
 
 /// The harness telemetry: null unless --json was passed (so default runs
@@ -113,6 +118,12 @@ inline guard::ResourceGuard *resourceGuard() { return detail::guardSlot(); }
 /// null when --no-memo was passed. Benchmarks pass this into their
 /// SeqConfig/PsConfig/PipelineOptions.
 inline memo::MemoContext *memoContext() { return detail::memoSlot(); }
+
+/// The validation method requested with --method (default Advanced).
+/// Benchmarks that validate transformations pass this into their
+/// PipelineOptions / validateTransform calls, so one binary measures any
+/// decision-procedure lane (`--method sym` selects the symbolic backend).
+inline ValidationMethod validationMethod() { return detail::methodSlot(); }
 
 namespace detail {
 
@@ -215,7 +226,8 @@ inline int benchMain(int Argc, char **Argv) {
   auto usage = [&](const std::string &Err) -> int {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     std::fprintf(stderr,
-                 "usage: %s [--json <path>] [--threads N] [--deadline-ms N] "
+                 "usage: %s [--json <path>] [--threads N] [--method NAME] "
+                 "[--deadline-ms N] "
                  "[--mem-mb N] [--no-memo] [--trace <path>] "
                  "[--trace-out <path>] [--heartbeat <path>] "
                  "[--heartbeat-ms N] [google-benchmark flags...]\n",
@@ -270,6 +282,20 @@ inline int benchMain(int Argc, char **Argv) {
                                      exec::maxThreads(),
                                      detail::numThreadsSlot(), Err))
         return usage(Err);
+      continue;
+    }
+    if (cli::flagValue(Argc, Argv, I, "--method", Value)) {
+      // Same non-fatal diagnosis as the example binaries: a typo lists
+      // the available methods instead of silently defaulting.
+      std::optional<ValidationMethod> M;
+      if (Value)
+        M = parseValidationMethodMaybe(Value);
+      if (!M)
+        return usage(std::string("unknown validation method '") +
+                     (Value ? Value : "") +
+                     "' (available methods: " + validationMethodList() +
+                     ")");
+      detail::methodSlot() = *M;
       continue;
     }
     if (cli::flagValue(Argc, Argv, I, "--deadline-ms", Value)) {

@@ -81,6 +81,7 @@ void BM_PipelineValidated(benchmark::State &State) {
   PipelineOptions Opts;
   Opts.Cfg.Domain = ValueDomain::ternary();
   Opts.Cfg.StepBudget = 20;
+  Opts.Method = benchsupport::validationMethod();
   Opts.Telem = benchsupport::telemetry();
   Opts.NumThreads = benchsupport::numThreads();
   Opts.Guard = benchsupport::resourceGuard();

@@ -1,0 +1,154 @@
+//===- bench/bench_sym.cpp - Symbolic refinement backend ------------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+// Measures the symbolic refinement backend (src/sym, EXPERIMENTS.md E23):
+// per-thread self-refinement checks over the RealWorld spin-loop
+// protocols — the workload the enumerative checkers can only truncate
+// on — plus a whole-corpus sweep that is the nodes/sec and decided-count
+// figure the sym-gate baseline pins, and a validated refinement-corpus
+// pass under the --method lane (default advanced; `--method sym`
+// measures the symbolic validator end-to-end).
+//
+// Counters: product nodes, joins, widenings, sound/decided tallies
+// (sweep), nodes/sec. Confirmation is disabled for the corpus sweeps
+// (an enumerative confirm costs more than the whole sweep and the
+// protocols are all expected Sound anyway).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "litmus/Corpus.h"
+#include "litmus/RealWorld.h"
+#include "opt/Validator.h"
+#include "sym/SymEngine.h"
+
+#include "BenchSupport.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace pseq;
+
+namespace {
+
+SeqConfig benchConfig(const RealWorldCase &RC) {
+  SeqConfig Cfg;
+  Cfg.Domain = RC.Domain;
+  Cfg.Telem = benchsupport::telemetry();
+  Cfg.NumThreads = benchsupport::numThreads();
+  Cfg.Guard = benchsupport::resourceGuard();
+  Cfg.Memo = benchsupport::memoContext();
+  return Cfg;
+}
+
+sym::SymOptions benchSymOptions() {
+  sym::SymOptions Opts;
+  Opts.ConfirmUnsound = false;
+  return Opts;
+}
+
+void runThread(benchmark::State &State, const RealWorldCase &RC,
+               unsigned Tid) {
+  std::unique_ptr<Program> P = parseOrDie(RC.Text);
+  SeqConfig Cfg = benchConfig(RC);
+  sym::SymResult R;
+  for (auto _ : State) {
+    R = sym::checkSymRefinement(*P, Tid, *P, Tid, Cfg, benchSymOptions());
+    benchmark::ClobberMemory();
+  }
+  State.counters["nodes"] = static_cast<double>(R.Nodes);
+  State.counters["joins"] = static_cast<double>(R.Joins);
+  State.counters["widenings"] = static_cast<double>(R.Widenings);
+  State.counters["sound"] = R.Verdict == sym::SymVerdict::Sound;
+}
+
+void runCorpusSweep(benchmark::State &State) {
+  uint64_t Nodes = 0;
+  unsigned Checked = 0, Sound = 0, Unsound = 0;
+  for (auto _ : State) {
+    Nodes = 0;
+    Checked = Sound = Unsound = 0;
+    for (const RealWorldCase &RC : realWorldCorpus()) {
+      if (RC.IsMutant)
+        continue;
+      std::unique_ptr<Program> P = parseOrDie(RC.Text);
+      SeqConfig Cfg = benchConfig(RC);
+      for (unsigned Tid = 0; Tid != P->numThreads(); ++Tid) {
+        sym::SymResult R =
+            sym::checkSymRefinement(*P, Tid, *P, Tid, Cfg, benchSymOptions());
+        ++Checked;
+        Nodes += R.Nodes;
+        Sound += R.Verdict == sym::SymVerdict::Sound;
+        Unsound += R.Verdict == sym::SymVerdict::Unsound;
+      }
+    }
+    benchmark::ClobberMemory();
+  }
+  State.counters["checked"] = Checked;
+  State.counters["sound"] = Sound;
+  State.counters["unsound"] = Unsound;
+  State.counters["nodes"] = static_cast<double>(Nodes);
+  // nodes/sec over the whole protocol sweep: the throughput figure the
+  // bench baseline tracks.
+  State.counters["nodes_per_sec"] = benchmark::Counter(
+      static_cast<double>(Nodes) * State.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void runValidatedCorpus(benchmark::State &State) {
+  // The refinement corpus under validateTransform with the --method lane:
+  // `--method sym` measures the symbolic validator on the same pairs the
+  // enumerative lanes are benched on (bench_refine_examples).
+  unsigned Accepts = 0;
+  for (auto _ : State) {
+    Accepts = 0;
+    for (const RefinementCase &RC : refinementCorpus()) {
+      std::unique_ptr<Program> Src = parseOrDie(RC.Src);
+      std::unique_ptr<Program> Tgt = parseOrDie(RC.Tgt);
+      SeqConfig Cfg;
+      Cfg.Domain = RC.Domain;
+      Cfg.StepBudget = RC.StepBudget;
+      Cfg.Telem = benchsupport::telemetry();
+      Cfg.NumThreads = benchsupport::numThreads();
+      Cfg.Guard = benchsupport::resourceGuard();
+      Cfg.Memo = benchsupport::memoContext();
+      ValidationResult V = validateTransform(
+          *Src, *Tgt, Cfg, benchsupport::validationMethod());
+      Accepts += V.Ok;
+    }
+    benchmark::ClobberMemory();
+  }
+  State.counters["pairs"] =
+      static_cast<double>(refinementCorpus().size());
+  State.counters["accepts"] = Accepts;
+}
+
+void registerAll() {
+  for (const RealWorldCase &RC : realWorldCorpus()) {
+    if (RC.IsMutant)
+      continue;
+    std::unique_ptr<Program> P = parseOrDie(RC.Text);
+    for (unsigned Tid = 0; Tid != P->numThreads(); ++Tid) {
+      std::string Id =
+          "sym/" + RC.Name + "/thread" + std::to_string(Tid);
+      benchmark::RegisterBenchmark(
+          Id.c_str(),
+          [&RC, Tid](benchmark::State &S) { runThread(S, RC, Tid); });
+    }
+  }
+  benchmark::RegisterBenchmark("corpus/sweep", runCorpusSweep);
+  benchmark::RegisterBenchmark("validate/refinement-corpus",
+                               runValidatedCorpus);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  registerAll();
+  return benchsupport::benchMain(argc, argv);
+}

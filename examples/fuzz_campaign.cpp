@@ -7,12 +7,17 @@
 // pairs, each checked in a fork-isolated child so crashes, memory
 // blow-ups, and hangs cost one pair, not the campaign:
 //
-//   fuzz_campaign [--seed N] [--count N] [--deadline-ms N] [--mem-mb N]
+//   fuzz_campaign [--seed N] [--count N] [--seed-corpus NAME]
+//                 [--deadline-ms N] [--mem-mb N]
 //                 [--wall-ms N] [--total-ms N] [--no-isolate] [--no-shrink]
 //                 [--no-memo] [--fault crash|oom|hang] [--inject-at N]
 //                 [--trace PATH] [--trace-out PATH] [--verbose]
 //
-// Numeric arguments are parsed strictly (garbage = usage error). --fault
+// --seed-corpus selects where pairs come from: the default random
+// single-thread stream, or "realworld" to mutate the lock-free protocol
+// corpus (a typo lists the available corpora and exits 2 instead of
+// aborting). Numeric arguments are parsed strictly (garbage = usage
+// error). --fault
 // injects one artificial child failure (self-test of the isolation and
 // classification machinery); it requires isolation. --trace (or
 // PSEQ_TRACE=<path>; the flag wins) writes a JSONL event per pair, flushed
@@ -45,7 +50,8 @@ int usage(const char *Prog, const char *What, const char *Value) {
     std::fprintf(stderr, "error: invalid value '%s' for %s\n",
                  Value ? Value : "", What);
   std::fprintf(stderr,
-               "usage: %s [--seed N] [--count N] [--deadline-ms N] "
+               "usage: %s [--seed N] [--count N] [--seed-corpus NAME] "
+               "[--deadline-ms N] "
                "[--mem-mb N] [--wall-ms N] [--total-ms N] [--no-isolate] "
                "[--no-shrink] [--no-memo] [--fault crash|oom|hang] "
                "[--inject-at N] [--trace PATH] [--trace-out PATH] "
@@ -74,6 +80,15 @@ int main(int Argc, char **Argv) {
     } else if (flagValue("--count")) {
       if (!cli::parseUnsigned(Value, Opts.Count))
         return usage(Prog, "--count", Value);
+    } else if (flagValue("--seed-corpus")) {
+      if (!campaignSeedCorpusKnown(Value)) {
+        std::fprintf(stderr,
+                     "error: unknown seed corpus '%s'\n"
+                     "available seed corpora: %s\n",
+                     Value, campaignSeedCorpusList());
+        return 2;
+      }
+      Opts.SeedCorpus = std::strcmp(Value, "random") == 0 ? "" : Value;
     } else if (flagValue("--deadline-ms")) {
       if (!cli::parseUnsigned(Value, Opts.DeadlineMs) || !Opts.DeadlineMs)
         return usage(Prog, "--deadline-ms", Value);
@@ -137,8 +152,9 @@ int main(int Argc, char **Argv) {
     Telem.Spans = &Spans;
   Opts.Telem = &Telem;
 
-  std::printf("fuzz campaign: seed=%llu count=%u isolation=%s\n",
+  std::printf("fuzz campaign: seed=%llu count=%u corpus=%s isolation=%s\n",
               static_cast<unsigned long long>(Opts.Seed), Opts.Count,
+              Opts.SeedCorpus.empty() ? "random" : Opts.SeedCorpus.c_str(),
               Opts.Isolate && guard::isolationSupported() ? "fork" : "off");
   CampaignStats S = runFuzzCampaign(Opts);
 

@@ -17,6 +17,15 @@
 //                    every case's annotations and ends with a
 //                    deterministic "realworld summary:" line consumed by
 //                    tools/check_bench_baseline.py --realworld-summary.
+//   --method NAME    validation method for the extra refinement sweep
+//                    (simple | advanced | simulation | symbolic). Today
+//                    only "symbolic" changes the output: with --corpus
+//                    realworld it runs the symbolic self-refinement sweep
+//                    over every protocol thread, differentially checked
+//                    against a budget-bounded enumerative lane, and ends
+//                    with a deterministic "sym summary:" line consumed by
+//                    tools/check_bench_baseline.py --sym-summary. A typo
+//                    lists the available methods and exits 2.
 //   --list           print every corpus with case counts and per-case
 //                    paper/source refs, then exit
 //   --threads N      parallelize exploration across N workers (0 = all
@@ -61,8 +70,11 @@
 #include "obs/Telemetry.h"
 #include "obs/TraceExport.h"
 #include "obs/TraceSink.h"
+#include "opt/Validator.h"
 #include "psna/Explorer.h"
+#include "seq/AdvancedRefinement.h"
 #include "support/CliArgs.h"
+#include "sym/SymEngine.h"
 
 #include "lang/Parser.h"
 #include "lang/Printer.h"
@@ -122,7 +134,7 @@ int usage(const char *Prog, const std::string &Err) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--deadline-ms N] [--mem-mb N] "
                "[--no-memo] [--no-lint] [--sweep N] [--corpus classic|"
-               "realworld] [--trace PATH] "
+               "realworld] [--method NAME] [--trace PATH] "
                "[--trace-out PATH] [file [promise-budget [split-budget]]]\n"
                "       %s [--threads N] --witness <corpus-case> <behavior>\n"
                "       %s --list\n",
@@ -196,6 +208,7 @@ int main(int Argc, char **Argv) {
   bool NoMemo = false;
   bool NoLint = false;
   std::string Corpus = "classic";
+  std::optional<ValidationMethod> Method;
   std::string TracePath, TraceOutPath;
   {
     std::vector<char *> Rest;
@@ -245,6 +258,20 @@ int main(int Argc, char **Argv) {
         Corpus = Value ? Value : "";
         if (Corpus != "classic" && Corpus != "realworld")
           return usageError(Prog, "--corpus (classic|realworld)", Value);
+        continue;
+      }
+      if (cli::flagValue(Argc, Argv, I, "--method", Value)) {
+        std::optional<ValidationMethod> M;
+        if (Value)
+          M = parseValidationMethodMaybe(Value);
+        if (!M) {
+          std::fprintf(stderr,
+                       "error: unknown validation method '%s'\n"
+                       "available methods: %s\n",
+                       Value ? Value : "", validationMethodList());
+          return 2;
+        }
+        Method = *M;
         continue;
       }
       if (A == "--list")
@@ -427,7 +454,76 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Ms),
                 static_cast<unsigned long long>(States * 1000 /
                                                 (Ms ? Ms : 1)));
-    return finish(Failures ? 1 : 0);
+
+    // --method symbolic: the symbolic self-refinement sweep over every
+    // protocol thread, differentially checked against a budget-bounded
+    // enumerative lane (unbounded, the enumerative oracle game runs for
+    // hours on these spin loops — which is the point of the backend). The
+    // summary counts are deterministic; a disagreement — symbolic Sound
+    // against a definite enumerative counterexample, or the reverse — is
+    // a soundness bug and fails the run.
+    uint64_t SymDisagreements = 0;
+    if (Method == ValidationMethod::Symbolic) {
+      uint64_t SymChecked = 0, SymSound = 0, SymUnsound = 0;
+      uint64_t SymInconclusive = 0, SymDecided = 0;
+      std::printf("\nsymbolic self-refinement sweep (protocol threads)\n");
+      for (const RealWorldCase &RC : realWorldCorpus()) {
+        if (RC.IsMutant)
+          continue;
+        std::unique_ptr<Program> P = parseOrDie(RC.Text);
+        for (unsigned Tid = 0; Tid != P->numThreads(); ++Tid) {
+          ++SymChecked;
+          SeqConfig SCfg;
+          SCfg.Domain = RC.Domain;
+          SCfg.NumThreads = 1;
+          SCfg.Telem = WantTelem ? &Telem : nullptr;
+          SCfg.Memo = MemoPtr;
+          sym::SymOptions SOpts;
+          SOpts.ConfirmUnsound = false;
+          sym::SymResult S =
+              sym::checkSymRefinement(*P, Tid, *P, Tid, SCfg, SOpts);
+          SeqConfig ECfg = SCfg;
+          ECfg.StepBudget = 16;
+          ECfg.MaxBehaviors = 500;
+          guard::ResourceGuard EGuard;
+          EGuard.setDeadlineInMs(3000);
+          ECfg.Guard = &EGuard;
+          RefinementResult E = checkAdvancedRefinement(*P, Tid, *P, Tid, ECfg);
+          switch (S.Verdict) {
+          case sym::SymVerdict::Sound:
+            ++SymSound;
+            if (!E.Holds && !E.Bounded)
+              ++SymDisagreements;
+            break;
+          case sym::SymVerdict::Unsound:
+            ++SymUnsound;
+            if (E.Holds && !E.Bounded)
+              ++SymDisagreements;
+            break;
+          case sym::SymVerdict::Inconclusive:
+            ++SymInconclusive;
+            break;
+          }
+          if (S.Verdict != sym::SymVerdict::Inconclusive && E.Bounded)
+            ++SymDecided;
+          std::printf("%-28s tid %u: %-12s nodes=%llu  (enumerative: %s%s)\n",
+                      RC.Name.c_str(), Tid, sym::symVerdictName(S.Verdict),
+                      static_cast<unsigned long long>(S.Nodes),
+                      E.Holds ? "holds" : "fails",
+                      E.Bounded ? ", truncated" : "");
+        }
+      }
+      std::printf("\nsym summary: checked=%llu sound=%llu unsound=%llu "
+                  "inconclusive=%llu decided_where_truncated=%llu "
+                  "disagreements=%llu\n",
+                  static_cast<unsigned long long>(SymChecked),
+                  static_cast<unsigned long long>(SymSound),
+                  static_cast<unsigned long long>(SymUnsound),
+                  static_cast<unsigned long long>(SymInconclusive),
+                  static_cast<unsigned long long>(SymDecided),
+                  static_cast<unsigned long long>(SymDisagreements));
+    }
+    return finish(Failures || SymDisagreements ? 1 : 0);
   }
 
   // Classic corpus mode. With --sweep N the corpus is explored N times

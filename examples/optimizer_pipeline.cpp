@@ -8,13 +8,17 @@
 // passes enable each other — printing per-pass diffs and validation
 // verdicts:
 //
-//   optimizer_pipeline [file]
+//   optimizer_pipeline [--method NAME] [file]
+//
+// --method selects the per-pass validation procedure (simple | advanced |
+// simulation | symbolic); a typo lists the available methods and exits 2.
 //
 //===----------------------------------------------------------------------===//
 
 #include "lang/Parser.h"
 #include "lang/Printer.h"
 #include "opt/Pipeline.h"
+#include "support/CliArgs.h"
 
 #include <cstdio>
 #include <fstream>
@@ -24,12 +28,15 @@ using namespace pseq;
 
 namespace {
 
+ValidationMethod Method = ValidationMethod::Advanced;
+
 void runOn(const std::string &Title, const std::string &Text,
            ValueDomain Domain, unsigned StepBudget) {
   std::unique_ptr<Program> P = parseOrDie(Text);
   std::printf("==== %s ====\n%s\n", Title.c_str(),
               printProgram(*P).c_str());
   PipelineOptions Opts;
+  Opts.Method = Method;
   Opts.Cfg.Domain = std::move(Domain);
   Opts.Cfg.StepBudget = StepBudget;
   PipelineResult R = runPipeline(*P, Opts);
@@ -50,15 +57,34 @@ void runOn(const std::string &Title, const std::string &Text,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc > 1) {
-    std::ifstream In(Argv[1]);
+  const char *File = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Value = nullptr;
+    if (cli::flagValue(Argc, Argv, I, "--method", Value)) {
+      std::optional<ValidationMethod> M;
+      if (Value)
+        M = parseValidationMethodMaybe(Value);
+      if (!M) {
+        std::fprintf(stderr,
+                     "error: unknown validation method '%s'\n"
+                     "available methods: %s\n",
+                     Value ? Value : "", validationMethodList());
+        return 2;
+      }
+      Method = *M;
+      continue;
+    }
+    File = Argv[I];
+  }
+  if (File) {
+    std::ifstream In(File);
     if (!In) {
-      std::fprintf(stderr, "error: cannot open %s\n", Argv[1]);
+      std::fprintf(stderr, "error: cannot open %s\n", File);
       return 1;
     }
     std::stringstream Buf;
     Buf << In.rdbuf();
-    runOn(Argv[1], Buf.str(), ValueDomain::ternary(), 18);
+    runOn(File, Buf.str(), ValueDomain::ternary(), 18);
     return 0;
   }
 

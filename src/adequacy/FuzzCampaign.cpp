@@ -14,6 +14,7 @@
 #include "guard/Shrink.h"
 #include "guard/Signals.h"
 #include "lang/Parser.h"
+#include "litmus/RealWorld.h"
 #include "memo/MemoContext.h"
 #include "obs/Telemetry.h"
 
@@ -35,6 +36,142 @@ constexpr int ExitMismatch = 10;
 constexpr int ExitBounded = 11;
 constexpr int ExitBroken = 12; ///< generator produced an unparseable pair
 
+/// The seed case behind a corpus-seeded pair, recovered from the
+/// "realworld:<case>:<kind>" mutation tag (case names contain no ':').
+/// nullptr for random pairs and unrecognized tags.
+const RealWorldCase *seedCaseOf(const std::string &Mutation) {
+  constexpr const char Prefix[] = "realworld:";
+  if (Mutation.rfind(Prefix, 0) != 0)
+    return nullptr;
+  size_t NameBegin = sizeof(Prefix) - 1;
+  size_t NameEnd = Mutation.find(':', NameBegin);
+  if (NameEnd == std::string::npos)
+    return nullptr;
+  return realWorldCaseByNameMaybe(
+      Mutation.substr(NameBegin, NameEnd - NameBegin));
+}
+
+/// Byte offsets of every occurrence of \p Needle in \p S.
+std::vector<size_t> findAll(const std::string &S, const std::string &Needle) {
+  std::vector<size_t> Hits;
+  for (size_t P = S.find(Needle); P != std::string::npos;
+       P = S.find(Needle, P + 1))
+    Hits.push_back(P);
+  return Hits;
+}
+
+/// True when the access at the `@mode` token starting at \p At is a store
+/// (the token is followed by `:=`), which decides the strengthening
+/// direction: the parser only accepts acq on reads and rel on writes.
+bool isStoreAt(const std::string &S, size_t At, size_t TokLen) {
+  size_t P = At + TokLen;
+  while (P < S.size() && S[P] == ' ')
+    ++P;
+  return P + 1 < S.size() && S[P] == ':' && S[P + 1] == '=';
+}
+
+/// One token-level mutation of a protocol text, or "" when the chosen
+/// kind has no applicable site. The kinds mirror the corpus's curated
+/// mutants: mode weakening is exactly how rw-*-rlx-* cases inject their
+/// bugs, and store tweaks/duplications perturb the published values the
+/// protocols' MustExclude annotations watch.
+std::string mutateProtocolText(const std::string &Text, unsigned Kind,
+                               Rng &R, const char **KindName) {
+  std::string Out = Text;
+  switch (Kind) {
+  case 0: { // weaken one acquire/release to relaxed
+    *KindName = "weaken-mode";
+    std::vector<size_t> Sites = findAll(Text, "@acq");
+    for (size_t P : findAll(Text, "@rel"))
+      Sites.push_back(P);
+    if (Sites.empty())
+      return "";
+    Out.replace(Sites[R.below(Sites.size())], 4, "@rlx");
+    return Out;
+  }
+  case 1: { // strengthen one relaxed access (rel on stores, acq on loads)
+    *KindName = "strengthen-mode";
+    std::vector<size_t> Sites = findAll(Text, "@rlx");
+    if (Sites.empty())
+      return "";
+    size_t P = Sites[R.below(Sites.size())];
+    Out.replace(P, 4, isStoreAt(Text, P, 4) ? "@rel" : "@acq");
+    return Out;
+  }
+  case 2: { // bump one store's constant
+    *KindName = "tweak-const";
+    std::vector<size_t> Sites;
+    for (size_t P : findAll(Text, ":= ")) {
+      size_t D = P + 3;
+      if (D < Text.size() && Text[D] >= '0' && Text[D] <= '9')
+        Sites.push_back(D);
+    }
+    if (Sites.empty())
+      return "";
+    size_t D = Sites[R.below(Sites.size())];
+    size_t End = D;
+    while (End < Text.size() && Text[End] >= '0' && Text[End] <= '9')
+      ++End;
+    uint64_t V = std::strtoull(Text.substr(D, End - D).c_str(), nullptr, 10);
+    Out.replace(D, End - D, std::to_string((V + 1) % 4));
+    return Out;
+  }
+  default: { // duplicate one constant store statement
+    *KindName = "dup-store";
+    std::vector<size_t> Sites;
+    for (size_t P : findAll(Text, ":= ")) {
+      size_t D = P + 3;
+      if (D < Text.size() && Text[D] >= '0' && Text[D] <= '9')
+        Sites.push_back(P);
+    }
+    if (Sites.empty())
+      return "";
+    size_t P = Sites[R.below(Sites.size())];
+    // Statement start: just past the previous ';', '{', or newline.
+    size_t Begin = Text.find_last_of(";{\n", P);
+    Begin = Begin == std::string::npos ? 0 : Begin + 1;
+    size_t End = Text.find(';', P);
+    if (End == std::string::npos)
+      return "";
+    std::string Stmt = Text.substr(Begin, End + 1 - Begin);
+    Out.insert(End + 1, Stmt);
+    return Out;
+  }
+  }
+}
+
+/// Generates one corpus-seeded pair: a RealWorld protocol text as the
+/// source, a parseable token-level mutant of it as the target (same
+/// layout, same thread count — the mutation kinds cannot change either,
+/// but the parse re-check keeps the generator honest). Occasionally emits
+/// the identity pair, the direction where SEQ validates and every PS^na
+/// context must agree. Deterministic in \p R's state.
+RandomPair realWorldSeedPair(Rng &R) {
+  static const std::vector<const RealWorldCase *> Seeds = [] {
+    std::vector<const RealWorldCase *> S;
+    for (const RealWorldCase &RC : realWorldCorpus())
+      if (!RC.IsMutant)
+        S.push_back(&RC);
+    return S;
+  }();
+  const RealWorldCase &RC = *Seeds[R.below(Seeds.size())];
+  if (R.chance(1, 8))
+    return {RC.Text, RC.Text, "realworld:" + RC.Name + ":identity"};
+  for (unsigned Attempt = 0; Attempt != 8; ++Attempt) {
+    const char *KindName = "";
+    std::string Mutant =
+        mutateProtocolText(RC.Text, unsigned(R.below(4)), R, &KindName);
+    if (Mutant.empty() || Mutant == RC.Text)
+      continue;
+    ParseResult P = parseProgram(Mutant);
+    if (!P.ok())
+      continue;
+    return {RC.Text, std::move(Mutant),
+            "realworld:" + RC.Name + ":" + KindName};
+  }
+  return {RC.Text, RC.Text, "realworld:" + RC.Name + ":identity"};
+}
+
 /// Runs the adequacy harness on one pair and maps the record onto the
 /// exit-code protocol. Single-threaded on purpose: fork-isolated children
 /// must not touch the thread pool, and the parent wants fork safety too.
@@ -49,10 +186,21 @@ int checkPairInline(const RandomPair &Pair, const CampaignOptions &Opts,
   if (!S.ok() || !T.ok())
     return ExitBroken;
 
+  const RealWorldCase *Seed =
+      Opts.SeedCorpus.empty() ? nullptr : seedCaseOf(Pair.Mutation);
+
+  // Corpus-seeded pairs always run governed: the protocols' spin loops
+  // make the advanced checker's per-behavior oracle game explode at
+  // default budgets, and an in-child guard deadline yields an honest
+  // bounded verdict where the isolation wall timeout would count the
+  // pair as a malfunction.
   guard::ResourceGuard Guard;
-  bool Governed = Opts.DeadlineMs || Opts.MemMb;
-  if (Opts.DeadlineMs)
-    Guard.setDeadlineInMs(Opts.DeadlineMs);
+  uint64_t DeadlineMs = Opts.DeadlineMs;
+  if (!DeadlineMs && Seed)
+    DeadlineMs = 3000;
+  bool Governed = DeadlineMs || Opts.MemMb;
+  if (DeadlineMs)
+    Guard.setDeadlineInMs(DeadlineMs);
   if (Opts.MemMb)
     Guard.setMemLimitBytes(Opts.MemMb << 20);
 
@@ -64,6 +212,21 @@ int checkPairInline(const RandomPair &Pair, const CampaignOptions &Opts,
   PsCfg.NumThreads = 1;
   PsCfg.Guard = SeqCfg.Guard;
   PsCfg.Telem = Telem;
+  if (Seed) {
+    // The seed case knows its own value domain and PS^na budgets. The
+    // SEQ lane instead gets the reduced enumeration bounds from
+    // tests/sym_test.cpp: the guard checkpoints only between initial
+    // states, so without them a single spin-loop initial state outlives
+    // any deadline.
+    PsConfig SeedCfg = realWorldPsConfig(*Seed);
+    SeedCfg.NumThreads = PsCfg.NumThreads;
+    SeedCfg.Guard = PsCfg.Guard;
+    SeedCfg.Telem = PsCfg.Telem;
+    PsCfg = SeedCfg;
+    SeqCfg.Domain = Seed->Domain;
+    SeqCfg.StepBudget = 16;
+    SeqCfg.MaxBehaviors = 500;
+  }
 
   // A fresh per-pair context: the SEQ suffix cache is shared across the
   // simple/advanced checks and every context-library clone of this pair.
@@ -76,10 +239,13 @@ int checkPairInline(const RandomPair &Pair, const CampaignOptions &Opts,
   }
 
   AdequacyRecord Rec = runAdequacy(Pair.Mutation, *S.Prog, *T.Prog, SeqCfg,
-                                   PsCfg, /*HasLoops=*/false);
+                                   PsCfg, /*HasLoops=*/Seed != nullptr);
   if (RecOut)
     *RecOut = Rec;
-  if (!Rec.adequacyHolds())
+  // A mismatch is only a finding when the SEQ premise actually held: a
+  // truncated SEQ positive (routine on the spin-loop seed corpus) plus a
+  // PS^na refutation is a bounded non-verdict, not a Thm 6.2 violation.
+  if (!Rec.adequacyHolds() && !Rec.SeqBounded)
     return ExitMismatch;
   return Rec.AnyBounded ? ExitBounded : ExitAgree;
 }
@@ -172,7 +338,8 @@ CampaignStats pseq::runFuzzCampaign(const CampaignOptions &Opts) {
       Stats.TimedOut = true;
       break;
     }
-    RandomPair Pair = randomRefinementPair(R);
+    RandomPair Pair = Opts.SeedCorpus == "realworld" ? realWorldSeedPair(R)
+                                                     : randomRefinementPair(R);
     ++Stats.Pairs;
     FaultKind Fault = (Opts.Fault != FaultKind::None && I == Opts.InjectAt)
                           ? Opts.Fault
@@ -250,7 +417,10 @@ CampaignStats pseq::runFuzzCampaign(const CampaignOptions &Opts) {
     }
 
     if (std::strcmp(Outcome, "mismatch") == 0) {
-      if (Opts.ShrinkFailures)
+      // Corpus-seeded findings stay unshrunk: the delta-debugger's
+      // predicate pins the random generator's single-thread shape, which
+      // every multi-threaded protocol pair would fail on the first probe.
+      if (Opts.ShrinkFailures && Opts.SeedCorpus.empty())
         shrinkFinding(Opts, Pair);
       Stats.Findings.push_back("pair " + std::to_string(I) + " [" +
                                Pair.Mutation + "]\n--- source\n" + Pair.Src +

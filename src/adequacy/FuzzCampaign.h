@@ -70,7 +70,31 @@ struct CampaignOptions {
   /// isolated children run without telemetry (their writes would die with
   /// them anyway).
   obs::Telemetry *Telem = nullptr;
+  /// Where pairs come from. "" (or "random") draws random single-thread
+  /// straight-line pairs from adequacy/RandomProgram.h; "realworld" seeds
+  /// each pair from a RealWorld protocol case (litmus/RealWorld.h),
+  /// pairing the protocol text against a token-level mutant (a weakened
+  /// or strengthened access mode, a tweaked store constant, a duplicated
+  /// store — the same bug shapes the corpus's curated mutants inject).
+  /// Seeded pairs are multi-threaded spin-loop programs, so the SEQ lane
+  /// runs at reduced enumeration budgets and the pair inherits the seed
+  /// case's PS^na budgets and value domain; findings are not shrunk (the
+  /// delta-debugger's predicate is single-thread-shaped).
+  std::string SeedCorpus;
 };
+
+/// The corpora a CLI `--seed-corpus` flag may request, for usage
+/// messages.
+constexpr const char *campaignSeedCorpusList() {
+  return "random (default), realworld";
+}
+
+/// Validates a CLI `--seed-corpus` value. "" and "random" mean the
+/// default random-pair stream; callers should normalize "random" to ""
+/// before storing into CampaignOptions::SeedCorpus.
+inline bool campaignSeedCorpusKnown(const std::string &Name) {
+  return Name.empty() || Name == "random" || Name == "realworld";
+}
 
 /// Per-outcome counts plus the findings. Every generated pair lands in
 /// exactly one outcome bucket.

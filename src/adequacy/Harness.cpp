@@ -87,7 +87,8 @@ AdequacyRecord pseq::runAdequacy(const std::string &Name, const Program &Src,
   }
   Rec.SeqSimple = Simple.Holds;
   Rec.SeqAdvanced = Advanced.Holds;
-  Rec.AnyBounded = Simple.Bounded || Advanced.Bounded || HasLoops;
+  Rec.SeqBounded = Simple.Bounded || Advanced.Bounded || HasLoops;
+  Rec.AnyBounded = Rec.SeqBounded;
   noteTruncation(Rec.FirstCause, Simple.Cause);
   noteTruncation(Rec.FirstCause, Advanced.Cause);
 

@@ -49,6 +49,12 @@ struct AdequacyRecord {
   bool PsnaAllContexts = true;           ///< conjunction over contexts
   std::vector<ContextVerdict> Contexts;  ///< per-context detail
   bool AnyBounded = false;
+  /// The SEQ verdicts were themselves budget-truncated, or the pair has
+  /// loops (where the trace enumeration cannot be exhaustive). A positive
+  /// SeqAdvanced then means "no violation found within budget", not ⊑w
+  /// established — Thm 6.2's premise is missing, so a failing PS^na
+  /// context is a bounded non-verdict rather than an adequacy violation.
+  bool SeqBounded = false;
   /// First truncation cause across the SEQ checks and the per-context fold
   /// (library order) — names the budget behind AnyBounded.
   TruncationCause FirstCause = TruncationCause::None;

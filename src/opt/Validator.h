@@ -32,6 +32,13 @@ enum class ValidationMethod {
   Simple,     ///< trace-based ⊑ (Def 2.4)
   Advanced,   ///< trace-based ⊑w (Def 3.3) — the default
   Simulation, ///< Fig. 6 coinductive simulation — exact on loops
+  /// Symbolic ⊑w via path-merging abstract interpretation (src/sym):
+  /// decides spin-loop threads the enumerative procedures truncate on.
+  /// Sound verdicts are exhaustive; negatives are confirmed by the
+  /// enumerative lane before being reported, and an unconfirmable
+  /// negative surfaces as Ok-but-bounded (inconclusive), never as a
+  /// spurious rejection.
+  Symbolic,
   /// Whole-program Def 5.3 outcome inclusion in PS^na, for the passes the
   /// per-thread SEQ procedures cannot certify: register promotion changes
   /// the silent/observable split of a thread (stores vanish from memory)
@@ -51,10 +58,38 @@ constexpr const char *validationMethodName(ValidationMethod M) {
     return "advanced";
   case ValidationMethod::Simulation:
     return "simulation";
+  case ValidationMethod::Symbolic:
+    return "symbolic";
   case ValidationMethod::Psna:
     return "psna";
   }
   return "unknown";
+}
+
+/// The methods a CLI `--method` flag may request, for usage messages.
+/// Psna is pipeline-internal (validatePsTransform picks it by pass kind),
+/// so it is deliberately absent.
+constexpr const char *validationMethodList() {
+  return "simple, advanced, simulation, symbolic (alias: sym)";
+}
+
+/// Parses a CLI `--method` value: the validationMethodName tokens plus
+/// the "sym" alias. Returns std::nullopt on anything else — including
+/// "psna" — so callers can print a usage line listing
+/// validationMethodList() and exit nonzero instead of silently
+/// defaulting or aborting. Shared by the example and bench binaries so a
+/// typo gets the same non-fatal diagnosis everywhere.
+inline std::optional<ValidationMethod>
+parseValidationMethodMaybe(const std::string &Name) {
+  if (Name == "simple")
+    return ValidationMethod::Simple;
+  if (Name == "advanced")
+    return ValidationMethod::Advanced;
+  if (Name == "simulation")
+    return ValidationMethod::Simulation;
+  if (Name == "symbolic" || Name == "sym")
+    return ValidationMethod::Symbolic;
+  return std::nullopt;
 }
 
 /// Outcome of validating one transformation.

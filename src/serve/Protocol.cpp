@@ -56,6 +56,8 @@ ValidationMethod methodFromName(const std::string &Name, bool &Ok) {
     return ValidationMethod::Advanced;
   if (Name == "simulation")
     return ValidationMethod::Simulation;
+  if (Name == "symbolic" || Name == "sym")
+    return ValidationMethod::Symbolic;
   Ok = false; // Psna is pipeline-internal, not requestable per job
   return ValidationMethod::Advanced;
 }

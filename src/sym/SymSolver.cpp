@@ -1,0 +1,187 @@
+//===- sym/SymSolver.cpp - Pluggable path-condition solvers ---------------===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sym/SymSolver.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pseq;
+using namespace pseq::sym;
+using analysis::AbsDom;
+
+SymSolver::~SymSolver() = default;
+
+//===----------------------------------------------------------------------===//
+// Built-in interval/congruence decision procedure
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Exact for the engine's constraint language: every conjunct constrains a
+/// single identity, and the engine has already met repeated constraints on
+/// the same identity into one AbsDom — so the conjunction is satisfiable
+/// iff no conjunct denotes the empty set.
+class BuiltinSolver final : public SymSolver {
+public:
+  Sat checkSat(const std::vector<SymConstraint> &Cs) override {
+    for (const SymConstraint &C : Cs)
+      if (C.Dom.isBottom())
+        return Sat::Unsat;
+    return Sat::Sat;
+  }
+
+  bool model(const std::vector<SymConstraint> &Cs, uint64_t Id,
+             int64_t &Out) override {
+    for (const SymConstraint &C : Cs) {
+      if (C.Id != Id)
+        continue;
+      if (!C.Dom.mayDefined())
+        return false;
+      // Smallest defined member: the first value ≥ lo the congruence
+      // admits, computed directly (no scan; mod can be huge).
+      int64_t Lo = C.Dom.itv().lo(), Hi = C.Dom.itv().hi();
+      const analysis::Congruence &G = C.Dom.cng();
+      if (G.isEmpty())
+        return false;
+      __int128 V = Lo;
+      if (G.isSingleton()) {
+        V = G.rem();
+      } else if (!G.isTop()) {
+        __int128 M = static_cast<__int128>(G.mod());
+        __int128 D = (static_cast<__int128>(G.rem()) - V) % M;
+        if (D < 0)
+          D += M;
+        V += D;
+      }
+      if (V < Lo || V > Hi)
+        return false;
+      return Out = static_cast<int64_t>(V), true;
+    }
+    return Out = 0, true; // unconstrained: any value models it
+  }
+
+  const char *name() const override { return "builtin"; }
+};
+
+} // namespace
+
+std::unique_ptr<SymSolver> pseq::sym::makeBuiltinSolver() {
+  return std::make_unique<BuiltinSolver>();
+}
+
+//===----------------------------------------------------------------------===//
+// SMT-LIB2 emission (shared with tests; used by the optional binding)
+//===----------------------------------------------------------------------===//
+
+std::string pseq::sym::toSmtLib2(const std::vector<SymConstraint> &Cs) {
+  auto Num = [](int64_t V) {
+    if (V >= 0)
+      return std::to_string(V);
+    // Negate via uint64 so INT64_MIN cannot overflow.
+    uint64_t Mag = uint64_t(-(V + 1)) + 1;
+    return "(- " + std::to_string(Mag) + ")";
+  };
+  std::string S = "(set-logic QF_LIA)\n";
+  for (const SymConstraint &C : Cs) {
+    std::string X = "s" + std::to_string(C.Id);
+    S += "(declare-const " + X + " Int)\n";
+    // may-undef is modeled as a per-symbol boolean; a definitely-undef
+    // constraint leaves the integer unconstrained but satisfiable.
+    if (C.Dom.isBottom()) {
+      S += "(assert false)\n";
+      continue;
+    }
+    if (!C.Dom.mayDefined())
+      continue; // undef-only: no integer constraint
+    const analysis::Interval &I = C.Dom.itv();
+    if (!I.isFull()) {
+      S += "(assert (>= " + X + " " + Num(I.lo()) + "))\n";
+      S += "(assert (<= " + X + " " + Num(I.hi()) + "))\n";
+    }
+    const analysis::Congruence &G = C.Dom.cng();
+    if (!G.isTop() && !G.isEmpty()) {
+      if (G.isSingleton())
+        S += "(assert (= " + X + " " + Num(G.rem()) + "))\n";
+      else
+        S += "(assert (= (mod " + X + " " + std::to_string(G.mod()) + ") " +
+             Num(G.rem()) + "))\n";
+    }
+  }
+  S += "(check-sat)\n";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Optional SMT binding (PSEQ_ENABLE_SMT)
+//===----------------------------------------------------------------------===//
+
+bool pseq::sym::smtBindingCompiled() {
+#ifdef PSEQ_ENABLE_SMT
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef PSEQ_ENABLE_SMT
+
+namespace {
+
+/// Pipes the SMT-LIB2 rendering of each query to the binary named by
+/// PSEQ_SMT_SOLVER (which must read a script on stdin and print sat/unsat,
+/// e.g. `z3 -in` or `cvc5 --lang smt2`). Every failure mode returns
+/// Unknown so the engine's built-in fallback decides.
+class SmtSolver final : public SymSolver {
+  std::string Cmd;
+
+public:
+  explicit SmtSolver(std::string Cmd) : Cmd(std::move(Cmd)) {}
+
+  Sat checkSat(const std::vector<SymConstraint> &Cs) override {
+    std::string Script = toSmtLib2(Cs);
+    std::string Full = "printf '%s' '";
+    for (char C : Script)
+      Full += C == '\'' ? std::string("'\\''") : std::string(1, C);
+    Full += "' | " + Cmd + " 2>/dev/null";
+    FILE *R = popen(Full.c_str(), "r");
+    if (!R)
+      return Sat::Unknown;
+    char Buf[64] = {};
+    size_t N = fread(Buf, 1, sizeof(Buf) - 1, R);
+    pclose(R);
+    std::string Out(Buf, N);
+    if (Out.find("unsat") != std::string::npos)
+      return Sat::Unsat;
+    if (Out.find("sat") != std::string::npos)
+      return Sat::Sat;
+    return Sat::Unknown;
+  }
+
+  bool model(const std::vector<SymConstraint> &Cs, uint64_t Id,
+             int64_t &Out) override {
+    // Model extraction stays on the exact built-in procedure.
+    return BuiltinSolver().model(Cs, Id, Out);
+  }
+
+  const char *name() const override { return "smt"; }
+};
+
+} // namespace
+
+std::unique_ptr<SymSolver> pseq::sym::makeSmtSolver() {
+  const char *Cmd = std::getenv("PSEQ_SMT_SOLVER");
+  if (!Cmd || !*Cmd)
+    return nullptr;
+  return std::make_unique<SmtSolver>(Cmd);
+}
+
+#else
+
+std::unique_ptr<SymSolver> pseq::sym::makeSmtSolver() { return nullptr; }
+
+#endif // PSEQ_ENABLE_SMT

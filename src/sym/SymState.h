@@ -1,0 +1,210 @@
+//===- sym/SymState.h - Symbolic SEQ product states -------------*- C++ -*-===//
+//
+// Part of the pseq project, reproducing "Sequential Reasoning for Optimizing
+// Compilers under Weak Memory Concurrency" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// State representation of the symbolic refinement backend (src/sym): one
+/// product of a target and a source SEQ state whose value cells are
+/// *symbolic* — an `analysis::AbsDom` fact (interval × congruence ×
+/// may-undef) plus an optional value identity. Two cells carrying the same
+/// nonzero identity hold the *same* value in every concretization; that is
+/// how the backend tracks the target/source correlations (a read bound on
+/// both sides, an initial memory shared by both sides) that the matching
+/// rules of Fig. 2 need, without enumerating concrete values.
+///
+/// Identities are deliberately weak: they are erased whenever the abstract
+/// fact already pins the cell (singletons, definite undef), renamed to a
+/// canonical 1,2,3,… stream at every node creation, and intersected at
+/// join points (a correlation survives a join only if it holds on both
+/// incoming states). Joins with pair-consistent renaming plus AbsDom
+/// widening are what make spin loops converge to a finite product.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSEQ_SYM_SYMSTATE_H
+#define PSEQ_SYM_SYMSTATE_H
+
+#include "analysis/AbstractValue.h"
+#include "lang/ProgState.h"
+#include "support/LocSet.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pseq::sym {
+
+/// One symbolic value cell: an abstract fact plus an optional identity.
+/// Id == 0 means "no identity" — the cell is unrelated to every other
+/// cell. A nonzero Id names a single (unknown) value: all cells carrying
+/// it are equal in every concretization the state denotes.
+struct SymVal {
+  uint64_t Id = 0;
+  analysis::AbsDom Abs; // ⊥ by default
+
+  static SymVal ofConst(int64_t V) { return {0, analysis::AbsDom::ofConst(V)}; }
+  static SymVal undef() { return {0, analysis::AbsDom::undef()}; }
+  static SymVal fromValue(Value V) {
+    return V.isUndef() ? undef() : ofConst(V.get());
+  }
+
+  bool operator==(const SymVal &O) const { return Id == O.Id && Abs == O.Abs; }
+  bool operator!=(const SymVal &O) const { return !(*this == O); }
+  std::string str() const;
+};
+
+/// Must-equality: true only when every concretization gives both cells the
+/// same value (shared identity, equal singletons, or both definitely
+/// undef). False means "unknown", not "different".
+bool definitelyEqual(const SymVal &A, const SymVal &B);
+
+/// Must-disequality: no concretization gives both cells the same *defined*
+/// value and neither may be undef (undef ⊑-matches anything, so it never
+/// witnesses disequality). Used to resolve CAS compares definitively.
+bool definitelyNotEqual(const SymVal &A, const SymVal &B);
+
+/// Must-refinement for the paper's v ⊑ v' order: every concretization of
+/// \p Tgt refines the corresponding concretization of \p Src — the source
+/// is definitely undef, or the two are definitely equal.
+bool definitelyRefines(const SymVal &Tgt, const SymVal &Src);
+
+/// Hash of one cell (identity + abstract fact), for game memo keys.
+uint64_t hashSymVal(const SymVal &V);
+
+/// One side's thread state: σ with symbolic registers.
+struct SymThread {
+  unsigned Pc = 0;
+  ProgState::Status St = ProgState::Status::Running;
+  std::vector<SymVal> Regs;
+  SymVal Ret; // meaningful when St == Done
+
+  bool operator==(const SymThread &O) const {
+    return Pc == O.Pc && St == O.St && Regs == O.Regs && Ret == O.Ret;
+  }
+};
+
+/// The product of one target and one source SEQ state, as abstracted by a
+/// node of the symbolic simulation. The permission set P is shared: the
+/// advanced matching forces equal P/P' components on every acquire/release
+/// label and nothing else moves P, so the two sides' permission sets are
+/// equal at every reachable product point. Written sets and memories can
+/// diverge (non-atomics run unlabeled) and stay per-side. R is Fig. 2's
+/// commitment set.
+struct SymProdState {
+  SymThread Tgt, Src;
+  std::vector<SymVal> MemTgt, MemSrc; // indexed by location id
+  LocSet Perm;                        // shared P
+  LocSet WTgt, WSrc;                  // per-side F
+  LocSet R;                           // commitment set
+
+  /// The concrete node key (everything except the abstract cells): states
+  /// with equal keys are joined into one product node.
+  uint64_t keyHash() const;
+  bool sameKey(const SymProdState &O) const;
+
+  /// Full structural hash, for game memo keys (call on canonical states).
+  uint64_t hash() const;
+
+  /// Renames identities to 1,2,3,… in first-occurrence order of the
+  /// canonical cell traversal and erases identities on cells the abstract
+  /// fact already pins (singleton / definitely-undef / ⊥ cells, whose
+  /// equalities the facts themselves witness). Two states describing the
+  /// same correlations become structurally equal — the convergence device
+  /// for loops.
+  void canonicalize();
+
+  /// Joins \p O (canonical, same key) into this state (canonical):
+  /// abstract facts join pointwise (widen when \p Widen), identities are
+  /// renamed pair-consistently so exactly the correlations present in
+  /// both states survive. Re-canonicalizes. \returns true when this state
+  /// changed (the owning node must then re-expand).
+  bool joinWith(const SymProdState &O, bool Widen);
+
+  /// Meets every cell carrying identity \p Id with \p Fact (all such cells
+  /// hold the same value, so a fact learned about one holds for all).
+  /// \returns false when some cell becomes ⊥ — the refinement describes an
+  /// infeasible class and the caller must drop it.
+  bool refineId(uint64_t Id, const analysis::AbsDom &Fact);
+
+  bool operator==(const SymProdState &O) const;
+  std::string str(const std::vector<std::string> *LocNames = nullptr) const;
+
+  /// Canonical traversal: target regs, target ret, source regs, source
+  /// ret, target memory, source memory. A Ret cell is visited only once
+  /// its thread is Done — before that it is a default ⊥ placeholder, and
+  /// treating it as a live cell would make every Running state look
+  /// infeasible. Statuses are part of the product key, so two states with
+  /// equal keys always agree on which cells the traversal visits.
+  template <typename Fn> void forEachCell(Fn F) {
+    for (SymVal &V : Tgt.Regs)
+      F(V);
+    if (Tgt.St == ProgState::Status::Done)
+      F(Tgt.Ret);
+    for (SymVal &V : Src.Regs)
+      F(V);
+    if (Src.St == ProgState::Status::Done)
+      F(Src.Ret);
+    for (SymVal &V : MemTgt)
+      F(V);
+    for (SymVal &V : MemSrc)
+      F(V);
+  }
+  template <typename Fn> void forEachCell(Fn F) const {
+    const_cast<SymProdState *>(this)->forEachCell(
+        [&](SymVal &V) { F(static_cast<const SymVal &>(V)); });
+  }
+};
+
+/// Allocator for fresh value identities, one per engine run. Composite
+/// identities (deterministic expression fingerprints) live in the upper
+/// half of the id space so they can never collide with the counter.
+class SymIdGen {
+  uint64_t Next = 1;
+
+public:
+  uint64_t fresh() { return Next++; }
+};
+
+/// Result of symbolically evaluating an expression.
+struct SymEvalResult {
+  SymVal V;
+  bool MayUB = false; ///< some concretization divides by zero/undef
+  /// Every concretization faults: the step definitely goes to ⊥.
+  bool definitelyUB() const { return MayUB && V.Abs.isBottom(); }
+};
+
+/// Abstract interpretation of \p E over the symbolic register file,
+/// mirroring Expr::eval's undef/UB discipline via analysis::absBinOp.
+/// Results that are not pinned by their abstract fact get a *composite*
+/// identity — a deterministic fingerprint of (operator, operand
+/// identities/constants) — so the same expression over the same operands
+/// evaluates to the same identity on both sides of the product.
+SymEvalResult symEval(const Expr *E, const std::vector<SymVal> &Regs);
+
+/// One abstract binary operation with composite-identity tracking (the
+/// building block of symEval; exposed for the engine's RMW transfer).
+SymVal symBinOp(BinOp Op, const SymVal &L, const SymVal &R, bool &MayUB);
+
+/// The three concretization classes of a branch condition.
+enum class BranchClass { Truthy, Falsy, Undef };
+
+/// Restricts \p Cond to \p C: Truthy drops undef and trims a boundary 0,
+/// Falsy pins {0}, Undef keeps only undef. ⊥ result = infeasible class.
+analysis::AbsDom restrictToClass(const analysis::AbsDom &Cond, BranchClass C);
+
+/// Applies the class-\p C assumption on branch condition \p E (evaluated
+/// over \p Regs) to the whole product state: the condition's identity is
+/// refined id-wide, and one level of comparison patterns (reg ⋈ constant)
+/// refines the compared operand. \returns false when the class is
+/// infeasible under the current facts (caller drops it). Sound to apply
+/// partially — every refinement only shrinks the concretization set of a
+/// class that, by construction, the refined fact over-approximates.
+bool assumeBranch(SymProdState &St, const Expr *E,
+                  const std::vector<SymVal> &Regs, BranchClass C);
+
+} // namespace pseq::sym
+
+#endif // PSEQ_SYM_SYMSTATE_H

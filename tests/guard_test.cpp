@@ -802,6 +802,27 @@ TEST(FuzzCampaignTest, GovernedPairsReportBoundedNotCrash) {
   EXPECT_TRUE(S.clean());
 }
 
+TEST(FuzzCampaignTest, RealWorldSeedCorpusRunsClean) {
+  // Corpus-seeded pairs are multi-threaded spin-loop protocols: every SEQ
+  // verdict is loop-bounded, so each pair must classify as agree/bounded —
+  // a PS^na refutation of a truncated SEQ positive is a non-verdict, not
+  // a finding.
+  EXPECT_TRUE(campaignSeedCorpusKnown("realworld"));
+  EXPECT_TRUE(campaignSeedCorpusKnown("random"));
+  EXPECT_FALSE(campaignSeedCorpusKnown("realwrld"));
+
+  CampaignOptions O;
+  O.Seed = 11;
+  O.Count = 3;
+  O.Isolate = false;
+  O.SeedCorpus = "realworld";
+  CampaignStats S = runFuzzCampaign(O);
+  EXPECT_EQ(S.Pairs, 3u);
+  EXPECT_EQ(S.Agree + S.Bounded, 3u)
+      << "seeded pairs either agree or report an honest bounded verdict";
+  EXPECT_TRUE(S.clean());
+}
+
 //===----------------------------------------------------------------------===//
 // Isolation rusage capture & SIGKILL disambiguation
 //===----------------------------------------------------------------------===//

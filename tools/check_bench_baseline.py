@@ -36,6 +36,19 @@ Two modes:
       realworld_states_per_sec_floor (a machine-independent smoke floor,
       not a perf target).
 
+  check_bench_baseline.py --baseline BENCH_BASELINE.json --sym-summary FILE
+      FILE holds the output of `litmus_explorer --corpus realworld --method
+      sym` (only the final "sym summary:" line is read). Fails on any
+      symbolic-vs-enumerative disagreement (the zero-disagreement contract
+      is the whole point of the differential sweep), when the number of
+      protocol threads checked shrinks below sym_checked_floor, when fewer
+      threads are decided Sound than sym_sound_floor, when the count of
+      threads the symbolic backend decides where the enumerative checker
+      can only truncate falls below sym_decided_cases (the backend's
+      raison d'être — see EXPERIMENTS.md E23), or when any Unsound verdict
+      appears on the protocol corpus (every protocol thread trivially
+      refines itself).
+
   check_bench_baseline.py --baseline BENCH_BASELINE.json --atlas-summary FILE
       FILE holds the output of `atlas_report` (only the final
       "atlas summary:" line is read). Fails when the validator
@@ -69,6 +82,11 @@ REALWORLD_RE = re.compile(
     r"realworld summary: cases=(\d+) protocols=(\d+) mutants=(\d+) "
     r"bad_exhibited=(\d+) annotation_failures=(\d+) states=(\d+) "
     r"elapsed_ms=(\d+) states_per_sec=(\d+)"
+)
+
+SYM_RE = re.compile(
+    r"sym summary: checked=(\d+) sound=(\d+) unsound=(\d+) "
+    r"inconclusive=(\d+) decided_where_truncated=(\d+) disagreements=(\d+)"
 )
 
 ATLAS_RE = re.compile(
@@ -234,6 +252,59 @@ def check_realworld_summary(args):
     )
 
 
+def check_sym_summary(args):
+    base = json.load(open(args.baseline))
+    text = open(args.sym_summary).read()
+    matches = SYM_RE.findall(text)
+    if not matches:
+        fail(f"no 'sym summary:' line found in {args.sym_summary}")
+    checked, sound, unsound, inconclusive, decided, disagreements = map(
+        int, matches[-1]
+    )
+
+    if "sym_decided_cases" not in base:
+        fail(f"{args.baseline} has no sym_decided_cases field")
+
+    if disagreements:
+        fail(
+            f"{disagreements} symbolic-vs-enumerative disagreements — the "
+            f"differential sweep's zero-disagreement contract is broken; "
+            f"see the per-thread lines for the offending verdicts"
+        )
+    if unsound:
+        fail(
+            f"{unsound} protocol threads reported Unsound on the "
+            f"self-refinement sweep — every thread trivially refines "
+            f"itself, so this is a symbolic-backend soundness bug"
+        )
+    if checked < base.get("sym_checked_floor", 0):
+        fail(
+            f"sym sweep checked only {checked} protocol threads vs "
+            f"baseline floor {base['sym_checked_floor']} — the RealWorld "
+            f"corpus may only grow"
+        )
+    if sound < base.get("sym_sound_floor", 0):
+        fail(
+            f"only {sound} protocol threads decided Sound vs baseline "
+            f"floor {base['sym_sound_floor']} — the abstraction got "
+            f"coarser (inconclusive={inconclusive})"
+        )
+    if decided < base["sym_decided_cases"]:
+        fail(
+            f"symbolic backend decided only {decided} threads where the "
+            f"enumerative checker truncates, vs baseline "
+            f"{base['sym_decided_cases']} — the backend's coverage "
+            f"advantage regressed (EXPERIMENTS.md E23)"
+        )
+
+    print(
+        f"check_bench_baseline: OK: sym checked={checked} sound={sound} "
+        f"inconclusive={inconclusive} "
+        f"decided_where_truncated={decided} "
+        f"(floor {base['sym_decided_cases']}), disagreements=0"
+    )
+
+
 def check_atlas_summary(args):
     base = json.load(open(args.baseline))
     text = open(args.atlas_summary).read()
@@ -357,6 +428,11 @@ def main():
         "--atlas-summary", help="file with atlas_report output to gate"
     )
     ap.add_argument(
+        "--sym-summary",
+        help="file with `litmus_explorer --corpus realworld --method sym` "
+        "output to gate",
+    )
+    ap.add_argument(
         "--realworld-summary",
         help="file with `litmus_explorer --corpus realworld` output to gate",
     )
@@ -378,6 +454,8 @@ def main():
         check_server_json(args)
     elif args.baseline and args.realworld_summary:
         check_realworld_summary(args)
+    elif args.baseline and args.sym_summary:
+        check_sym_summary(args)
     elif args.baseline and args.atlas_summary:
         check_atlas_summary(args)
     elif args.baseline and args.summary:
@@ -385,7 +463,8 @@ def main():
     else:
         ap.error(
             "need --baseline with --summary, --realworld-summary, "
-            "--atlas-summary, or --server-json, or --bench-json"
+            "--sym-summary, --atlas-summary, or --server-json, or "
+            "--bench-json"
         )
 
 
